@@ -1,0 +1,134 @@
+//! A deliberately naive symmetric challenge–response protocol.
+//!
+//! Paper §5.2/§5.3 argue TPNR resists reflection and interleaving *by
+//! construction*: it is not a challenge–response system, messages are
+//! direction-bound and asymmetric, and every session finishes in one round.
+//! To show those structural properties are load-bearing (and not just
+//! absent threats), this module implements the kind of protocol the attacks
+//! were invented against — a symmetric MAC-based mutual authentication —
+//! and the attack harnesses demonstrate reflection and interleaving
+//! *succeeding* here while failing against TPNR.
+//!
+//! The toy protocol (shared key `K`, same in both directions — the flaw):
+//!
+//! ```text
+//! 1. A → B : Na                 (challenge)
+//! 2. B → A : MAC_K(Na), Nb      (response + counter-challenge)
+//! 3. A → B : MAC_K(Nb)          (response)
+//! ```
+
+use tpnr_crypto::hmac::Hmac;
+use tpnr_crypto::sha2::Sha256;
+
+/// One party of the toy protocol.
+pub struct ToyParty {
+    key: Vec<u8>,
+    /// Challenge we issued and are waiting to see answered.
+    outstanding: Option<u64>,
+    /// Whether we ended up convinced the peer knows the key.
+    pub convinced: bool,
+}
+
+impl ToyParty {
+    /// New party with the (shared) key.
+    pub fn new(key: &[u8]) -> Self {
+        ToyParty { key: key.to_vec(), outstanding: None, convinced: false }
+    }
+
+    /// Step 1: issue a challenge.
+    pub fn challenge(&mut self, nonce: u64) -> u64 {
+        self.outstanding = Some(nonce);
+        nonce
+    }
+
+    /// Computes the response to a received challenge — note the fatal
+    /// symmetry: the same key and formula serve both directions.
+    pub fn respond(&self, challenge: u64) -> Vec<u8> {
+        Hmac::<Sha256>::mac(&self.key, &challenge.to_be_bytes())
+    }
+
+    /// Checks a response to our outstanding challenge.
+    pub fn accept_response(&mut self, response: &[u8]) -> bool {
+        let Some(ch) = self.outstanding.take() else { return false };
+        let ok = Hmac::<Sha256>::verify(&self.key, &ch.to_be_bytes(), response);
+        self.convinced = ok;
+        ok
+    }
+}
+
+/// Runs the reflection attack against the toy protocol: the attacker never
+/// knows the key, yet convinces Alice by opening a *second* session and
+/// reflecting her own challenge back at her. Returns `true` if the attacker
+/// is authenticated.
+pub fn reflection_attack_succeeds() -> bool {
+    let key = b"shared secret between A and B";
+    let mut alice_session1 = ToyParty::new(key);
+    // Session 1: Alice challenges "Bob" (really the attacker).
+    let na = alice_session1.challenge(0x1111);
+    // The attacker cannot compute MAC_K(na) … but opens session 2 to Alice
+    // and challenges her with her own nonce.
+    let reflected_answer = {
+        // Alice dutifully answers the "fresh" challenge in session 2.
+        let alice_as_responder = ToyParty::new(key);
+        alice_as_responder.respond(na)
+    };
+    // The attacker feeds Alice's own answer back in session 1.
+    alice_session1.accept_response(&reflected_answer)
+}
+
+/// Runs the interleaving (oracle) attack: the attacker relays challenges
+/// between two honest parties, getting each to answer the other's
+/// challenge, and ends up authenticated to both without knowing the key.
+pub fn interleaving_attack_succeeds() -> bool {
+    let key = b"shared secret between A and B";
+    let mut alice = ToyParty::new(key);
+    let mut bob = ToyParty::new(key);
+    // Alice challenges the attacker (thinking it's Bob).
+    let na = alice.challenge(0xaaaa);
+    // The attacker interleaves: starts a session with Bob and uses Alice's
+    // nonce as its "own" challenge.
+    let bob_answer = bob.respond(na);
+    // …and answers Alice with Bob's response.
+    let ok_alice = alice.accept_response(&bob_answer);
+    // Symmetrically for Bob.
+    let nb = bob.challenge(0xbbbb);
+    let alice_answer = alice.respond(nb);
+    let ok_bob = bob.accept_response(&alice_answer);
+    ok_alice && ok_bob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_run_works() {
+        let key = b"k";
+        let mut a = ToyParty::new(key);
+        let b = ToyParty::new(key);
+        let na = a.challenge(42);
+        let resp = b.respond(na);
+        assert!(a.accept_response(&resp));
+        assert!(a.convinced);
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut a = ToyParty::new(b"k1");
+        let b = ToyParty::new(b"k2");
+        let na = a.challenge(42);
+        assert!(!a.accept_response(&b.respond(na)));
+    }
+
+    #[test]
+    fn response_without_challenge_rejected() {
+        let mut a = ToyParty::new(b"k");
+        assert!(!a.accept_response(&[0u8; 32]));
+    }
+
+    #[test]
+    fn the_toy_protocol_is_broken_as_advertised() {
+        assert!(reflection_attack_succeeds());
+        assert!(interleaving_attack_succeeds());
+    }
+}

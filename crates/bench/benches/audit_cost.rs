@@ -1,0 +1,43 @@
+//! Extension X1: remote audit vs full download — bytes and time to gain
+//! integrity assurance about a stored object under Merkle commitments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpnr_core::chunked::AuditChallenge;
+use tpnr_core::client::TimeoutStrategy;
+use tpnr_core::config::ProtocolConfig;
+use tpnr_core::runner::World;
+
+fn bench_audit_vs_download(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x1_audit_vs_download");
+    g.sample_size(10);
+    for size in [1usize << 18, 1 << 21] {
+        let cfg = ProtocolConfig::full().with_merkle(4096);
+        let mut w = World::new(77, cfg.clone());
+        let up = w.upload(b"obj", vec![0xabu8; size], TimeoutStrategy::AbortFirst);
+
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("single_chunk_audit", size), &size, |b, _| {
+            b.iter(|| {
+                let challenge = AuditChallenge { object: b"obj".to_vec(), chunk_index: 3 };
+                let resp = w.provider.answer_audit(&cfg, &challenge).unwrap();
+                w.client.verify_audit(&cfg, up.txn_id, &resp).unwrap();
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("full_download_check", size), &size, |b, _| {
+            b.iter(|| {
+                let mut w2 = World::new(78, cfg.clone());
+                let up2 = w2.upload(b"obj", vec![0xabu8; size], TimeoutStrategy::AbortFirst);
+                let (down, _) = w2.download(b"obj", TimeoutStrategy::AbortFirst);
+                assert_eq!(
+                    w2.client.verify_download_against_upload(up2.txn_id, down.txn_id),
+                    Some(true)
+                );
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_audit_vs_download);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E7 / §3: the four bridging schemes — upload-session cost and dispute
+//! evaluation for each TAC/SKS combination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpnr_core::bridge::{make_scheme, DisputeScenario, SchemeKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_bridge_schemes");
+    g.sample_size(20);
+    let coop = DisputeScenario { counterparty_cooperates: true, tac_available: true };
+    for kind in SchemeKind::all() {
+        g.bench_function(BenchmarkId::new("upload_and_dispute", kind.label()), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut s = make_scheme(kind, seed);
+                s.upload(b"the agreed data");
+                s.tamper(b"tampered");
+                s.tamper_proven(coop)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! E4/E8 (crypto side): throughput of every primitive the protocol leans on
+//! — the 2010-era hash suite, HMAC, RSA operations and Shamir sharing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpnr_crypto::hash::HashAlg;
+use tpnr_crypto::hmac::Hmac;
+use tpnr_crypto::sha2::Sha256;
+use tpnr_crypto::shamir;
+use tpnr_crypto::{chacha20, ChaChaRng, RsaKeyPair};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for size in [1usize << 10, 1 << 16, 1 << 20] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        for alg in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256, HashAlg::Sha512] {
+            g.bench_with_input(BenchmarkId::new(alg.name(), size), &data, |b, d| {
+                b.iter(|| alg.hash(d))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hmac_sha256");
+    for size in [64usize, 1 << 10, 1 << 16] {
+        let data = vec![0x3cu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| Hmac::<Sha256>::mac(b"azure-account-key-256bit-secret!", d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chacha20(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chacha20");
+    let key = [7u8; 32];
+    let nonce = [1u8; 12];
+    for size in [1usize << 10, 1 << 20] {
+        let data = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| chacha20::encrypt(&key, &nonce, d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsa");
+    g.sample_size(20);
+    let mut rng = ChaChaRng::seed_from_u64(1);
+    let kp512 = RsaKeyPair::insecure_test_key(1);
+    let kp1024 = RsaKeyPair::generate(1024, &mut rng);
+    let digest = HashAlg::Sha256.hash(b"message");
+    for (label, kp) in [("512", &kp512), ("1024", &kp1024)] {
+        g.bench_function(BenchmarkId::new("sign", label), |b| {
+            b.iter(|| kp.private.sign_prehashed(HashAlg::Sha256, &digest).unwrap())
+        });
+        let sig = kp.private.sign_prehashed(HashAlg::Sha256, &digest).unwrap();
+        g.bench_function(BenchmarkId::new("verify", label), |b| {
+            b.iter(|| kp.public.verify_prehashed(HashAlg::Sha256, &digest, &sig).unwrap())
+        });
+        g.bench_function(BenchmarkId::new("encrypt32B", label), |b| {
+            b.iter(|| kp.public.encrypt(&mut rng, &digest).unwrap())
+        });
+        let ct = kp.public.encrypt(&mut rng, &digest).unwrap();
+        g.bench_function(BenchmarkId::new("decrypt32B", label), |b| {
+            b.iter(|| kp.private.decrypt(&ct).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("rsa_keygen");
+    g.sample_size(10);
+    g.bench_function("512", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut r = ChaChaRng::seed_from_u64(seed);
+            RsaKeyPair::generate(512, &mut r)
+        })
+    });
+    g.finish();
+}
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shamir");
+    let secret = HashAlg::Md5.hash(b"the agreed data"); // 16 bytes, the paper's MD5
+    for (k, n) in [(2usize, 2usize), (2, 5), (3, 5), (5, 10)] {
+        let label = format!("{k}-of-{n}");
+        g.bench_function(BenchmarkId::new("split", &label), |b| {
+            let mut rng = ChaChaRng::seed_from_u64(2);
+            b.iter(|| shamir::split(&secret, k, n, &mut rng).unwrap())
+        });
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let shares = shamir::split(&secret, k, n, &mut rng).unwrap();
+        g.bench_function(BenchmarkId::new("combine", &label), |b| {
+            b.iter(|| shamir::combine(&shares[..k]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_hmac,
+    bench_chacha20,
+    bench_rsa,
+    bench_shamir
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E4: cost of TPNR evidence — building (hash + two signatures + hybrid
+//! seal) and verifying (open + two signature checks) — across payload sizes
+//! and the MD5-vs-SHA-256 hash choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpnr_core::config::ProtocolConfig;
+use tpnr_core::evidence::{open_and_verify, seal, EvidencePlaintext, Flag};
+use tpnr_core::principal::Principal;
+use tpnr_crypto::hash::HashAlg;
+use tpnr_crypto::ChaChaRng;
+use tpnr_net::time::SimTime;
+
+fn plaintext_for(alice: &Principal, bob: &Principal, alg: HashAlg, data: &[u8]) -> EvidencePlaintext {
+    EvidencePlaintext {
+        flag: Flag::UploadRequest,
+        sender: alice.id(),
+        recipient: bob.id(),
+        ttp: bob.id(),
+        txn_id: 1,
+        seq: 1,
+        nonce: 42,
+        time_limit: SimTime(u64::MAX),
+        object: b"k".to_vec(),
+        hash_alg: alg,
+        data_hash: alg.hash(data),
+    }
+}
+
+fn bench_evidence(c: &mut Criterion) {
+    let alice = Principal::test("alice", 1);
+    let bob = Principal::test("bob", 2);
+    let cfg = ProtocolConfig::full();
+
+    let mut g = c.benchmark_group("evidence_generate");
+    g.sample_size(20);
+    for size in [1usize << 10, 1 << 16, 1 << 20, 8 << 20] {
+        let data = vec![0x11u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        for alg in [HashAlg::Md5, HashAlg::Sha256] {
+            g.bench_with_input(BenchmarkId::new(alg.name(), size), &data, |b, d| {
+                let mut rng = ChaChaRng::seed_from_u64(3);
+                b.iter(|| {
+                    // The full sender-side path: hash the payload, sign both
+                    // values, seal for the recipient.
+                    let pt = plaintext_for(&alice, &bob, alg, d);
+                    seal(&cfg, &alice, bob.public(), &pt, &mut rng).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("evidence_verify");
+    g.sample_size(20);
+    for size in [1usize << 10, 1 << 20] {
+        let data = vec![0x22u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        for alg in [HashAlg::Md5, HashAlg::Sha256] {
+            let mut rng = ChaChaRng::seed_from_u64(4);
+            let pt = plaintext_for(&alice, &bob, alg, &data);
+            let sealed = seal(&cfg, &alice, bob.public(), &pt, &mut rng).unwrap();
+            g.bench_with_input(BenchmarkId::new(alg.name(), size), &data, |b, d| {
+                b.iter(|| {
+                    // Receiver-side: re-hash the payload and verify.
+                    let _ = alg.hash(d);
+                    open_and_verify(&cfg, &bob, alice.public(), &pt, &sealed).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_evidence);
+criterion_main!(benches);

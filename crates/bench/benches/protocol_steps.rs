@@ -1,0 +1,84 @@
+//! E2 / Figure 6: end-to-end protocol runs — TPNR Normal / Abort / Resolve
+//! vs the traditional four-step baseline — measuring compute cost of a full
+//! settled exchange (the simulated-latency comparison is in the
+//! `experiments` binary; here Criterion measures the CPU work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpnr_core::baseline;
+use tpnr_core::client::TimeoutStrategy;
+use tpnr_core::config::ProtocolConfig;
+use tpnr_core::runner::World;
+use tpnr_core::session::TxnState;
+use tpnr_net::time::SimDuration;
+
+fn bench_normal_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpnr_normal_upload");
+    g.sample_size(10);
+    for size in [1usize << 10, 1 << 18, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &sz| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut w = World::new(seed, ProtocolConfig::full());
+                let r = w.upload(b"obj", vec![0u8; sz], TimeoutStrategy::AbortFirst);
+                assert_eq!(r.state, TxnState::Completed);
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sub_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpnr_sub_protocols");
+    g.sample_size(10);
+    g.bench_function("abort_path", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut w = World::new(seed, ProtocolConfig::full());
+            w.provider.behavior.respond_transfers = false;
+            let r = w.upload(b"obj", vec![0u8; 1024], TimeoutStrategy::AbortFirst);
+            assert_eq!(r.state, TxnState::Aborted);
+            r
+        })
+    });
+    g.bench_function("resolve_path", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut w = World::new(seed, ProtocolConfig::full());
+            // Receipts lost: resolve via the TTP recovers the NRR.
+            let (alice, bob) = (w.alice_node, w.bob_node);
+            w.net.set_link(bob, alice, tpnr_net::LinkConfig {
+                drop_prob: 1.0,
+                ..Default::default()
+            });
+            let r = w.upload(b"obj", vec![0u8; 1024], TimeoutStrategy::ResolveImmediately);
+            assert_eq!(r.state, TxnState::Completed);
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traditional_nr");
+    g.sample_size(10);
+    for size in [1usize << 10, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &sz| {
+            let mut seed = 0u64;
+            let data = vec![0u8; sz];
+            b.iter(|| {
+                seed += 1;
+                baseline::run_exchange(seed, &data, SimDuration::from_millis(10)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_normal_mode, bench_sub_protocols, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E5 / §6: protocol time vs device-shipping time for AWS-style
+//! Import/Export — regenerates the overhead-fraction table and times the
+//! import validation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpnr_bench::e5_shipping_overhead;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_shipping_overhead");
+    g.sample_size(10);
+    g.bench_function("table", |b| {
+        b.iter(|| {
+            let rows = e5_shipping_overhead(&[24, 72, 120]);
+            assert!(rows.iter().all(|r| r.overhead_fraction < 0.001));
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E6 / §4.4: TTP involvement as a function of the fault rate — TPNR's
+//! off-line TTP vs the always-in-line traditional protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpnr_bench::e6_ttp_load;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_ttp_load");
+    g.sample_size(10);
+    for p in [0.0f64, 0.2, 0.5] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let rows = e6_ttp_load(&[p], 5);
+                assert_eq!(rows.len(), 1);
+                rows
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

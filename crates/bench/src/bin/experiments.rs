@@ -1,0 +1,26 @@
+//! Regenerates every experiment table from EXPERIMENTS.md.
+//!
+//! Run with `cargo run --release -p tpnr-bench --bin experiments`.
+
+use tpnr_bench::report::*;
+use tpnr_bench::*;
+use tpnr_crypto::hash::HashAlg;
+
+fn main() {
+    println!("{}", render_e1(&e1_vulnerability_matrix(2026)));
+    println!(
+        "{}",
+        render_e2(&e2_protocol_comparison(&[10, 50, 100, 300], &[1024, 1 << 20, 16 << 20]))
+    );
+    println!("{}", render_e3(&e3_attack_matrix()));
+    println!(
+        "{}",
+        render_e4(&e4_evidence_cost(
+            &[1 << 10, 1 << 16, 1 << 20, 16 << 20],
+            &[HashAlg::Md5, HashAlg::Sha256],
+        ))
+    );
+    println!("{}", render_e5(&e5_shipping_overhead(&[24, 48, 72, 120])));
+    println!("{}", render_e6(&e6_ttp_load(&[0.0, 0.05, 0.1, 0.2, 0.3, 0.5], 40)));
+    println!("{}", render_e7(&e7_bridge_schemes(2026)));
+}

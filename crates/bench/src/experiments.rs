@@ -1,0 +1,453 @@
+//! The E1–E7 experiment implementations (DESIGN.md §5).
+
+use tpnr_core::bridge::{self, BridgingScheme, DisputeScenario, SchemeKind};
+use tpnr_core::client::TimeoutStrategy;
+use tpnr_core::config::ProtocolConfig;
+use tpnr_core::runner::World;
+use tpnr_core::session::TxnState;
+use tpnr_crypto::hash::HashAlg;
+use tpnr_net::sim::LinkConfig;
+use tpnr_net::time::SimDuration;
+use tpnr_storage::object::Tamper;
+use tpnr_storage::platform::{all_platforms, ClientVerdict};
+use tpnr_net::time::SimTime;
+
+// ---------------------------------------------------------------- E1 ----
+
+/// One row of the Figure-5 vulnerability matrix.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Platform ("Azure" / "AWS" / "GAE") or "TPNR".
+    pub system: String,
+    /// Tamper applied in storage.
+    pub tamper: &'static str,
+    /// Did the client's own check notice anything wrong?
+    pub detected: bool,
+    /// Can fault be *attributed* (non-repudiably pinned on the provider)?
+    pub attributable: bool,
+}
+
+/// E1 / Figure 5: upload → tamper-in-storage → download on each platform
+/// model, then the same story under TPNR.
+pub fn e1_vulnerability_matrix(seed: u64) -> Vec<E1Row> {
+    let mut rows = Vec::new();
+    let tampers: [(&'static str, Tamper); 2] = [
+        ("naive bit-flip", Tamper::BitFlip { offset: 3 }),
+        ("consistent replace", Tamper::ConsistentReplace(b"forged".to_vec())),
+    ];
+    for (label, tamper) in &tampers {
+        for mut p in all_platforms(seed) {
+            p.upload("k", b"true data", SimTime::ZERO);
+            p.tamper("k", tamper);
+            let d = p.download("k").expect("object exists");
+            rows.push(E1Row {
+                system: p.name().to_string(),
+                tamper: label,
+                detected: d.client_check() == ClientVerdict::MismatchDetected,
+                // No platform gives the client provider-signed commitments,
+                // so even a *detected* mismatch cannot be pinned on the
+                // provider (vs. the client's own upload or the transit).
+                attributable: false,
+            });
+        }
+        // TPNR: both tampers reduce to "stored bytes differ from the NRR'd
+        // upload" — detected by the integrity link and provable in
+        // arbitration.
+        let mut w = World::new(seed, ProtocolConfig::full());
+        let up = w.upload(b"k", b"true data".to_vec(), TimeoutStrategy::AbortFirst);
+        match tamper {
+            Tamper::BitFlip { .. } => {
+                let mut cur = w.provider.peek_storage(b"k").unwrap().to_vec();
+                cur[3] ^= 1;
+                w.provider.tamper_storage(b"k", cur);
+            }
+            _ => {
+                w.provider.tamper_storage(b"k", b"forged".to_vec());
+            }
+        }
+        let (down, _) = w.download(b"k", TimeoutStrategy::AbortFirst);
+        let detected =
+            w.client.verify_download_against_upload(up.txn_id, down.txn_id) == Some(false);
+        let verdict = {
+            let arb = tpnr_core::arbiter::Arbitrator::new(ProtocolConfig::full(), w.dir.clone());
+            let case = tpnr_core::arbiter::DisputeCase {
+                claimant: Some(w.client.id()),
+                respondent: Some(w.provider.id()),
+                upload_nrr: w.client.txn(up.txn_id).and_then(|t| t.nrr.clone()),
+                download_nrr: w.client.txn(down.txn_id).and_then(|t| t.nrr.clone()),
+                upload_nro: w.provider.txn(up.txn_id).map(|t| t.nro.clone()),
+                download_nro: w.provider.txn(down.txn_id).map(|t| t.nro.clone()),
+            };
+            arb.judge(&case)
+        };
+        rows.push(E1Row {
+            system: "TPNR".to_string(),
+            tamper: label,
+            detected,
+            attributable: verdict == tpnr_core::arbiter::Verdict::ProviderAtFault,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E2 ----
+
+/// One row of the protocol-efficiency comparison.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// "TPNR" or "traditional-NR".
+    pub protocol: &'static str,
+    /// Round-trip time of the simulated links.
+    pub rtt_ms: u64,
+    /// Payload size in bytes.
+    pub size: usize,
+    /// Wire messages used.
+    pub messages: u64,
+    /// Settlement latency in simulated milliseconds.
+    pub latency_ms: f64,
+    /// Whether the TTP was involved.
+    pub ttp_used: bool,
+}
+
+/// E2 / Figure 6: TPNR Normal mode vs the traditional four-step protocol
+/// across an RTT × size grid. The claim: 2 messages vs 4+ and strictly
+/// lower latency at every point, with the TTP off-line for TPNR.
+pub fn e2_protocol_comparison(rtts_ms: &[u64], sizes: &[usize]) -> Vec<E2Row> {
+    let mut rows = Vec::new();
+    for (i, &rtt) in rtts_ms.iter().enumerate() {
+        for (j, &size) in sizes.iter().enumerate() {
+            let seed = (i * 16 + j) as u64 + 1;
+            let data = vec![0xabu8; size];
+            let one_way = SimDuration::from_millis(rtt / 2);
+
+            let mut w = World::new(seed, ProtocolConfig::full());
+            w.set_all_links(LinkConfig::ideal(one_way));
+            let r = w.upload(b"obj", data.clone(), TimeoutStrategy::AbortFirst);
+            assert_eq!(r.state, TxnState::Completed);
+            rows.push(E2Row {
+                protocol: "TPNR",
+                rtt_ms: rtt,
+                size,
+                messages: r.messages,
+                latency_ms: r.latency.as_secs_f64() * 1e3,
+                ttp_used: r.ttp_used,
+            });
+
+            let b = tpnr_core::baseline::run_exchange(seed, &data, one_way)
+                .expect("baseline run");
+            rows.push(E2Row {
+                protocol: "traditional-NR",
+                rtt_ms: rtt,
+                size,
+                messages: b.messages,
+                latency_ms: b.latency.as_secs_f64() * 1e3,
+                ttp_used: b.ttp_used,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E3 ----
+
+/// E3 / §5: the attack × ablation matrix (delegates to `tpnr-attacks`).
+pub fn e3_attack_matrix() -> Vec<tpnr_attacks::AttackOutcome> {
+    tpnr_attacks::matrix()
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+/// One row of the evidence-cost table.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Payload size hashed into the evidence.
+    pub size: usize,
+    /// Hash algorithm.
+    pub alg: HashAlg,
+    /// Microseconds to build (hash + 2 signatures + seal).
+    pub generate_us: f64,
+    /// Microseconds to open and verify.
+    pub verify_us: f64,
+}
+
+/// E4: cost of evidence generation/verification vs payload size and hash.
+/// Criterion benches cover the same path with proper statistics; this
+/// variant feeds the printed table.
+pub fn e4_evidence_cost(sizes: &[usize], algs: &[HashAlg]) -> Vec<E4Row> {
+    use tpnr_core::evidence::{open_and_verify, seal, EvidencePlaintext, Flag};
+    use tpnr_core::principal::Principal;
+    use tpnr_crypto::ChaChaRng;
+
+    let alice = Principal::test("alice", 301);
+    let bob = Principal::test("bob", 302);
+    let ttp = Principal::test("ttp", 303);
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let data = vec![0x5au8; size];
+        for &alg in algs {
+            let mut cfg = ProtocolConfig::full();
+            cfg.hash_alg = alg;
+            let mut rng = ChaChaRng::seed_from_u64(77);
+            let reps = if size >= 1 << 22 { 3 } else { 10 };
+
+            let t0 = std::time::Instant::now();
+            let mut made = Vec::new();
+            for i in 0..reps {
+                let pt = EvidencePlaintext {
+                    flag: Flag::UploadRequest,
+                    sender: alice.id(),
+                    recipient: bob.id(),
+                    ttp: ttp.id(),
+                    txn_id: i as u64,
+                    seq: 1,
+                    nonce: i as u64,
+                    time_limit: SimTime(1 << 40),
+                    object: b"k".to_vec(),
+                    hash_alg: alg,
+                    data_hash: alg.hash(&data),
+                };
+                let sealed = seal(&cfg, &alice, bob.public(), &pt, &mut rng).unwrap();
+                made.push((pt, sealed));
+            }
+            let generate_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+            let t0 = std::time::Instant::now();
+            for (pt, sealed) in &made {
+                let _ = alg.hash(&data); // receiver re-hashes the payload
+                open_and_verify(&cfg, &bob, alice.public(), pt, sealed).unwrap();
+            }
+            let verify_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+            rows.push(E4Row { size, alg, generate_us, verify_us });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+/// One row of the shipping-overhead table.
+#[derive(Debug, Clone)]
+pub struct E5Row {
+    /// Shipping transit time in hours.
+    pub transit_hours: u64,
+    /// Protocol settlement time in simulated milliseconds (TPNR over WAN).
+    pub protocol_ms: f64,
+    /// Protocol time as a fraction of the end-to-end import time.
+    pub overhead_fraction: f64,
+}
+
+/// E5 / §6 claim: "the time required for executing the protocol is really
+/// trivial comparing to the time consumed by delivering the storage devices
+/// by surface mail."
+pub fn e5_shipping_overhead(transit_hours: &[u64]) -> Vec<E5Row> {
+    let mut rows = Vec::new();
+    for (i, &hours) in transit_hours.iter().enumerate() {
+        // The evidence exchange runs over a 100 ms-RTT WAN while the device
+        // is in transit on a truck.
+        let mut w = World::new(500 + i as u64, ProtocolConfig::full());
+        w.set_all_links(LinkConfig::ideal(SimDuration::from_millis(50)));
+        let r = w.upload(b"device-manifest", vec![0u8; 4096], TimeoutStrategy::AbortFirst);
+        let protocol = r.latency;
+        let shipping = SimDuration::from_hours(hours);
+        let total = shipping.plus(protocol);
+        rows.push(E5Row {
+            transit_hours: hours,
+            protocol_ms: protocol.as_secs_f64() * 1e3,
+            overhead_fraction: protocol.as_secs_f64() / total.as_secs_f64(),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E6 ----
+
+/// One row of the TTP-load curve.
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// Probability that the provider's receipt is lost.
+    pub fault_rate: f64,
+    /// Fraction of TPNR sessions that touched the TTP.
+    pub tpnr_ttp_fraction: f64,
+    /// Fraction of sessions that completed (vs failed/aborted).
+    pub tpnr_completed_fraction: f64,
+    /// Fraction of traditional-NR sessions that touch the TTP (always 1).
+    pub baseline_ttp_fraction: f64,
+}
+
+/// E6 / §4.4 claim: the TTP is off-line — touched only when something goes
+/// wrong — whereas the traditional protocol routes every session through it.
+pub fn e6_ttp_load(fault_rates: &[f64], trials: usize) -> Vec<E6Row> {
+    use rayon::prelude::*;
+    fault_rates
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            // Trials are independent simulations — embarrassingly parallel.
+            let (ttp_hits, completed) = (0..trials)
+                .into_par_iter()
+                .map(|t| {
+                    let mut w =
+                        World::new((i * 1000 + t) as u64 + 9000, ProtocolConfig::full());
+                    // Receipts (bob→alice) are lost with probability p.
+                    let (a, b) = (w.alice_node, w.bob_node);
+                    let _ = a;
+                    w.net.set_link(b, a, LinkConfig::lossy(SimDuration::from_millis(25), p));
+                    let r = w.upload(b"obj", vec![1u8; 256], TimeoutStrategy::ResolveImmediately);
+                    (
+                        u64::from(r.ttp_used),
+                        u64::from(r.state == TxnState::Completed),
+                    )
+                })
+                .reduce(|| (0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1));
+            E6Row {
+                fault_rate: p,
+                tpnr_ttp_fraction: ttp_hits as f64 / trials as f64,
+                tpnr_completed_fraction: completed as f64 / trials as f64,
+                baseline_ttp_fraction: 1.0,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- E7 ----
+
+/// One row of the bridging-scheme comparison.
+#[derive(Debug, Clone)]
+pub struct E7Row {
+    /// Scheme variant.
+    pub scheme: SchemeKind,
+    /// Upload-session messages.
+    pub messages: u32,
+    /// Dispute records at user / provider / TAC (bytes).
+    pub records: (usize, usize, usize),
+    /// Tamper provable with a cooperative counterparty?
+    pub proves_with_cooperation: bool,
+    /// Tamper provable against an uncooperative counterparty (TAC up)?
+    pub proves_alone: bool,
+    /// Is the proof non-repudiable (attributable)?
+    pub attributable: bool,
+}
+
+/// E7 / §3: the four bridging schemes side by side.
+pub fn e7_bridge_schemes(seed: u64) -> Vec<E7Row> {
+    let coop = DisputeScenario { counterparty_cooperates: true, tac_available: true };
+    let alone = DisputeScenario { counterparty_cooperates: false, tac_available: true };
+    SchemeKind::all()
+        .into_iter()
+        .map(|kind| {
+            let mut s: Box<dyn BridgingScheme> = bridge::make_scheme(kind, seed);
+            let sum = s.upload(b"the agreed data");
+            s.tamper(b"tampered data");
+            E7Row {
+                scheme: kind,
+                messages: sum.messages,
+                records: (
+                    sum.user_record_bytes,
+                    sum.provider_record_bytes,
+                    sum.tac_record_bytes,
+                ),
+                proves_with_cooperation: s.tamper_proven(coop) == Some(true),
+                proves_alone: s.tamper_proven(alone) == Some(true),
+                attributable: s.dispute_power(coop).attributable
+                    || s.dispute_power(alone).attributable,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shapes_match_the_paper() {
+        let rows = e1_vulnerability_matrix(3);
+        assert_eq!(rows.len(), 8); // (3 platforms + TPNR) × 2 tampers
+        // Consistent tampering is never detected by any platform…
+        for r in rows.iter().filter(|r| r.tamper == "consistent replace") {
+            if r.system == "TPNR" {
+                assert!(r.detected && r.attributable, "TPNR closes the gap");
+            } else {
+                assert!(!r.detected, "{} should miss consistent tamper", r.system);
+                assert!(!r.attributable);
+            }
+        }
+        // Naive tamper: only Azure's stored-MD5 lets the client notice.
+        let naive: Vec<_> = rows.iter().filter(|r| r.tamper == "naive bit-flip").collect();
+        for r in &naive {
+            match r.system.as_str() {
+                "Azure" | "TPNR" => assert!(r.detected, "{}", r.system),
+                _ => assert!(!r.detected, "{}", r.system),
+            }
+            if r.system != "TPNR" {
+                assert!(!r.attributable, "no platform can attribute fault");
+            }
+        }
+    }
+
+    #[test]
+    fn e2_tpnr_always_wins() {
+        let rows = e2_protocol_comparison(&[20, 100], &[1024]);
+        for pair in rows.chunks(2) {
+            let (tpnr, base) = (&pair[0], &pair[1]);
+            assert_eq!(tpnr.protocol, "TPNR");
+            assert_eq!(tpnr.messages, 2);
+            assert!(base.messages >= 4);
+            assert!(tpnr.latency_ms < base.latency_ms);
+            assert!(!tpnr.ttp_used && base.ttp_used);
+        }
+    }
+
+    #[test]
+    fn e3_full_protocol_blocks_everything() {
+        let rows = e3_attack_matrix();
+        for r in rows.iter().filter(|r| r.ablation == tpnr_core::config::Ablation::None) {
+            assert!(r.blocked, "{:?}: {}", r.attack, r.detail);
+        }
+        // And the toggleable defences are load-bearing.
+        for r in &rows {
+            if matches!(
+                r.attack,
+                tpnr_attacks::AttackKind::Mitm
+                    | tpnr_attacks::AttackKind::Replay
+                    | tpnr_attacks::AttackKind::Timeliness
+            ) && r.ablation != tpnr_core::config::Ablation::None
+            {
+                assert!(!r.blocked, "{:?} vs {:?} should succeed", r.attack, r.ablation);
+            }
+        }
+    }
+
+    #[test]
+    fn e5_overhead_is_trivial() {
+        let rows = e5_shipping_overhead(&[24, 72, 120]);
+        for r in &rows {
+            assert!(
+                r.overhead_fraction < 0.001,
+                "protocol should be <0.1% of shipping time, got {}",
+                r.overhead_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn e6_ttp_load_grows_with_faults_and_baseline_is_always_one() {
+        let rows = e6_ttp_load(&[0.0, 0.5], 10);
+        assert_eq!(rows[0].tpnr_ttp_fraction, 0.0, "no faults, no TTP");
+        assert!(rows[1].tpnr_ttp_fraction > 0.0);
+        assert!(rows.iter().all(|r| r.baseline_ttp_fraction == 1.0));
+        assert!(rows.iter().all(|r| r.tpnr_completed_fraction == 1.0));
+    }
+
+    #[test]
+    fn e7_matches_section3_analysis() {
+        let rows = e7_bridge_schemes(11);
+        let by = |k: SchemeKind| rows.iter().find(|r| r.scheme == k).unwrap().clone();
+        assert!(by(SchemeKind::Plain).proves_alone);
+        assert!(!by(SchemeKind::SksOnly).proves_alone);
+        assert!(by(SchemeKind::SksOnly).proves_with_cooperation);
+        assert!(!by(SchemeKind::SksOnly).attributable);
+        assert!(by(SchemeKind::TacOnly).proves_alone);
+        assert!(by(SchemeKind::TacAndSks).proves_alone);
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-text table rendering for the `experiments` binary.
+
+use crate::experiments::*;
+
+fn human_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MiB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{} KiB", bytes >> 10)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Renders E1 as a table.
+pub fn render_e1(rows: &[E1Row]) -> String {
+    let mut out = String::from(
+        "E1 / Figure 5 — in-storage tamper: detection & attribution\n\
+         system   tamper               detected  attributable\n\
+         -------  -------------------  --------  ------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<20} {:<9} {}\n",
+            r.system,
+            r.tamper,
+            yn(r.detected),
+            yn(r.attributable)
+        ));
+    }
+    out
+}
+
+/// Renders E2 as a table.
+pub fn render_e2(rows: &[E2Row]) -> String {
+    let mut out = String::from(
+        "E2 / Figure 6 — TPNR vs traditional NR (messages / latency / TTP)\n\
+         protocol        rtt(ms)  size      msgs  latency(ms)  ttp\n\
+         --------------  -------  --------  ----  -----------  ---\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} {:>7}  {:<9} {:>4}  {:>11.1}  {}\n",
+            r.protocol,
+            r.rtt_ms,
+            human_size(r.size),
+            r.messages,
+            r.latency_ms,
+            yn(r.ttp_used)
+        ));
+    }
+    out
+}
+
+/// Renders E3 as a table.
+pub fn render_e3(rows: &[tpnr_attacks::AttackOutcome]) -> String {
+    let mut out = String::from(
+        "E3 / §5 — attack matrix (attack × protocol variant)\n\
+         attack              variant             blocked  note\n\
+         ------------------  ------------------  -------  ----\n",
+    );
+    for r in rows {
+        let note: String = r.detail.chars().take(60).collect();
+        out.push_str(&format!(
+            "{:<19} {:<19} {:<8} {}\n",
+            r.attack.label(),
+            r.ablation.label(),
+            yn(r.blocked),
+            note
+        ));
+    }
+    out
+}
+
+/// Renders E4 as a table.
+pub fn render_e4(rows: &[E4Row]) -> String {
+    let mut out = String::from(
+        "E4 — evidence generation/verification cost\n\
+         size      hash      generate(us)  verify(us)\n\
+         --------  --------  ------------  ----------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:<9} {:>12.0}  {:>10.0}\n",
+            human_size(r.size),
+            r.alg.name(),
+            r.generate_us,
+            r.verify_us
+        ));
+    }
+    out
+}
+
+/// Renders E5 as a table.
+pub fn render_e5(rows: &[E5Row]) -> String {
+    let mut out = String::from(
+        "E5 / §6 — protocol time vs device shipping time\n\
+         transit(h)  protocol(ms)  overhead fraction\n\
+         ----------  ------------  -----------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10}  {:>12.1}  {:>17.8}\n",
+            r.transit_hours, r.protocol_ms, r.overhead_fraction
+        ));
+    }
+    out
+}
+
+/// Renders E6 as a table.
+pub fn render_e6(rows: &[E6Row]) -> String {
+    let mut out = String::from(
+        "E6 / §4.4 — TTP involvement vs fault rate\n\
+         fault rate  TPNR ttp%  TPNR completed%  traditional ttp%\n\
+         ----------  ---------  ---------------  ----------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10.2}  {:>9.2}  {:>15.2}  {:>16.2}\n",
+            r.fault_rate,
+            r.tpnr_ttp_fraction * 100.0,
+            r.tpnr_completed_fraction * 100.0,
+            r.baseline_ttp_fraction * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders E7 as a table.
+pub fn render_e7(rows: &[E7Row]) -> String {
+    let mut out = String::from(
+        "E7 / §3 — bridging schemes\n\
+         scheme             msgs  user/provider/TAC bytes  coop-proof  solo-proof  attributable\n\
+         -----------------  ----  -----------------------  ----------  ----------  ------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>4}  {:>6}/{:>6}/{:>6}      {:<11} {:<11} {}\n",
+            r.scheme.label(),
+            r.messages,
+            r.records.0,
+            r.records.1,
+            r.records.2,
+            yn(r.proves_with_cooperation),
+            yn(r.proves_alone),
+            yn(r.attributable)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(512), "512 B");
+        assert_eq!(human_size(2048), "2 KiB");
+        assert_eq!(human_size(3 << 20), "3 MiB");
+    }
+
+    #[test]
+    fn renderers_produce_tables() {
+        let e1 = render_e1(&e1_vulnerability_matrix(1));
+        assert!(e1.contains("TPNR"));
+        let e7 = render_e7(&e7_bridge_schemes(1));
+        assert!(e7.contains("3.1"));
+        assert!(e7.contains("3.4"));
+    }
+}

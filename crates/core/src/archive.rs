@@ -1,0 +1,258 @@
+//! Durable evidence bundles — what a party walks into arbitration with.
+//!
+//! Evidence is only worth anything if it survives until the dispute (which
+//! may come long after the session — the paper's blackmail happens "later").
+//! An [`EvidenceBundle`] serialises a party's archived evidence for one or
+//! more transactions into a canonical, integrity-protected byte string:
+//! a versioned header, the evidence records, and a SHA-256 digest over the
+//! whole body so storage corruption of the *bundle itself* is detected on
+//! load. Signatures inside stay verbatim, so the arbitrator can re-verify
+//! them against the certified directory after any number of save/load
+//! cycles.
+
+use crate::evidence::VerifiedEvidence;
+use tpnr_crypto::hash::Digest as _;
+use tpnr_crypto::sha2::Sha256;
+use tpnr_net::codec::{CodecError, Reader, Wire, Writer};
+
+/// Bundle format version.
+pub const BUNDLE_VERSION: u16 = 1;
+/// Magic prefix (`"TPNR"`).
+pub const BUNDLE_MAGIC: [u8; 4] = *b"TPNR";
+
+/// One archived record: role label + the evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleEntry {
+    /// Free-form label ("upload-nrr", "download-nro", …).
+    pub label: String,
+    /// The evidence item.
+    pub evidence: VerifiedEvidence,
+}
+
+impl Wire for BundleEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.label);
+        self.evidence.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(BundleEntry { label: r.str()?, evidence: VerifiedEvidence::decode(r)? })
+    }
+}
+
+/// A saved collection of evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EvidenceBundle {
+    /// The records, in insertion order.
+    pub entries: Vec<BundleEntry>,
+}
+
+/// Bundle load failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BundleError {
+    /// Wrong magic / not a bundle.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// The integrity digest does not match (bundle corrupted at rest).
+    Corrupted,
+    /// Structural decode failure.
+    Malformed,
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::BadMagic => write!(f, "not a TPNR evidence bundle"),
+            BundleError::BadVersion(v) => write!(f, "unsupported bundle version {v}"),
+            BundleError::Corrupted => write!(f, "bundle integrity digest mismatch"),
+            BundleError::Malformed => write!(f, "malformed bundle"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl EvidenceBundle {
+    /// Empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, label: &str, evidence: VerifiedEvidence) {
+        self.entries.push(BundleEntry { label: label.to_string(), evidence });
+    }
+
+    /// Looks up the first record with a label.
+    pub fn get(&self, label: &str) -> Option<&VerifiedEvidence> {
+        self.entries.iter().find(|e| e.label == label).map(|e| &e.evidence)
+    }
+
+    /// All records for a given transaction.
+    pub fn for_txn(&self, txn_id: u64) -> Vec<&BundleEntry> {
+        self.entries.iter().filter(|e| e.evidence.plaintext.txn_id == txn_id).collect()
+    }
+
+    /// Serialises: `magic ‖ version ‖ count ‖ entries… ‖ SHA-256(prefix)`.
+    pub fn save(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.fixed(&BUNDLE_MAGIC);
+        w.u16(BUNDLE_VERSION);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            e.encode(&mut w);
+        }
+        let mut out = w.finish_vec();
+        let digest = Sha256::digest(&out);
+        out.extend_from_slice(&digest);
+        out
+    }
+
+    /// Loads and integrity-checks a saved bundle.
+    pub fn load(bytes: &[u8]) -> Result<Self, BundleError> {
+        if bytes.len() < 4 + 2 + 4 + 32 {
+            return Err(BundleError::Malformed);
+        }
+        let (body, digest) = bytes.split_at(bytes.len() - 32);
+        if Sha256::digest(body) != digest {
+            return Err(BundleError::Corrupted);
+        }
+        let mut r = Reader::new(body);
+        let magic = r.array::<4>().map_err(|_| BundleError::Malformed)?;
+        if magic != BUNDLE_MAGIC {
+            return Err(BundleError::BadMagic);
+        }
+        let version = r.u16().map_err(|_| BundleError::Malformed)?;
+        if version != BUNDLE_VERSION {
+            return Err(BundleError::BadVersion(version));
+        }
+        let count = r.u32().map_err(|_| BundleError::Malformed)? as usize;
+        let mut entries = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            entries.push(BundleEntry::decode(&mut r).map_err(|_| BundleError::Malformed)?);
+        }
+        r.expect_end().map_err(|_| BundleError::Malformed)?;
+        Ok(EvidenceBundle { entries })
+    }
+
+    /// Convenience: snapshots everything a client holds for a transaction
+    /// (its own NRO plus the counterparty NRR if received).
+    pub fn from_client_txn(client: &crate::client::Client, txn_id: u64) -> Option<Self> {
+        let txn = client.txn(txn_id)?;
+        let mut b = Self::new();
+        b.push("own-nro", txn.nro.clone());
+        if let Some(nrr) = &txn.nrr {
+            b.push("peer-nrr", nrr.clone());
+        }
+        Some(b)
+    }
+
+    /// Hash sanity: true if every entry's digest length matches its declared
+    /// algorithm (cheap structural audit before arbitration; Merkle roots
+    /// share the underlying hash's output length so the same check covers
+    /// both commitment modes).
+    pub fn structurally_sound(&self) -> bool {
+        self.entries.iter().all(|e| {
+            e.evidence.plaintext.data_hash.len() == e.evidence.plaintext.hash_alg.output_len()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::TimeoutStrategy;
+    use crate::config::ProtocolConfig;
+    use crate::runner::World;
+
+    fn settled_world() -> (World, u64, u64) {
+        let mut w = World::new(30, ProtocolConfig::full());
+        let up = w.upload(b"obj", b"payload".to_vec(), TimeoutStrategy::AbortFirst);
+        let (down, _) = w.download(b"obj", TimeoutStrategy::AbortFirst);
+        (w, up.txn_id, down.txn_id)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let (w, up, down) = settled_world();
+        let mut bundle = EvidenceBundle::from_client_txn(&w.client, up).unwrap();
+        let down_bundle = EvidenceBundle::from_client_txn(&w.client, down).unwrap();
+        for e in down_bundle.entries {
+            bundle.entries.push(e);
+        }
+        assert_eq!(bundle.entries.len(), 4);
+        let bytes = bundle.save();
+        let loaded = EvidenceBundle::load(&bytes).unwrap();
+        assert_eq!(loaded, bundle);
+        assert!(loaded.structurally_sound());
+    }
+
+    #[test]
+    fn loaded_evidence_still_verifies() {
+        let (w, up, _) = settled_world();
+        let bundle = EvidenceBundle::from_client_txn(&w.client, up).unwrap();
+        let loaded = EvidenceBundle::load(&bundle.save()).unwrap();
+        let nrr = loaded.get("peer-nrr").expect("receipt archived");
+        let bob_pk = w.dir.lookup(&w.provider.id()).unwrap();
+        nrr.reverify(&ProtocolConfig::full(), bob_pk).unwrap();
+        let nro = loaded.get("own-nro").unwrap();
+        let alice_pk = w.dir.lookup(&w.client.id()).unwrap();
+        nro.reverify(&ProtocolConfig::full(), alice_pk).unwrap();
+    }
+
+    #[test]
+    fn every_bit_flip_detected_on_load() {
+        let (w, up, _) = settled_world();
+        let bytes = EvidenceBundle::from_client_txn(&w.client, up).unwrap().save();
+        // Sample positions across the whole bundle (testing all ~2k bytes
+        // would be slow for no extra coverage).
+        for i in (0..bytes.len()).step_by(97) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1;
+            assert!(
+                matches!(
+                    EvidenceBundle::load(&bad),
+                    Err(BundleError::Corrupted) | Err(BundleError::BadMagic) | Err(BundleError::Malformed)
+                ),
+                "flip at {i} loaded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_rejected() {
+        let (w, up, _) = settled_world();
+        let bytes = EvidenceBundle::from_client_txn(&w.client, up).unwrap().save();
+        assert_eq!(EvidenceBundle::load(&bytes[..10]), Err(BundleError::Malformed));
+        assert_eq!(EvidenceBundle::load(&[]), Err(BundleError::Malformed));
+        let garbage = vec![0xAA; 200];
+        assert!(EvidenceBundle::load(&garbage).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (w, up, _) = settled_world();
+        let bundle = EvidenceBundle::from_client_txn(&w.client, up).unwrap();
+        // Re-serialize with a bumped version and a fixed-up digest.
+        let mut bytes = bundle.save();
+        let body_len = bytes.len() - 32;
+        bytes[5] = 99; // version low byte
+        let digest = Sha256::digest(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&digest);
+        assert_eq!(EvidenceBundle::load(&bytes), Err(BundleError::BadVersion(99 | ((bytes[4] as u16) << 8))));
+    }
+
+    #[test]
+    fn txn_filter_and_label_lookup() {
+        let (w, up, down) = settled_world();
+        let mut bundle = EvidenceBundle::from_client_txn(&w.client, up).unwrap();
+        for e in EvidenceBundle::from_client_txn(&w.client, down).unwrap().entries {
+            bundle.entries.push(e);
+        }
+        assert_eq!(bundle.for_txn(up).len(), 2);
+        assert_eq!(bundle.for_txn(down).len(), 2);
+        assert_eq!(bundle.for_txn(123456).len(), 0);
+        assert!(bundle.get("own-nro").is_some());
+        assert!(bundle.get("no-such-label").is_none());
+    }
+}

@@ -1,0 +1,512 @@
+//! The four §3 "bridging the missing link" schemes.
+//!
+//! Before the full TPNR protocol, the paper sketches four lighter fixes for
+//! the upload-to-download integrity gap, classified by whether a Third
+//! Authority Certified (TAC) party is involved and whether the agreed MD5 is
+//! protected with Secret Key Sharing (SKS):
+//!
+//! | scheme | TAC | SKS | records after upload |
+//! |--------|-----|-----|----------------------|
+//! | §3.1   |  –  |  –  | MSU at provider, MSP at user |
+//! | §3.2   |  –  |  ✓  | one MD5 share at each party |
+//! | §3.3   |  ✓  |  –  | MSU + MSP deposited at the TAC |
+//! | §3.4   |  ✓  |  ✓  | TAC-verified MD5, shares at both parties |
+//!
+//! (MSU = "MD5 Signature by User", MSP = "MD5 Signature by Provider".)
+//!
+//! Each scheme implements [`BridgingScheme`]; experiment E7 compares message
+//! counts, per-party storage, and dispute power with a cooperative vs
+//! uncooperative counterparty.
+
+use crate::principal::Principal;
+use tpnr_crypto::hash::HashAlg;
+use tpnr_crypto::shamir;
+use tpnr_crypto::ChaChaRng;
+
+/// Which §3 variant a value represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// §3.1 — signatures exchanged directly, no third party.
+    Plain,
+    /// §3.2 — MD5 split by secret sharing, no third party.
+    SksOnly,
+    /// §3.3 — signatures deposited at the TAC.
+    TacOnly,
+    /// §3.4 — TAC-brokered MD5 agreement plus secret sharing.
+    TacAndSks,
+}
+
+impl SchemeKind {
+    /// All four variants in paper order.
+    pub fn all() -> [SchemeKind; 4] {
+        [SchemeKind::Plain, SchemeKind::SksOnly, SchemeKind::TacOnly, SchemeKind::TacAndSks]
+    }
+
+    /// Paper-section label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Plain => "3.1 no-TAC/no-SKS",
+            SchemeKind::SksOnly => "3.2 SKS-only",
+            SchemeKind::TacOnly => "3.3 TAC-only",
+            SchemeKind::TacAndSks => "3.4 TAC+SKS",
+        }
+    }
+}
+
+/// Cost/record accounting for one upload session under a scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadSummary {
+    /// Protocol messages exchanged in the uploading session (paper's
+    /// numbered steps, counting TAC legs).
+    pub messages: u32,
+    /// Bytes of dispute records the *user* must keep.
+    pub user_record_bytes: usize,
+    /// Bytes the *provider* must keep.
+    pub provider_record_bytes: usize,
+    /// Bytes the *TAC* must keep (0 without a TAC).
+    pub tac_record_bytes: usize,
+}
+
+/// What a dispute can establish under a scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisputePower {
+    /// The agreed-on MD5 can be re-established at all.
+    pub resolvable: bool,
+    /// The re-established MD5 is *non-repudiable* (bound to a signature a
+    /// party cannot deny), so fault can be attributed.
+    pub attributable: bool,
+}
+
+/// Dispute circumstances for the E7 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisputeScenario {
+    /// Whether the counterparty cooperates (hands over its records/shares).
+    pub counterparty_cooperates: bool,
+    /// Whether the TAC is reachable.
+    pub tac_available: bool,
+}
+
+/// A §3 scheme instance bound to concrete parties and one object.
+pub trait BridgingScheme {
+    /// Which variant this is.
+    fn kind(&self) -> SchemeKind;
+    /// Runs the uploading session for `data`, creating the dispute records.
+    fn upload(&mut self, data: &[u8]) -> UploadSummary;
+    /// Runs the downloading session; returns the data as served plus the
+    /// MD5 sent by the provider (which, per the paper, is all a client gets).
+    fn download(&self) -> (Vec<u8>, Vec<u8>);
+    /// Provider-side tamper between the sessions.
+    fn tamper(&mut self, new_data: &[u8]);
+    /// What a dispute can establish under the given circumstances.
+    fn dispute_power(&self, s: DisputeScenario) -> DisputePower;
+    /// Whether the records establish that the *stored* data no longer
+    /// matches the agreed MD5 (i.e. the tamper is provable), under the
+    /// given circumstances. `None` when the dispute cannot be resolved.
+    fn tamper_proven(&self, s: DisputeScenario) -> Option<bool>;
+}
+
+/// Common state: the parties and the stored object.
+struct Common {
+    user: Principal,
+    provider: Principal,
+    stored: Vec<u8>,
+    agreed_md5: Vec<u8>,
+}
+
+impl Common {
+    fn new(seed: u64) -> Self {
+        Common {
+            user: Principal::test("user", seed.wrapping_add(100)),
+            provider: Principal::test("provider", seed.wrapping_add(200)),
+            stored: Vec::new(),
+            agreed_md5: Vec::new(),
+        }
+    }
+
+    fn set(&mut self, data: &[u8]) {
+        self.stored = data.to_vec();
+        self.agreed_md5 = HashAlg::Md5.hash(data);
+    }
+
+    fn served_md5(&self) -> Vec<u8> {
+        HashAlg::Md5.hash(&self.stored)
+    }
+}
+
+/// §3.1 — neither TAC nor SKS: MSU/MSP exchanged and archived locally.
+pub struct PlainScheme {
+    common: Common,
+    /// MD5 Signature by User, stored at the provider.
+    msu: Vec<u8>,
+    /// MD5 Signature by Provider, stored at the user.
+    msp: Vec<u8>,
+}
+
+impl PlainScheme {
+    /// New instance with deterministic parties.
+    pub fn new(seed: u64) -> Self {
+        PlainScheme { common: Common::new(seed), msu: Vec::new(), msp: Vec::new() }
+    }
+}
+
+impl BridgingScheme for PlainScheme {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Plain
+    }
+
+    fn upload(&mut self, data: &[u8]) -> UploadSummary {
+        self.common.set(data);
+        let md5 = self.common.agreed_md5.clone();
+        // 1: user → provider: data + MD5 + MSU; 2: provider → user: MD5 + MSP.
+        self.msu = self.common.user.keys.private.sign_prehashed(HashAlg::Md5, &md5).unwrap();
+        self.msp = self.common.provider.keys.private.sign_prehashed(HashAlg::Md5, &md5).unwrap();
+        UploadSummary {
+            messages: 2,
+            user_record_bytes: md5.len() + self.msp.len(),
+            provider_record_bytes: md5.len() + self.msu.len(),
+            tac_record_bytes: 0,
+        }
+    }
+
+    fn download(&self) -> (Vec<u8>, Vec<u8>) {
+        (self.common.stored.clone(), self.common.served_md5())
+    }
+
+    fn tamper(&mut self, new_data: &[u8]) {
+        self.common.stored = new_data.to_vec();
+    }
+
+    fn dispute_power(&self, _s: DisputeScenario) -> DisputePower {
+        // Each side already holds the other's signature: resolution needs no
+        // cooperation and the signature makes the agreement non-repudiable.
+        DisputePower { resolvable: true, attributable: true }
+    }
+
+    fn tamper_proven(&self, s: DisputeScenario) -> Option<bool> {
+        if !self.dispute_power(s).resolvable {
+            return None;
+        }
+        // The user verifies MSP against the agreed MD5 and compares the
+        // stored data's MD5 with it.
+        let ok = self
+            .common
+            .provider
+            .public()
+            .verify_prehashed(HashAlg::Md5, &self.common.agreed_md5, &self.msp)
+            .is_ok();
+        if !ok {
+            return None;
+        }
+        Some(self.common.served_md5() != self.common.agreed_md5)
+    }
+}
+
+/// §3.2 — SKS without TAC: the agreed MD5 is 2-of-2 secret-shared.
+pub struct SksScheme {
+    common: Common,
+    user_share: Option<shamir::Share>,
+    provider_share: Option<shamir::Share>,
+}
+
+impl SksScheme {
+    /// New instance with deterministic parties.
+    pub fn new(seed: u64) -> Self {
+        SksScheme { common: Common::new(seed), user_share: None, provider_share: None }
+    }
+}
+
+impl BridgingScheme for SksScheme {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::SksOnly
+    }
+
+    fn upload(&mut self, data: &[u8]) -> UploadSummary {
+        self.common.set(data);
+        // 1: user → provider: data + MD5; 2: provider → user: MD5;
+        // 3: share the MD5 with SKS (one exchange).
+        let mut rng = ChaChaRng::seed_from_u64(0x5b5);
+        let shares = shamir::split(&self.common.agreed_md5, 2, 2, &mut rng).unwrap();
+        let bytes = shares[0].to_bytes().len();
+        self.user_share = Some(shares[0].clone());
+        self.provider_share = Some(shares[1].clone());
+        UploadSummary {
+            messages: 3,
+            user_record_bytes: bytes,
+            provider_record_bytes: bytes,
+            tac_record_bytes: 0,
+        }
+    }
+
+    fn download(&self) -> (Vec<u8>, Vec<u8>) {
+        (self.common.stored.clone(), self.common.served_md5())
+    }
+
+    fn tamper(&mut self, new_data: &[u8]) {
+        self.common.stored = new_data.to_vec();
+    }
+
+    fn dispute_power(&self, s: DisputeScenario) -> DisputePower {
+        // Recovering the agreed MD5 takes both shares; and shares carry no
+        // signature, so even a recovered MD5 is repudiable.
+        DisputePower { resolvable: s.counterparty_cooperates, attributable: false }
+    }
+
+    fn tamper_proven(&self, s: DisputeScenario) -> Option<bool> {
+        if !self.dispute_power(s).resolvable {
+            return None;
+        }
+        let shares = [self.user_share.clone()?, self.provider_share.clone()?];
+        let md5 = shamir::combine(&shares).ok()?;
+        Some(self.common.served_md5() != md5)
+    }
+}
+
+/// §3.3 — TAC without SKS: both signatures deposited at the TAC.
+pub struct TacScheme {
+    common: Common,
+    tac_msu: Vec<u8>,
+    tac_msp: Vec<u8>,
+}
+
+impl TacScheme {
+    /// New instance with deterministic parties.
+    pub fn new(seed: u64) -> Self {
+        TacScheme { common: Common::new(seed), tac_msu: Vec::new(), tac_msp: Vec::new() }
+    }
+}
+
+impl BridgingScheme for TacScheme {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::TacOnly
+    }
+
+    fn upload(&mut self, data: &[u8]) -> UploadSummary {
+        self.common.set(data);
+        let md5 = self.common.agreed_md5.clone();
+        // 1: user → provider (data+MD5+MSU); 2: provider → user (MD5+MSP);
+        // 3: MSU and MSP → TAC.
+        self.tac_msu = self.common.user.keys.private.sign_prehashed(HashAlg::Md5, &md5).unwrap();
+        self.tac_msp =
+            self.common.provider.keys.private.sign_prehashed(HashAlg::Md5, &md5).unwrap();
+        UploadSummary {
+            messages: 3,
+            user_record_bytes: md5.len(),
+            provider_record_bytes: md5.len(),
+            tac_record_bytes: self.tac_msu.len() + self.tac_msp.len() + md5.len(),
+        }
+    }
+
+    fn download(&self) -> (Vec<u8>, Vec<u8>) {
+        (self.common.stored.clone(), self.common.served_md5())
+    }
+
+    fn tamper(&mut self, new_data: &[u8]) {
+        self.common.stored = new_data.to_vec();
+    }
+
+    fn dispute_power(&self, s: DisputeScenario) -> DisputePower {
+        // The TAC holds both signatures: no counterparty cooperation needed,
+        // and attribution is signature-backed — but only while the TAC is
+        // reachable.
+        DisputePower { resolvable: s.tac_available, attributable: s.tac_available }
+    }
+
+    fn tamper_proven(&self, s: DisputeScenario) -> Option<bool> {
+        if !self.dispute_power(s).resolvable {
+            return None;
+        }
+        let ok = self
+            .common
+            .provider
+            .public()
+            .verify_prehashed(HashAlg::Md5, &self.common.agreed_md5, &self.tac_msp)
+            .is_ok()
+            && self
+                .common
+                .user
+                .public()
+                .verify_prehashed(HashAlg::Md5, &self.common.agreed_md5, &self.tac_msu)
+                .is_ok();
+        if !ok {
+            return None;
+        }
+        Some(self.common.served_md5() != self.common.agreed_md5)
+    }
+}
+
+/// §3.4 — TAC and SKS: the TAC verifies both MD5s match, then distributes
+/// shares; it keeps the agreed value on demand.
+pub struct TacSksScheme {
+    common: Common,
+    user_share: Option<shamir::Share>,
+    provider_share: Option<shamir::Share>,
+    tac_md5: Vec<u8>,
+}
+
+impl TacSksScheme {
+    /// New instance with deterministic parties.
+    pub fn new(seed: u64) -> Self {
+        TacSksScheme {
+            common: Common::new(seed),
+            user_share: None,
+            provider_share: None,
+            tac_md5: Vec::new(),
+        }
+    }
+}
+
+impl BridgingScheme for TacSksScheme {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::TacAndSks
+    }
+
+    fn upload(&mut self, data: &[u8]) -> UploadSummary {
+        self.common.set(data);
+        // 1: user → provider (data + MD5); 2: provider verifies and replies;
+        // 3+4: both send MD5 to TAC; 5+6: TAC verifies the two values match
+        // and distributes shares to both parties.
+        let mut rng = ChaChaRng::seed_from_u64(0x7ac);
+        let shares = shamir::split(&self.common.agreed_md5, 2, 2, &mut rng).unwrap();
+        let bytes = shares[0].to_bytes().len();
+        self.user_share = Some(shares[0].clone());
+        self.provider_share = Some(shares[1].clone());
+        self.tac_md5 = self.common.agreed_md5.clone();
+        UploadSummary {
+            messages: 6,
+            user_record_bytes: bytes,
+            provider_record_bytes: bytes,
+            tac_record_bytes: self.tac_md5.len(),
+        }
+    }
+
+    fn download(&self) -> (Vec<u8>, Vec<u8>) {
+        (self.common.stored.clone(), self.common.served_md5())
+    }
+
+    fn tamper(&mut self, new_data: &[u8]) {
+        self.common.stored = new_data.to_vec();
+    }
+
+    fn dispute_power(&self, s: DisputeScenario) -> DisputePower {
+        // Shares settle it when both cooperate; otherwise the TAC's record
+        // does. Attribution rests on the TAC having verified both parties'
+        // submissions at upload time.
+        let resolvable = s.counterparty_cooperates || s.tac_available;
+        DisputePower { resolvable, attributable: s.tac_available }
+    }
+
+    fn tamper_proven(&self, s: DisputeScenario) -> Option<bool> {
+        if !self.dispute_power(s).resolvable {
+            return None;
+        }
+        let agreed = if s.counterparty_cooperates {
+            let shares = [self.user_share.clone()?, self.provider_share.clone()?];
+            shamir::combine(&shares).ok()?
+        } else {
+            self.tac_md5.clone()
+        };
+        Some(self.common.served_md5() != agreed)
+    }
+}
+
+/// Builds a scheme instance by kind (for matrix experiments).
+pub fn make_scheme(kind: SchemeKind, seed: u64) -> Box<dyn BridgingScheme> {
+    match kind {
+        SchemeKind::Plain => Box::new(PlainScheme::new(seed)),
+        SchemeKind::SksOnly => Box::new(SksScheme::new(seed)),
+        SchemeKind::TacOnly => Box::new(TacScheme::new(seed)),
+        SchemeKind::TacAndSks => Box::new(TacSksScheme::new(seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOP: DisputeScenario =
+        DisputeScenario { counterparty_cooperates: true, tac_available: true };
+    const ALONE_WITH_TAC: DisputeScenario =
+        DisputeScenario { counterparty_cooperates: false, tac_available: true };
+    const ALONE_NO_TAC: DisputeScenario =
+        DisputeScenario { counterparty_cooperates: false, tac_available: false };
+
+    fn run_story(kind: SchemeKind, tamper: bool) -> Box<dyn BridgingScheme> {
+        let mut s = make_scheme(kind, 9);
+        s.upload(b"the agreed data");
+        if tamper {
+            s.tamper(b"not the agreed data");
+        }
+        s
+    }
+
+    #[test]
+    fn all_schemes_prove_tamper_when_everyone_cooperates() {
+        for kind in SchemeKind::all() {
+            let s = run_story(kind, true);
+            assert_eq!(s.tamper_proven(COOP), Some(true), "{}", kind.label());
+            let s = run_story(kind, false);
+            assert_eq!(s.tamper_proven(COOP), Some(false), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn sks_only_fails_without_cooperation() {
+        let s = run_story(SchemeKind::SksOnly, true);
+        assert_eq!(s.tamper_proven(ALONE_WITH_TAC), None, "one share is never enough");
+        assert!(!s.dispute_power(ALONE_NO_TAC).resolvable);
+        assert!(!s.dispute_power(COOP).attributable, "no signature => repudiable");
+    }
+
+    #[test]
+    fn plain_scheme_is_self_sufficient() {
+        let s = run_story(SchemeKind::Plain, true);
+        assert_eq!(s.tamper_proven(ALONE_NO_TAC), Some(true));
+        assert!(s.dispute_power(ALONE_NO_TAC).attributable);
+    }
+
+    #[test]
+    fn tac_only_depends_on_tac() {
+        let s = run_story(SchemeKind::TacOnly, true);
+        assert_eq!(s.tamper_proven(ALONE_WITH_TAC), Some(true));
+        assert_eq!(s.tamper_proven(ALONE_NO_TAC), None);
+    }
+
+    #[test]
+    fn tac_sks_survives_either_failure_mode() {
+        let s = run_story(SchemeKind::TacAndSks, true);
+        assert_eq!(s.tamper_proven(ALONE_WITH_TAC), Some(true), "TAC path");
+        let coop_no_tac =
+            DisputeScenario { counterparty_cooperates: true, tac_available: false };
+        assert_eq!(s.tamper_proven(coop_no_tac), Some(true), "share path");
+        assert_eq!(s.tamper_proven(ALONE_NO_TAC), None);
+    }
+
+    #[test]
+    fn download_returns_current_bytes_and_md5() {
+        for kind in SchemeKind::all() {
+            let s = run_story(kind, true);
+            let (data, md5) = s.download();
+            assert_eq!(data, b"not the agreed data");
+            assert_eq!(md5, HashAlg::Md5.hash(b"not the agreed data"));
+        }
+    }
+
+    #[test]
+    fn message_and_record_accounting() {
+        let mut msgs = Vec::new();
+        for kind in SchemeKind::all() {
+            let mut s = make_scheme(kind, 1);
+            let sum = s.upload(b"data");
+            msgs.push((kind, sum.messages));
+            match kind {
+                SchemeKind::Plain | SchemeKind::SksOnly => assert_eq!(sum.tac_record_bytes, 0),
+                _ => assert!(sum.tac_record_bytes > 0),
+            }
+            assert!(sum.user_record_bytes > 0);
+            assert!(sum.provider_record_bytes > 0);
+        }
+        // TAC+SKS is the most message-hungry; plain the leanest.
+        assert_eq!(msgs[0].1, 2);
+        assert_eq!(msgs[3].1, 6);
+    }
+}

@@ -1,0 +1,379 @@
+//! Lightweight certificates — the "third authorities certified (TAC)"
+//! key distribution the paper presumes.
+//!
+//! Paper §5.1: MITM "can be prevented by the authentication … when the
+//! party gets the other's public key, they should authenticate the
+//! validity." [`crate::principal::Directory`] models the *result* of that
+//! authentication; this module models the *mechanism*: a certificate
+//! authority signs `(subject-name, subject-key, validity-window)`
+//! statements, parties verify chains instead of trusting raw keys, and a
+//! [`Directory`] can be populated from verified certificates.
+//!
+//! This is deliberately X.509-shaped but not X.509: canonical-codec TBS
+//! bytes instead of DER, one intermediate level at most.
+
+use crate::principal::{Directory, Principal, PrincipalId};
+use tpnr_crypto::hash::HashAlg;
+use tpnr_crypto::{CryptoError, RsaPublicKey};
+use tpnr_net::codec::{CodecError, Reader, Wire, Writer};
+use tpnr_net::time::SimTime;
+
+/// The to-be-signed body of a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbsCertificate {
+    /// Subject display name.
+    pub subject: String,
+    /// Subject public key (modulus ‖ exponent).
+    pub subject_key_n: Vec<u8>,
+    /// Subject public exponent.
+    pub subject_key_e: Vec<u8>,
+    /// First instant the certificate is valid.
+    pub not_before: SimTime,
+    /// Last instant the certificate is valid.
+    pub not_after: SimTime,
+    /// Issuer display name.
+    pub issuer: String,
+    /// Issuer key fingerprint (chain link).
+    pub issuer_id: PrincipalId,
+    /// Whether the subject may itself issue certificates.
+    pub is_ca: bool,
+}
+
+impl Wire for TbsCertificate {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.subject);
+        w.bytes(&self.subject_key_n);
+        w.bytes(&self.subject_key_e);
+        w.u64(self.not_before.0);
+        w.u64(self.not_after.0);
+        w.str(&self.issuer);
+        w.fixed(&self.issuer_id.0);
+        w.bool(self.is_ca);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TbsCertificate {
+            subject: r.str()?,
+            subject_key_n: r.bytes()?,
+            subject_key_e: r.bytes()?,
+            not_before: SimTime(r.u64()?),
+            not_after: SimTime(r.u64()?),
+            issuer: r.str()?,
+            issuer_id: PrincipalId(r.array::<32>()?),
+            is_ca: r.bool()?,
+        })
+    }
+}
+
+/// A signed certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The signed body.
+    pub tbs: TbsCertificate,
+    /// Issuer's PKCS#1 v1.5 signature over the canonical TBS bytes.
+    pub signature: Vec<u8>,
+}
+
+impl Wire for Certificate {
+    fn encode(&self, w: &mut Writer) {
+        self.tbs.encode(w);
+        w.bytes(&self.signature);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Certificate { tbs: TbsCertificate::decode(r)?, signature: r.bytes()? })
+    }
+}
+
+impl Certificate {
+    /// The subject's public key.
+    pub fn subject_key(&self) -> RsaPublicKey {
+        RsaPublicKey::from_components(&self.tbs.subject_key_n, &self.tbs.subject_key_e)
+    }
+
+    /// The subject's principal id (its key fingerprint).
+    pub fn subject_id(&self) -> PrincipalId {
+        PrincipalId(self.subject_key().fingerprint())
+    }
+}
+
+/// Chain-verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertError {
+    /// Signature invalid under the claimed issuer key.
+    BadSignature,
+    /// Certificate used outside its validity window.
+    Expired {
+        /// When the check happened.
+        at: SimTime,
+    },
+    /// The issuer link does not match the presented issuer certificate.
+    IssuerMismatch,
+    /// The issuer certificate is not a CA.
+    NotACa,
+    /// Empty chain.
+    EmptyChain,
+    /// Crypto failure while signing.
+    Crypto(CryptoError),
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertError::BadSignature => write!(f, "certificate signature invalid"),
+            CertError::Expired { at } => write!(f, "certificate not valid at t={}", at.0),
+            CertError::IssuerMismatch => write!(f, "issuer link mismatch"),
+            CertError::NotACa => write!(f, "issuer is not a CA"),
+            CertError::EmptyChain => write!(f, "empty certificate chain"),
+            CertError::Crypto(e) => write!(f, "crypto failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// A certificate authority (the TAC).
+pub struct CertificateAuthority {
+    /// The CA's own principal (key pair + name).
+    pub principal: Principal,
+    /// Self-signed root certificate.
+    pub root: Certificate,
+}
+
+impl CertificateAuthority {
+    /// Creates a root CA with a self-signed certificate valid over the
+    /// given window.
+    pub fn new_root(
+        principal: Principal,
+        not_before: SimTime,
+        not_after: SimTime,
+    ) -> Result<Self, CertError> {
+        let tbs = TbsCertificate {
+            subject: principal.name.clone(),
+            subject_key_n: principal.public().n_bytes(),
+            subject_key_e: principal.public().e_bytes(),
+            not_before,
+            not_after,
+            issuer: principal.name.clone(),
+            issuer_id: principal.id(),
+            is_ca: true,
+        };
+        let signature = principal
+            .keys
+            .private
+            .sign(HashAlg::Sha256, &tbs.to_wire())
+            .map_err(CertError::Crypto)?;
+        Ok(CertificateAuthority { principal, root: Certificate { tbs, signature } })
+    }
+
+    /// Issues a certificate binding `subject`'s name to its key.
+    pub fn issue(
+        &self,
+        subject: &Principal,
+        not_before: SimTime,
+        not_after: SimTime,
+        is_ca: bool,
+    ) -> Result<Certificate, CertError> {
+        let tbs = TbsCertificate {
+            subject: subject.name.clone(),
+            subject_key_n: subject.public().n_bytes(),
+            subject_key_e: subject.public().e_bytes(),
+            not_before,
+            not_after,
+            issuer: self.principal.name.clone(),
+            issuer_id: self.principal.id(),
+            is_ca,
+        };
+        let signature = self
+            .principal
+            .keys
+            .private
+            .sign(HashAlg::Sha256, &tbs.to_wire())
+            .map_err(CertError::Crypto)?;
+        Ok(Certificate { tbs, signature })
+    }
+}
+
+/// Verifies `cert` against its issuer's certificate at time `now`.
+///
+/// `issuer` must be the certificate whose subject signed `cert` (for a
+/// self-signed root, pass the root itself).
+pub fn verify_link(cert: &Certificate, issuer: &Certificate, now: SimTime) -> Result<(), CertError> {
+    if now < cert.tbs.not_before || now > cert.tbs.not_after {
+        return Err(CertError::Expired { at: now });
+    }
+    if cert.tbs.issuer_id != issuer.subject_id() {
+        return Err(CertError::IssuerMismatch);
+    }
+    if !issuer.tbs.is_ca {
+        return Err(CertError::NotACa);
+    }
+    issuer
+        .subject_key()
+        .verify(HashAlg::Sha256, &cert.tbs.to_wire(), &cert.signature)
+        .map_err(|_| CertError::BadSignature)
+}
+
+/// Verifies a chain `[leaf, intermediate…, root]` bottom-up against a
+/// trusted root, checking every link and the root's self-signature.
+pub fn verify_chain(
+    chain: &[Certificate],
+    trusted_root: &Certificate,
+    now: SimTime,
+) -> Result<(), CertError> {
+    if chain.is_empty() {
+        return Err(CertError::EmptyChain);
+    }
+    for pair in chain.windows(2) {
+        verify_link(&pair[0], &pair[1], now)?;
+    }
+    let top = chain.last().unwrap();
+    if top != trusted_root {
+        // The chain must terminate in the trusted anchor itself (or a cert
+        // signed by it).
+        verify_link(top, trusted_root, now)?;
+    } else {
+        verify_link(top, top, now)?; // self-signature of the root
+    }
+    Ok(())
+}
+
+/// Builds an authenticated [`Directory`] from verified certificates: the
+/// mechanised version of the paper's "certified by TAC" assumption.
+pub fn directory_from_certs(
+    certs: &[Certificate],
+    trusted_root: &Certificate,
+    now: SimTime,
+) -> (Directory, Vec<(String, CertError)>) {
+    let mut dir = Directory::new();
+    let mut rejected = Vec::new();
+    for c in certs {
+        match verify_link(c, trusted_root, now) {
+            Ok(()) => dir.register_raw(c.subject_id(), c.subject_key()),
+            Err(e) => rejected.push((c.tbs.subject.clone(), e)),
+        }
+    }
+    (dir, rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> (SimTime, SimTime) {
+        (SimTime(0), SimTime(1_000_000_000))
+    }
+
+    fn setup() -> (CertificateAuthority, Principal, Certificate) {
+        let (nb, na) = window();
+        let ca = CertificateAuthority::new_root(Principal::test("tac", 500), nb, na).unwrap();
+        let alice = Principal::test("alice", 501);
+        let cert = ca.issue(&alice, nb, na, false).unwrap();
+        (ca, alice, cert)
+    }
+
+    #[test]
+    fn issued_cert_verifies_against_root() {
+        let (ca, alice, cert) = setup();
+        verify_link(&cert, &ca.root, SimTime(5)).unwrap();
+        assert_eq!(cert.subject_id(), alice.id());
+        assert_eq!(cert.subject_key(), *alice.public());
+    }
+
+    #[test]
+    fn root_self_signature_verifies() {
+        let (ca, _, _) = setup();
+        verify_link(&ca.root, &ca.root, SimTime(5)).unwrap();
+    }
+
+    #[test]
+    fn expired_and_premature_rejected() {
+        let ca = CertificateAuthority::new_root(
+            Principal::test("tac", 502),
+            SimTime(100),
+            SimTime(200),
+        )
+        .unwrap();
+        let alice = Principal::test("alice", 503);
+        let cert = ca.issue(&alice, SimTime(100), SimTime(200), false).unwrap();
+        assert!(matches!(verify_link(&cert, &ca.root, SimTime(50)), Err(CertError::Expired { .. })));
+        assert!(matches!(verify_link(&cert, &ca.root, SimTime(201)), Err(CertError::Expired { .. })));
+        verify_link(&cert, &ca.root, SimTime(150)).unwrap();
+    }
+
+    #[test]
+    fn forged_fields_rejected() {
+        let (ca, _, cert) = setup();
+        let mallory = Principal::test("mallory", 599);
+        // Mallory swaps in her key, keeping the signature.
+        let mut forged = cert.clone();
+        forged.tbs.subject_key_n = mallory.public().n_bytes();
+        forged.tbs.subject_key_e = mallory.public().e_bytes();
+        assert_eq!(verify_link(&forged, &ca.root, SimTime(5)), Err(CertError::BadSignature));
+        // Or renames the subject.
+        let mut forged = cert.clone();
+        forged.tbs.subject = "mallory-as-alice".into();
+        assert_eq!(verify_link(&forged, &ca.root, SimTime(5)), Err(CertError::BadSignature));
+    }
+
+    #[test]
+    fn self_issued_by_non_ca_rejected() {
+        let (ca, alice, _) = setup();
+        let (nb, na) = window();
+        // Alice (not a CA) tries to issue for Mallory.
+        let alice_fake_ca = CertificateAuthority::new_root(alice.clone(), nb, na).unwrap();
+        let mallory = Principal::test("mallory", 599);
+        let rogue = alice_fake_ca.issue(&mallory, nb, na, false).unwrap();
+        // It fails against the real root: wrong issuer id.
+        assert_eq!(verify_link(&rogue, &ca.root, SimTime(5)), Err(CertError::IssuerMismatch));
+        // And if someone presents Alice's non-CA cert as the issuer, the
+        // CA bit check fires.
+        let alice_cert = ca.issue(&alice, nb, na, false).unwrap();
+        assert_eq!(verify_link(&rogue, &alice_cert, SimTime(5)), Err(CertError::NotACa));
+    }
+
+    #[test]
+    fn intermediate_chain_verifies() {
+        let (nb, na) = window();
+        let root = CertificateAuthority::new_root(Principal::test("root-tac", 510), nb, na).unwrap();
+        let inter_principal = Principal::test("regional-tac", 511);
+        let inter_cert = root.issue(&inter_principal, nb, na, true).unwrap();
+        let inter = CertificateAuthority {
+            principal: inter_principal,
+            root: inter_cert.clone(),
+        };
+        let alice = Principal::test("alice", 512);
+        let leaf = inter.issue(&alice, nb, na, false).unwrap();
+
+        verify_chain(&[leaf.clone(), inter_cert.clone(), root.root.clone()], &root.root, SimTime(5))
+            .unwrap();
+        // A chain missing the intermediate fails.
+        assert!(verify_chain(&[leaf, root.root.clone()], &root.root, SimTime(5)).is_err());
+        assert_eq!(
+            verify_chain(&[], &root.root, SimTime(5)),
+            Err(CertError::EmptyChain)
+        );
+    }
+
+    #[test]
+    fn directory_from_certs_registers_valid_and_reports_bad() {
+        let (ca, alice, cert) = setup();
+        let (nb, na) = window();
+        let bob = Principal::test("bob", 504);
+        let bob_cert = ca.issue(&bob, nb, na, false).unwrap();
+        let mut forged = cert.clone();
+        forged.tbs.subject = "evil".into();
+
+        let (dir, rejected) =
+            directory_from_certs(&[cert, bob_cert, forged], &ca.root, SimTime(5));
+        assert!(dir.authenticate(&alice.id(), alice.public()));
+        assert!(dir.authenticate(&bob.id(), bob.public()));
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].0, "evil");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let (_, _, cert) = setup();
+        let enc = cert.to_wire();
+        assert_eq!(Certificate::from_wire(&enc).unwrap(), cert);
+    }
+}

@@ -1,0 +1,513 @@
+//! The storage client (Alice) — TPNR initiator.
+//!
+//! Alice starts upload and download transactions (Normal mode, two messages
+//! total), falls back to the Abort sub-protocol or the Resolve sub-protocol
+//! on timeout (paper §4.2–4.3), archives every piece of evidence, and can
+//! check a download against the upload-time receipt — the "integrity link"
+//! the paper adds between the two sessions.
+
+use crate::config::ProtocolConfig;
+use crate::evidence::{
+    open_and_verify, seal, EvidencePlaintext, Flag, SealedEvidence, VerifiedEvidence,
+};
+use crate::message::{AbortOutcome, Message, ResolveAction};
+use crate::principal::{Directory, Principal, PrincipalId};
+use crate::session::{Outgoing, Payload, TxnState, ValidationError, Validator};
+use std::collections::HashMap;
+use tpnr_crypto::{ChaChaRng, RsaPublicKey};
+use tpnr_net::codec::Wire;
+use tpnr_net::time::SimTime;
+
+/// What Alice does when the provider goes quiet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutStrategy {
+    /// Send an Abort request directly to Bob (off-line TTP, §4.2),
+    /// escalating to Resolve if even the abort goes unanswered.
+    AbortFirst,
+    /// Go straight to the TTP (§4.3).
+    ResolveImmediately,
+}
+
+/// Alice's record of one transaction.
+#[derive(Debug, Clone)]
+pub struct ClientTxn {
+    /// Upload or download.
+    pub kind: Flag,
+    /// Object key.
+    pub object: Vec<u8>,
+    /// Hash of the payload Alice sent (upload) or of the request (download).
+    pub sent_hash: Vec<u8>,
+    /// Alice's own NRO (kept for Resolve and for disputes).
+    pub nro: VerifiedEvidence,
+    /// Bob's NRR once received and verified.
+    pub nrr: Option<VerifiedEvidence>,
+    /// Download payload once received.
+    pub received: Option<Payload>,
+    /// Current state.
+    pub state: TxnState,
+    /// When the pending step times out.
+    pub deadline: SimTime,
+    /// Timeout handling policy.
+    pub strategy: TimeoutStrategy,
+    /// Whether an abort has been attempted already.
+    pub abort_attempted: bool,
+}
+
+/// The client actor.
+pub struct Client {
+    me: Principal,
+    cfg: ProtocolConfig,
+    dir: Directory,
+    ttp: PrincipalId,
+    provider: PrincipalId,
+    rng: ChaChaRng,
+    validator: Validator,
+    txns: HashMap<u64, ClientTxn>,
+    wire_keys: HashMap<PrincipalId, RsaPublicKey>,
+    next_txn: u64,
+}
+
+impl Client {
+    /// Creates a client bound to one provider and one TTP.
+    pub fn new(
+        me: Principal,
+        cfg: ProtocolConfig,
+        dir: Directory,
+        ttp: PrincipalId,
+        provider: PrincipalId,
+        mut rng: ChaChaRng,
+    ) -> Self {
+        let my_id = me.id();
+        let next_txn = rng.gen_range(1, 1 << 48); // unique ids across clients
+        Client {
+            me,
+            cfg,
+            dir,
+            ttp,
+            provider,
+            rng,
+            validator: Validator::new(my_id, ttp),
+            txns: HashMap::new(),
+            wire_keys: HashMap::new(),
+            next_txn,
+        }
+    }
+
+    /// This client's principal id.
+    pub fn id(&self) -> PrincipalId {
+        self.me.id()
+    }
+
+    /// Learns a key from the wire (honoured only when key authentication is
+    /// ablated).
+    pub fn learn_wire_key(&mut self, id: PrincipalId, pk: RsaPublicKey) {
+        self.wire_keys.insert(id, pk);
+    }
+
+    fn lookup_key(&self, id: &PrincipalId) -> Option<RsaPublicKey> {
+        if self.cfg.authenticate_keys {
+            self.dir.lookup(id).cloned()
+        } else {
+            self.wire_keys.get(id).cloned().or_else(|| self.dir.lookup(id).cloned())
+        }
+    }
+
+    /// Alice's record for a transaction.
+    pub fn txn(&self, txn_id: u64) -> Option<&ClientTxn> {
+        self.txns.get(&txn_id)
+    }
+
+    /// State of a transaction (None when unknown).
+    pub fn txn_state(&self, txn_id: u64) -> Option<TxnState> {
+        self.txns.get(&txn_id).map(|t| t.state)
+    }
+
+    /// All transaction ids Alice has started.
+    pub fn txn_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.txns.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Data received by a completed download.
+    pub fn download_result(&self, txn_id: u64) -> Option<&Payload> {
+        self.txns.get(&txn_id)?.received.as_ref()
+    }
+
+    fn build_transfer(
+        &mut self,
+        flag: Flag,
+        payload: Payload,
+        now: SimTime,
+        strategy: TimeoutStrategy,
+    ) -> Result<(u64, Vec<Outgoing>), ValidationError> {
+        let txn_id = self.next_txn;
+        self.next_txn += 1;
+        let hash = payload.commit(&self.cfg);
+        let pt = EvidencePlaintext {
+            flag,
+            sender: self.me.id(),
+            recipient: self.provider,
+            ttp: self.ttp,
+            txn_id,
+            seq: self.validator.alloc_seq(txn_id),
+            nonce: self.rng.next_u64(),
+            time_limit: now.after(self.cfg.message_time_limit),
+            object: payload.key.clone(),
+            hash_alg: self.cfg.hash_alg,
+            data_hash: hash.clone(),
+        };
+        let provider_pk = self
+            .lookup_key(&self.provider)
+            .ok_or(ValidationError::NoKey(self.provider))?;
+        let sealed = seal(&self.cfg, &self.me, &provider_pk, &pt, &mut self.rng)
+            .map_err(ValidationError::Evidence)?;
+        // Alice archives her own NRO: the signatures she just produced.
+        let nro = self
+            .own_evidence(&pt)
+            .map_err(ValidationError::Evidence)?;
+        self.txns.insert(
+            txn_id,
+            ClientTxn {
+                kind: flag,
+                object: payload.key.clone(),
+                sent_hash: hash,
+                nro,
+                nrr: None,
+                received: None,
+                state: TxnState::Pending,
+                deadline: now.after(self.cfg.response_timeout),
+                strategy,
+                abort_attempted: false,
+            },
+        );
+        Ok((
+            txn_id,
+            vec![Outgoing {
+                to: self.provider,
+                msg: Message::Transfer { plaintext: pt, data: payload.to_wire(), evidence: sealed },
+            }],
+        ))
+    }
+
+    fn own_evidence(
+        &self,
+        pt: &EvidencePlaintext,
+    ) -> Result<VerifiedEvidence, crate::evidence::EvidenceError> {
+        let (s1, s2) = if self.cfg.require_signatures {
+            (
+                self.me
+                    .keys
+                    .private
+                    .sign_prehashed(pt.hash_alg, &pt.data_hash)
+                    .map_err(crate::evidence::EvidenceError::Crypto)?,
+                self.me
+                    .keys
+                    .private
+                    .sign_prehashed(pt.hash_alg, &pt.digest())
+                    .map_err(crate::evidence::EvidenceError::Crypto)?,
+            )
+        } else {
+            (pt.data_hash.clone(), pt.digest())
+        };
+        Ok(VerifiedEvidence { plaintext: pt.clone(), sig_data_hash: s1, sig_plaintext: s2 })
+    }
+
+    /// Starts an upload (Normal mode message 1 of 2).
+    pub fn begin_upload(
+        &mut self,
+        key: &[u8],
+        data: Vec<u8>,
+        now: SimTime,
+        strategy: TimeoutStrategy,
+    ) -> Result<(u64, Vec<Outgoing>), ValidationError> {
+        self.build_transfer(
+            Flag::UploadRequest,
+            Payload { key: key.to_vec(), data },
+            now,
+            strategy,
+        )
+    }
+
+    /// Starts a download (Normal mode message 1 of 2).
+    pub fn begin_download(
+        &mut self,
+        key: &[u8],
+        now: SimTime,
+        strategy: TimeoutStrategy,
+    ) -> Result<(u64, Vec<Outgoing>), ValidationError> {
+        self.build_transfer(
+            Flag::DownloadRequest,
+            Payload { key: key.to_vec(), data: Vec::new() },
+            now,
+            strategy,
+        )
+    }
+
+    /// Handles one incoming message.
+    pub fn handle(
+        &mut self,
+        from: PrincipalId,
+        msg: &Message,
+        now: SimTime,
+    ) -> Result<Vec<Outgoing>, ValidationError> {
+        match msg {
+            Message::Receipt { plaintext, data, evidence } => {
+                self.handle_receipt(from, plaintext, data, evidence, now)
+            }
+            Message::AbortReply { outcome, plaintext, evidence } => {
+                self.handle_abort_reply(from, *outcome, plaintext, evidence, now)
+            }
+            Message::ResolveReply { action, plaintext, evidence } => {
+                self.handle_resolve_reply(from, *action, plaintext, evidence.as_ref(), now)
+            }
+            other => Err(ValidationError::UnexpectedFlag(other.plaintext().flag)),
+        }
+    }
+
+    fn handle_receipt(
+        &mut self,
+        from: PrincipalId,
+        pt: &EvidencePlaintext,
+        data: &[u8],
+        evidence: &SealedEvidence,
+        now: SimTime,
+    ) -> Result<Vec<Outgoing>, ValidationError> {
+        let expected = if self.cfg.bind_identities { Some(self.provider) } else { None };
+        let _ = from;
+        self.validator.check(&self.cfg, pt, expected, now)?;
+        let txn = self
+            .txns
+            .get(&pt.txn_id)
+            .ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
+        let ok_flag = matches!(
+            (txn.kind, pt.flag),
+            (Flag::UploadRequest, Flag::UploadReceipt)
+                | (Flag::DownloadRequest, Flag::DownloadResponse)
+        );
+        if !ok_flag {
+            return Err(ValidationError::UnexpectedFlag(pt.flag));
+        }
+        // On upload the receipt must acknowledge exactly what we sent.
+        if txn.kind == Flag::UploadRequest && pt.data_hash != txn.sent_hash {
+            return Err(ValidationError::HashMismatch);
+        }
+        // On download the carried data must match the signed hash.
+        let received = if txn.kind == Flag::DownloadRequest {
+            let payload = Payload::from_wire(data).map_err(|_| ValidationError::HashMismatch)?;
+            if payload.commit(&self.cfg) != pt.data_hash || payload.key != txn.object {
+                return Err(ValidationError::HashMismatch);
+            }
+            Some(payload)
+        } else {
+            None
+        };
+        let sender_pk = self.lookup_key(&pt.sender).ok_or(ValidationError::NoKey(pt.sender))?;
+        let nrr = open_and_verify(&self.cfg, &self.me, &sender_pk, pt, evidence)
+            .map_err(ValidationError::Evidence)?;
+        let txn = self.txns.get_mut(&pt.txn_id).expect("checked above");
+        txn.nrr = Some(nrr);
+        txn.received = received;
+        txn.state = TxnState::Completed;
+        Ok(Vec::new())
+    }
+
+    fn handle_abort_reply(
+        &mut self,
+        _from: PrincipalId,
+        outcome: AbortOutcome,
+        pt: &EvidencePlaintext,
+        evidence: &SealedEvidence,
+        now: SimTime,
+    ) -> Result<Vec<Outgoing>, ValidationError> {
+        let expected = if self.cfg.bind_identities { Some(self.provider) } else { None };
+        self.validator.check(&self.cfg, pt, expected, now)?;
+        if pt.flag != Flag::AbortResponse {
+            return Err(ValidationError::UnexpectedFlag(pt.flag));
+        }
+        let sender_pk = self.lookup_key(&pt.sender).ok_or(ValidationError::NoKey(pt.sender))?;
+        let nrr = open_and_verify(&self.cfg, &self.me, &sender_pk, pt, evidence)
+            .map_err(ValidationError::Evidence)?;
+        let txn = self
+            .txns
+            .get_mut(&pt.txn_id)
+            .ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
+        match outcome {
+            AbortOutcome::Accept => {
+                txn.nrr = Some(nrr);
+                txn.state = TxnState::Aborted;
+            }
+            AbortOutcome::Reject => {
+                // Bob completed the transaction; his NRR-abort still proves
+                // he answered. Alice treats the original as completed-ish
+                // but flags the rejection.
+                txn.nrr = Some(nrr);
+                txn.state = TxnState::AbortRejected;
+            }
+            AbortOutcome::Error => {
+                // Regenerate the abort request (paper: "double check the
+                // parameters … regenerate it, and re-submit").
+                txn.abort_attempted = false;
+                txn.deadline = now; // retry immediately on next poll
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    fn handle_resolve_reply(
+        &mut self,
+        from: PrincipalId,
+        action: ResolveAction,
+        pt: &EvidencePlaintext,
+        evidence: Option<&SealedEvidence>,
+        now: SimTime,
+    ) -> Result<Vec<Outgoing>, ValidationError> {
+        // Resolve replies are routed through the TTP.
+        if self.cfg.bind_identities && from != self.ttp {
+            return Err(ValidationError::IdentityMismatch);
+        }
+        self.validator.check(&self.cfg, pt, None, now)?;
+        let (kind, sent_hash, state) = {
+            let txn = self
+                .txns
+                .get(&pt.txn_id)
+                .ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
+            (txn.kind, txn.sent_hash.clone(), txn.state)
+        };
+        // A late/replayed resolve reply must not overwrite a settled state.
+        if state != TxnState::Resolving {
+            return Ok(Vec::new());
+        }
+        match action {
+            ResolveAction::Continue => {
+                // The reply plaintext is Bob's re-issued NRR plaintext.
+                let sender_pk = self
+                    .lookup_key(&pt.sender)
+                    .ok_or(ValidationError::NoKey(pt.sender))?;
+                let sealed = evidence.ok_or(ValidationError::Evidence(
+                    crate::evidence::EvidenceError::Malformed,
+                ))?;
+                let nrr = open_and_verify(&self.cfg, &self.me, &sender_pk, pt, sealed)
+                    .map_err(ValidationError::Evidence)?;
+                // On upload the re-issued receipt must match what we sent.
+                if kind == Flag::UploadRequest && pt.data_hash != sent_hash {
+                    return Err(ValidationError::HashMismatch);
+                }
+                let txn = self.txns.get_mut(&pt.txn_id).expect("checked above");
+                txn.nrr = Some(nrr);
+                txn.state = TxnState::Completed;
+            }
+            ResolveAction::Restart => {
+                // Bob never saw the transfer; Alice marks it failed locally
+                // (the application decides whether to retry as a new txn).
+                self.txns.get_mut(&pt.txn_id).expect("checked above").state = TxnState::Failed;
+            }
+            ResolveAction::Failed => {
+                self.txns.get_mut(&pt.txn_id).expect("checked above").state = TxnState::Failed;
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    /// Drives timeouts: for every pending transaction past its deadline,
+    /// emits the Abort or Resolve step per its strategy.
+    pub fn poll_timeouts(&mut self, now: SimTime) -> Vec<Outgoing> {
+        let due: Vec<u64> = self
+            .txns
+            .iter()
+            .filter(|(_, t)| !t.state.is_terminal() && now >= t.deadline)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut out = Vec::new();
+        for txn_id in due {
+            let (strategy, abort_attempted, state) = {
+                let t = &self.txns[&txn_id];
+                (t.strategy, t.abort_attempted, t.state)
+            };
+            let escalate_to_resolve = state == TxnState::Resolving
+                || strategy == TimeoutStrategy::ResolveImmediately
+                || abort_attempted;
+            if escalate_to_resolve {
+                if state != TxnState::Resolving || now >= self.txns[&txn_id].deadline {
+                    out.extend(self.send_resolve(txn_id, now));
+                }
+            } else {
+                out.extend(self.send_abort(txn_id, now));
+            }
+        }
+        out
+    }
+
+    fn send_abort(&mut self, txn_id: u64, now: SimTime) -> Vec<Outgoing> {
+        let Some(txn) = self.txns.get(&txn_id) else { return Vec::new() };
+        let object = txn.object.clone();
+        let sent_hash = txn.sent_hash.clone();
+        let pt = EvidencePlaintext {
+            flag: Flag::AbortRequest,
+            sender: self.me.id(),
+            recipient: self.provider,
+            ttp: self.ttp,
+            txn_id,
+            seq: self.validator.alloc_seq(txn_id),
+            nonce: self.rng.next_u64(),
+            time_limit: now.after(self.cfg.message_time_limit),
+            object,
+            hash_alg: self.cfg.hash_alg,
+            data_hash: sent_hash,
+        };
+        let Some(provider_pk) = self.lookup_key(&self.provider) else { return Vec::new() };
+        let Ok(sealed) = seal(&self.cfg, &self.me, &provider_pk, &pt, &mut self.rng) else {
+            return Vec::new();
+        };
+        let txn = self.txns.get_mut(&txn_id).expect("exists");
+        txn.abort_attempted = true;
+        txn.deadline = now.after(self.cfg.response_timeout);
+        vec![Outgoing { to: self.provider, msg: Message::Abort { plaintext: pt, evidence: sealed } }]
+    }
+
+    fn send_resolve(&mut self, txn_id: u64, now: SimTime) -> Vec<Outgoing> {
+        let Some(txn) = self.txns.get(&txn_id) else { return Vec::new() };
+        let nro = txn.nro.clone();
+        let object = txn.object.clone();
+        let pt = EvidencePlaintext {
+            flag: Flag::ResolveRequest,
+            sender: self.me.id(),
+            recipient: self.ttp,
+            ttp: self.ttp,
+            txn_id,
+            seq: self.validator.alloc_seq(txn_id),
+            nonce: self.rng.next_u64(),
+            time_limit: now.after(self.cfg.message_time_limit),
+            object,
+            hash_alg: self.cfg.hash_alg,
+            data_hash: txn.sent_hash.clone(),
+        };
+        let txn = self.txns.get_mut(&txn_id).expect("exists");
+        txn.state = TxnState::Resolving;
+        txn.deadline = now.after(self.cfg.response_timeout.times(2));
+        vec![Outgoing {
+            to: self.ttp,
+            msg: Message::Resolve {
+                plaintext: pt,
+                nro,
+                report: "no response from provider before timeout".to_string(),
+            },
+        }]
+    }
+
+    /// The integrity link: checks a completed download of `download_txn`
+    /// against the NRR archived for `upload_txn` (same object). Returns
+    /// `None` when either transaction lacks evidence.
+    pub fn verify_download_against_upload(
+        &self,
+        upload_txn: u64,
+        download_txn: u64,
+    ) -> Option<bool> {
+        let up = self.txns.get(&upload_txn)?.nrr.as_ref()?;
+        let down = self.txns.get(&download_txn)?.nrr.as_ref()?;
+        if up.plaintext.object != down.plaintext.object {
+            return None;
+        }
+        Some(up.plaintext.data_hash == down.plaintext.data_hash)
+    }
+}

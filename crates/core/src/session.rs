@@ -1,0 +1,359 @@
+//! Shared session machinery: transaction payloads, outgoing-message
+//! addressing, plaintext validation, and the per-transaction replay window.
+//!
+//! Both state machines (client and provider) funnel every incoming message
+//! through [`Validator::check`], which enforces the §5 defences according to
+//! the active [`ProtocolConfig`]: identity/direction binding, strictly
+//! increasing sequence numbers, and message time limits.
+
+use crate::config::ProtocolConfig;
+use crate::evidence::{EvidencePlaintext, Flag};
+use crate::principal::PrincipalId;
+use std::collections::HashMap;
+use tpnr_net::codec::{CodecError, Reader, Wire, Writer};
+use tpnr_net::time::SimTime;
+
+/// The payload carried inside a Transfer/Receipt `data` field.
+///
+/// Hashing the canonical encoding of this structure (rather than the raw
+/// data alone) binds the object key to the data under every signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Payload {
+    /// Object key.
+    pub key: Vec<u8>,
+    /// Object bytes (empty for download requests).
+    pub data: Vec<u8>,
+}
+
+impl Wire for Payload {
+    fn encode(&self, w: &mut Writer) {
+        w.bytes(&self.key);
+        w.bytes(&self.data);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Payload { key: r.bytes()?, data: r.bytes()? })
+    }
+}
+
+impl Payload {
+    /// Canonical hash under the configured algorithm.
+    pub fn hash(&self, alg: tpnr_crypto::hash::HashAlg) -> Vec<u8> {
+        alg.hash(&self.to_wire())
+    }
+
+    /// Evidence commitment under the configured scheme: a flat hash, or a
+    /// Merkle root over the canonical payload bytes (same length either
+    /// way, so it drops into the signature layer unchanged).
+    pub fn commit(&self, cfg: &ProtocolConfig) -> Vec<u8> {
+        match cfg.commitment {
+            crate::config::Commitment::Flat => self.hash(cfg.hash_alg),
+            crate::config::Commitment::Merkle { chunk_size } => {
+                tpnr_crypto::merkle::MerkleTree::build(cfg.hash_alg, &self.to_wire(), chunk_size)
+                    .root()
+                    .to_vec()
+            }
+        }
+    }
+}
+
+/// A message addressed to a principal (the actor APIs return these; the
+/// runner maps principal ids to simulator nodes).
+#[derive(Debug, Clone)]
+pub struct Outgoing {
+    /// Destination principal.
+    pub to: PrincipalId,
+    /// The message.
+    pub msg: crate::message::Message,
+}
+
+/// Client-visible state of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Sent, awaiting the counterparty.
+    Pending,
+    /// Completed normally (evidence exchanged).
+    Completed,
+    /// Aborted by mutual agreement.
+    Aborted,
+    /// Abort was rejected by the counterparty.
+    AbortRejected,
+    /// Handed to the TTP, awaiting resolution.
+    Resolving,
+    /// TTP reported the counterparty unresponsive.
+    Failed,
+}
+
+impl TxnState {
+    /// True when no further protocol action is expected.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TxnState::Completed | TxnState::Aborted | TxnState::AbortRejected | TxnState::Failed
+        )
+    }
+}
+
+/// Why an incoming message was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Sender/recipient/TTP identities do not match this conversation.
+    IdentityMismatch,
+    /// Sequence number not strictly newer than the last accepted one.
+    StaleSequence {
+        /// Highest sequence already accepted for the transaction.
+        last: u64,
+        /// The offending message's sequence.
+        got: u64,
+    },
+    /// Received after the embedded time limit.
+    Expired {
+        /// The limit carried in the message.
+        limit: SimTime,
+        /// Local receive time.
+        now: SimTime,
+    },
+    /// The flag does not fit the current transaction state.
+    UnexpectedFlag(Flag),
+    /// The data hash in the plaintext does not match the payload.
+    HashMismatch,
+    /// Evidence failed to open/verify.
+    Evidence(crate::evidence::EvidenceError),
+    /// Unknown transaction.
+    UnknownTxn(u64),
+    /// Signer's public key unavailable/unauthenticated.
+    NoKey(PrincipalId),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::IdentityMismatch => write!(f, "identity binding mismatch"),
+            ValidationError::StaleSequence { last, got } => {
+                write!(f, "stale sequence: last accepted {last}, got {got}")
+            }
+            ValidationError::Expired { limit, now } => {
+                write!(f, "message expired (limit {} < now {})", limit.0, now.0)
+            }
+            ValidationError::UnexpectedFlag(flag) => write!(f, "unexpected flag {flag:?}"),
+            ValidationError::HashMismatch => write!(f, "payload hash mismatch"),
+            ValidationError::Evidence(e) => write!(f, "evidence error: {e}"),
+            ValidationError::UnknownTxn(id) => write!(f, "unknown transaction {id}"),
+            ValidationError::NoKey(id) => write!(f, "no authenticated key for {}", id.short_hex()),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Per-conversation replay window and identity expectations.
+///
+/// Receive windows are scoped per `(transaction, sender)` direction: each
+/// sender numbers its own messages 1, 2, 3 … within a transaction, and the
+/// receiver only accepts strictly increasing numbers from that sender. This
+/// is what defeats replay (§5.4) without tripping over lost receipts.
+pub struct Validator {
+    /// Our own id (expected `recipient`).
+    pub me: PrincipalId,
+    /// Agreed TTP id (expected `ttp`).
+    pub ttp: PrincipalId,
+    /// Highest accepted sequence per (transaction, sender).
+    last_recv: HashMap<(u64, PrincipalId), u64>,
+    /// Our own outgoing counter per transaction.
+    send_seq: HashMap<u64, u64>,
+}
+
+impl Validator {
+    /// Fresh validator for a principal.
+    pub fn new(me: PrincipalId, ttp: PrincipalId) -> Self {
+        Validator { me, ttp, last_recv: HashMap::new(), send_seq: HashMap::new() }
+    }
+
+    /// Validates an incoming plaintext under the active config.
+    ///
+    /// `expected_sender` of `None` accepts any sender (provider accepting
+    /// new clients); `Some(id)` pins the conversation partner.
+    pub fn check(
+        &mut self,
+        cfg: &ProtocolConfig,
+        pt: &EvidencePlaintext,
+        expected_sender: Option<PrincipalId>,
+        now: SimTime,
+    ) -> Result<(), ValidationError> {
+        if cfg.bind_identities {
+            if pt.recipient != self.me || pt.ttp != self.ttp {
+                return Err(ValidationError::IdentityMismatch);
+            }
+            if let Some(sender) = expected_sender {
+                if pt.sender != sender {
+                    return Err(ValidationError::IdentityMismatch);
+                }
+            }
+        }
+        if cfg.enforce_time_limits && now > pt.time_limit {
+            return Err(ValidationError::Expired { limit: pt.time_limit, now });
+        }
+        if cfg.check_sequence_numbers {
+            let key = (pt.txn_id, pt.sender);
+            let last = self.last_recv.get(&key).copied().unwrap_or(0);
+            if pt.seq <= last {
+                return Err(ValidationError::StaleSequence { last, got: pt.seq });
+            }
+            self.last_recv.insert(key, pt.seq);
+        }
+        Ok(())
+    }
+
+    /// Highest sequence accepted from `sender` within a transaction.
+    pub fn last_seq(&self, txn_id: u64, sender: PrincipalId) -> u64 {
+        self.last_recv.get(&(txn_id, sender)).copied().unwrap_or(0)
+    }
+
+    /// Allocates the next outgoing sequence number for a transaction
+    /// (paper: "the sequence number increases one by one").
+    pub fn alloc_seq(&mut self, txn_id: u64) -> u64 {
+        let next = self.send_seq.get(&txn_id).copied().unwrap_or(0) + 1;
+        self.send_seq.insert(txn_id, next);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Ablation, ProtocolConfig};
+    use tpnr_crypto::hash::HashAlg;
+
+    fn pt(sender: [u8; 8], txn: u64, seq: u64, limit: u64) -> EvidencePlaintext {
+        let mut s = [0u8; 32];
+        s[..8].copy_from_slice(&sender);
+        EvidencePlaintext {
+            flag: Flag::UploadRequest,
+            sender: PrincipalId(s),
+            recipient: PrincipalId([9; 32]),
+            ttp: PrincipalId([7; 32]),
+            txn_id: txn,
+            seq,
+            nonce: 1,
+            time_limit: SimTime(limit),
+            object: b"k".to_vec(),
+            hash_alg: HashAlg::Sha256,
+            data_hash: vec![0; 32],
+        }
+    }
+
+    fn validator() -> Validator {
+        Validator::new(PrincipalId([9; 32]), PrincipalId([7; 32]))
+    }
+
+    #[test]
+    fn accepts_well_formed_in_order() {
+        let cfg = ProtocolConfig::full();
+        let mut v = validator();
+        let p = pt(*b"alice\0\0\0", 1, 1, 100);
+        let alice = p.sender;
+        v.check(&cfg, &p, None, SimTime(50)).unwrap();
+        v.check(&cfg, &pt(*b"alice\0\0\0", 1, 2, 100), None, SimTime(60)).unwrap();
+        assert_eq!(v.last_seq(1, alice), 2);
+    }
+
+    #[test]
+    fn windows_are_per_sender() {
+        // Bob's seq 1 is accepted even after Alice's seq 5: directions are
+        // independent, which is what keeps lost-receipt recovery working.
+        let cfg = ProtocolConfig::full();
+        let mut v = validator();
+        v.check(&cfg, &pt(*b"alice\0\0\0", 1, 5, 100), None, SimTime(0)).unwrap();
+        v.check(&cfg, &pt(*b"bob\0\0\0\0\0", 1, 1, 100), None, SimTime(0)).unwrap();
+    }
+
+    #[test]
+    fn alloc_seq_is_monotonic_per_txn() {
+        let mut v = validator();
+        assert_eq!(v.alloc_seq(1), 1);
+        assert_eq!(v.alloc_seq(1), 2);
+        assert_eq!(v.alloc_seq(2), 1);
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let cfg = ProtocolConfig::full();
+        let mut v = validator();
+        v.check(&cfg, &pt(*b"alice\0\0\0", 1, 1, 100), None, SimTime(0)).unwrap();
+        let err = v.check(&cfg, &pt(*b"alice\0\0\0", 1, 1, 100), None, SimTime(0)).unwrap_err();
+        assert_eq!(err, ValidationError::StaleSequence { last: 1, got: 1 });
+    }
+
+    #[test]
+    fn replay_accepted_when_ablated() {
+        let cfg = ProtocolConfig::ablated(Ablation::NoSequenceNumbers);
+        let mut v = validator();
+        let p = pt(*b"alice\0\0\0", 1, 1, 100);
+        v.check(&cfg, &p, None, SimTime(0)).unwrap();
+        v.check(&cfg, &p, None, SimTime(0)).unwrap();
+    }
+
+    #[test]
+    fn wrong_recipient_or_ttp_rejected() {
+        let cfg = ProtocolConfig::full();
+        let mut v = validator();
+        let mut p = pt(*b"alice\0\0\0", 1, 1, 100);
+        p.recipient = PrincipalId([1; 32]);
+        assert_eq!(v.check(&cfg, &p, None, SimTime(0)), Err(ValidationError::IdentityMismatch));
+        let mut p = pt(*b"alice\0\0\0", 1, 1, 100);
+        p.ttp = PrincipalId([1; 32]);
+        assert_eq!(v.check(&cfg, &p, None, SimTime(0)), Err(ValidationError::IdentityMismatch));
+    }
+
+    #[test]
+    fn pinned_sender_enforced() {
+        let cfg = ProtocolConfig::full();
+        let mut v = validator();
+        let p = pt(*b"mallory\0", 1, 1, 100);
+        let alice = pt(*b"alice\0\0\0", 0, 0, 0).sender;
+        assert_eq!(
+            v.check(&cfg, &p, Some(alice), SimTime(0)),
+            Err(ValidationError::IdentityMismatch)
+        );
+    }
+
+    #[test]
+    fn expiry_enforced_and_ablatable() {
+        let full = ProtocolConfig::full();
+        let mut v = validator();
+        let p = pt(*b"alice\0\0\0", 1, 1, 100);
+        assert!(matches!(
+            v.check(&full, &p, None, SimTime(101)),
+            Err(ValidationError::Expired { .. })
+        ));
+        let ablated = ProtocolConfig::ablated(Ablation::NoTimeLimits);
+        let mut v = validator();
+        v.check(&ablated, &p, None, SimTime(1_000_000)).unwrap();
+    }
+
+    #[test]
+    fn sequence_isolated_per_txn() {
+        let cfg = ProtocolConfig::full();
+        let mut v = validator();
+        v.check(&cfg, &pt(*b"alice\0\0\0", 1, 5, 100), None, SimTime(0)).unwrap();
+        // Different transaction starts its own window.
+        v.check(&cfg, &pt(*b"alice\0\0\0", 2, 1, 100), None, SimTime(0)).unwrap();
+    }
+
+    #[test]
+    fn payload_roundtrip_and_hash_binds_key() {
+        let p1 = Payload { key: b"k1".to_vec(), data: b"d".to_vec() };
+        let p2 = Payload { key: b"k2".to_vec(), data: b"d".to_vec() };
+        assert_eq!(Payload::from_wire(&p1.to_wire()).unwrap(), p1);
+        assert_ne!(p1.hash(HashAlg::Sha256), p2.hash(HashAlg::Sha256));
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(TxnState::Completed.is_terminal());
+        assert!(TxnState::Aborted.is_terminal());
+        assert!(TxnState::AbortRejected.is_terminal());
+        assert!(TxnState::Failed.is_terminal());
+        assert!(!TxnState::Pending.is_terminal());
+        assert!(!TxnState::Resolving.is_terminal());
+    }
+}

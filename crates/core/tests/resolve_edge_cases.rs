@@ -1,0 +1,171 @@
+//! Edge cases of the Abort and Resolve sub-protocols (paper §4.2–4.3):
+//! error-and-regenerate abort handling, abort-after-completion rejection,
+//! forged resolve requests at the TTP, and resolve replay safety.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use tpnr_core::client::TimeoutStrategy;
+use tpnr_core::config::ProtocolConfig;
+use tpnr_core::evidence::{Flag, SealedEvidence};
+use tpnr_core::message::Message;
+use tpnr_core::runner::World;
+use tpnr_core::session::TxnState;
+use tpnr_net::codec::Wire;
+use tpnr_net::sim::{Action, LinkConfig};
+
+#[test]
+fn abort_after_completion_is_rejected() {
+    // Bob completed the upload (stored + issued NRR) but the receipt was
+    // lost. Alice aborts; Bob answers Reject — too late to cancel — and
+    // Alice records the AbortRejected terminal state, still holding Bob's
+    // signed abort acknowledgement.
+    let mut w = World::new(11, ProtocolConfig::full());
+    let (a, b) = (w.alice_node, w.bob_node);
+    // Drop only the first bob→alice message (the receipt); let later ones by.
+    let dropped = Rc::new(Cell::new(false));
+    let flag = dropped.clone();
+    w.net.set_interceptor(Box::new(
+        move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, _p: &[u8], _t| {
+            if src == b && dst == a && !flag.get() {
+                flag.set(true);
+                Action::Drop
+            } else {
+                Action::Deliver
+            }
+        },
+    ));
+    let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+    assert_eq!(r.state, TxnState::AbortRejected);
+    assert!(w.client.txn(r.txn_id).unwrap().nrr.is_some(), "Bob's abort NRR archived");
+    // The data IS stored — Bob completed his side.
+    assert_eq!(w.provider.peek_storage(b"k"), Some(&b"data"[..]));
+}
+
+#[test]
+fn corrupted_abort_gets_error_reply_and_retry_succeeds() {
+    // The paper's Error answer: "Bob will send an Error message that
+    // request Alice double check the parameters … regenerate it, and
+    // re-submit the request."
+    let mut w = World::new(12, ProtocolConfig::full());
+    w.provider.behavior.respond_transfers = false; // force the abort path
+    let (a, b) = (w.alice_node, w.bob_node);
+    let corrupted_once = Rc::new(Cell::new(false));
+    let flag = corrupted_once.clone();
+    w.net.set_interceptor(Box::new(
+        move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, payload: &[u8], _t| {
+            if src == a && dst == b && !flag.get() {
+                if let Ok(Message::Abort { plaintext, .. }) = Message::from_wire(payload) {
+                    // Corrupt the sealed evidence: Bob can't verify it and
+                    // must answer Error.
+                    flag.set(true);
+                    let forged = Message::Abort {
+                        plaintext,
+                        evidence: SealedEvidence { sealed: vec![0xde, 0xad, 0xbe, 0xef] },
+                    };
+                    return Action::Modify(forged.to_wire());
+                }
+            }
+            Action::Deliver
+        },
+    ));
+    let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+    // After the Error round-trip, the regenerated abort is accepted.
+    assert_eq!(r.state, TxnState::Aborted);
+    assert!(corrupted_once.get(), "the corruption path actually ran");
+    // Trace shows an extra Abort/AbortReply pair beyond the minimum.
+    let aborts = w.trace.iter().filter(|e| e.kind == "Abort").count();
+    assert!(aborts >= 2, "abort was regenerated, saw {aborts}");
+}
+
+#[test]
+fn forged_resolve_rejected_by_ttp() {
+    // Mallory cannot pull Bob into a resolve for a transaction she invents:
+    // the TTP re-verifies the attached NRO signature against the directory.
+    let mut w = World::new(13, ProtocolConfig::full());
+    let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+    assert_eq!(r.state, TxnState::Completed);
+
+    // Build a resolve whose NRO has a doctored hash.
+    let mut nro = w.client.txn(r.txn_id).unwrap().nro.clone();
+    nro.plaintext.data_hash[0] ^= 1;
+    let pt = tpnr_core::evidence::EvidencePlaintext {
+        flag: Flag::ResolveRequest,
+        sender: w.client.id(),
+        recipient: w.ttp.id(),
+        ttp: w.ttp.id(),
+        txn_id: r.txn_id,
+        seq: 10,
+        nonce: 1,
+        time_limit: tpnr_net::time::SimTime(u64::MAX),
+        object: b"k".to_vec(),
+        hash_alg: tpnr_crypto::hash::HashAlg::Sha256,
+        data_hash: nro.plaintext.data_hash.clone(),
+    };
+    let msg = Message::Resolve { plaintext: pt, nro, report: "forged".into() };
+    let alice_id = w.client.id();
+    let now = w.net.now();
+    let result = w.ttp.handle(alice_id, &msg, now);
+    assert!(result.is_err(), "TTP must reject the doctored NRO");
+    assert_eq!(w.ttp.stats.resolves_rejected, 1);
+    assert_eq!(w.ttp.stats.forwards_sent, 0, "Bob is never bothered");
+}
+
+#[test]
+fn resolve_from_wrong_party_rejected() {
+    // A resolve naming Alice as sender but delivered from another principal
+    // fails the identity binding at the TTP.
+    let mut w = World::new(14, ProtocolConfig::full());
+    let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+    let nro = w.client.txn(r.txn_id).unwrap().nro.clone();
+    let pt = tpnr_core::evidence::EvidencePlaintext {
+        flag: Flag::ResolveRequest,
+        sender: w.client.id(),
+        recipient: w.ttp.id(),
+        ttp: w.ttp.id(),
+        txn_id: r.txn_id,
+        seq: 10,
+        nonce: 1,
+        time_limit: tpnr_net::time::SimTime(u64::MAX),
+        object: b"k".to_vec(),
+        hash_alg: tpnr_crypto::hash::HashAlg::Sha256,
+        data_hash: nro.plaintext.data_hash.clone(),
+    };
+    let msg = Message::Resolve { plaintext: pt, nro, report: "relayed".into() };
+    let bob_id = w.provider.id(); // wrong wire sender
+    let now = w.net.now();
+    assert!(w.ttp.handle(bob_id, &msg, now).is_err());
+}
+
+#[test]
+fn resolve_completes_then_late_receipt_is_harmless() {
+    // The receipt is delayed (not dropped): Alice resolves, completes via
+    // the TTP, and the original receipt arrives afterwards. It must not
+    // disturb the settled state.
+    let mut w = World::new(15, ProtocolConfig::full());
+    let (a, b) = (w.alice_node, w.bob_node);
+    // Delay bob→alice by 90 seconds — far beyond the resolve settlement.
+    w.net.set_link(b, a, LinkConfig::ideal(tpnr_net::time::SimDuration::from_secs(90)));
+    let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
+    assert_eq!(r.state, TxnState::Completed);
+    assert!(r.ttp_used);
+    // Deliver whatever is still in flight (the slow receipt).
+    w.settle();
+    assert_eq!(w.client.txn_state(r.txn_id), Some(TxnState::Completed));
+}
+
+#[test]
+fn ttp_ignores_unsolicited_resolve_replies() {
+    let mut w = World::new(16, ProtocolConfig::full());
+    let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+    let pt = w.client.txn(r.txn_id).unwrap().nro.plaintext.clone();
+    let msg = Message::ResolveReply {
+        action: tpnr_core::message::ResolveAction::Continue,
+        plaintext: pt,
+        evidence: None,
+    };
+    let bob_id = w.provider.id();
+    let now = w.net.now();
+    // No pending resolve exists: the reply is refused, nothing is relayed.
+    assert!(w.ttp.handle(bob_id, &msg, now).is_err());
+    assert_eq!(w.ttp.stats.replies_relayed, 0);
+}

@@ -1,0 +1,137 @@
+//! ChaCha20 stream cipher (RFC 8439 quarter-round core).
+//!
+//! Two uses in the workspace: (1) the symmetric half of the hybrid
+//! public-key envelope that encrypts TPNR evidence for the recipient
+//! (paper §4.1 "the sender encrypts the evidence with the recipient's
+//! public key" — done hybrid for realistic payload sizes), and (2) the
+//! deterministic CSPRNG in [`crate::rng`].
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce size in bytes (IETF variant).
+pub const NONCE_LEN: usize = 12;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte keystream block for (key, nonce, counter).
+pub fn block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let v = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// XORs `data` in place with the keystream starting at block `counter`
+/// (encryption and decryption are the same operation).
+pub fn xor_stream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = block(key, nonce, counter.wrapping_add(i as u32));
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Convenience: returns the encryption of `data` (counter starts at 1, per
+/// RFC 8439 AEAD convention, leaving block 0 for a one-time MAC key).
+pub fn encrypt(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    xor_stream(key, nonce, 1, &mut out);
+    out
+}
+
+/// Decryption (identical to [`encrypt`]).
+pub fn decrypt(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &[u8]) -> Vec<u8> {
+    encrypt(key, nonce, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::hex_encode;
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let out = block(&key, &nonce, 1);
+        assert_eq!(
+            hex_encode(&out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let ct = encrypt(&key, &nonce, plaintext);
+        assert_eq!(
+            hex_encode(&ct[..64]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+        );
+        assert_eq!(decrypt(&key, &nonce, &ct), plaintext);
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        for n in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let data: Vec<u8> = (0..n).map(|i| i as u8).collect();
+            assert_eq!(decrypt(&key, &nonce, &encrypt(&key, &nonce, &data)), data);
+        }
+    }
+
+    #[test]
+    fn different_nonce_different_stream() {
+        let key = [1u8; 32];
+        let a = encrypt(&key, &[0u8; 12], &[0u8; 32]);
+        let b = encrypt(&key, &[1u8; 12], &[0u8; 32]);
+        assert_ne!(a, b);
+    }
+}

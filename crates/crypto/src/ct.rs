@@ -1,0 +1,60 @@
+//! Constant-time helpers.
+//!
+//! MAC and padding checks must not leak *where* two byte strings diverge
+//! through timing; all comparison of secrets in this workspace goes through
+//! [`ct_eq`].
+
+/// Constant-time byte-slice equality.
+///
+/// Always inspects every byte of both slices (when lengths match); the
+/// length comparison itself is public information.
+#[inline]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    // Reduce without a data-dependent branch.
+    acc == 0
+}
+
+/// Constant-time conditional select: returns `a` if `choice` is 1, `b` if 0.
+#[inline]
+pub fn ct_select_u8(choice: u8, a: u8, b: u8) -> u8 {
+    debug_assert!(choice <= 1);
+    let mask = choice.wrapping_neg(); // 0x00 or 0xFF
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"a"));
+    }
+
+    #[test]
+    fn eq_differs_anywhere() {
+        let a = vec![0u8; 64];
+        for i in 0..64 {
+            let mut b = a.clone();
+            b[i] ^= 1;
+            assert!(!ct_eq(&a, &b), "difference at {i} missed");
+        }
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select_u8(1, 0xaa, 0x55), 0xaa);
+        assert_eq!(ct_select_u8(0, 0xaa, 0x55), 0x55);
+    }
+}

@@ -1,0 +1,174 @@
+//! Hex and Base64 codecs.
+//!
+//! Base64 is needed to model the Azure REST headers of the paper's Table 1
+//! (`Content-MD5`, `Authorization: SharedKey …`); hex is used throughout for
+//! logging and test vectors.
+
+/// Encodes bytes as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (case-insensitive). Returns `None` on odd length or
+/// non-hex characters.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+const B64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard (RFC 4648) Base64 with padding.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(n >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[n as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn b64_value(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard Base64 (padding required). Returns `None` on malformed
+/// input.
+pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+        let last = i == bytes.len() / 4 - 1;
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return None;
+        }
+        let mut n = 0u32;
+        for (j, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' && j >= 4 - pad {
+                0
+            } else {
+                b64_value(c)?
+            };
+            n = (n << 6) | v;
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::Digest as _;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert_eq!(hex_encode(&[]), "");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(hex_decode("abc").is_none()); // odd length
+        assert!(hex_decode("zz").is_none()); // non-hex
+    }
+
+    #[test]
+    fn hex_case_insensitive() {
+        assert_eq!(hex_decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    /// RFC 4648 §10 test vectors.
+    #[test]
+    fn base64_rfc4648_vectors() {
+        let cases = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(base64_encode(plain.as_bytes()), enc);
+            assert_eq!(base64_decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn base64_rejects_bad_input() {
+        assert!(base64_decode("Zg=").is_none()); // bad length
+        assert!(base64_decode("Z===").is_none()); // too much padding
+        assert!(base64_decode("Zm9!").is_none()); // bad character
+    }
+
+    #[test]
+    fn base64_mid_padding_rejected() {
+        assert!(base64_decode("Zg==AAAA").is_none());
+    }
+
+    #[test]
+    fn base64_binary_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn table1_style_md5_header() {
+        // The paper's Table 1 carries Content-MD5 as Base64 of a 16-byte MD5.
+        let md5 = crate::md5::Md5::digest(b"block contents");
+        let header = base64_encode(&md5);
+        assert_eq!(base64_decode(&header).unwrap(), md5);
+        assert_eq!(header.len(), 24); // 16 bytes -> 24 b64 chars
+    }
+}

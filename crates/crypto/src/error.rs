@@ -1,0 +1,55 @@
+//! Error type shared by the crypto crate.
+
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The message is too long for the key/padding combination.
+    MessageTooLong,
+    /// Ciphertext/signature length does not match the key modulus.
+    InvalidLength,
+    /// PKCS#1 padding check failed on decryption.
+    InvalidPadding,
+    /// Signature verification failed.
+    BadSignature,
+    /// Key material is malformed (e.g. e not invertible mod φ(n)).
+    InvalidKey,
+    /// MAC verification failed.
+    BadMac,
+    /// Secret-sharing parameters are invalid (k = 0, k > n, n > 255, …).
+    InvalidShareParams,
+    /// Not enough / inconsistent shares to reconstruct a secret.
+    BadShares,
+    /// Malformed serialized object.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLong => write!(f, "message too long for key"),
+            CryptoError::InvalidLength => write!(f, "input length does not match key size"),
+            CryptoError::InvalidPadding => write!(f, "invalid PKCS#1 padding"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidKey => write!(f, "invalid key material"),
+            CryptoError::BadMac => write!(f, "MAC verification failed"),
+            CryptoError::InvalidShareParams => write!(f, "invalid secret sharing parameters"),
+            CryptoError::BadShares => write!(f, "insufficient or inconsistent shares"),
+            CryptoError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CryptoError::BadSignature.to_string().contains("signature"));
+        assert!(CryptoError::Malformed("share").to_string().contains("share"));
+    }
+}

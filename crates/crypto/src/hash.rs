@@ -1,0 +1,131 @@
+//! Common digest abstraction over the concrete hash implementations.
+//!
+//! The paper's platforms use MD5 for content integrity (Azure `Content-MD5`,
+//! AWS Import/Export logs) and the TPNR evidence hashes are
+//! algorithm-agnostic, so everything downstream is written against
+//! [`Digest`] / [`HashAlg`] and can run with either.
+
+use crate::md5::Md5;
+use crate::sha1::Sha1;
+use crate::sha2::{Sha256, Sha512};
+
+/// Incremental hash function interface.
+pub trait Digest: Default + Clone {
+    /// Digest size in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block size in bytes (used by HMAC).
+    const BLOCK_LEN: usize;
+    /// Human-readable algorithm name.
+    const NAME: &'static str;
+
+    /// Absorbs more input.
+    fn update(&mut self, data: &[u8]);
+    /// Finalises and returns the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::default();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Runtime-selectable hash algorithm.
+///
+/// MD5 mirrors the 2010 platforms under study; SHA-256 is the library
+/// default for new evidence. MD5 is retained *only* for fidelity to the
+/// paper — it is cryptographically broken and must not be used for new
+/// designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashAlg {
+    /// MD5 (128-bit) — what AWS/Azure used for content integrity in 2010.
+    Md5,
+    /// SHA-1 (160-bit).
+    Sha1,
+    /// SHA-256 (256-bit) — library default.
+    Sha256,
+    /// SHA-512 (512-bit).
+    Sha512,
+}
+
+impl HashAlg {
+    /// Digest length in bytes.
+    pub fn output_len(self) -> usize {
+        match self {
+            HashAlg::Md5 => 16,
+            HashAlg::Sha1 => 20,
+            HashAlg::Sha256 => 32,
+            HashAlg::Sha512 => 64,
+        }
+    }
+
+    /// Algorithm name as used in logs and experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            HashAlg::Md5 => "MD5",
+            HashAlg::Sha1 => "SHA-1",
+            HashAlg::Sha256 => "SHA-256",
+            HashAlg::Sha512 => "SHA-512",
+        }
+    }
+
+    /// One-shot hash with the selected algorithm.
+    pub fn hash(self, data: &[u8]) -> Vec<u8> {
+        match self {
+            HashAlg::Md5 => Md5::digest(data),
+            HashAlg::Sha1 => Sha1::digest(data),
+            HashAlg::Sha256 => Sha256::digest(data),
+            HashAlg::Sha512 => Sha512::digest(data),
+        }
+    }
+
+    /// Stable one-byte identifier used in the wire codec.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            HashAlg::Md5 => 1,
+            HashAlg::Sha1 => 2,
+            HashAlg::Sha256 => 3,
+            HashAlg::Sha512 => 4,
+        }
+    }
+
+    /// Inverse of [`HashAlg::wire_id`].
+    pub fn from_wire_id(id: u8) -> Option<Self> {
+        match id {
+            1 => Some(HashAlg::Md5),
+            2 => Some(HashAlg::Sha1),
+            3 => Some(HashAlg::Sha256),
+            4 => Some(HashAlg::Sha512),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_lengths_match_impls() {
+        for alg in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256, HashAlg::Sha512] {
+            assert_eq!(alg.hash(b"abc").len(), alg.output_len(), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn wire_id_roundtrip() {
+        for alg in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256, HashAlg::Sha512] {
+            assert_eq!(HashAlg::from_wire_id(alg.wire_id()), Some(alg));
+        }
+        assert_eq!(HashAlg::from_wire_id(0), None);
+        assert_eq!(HashAlg::from_wire_id(200), None);
+    }
+
+    #[test]
+    fn different_algorithms_differ() {
+        let d = b"same input";
+        assert_ne!(HashAlg::Md5.hash(d), HashAlg::Sha256.hash(d)[..16].to_vec());
+        assert_ne!(HashAlg::Sha256.hash(d), HashAlg::Sha512.hash(d)[..32].to_vec());
+    }
+}

@@ -1,0 +1,242 @@
+//! Merkle hash trees over chunked data.
+//!
+//! The paper motivates TPNR with TB-scale backups (§6: "Cloud storage is
+//! only attractive to large volume (TB) data backup"). A single whole-file
+//! hash forces a verifier to re-read the entire object; a Merkle tree lets
+//! evidence commit to the same content while allowing **partial
+//! verification** — any chunk can be checked against the signed root with a
+//! log-size proof. `tpnr-core::chunked` builds chunked transfer on top of
+//! this; the `evidence_cost` benches quantify the whole-hash vs Merkle
+//! trade-off.
+//!
+//! Construction: leaves are `H(0x00 ‖ chunk)`, interior nodes
+//! `H(0x01 ‖ left ‖ right)` (domain separation prevents leaf/node
+//! confusion); odd nodes are promoted unchanged. An empty input has the
+//! root `H(0x00)`.
+
+use crate::hash::HashAlg;
+
+/// A Merkle tree with all levels retained (leaves first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    alg: HashAlg,
+    /// `levels[0]` = leaf hashes, last level = `[root]`.
+    levels: Vec<Vec<Vec<u8>>>,
+    chunk_size: usize,
+}
+
+/// An inclusion proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hashes bottom-up; `None` where the node was promoted.
+    pub siblings: Vec<Option<(Side, Vec<u8>)>>,
+}
+
+/// Which side a sibling sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Sibling is the left child.
+    Left,
+    /// Sibling is the right child.
+    Right,
+}
+
+fn leaf_hash(alg: HashAlg, chunk: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 + chunk.len());
+    buf.push(0x00);
+    buf.extend_from_slice(chunk);
+    alg.hash(&buf)
+}
+
+fn node_hash(alg: HashAlg, left: &[u8], right: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 + left.len() + right.len());
+    buf.push(0x01);
+    buf.extend_from_slice(left);
+    buf.extend_from_slice(right);
+    alg.hash(&buf)
+}
+
+impl MerkleTree {
+    /// Builds a tree over `data` split into `chunk_size`-byte chunks.
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn build(alg: HashAlg, data: &[u8], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let leaves: Vec<Vec<u8>> = if data.is_empty() {
+            vec![leaf_hash(alg, &[])]
+        } else {
+            data.chunks(chunk_size).map(|c| leaf_hash(alg, c)).collect()
+        };
+        let mut levels = vec![leaves];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(node_hash(alg, &pair[0], &pair[1]));
+                } else {
+                    next.push(pair[0].clone()); // odd node promoted
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { alg, levels, chunk_size }
+    }
+
+    /// The root hash (what TPNR evidence signs for chunked objects).
+    pub fn root(&self) -> &[u8] {
+        &self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The chunk size this tree was built with.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut siblings = Vec::with_capacity(self.levels.len() - 1);
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = if i % 2 == 0 {
+                level.get(i + 1).map(|h| (Side::Right, h.clone()))
+            } else {
+                Some((Side::Left, level[i - 1].clone()))
+            };
+            siblings.push(sibling);
+            i /= 2;
+        }
+        Some(MerkleProof { index, siblings })
+    }
+}
+
+impl MerkleProof {
+    /// Verifies that `chunk` is the `self.index`-th chunk of the object
+    /// committed to by `root`.
+    pub fn verify(&self, alg: HashAlg, chunk: &[u8], root: &[u8]) -> bool {
+        let mut acc = leaf_hash(alg, chunk);
+        for sibling in &self.siblings {
+            acc = match sibling {
+                Some((Side::Right, h)) => node_hash(alg, &acc, h),
+                Some((Side::Left, h)) => node_hash(alg, h, &acc),
+                None => acc, // promoted odd node
+            };
+        }
+        acc == root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALG: HashAlg = HashAlg::Sha256;
+
+    fn sample(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 7 % 256) as u8).collect()
+    }
+
+    #[test]
+    fn single_chunk_tree() {
+        let data = sample(10);
+        let t = MerkleTree::build(ALG, &data, 64);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.root(), leaf_hash(ALG, &data).as_slice());
+        let p = t.prove(0).unwrap();
+        assert!(p.verify(ALG, &data, t.root()));
+    }
+
+    #[test]
+    fn empty_data_has_stable_root() {
+        let t1 = MerkleTree::build(ALG, &[], 64);
+        let t2 = MerkleTree::build(ALG, &[], 1024);
+        assert_eq!(t1.root(), t2.root());
+        assert_eq!(t1.leaf_count(), 1);
+        assert!(t1.prove(0).unwrap().verify(ALG, &[], t1.root()));
+    }
+
+    #[test]
+    fn all_proofs_verify_various_shapes() {
+        // Power of two, odd, prime leaf counts.
+        for (len, chunk) in [(256usize, 64usize), (300, 64), (777, 100), (1024, 1)] {
+            let data = sample(len);
+            let t = MerkleTree::build(ALG, &data, chunk);
+            for (i, c) in data.chunks(chunk).enumerate() {
+                let p = t.prove(i).unwrap();
+                assert!(p.verify(ALG, c, t.root()), "len={len} chunk={chunk} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_chunk_or_index_rejected() {
+        let data = sample(512);
+        let t = MerkleTree::build(ALG, &data, 64);
+        let p = t.prove(2).unwrap();
+        let chunks: Vec<&[u8]> = data.chunks(64).collect();
+        assert!(p.verify(ALG, chunks[2], t.root()));
+        assert!(!p.verify(ALG, chunks[3], t.root()), "wrong chunk");
+        let mut corrupted = chunks[2].to_vec();
+        corrupted[0] ^= 1;
+        assert!(!p.verify(ALG, &corrupted, t.root()), "corrupted chunk");
+        let p3 = t.prove(3).unwrap();
+        assert!(!p3.verify(ALG, chunks[2], t.root()), "proof for another index");
+    }
+
+    #[test]
+    fn root_changes_with_any_byte() {
+        let data = sample(1000);
+        let t = MerkleTree::build(ALG, &data, 128);
+        for i in [0usize, 127, 128, 999] {
+            let mut d = data.clone();
+            d[i] ^= 1;
+            let t2 = MerkleTree::build(ALG, &d, 128);
+            assert_ne!(t.root(), t2.root(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn leaf_node_domain_separation() {
+        // A crafted "chunk" equal to an interior node's preimage must not
+        // collide with that node.
+        let data = sample(128);
+        let t = MerkleTree::build(ALG, &data, 64);
+        let l0 = leaf_hash(ALG, &data[..64]);
+        let l1 = leaf_hash(ALG, &data[64..]);
+        let mut forged_chunk = Vec::new();
+        forged_chunk.extend_from_slice(&l0);
+        forged_chunk.extend_from_slice(&l1);
+        assert_ne!(leaf_hash(ALG, &forged_chunk), t.root().to_vec());
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let t = MerkleTree::build(ALG, &sample(100), 10);
+        assert!(t.prove(10).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_size_panics() {
+        MerkleTree::build(ALG, &[1], 0);
+    }
+
+    #[test]
+    fn works_with_md5_too() {
+        let data = sample(300);
+        let t = MerkleTree::build(HashAlg::Md5, &data, 50);
+        for (i, c) in data.chunks(50).enumerate() {
+            assert!(t.prove(i).unwrap().verify(HashAlg::Md5, c, t.root()));
+        }
+    }
+}

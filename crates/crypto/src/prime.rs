@@ -1,0 +1,162 @@
+//! Probabilistic prime generation for RSA key material.
+//!
+//! Trial division by small primes followed by Miller–Rabin. With 40
+//! witness rounds the error probability is < 2⁻⁸⁰, standard for RSA.
+
+use crate::bigint::BigUint;
+use crate::rng::ChaChaRng;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211,
+];
+
+/// Number of Miller–Rabin witness rounds (error < 4^-40).
+pub const MR_ROUNDS: usize = 40;
+
+/// Miller–Rabin probabilistic primality test.
+///
+/// Returns `true` if `n` is probably prime after `rounds` random witnesses.
+pub fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut ChaChaRng) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    if n == &BigUint::from_u64(2) {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        if n == &pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+
+    // Write n - 1 = d · 2^r with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        r += 1;
+    }
+
+    let n_bytes = (n.bit_len() + 7) / 8;
+    'witness: for _ in 0..rounds {
+        // Random witness a in [2, n-2].
+        let a = loop {
+            let cand = BigUint::from_bytes_be(&rng.gen_bytes(n_bytes)).rem(n);
+            if !cand.is_zero() && !cand.is_one() && cand != n_minus_1 {
+                break cand;
+            }
+        };
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..r - 1 {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime of exactly `bits` bits.
+///
+/// The top two bits are forced to 1 (so products of two such primes have the
+/// full target width — the RSA convention) and the low bit to 1.
+pub fn gen_prime(bits: usize, rng: &mut ChaChaRng) -> BigUint {
+    assert!(bits >= 16, "prime size too small to be meaningful");
+    let bytes = (bits + 7) / 8;
+    loop {
+        let mut raw = rng.gen_bytes(bytes);
+        // Trim to exactly `bits` bits.
+        let excess = bytes * 8 - bits;
+        raw[0] &= 0xffu8 >> excess;
+        let mut cand = BigUint::from_bytes_be(&raw);
+        cand.set_bit(bits - 1);
+        cand.set_bit(bits - 2);
+        cand.set_bit(0);
+        if is_probable_prime(&cand, MR_ROUNDS, rng) {
+            return cand;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn small_primes_accepted() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 211, 65537, 2147483647] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 20, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 9, 15, 100, 561, 1105, 6601, 65537 * 3] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Classic Fermat pseudoprimes that Miller–Rabin must catch.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_61() {
+        let mut r = rng();
+        let p = BigUint::from_u64((1u64 << 61) - 1);
+        assert!(is_probable_prime(&p, 20, &mut r));
+    }
+
+    #[test]
+    fn generated_prime_has_requested_width() {
+        let mut r = rng();
+        for bits in [64usize, 128, 256] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+            assert!(p.bit(bits - 2), "second-highest bit forced for RSA width");
+        }
+    }
+
+    #[test]
+    fn generated_primes_differ() {
+        let mut r = rng();
+        let a = gen_prime(128, &mut r);
+        let b = gen_prime(128, &mut r);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,491 @@
+//! RSA: key generation, PKCS#1 v1.5 signatures and encryption.
+//!
+//! The TPNR evidence of paper §4.1 is
+//! `Encrypt_pk(recipient){ Sign_sk(sender)(H(data)), Sign_sk(sender)(plaintext) }`:
+//! signatures give non-repudiation (only the holder of the private key could
+//! have produced them) and the public-key envelope gives confidentiality of
+//! the evidence in transit. PKCS#1 v1.5 is the scheme SSL/TLS of the paper's
+//! era actually used.
+//!
+//! Implementation notes: raw RSA runs on [`BigUint`] Montgomery
+//! exponentiation; private-key operations use the CRT speed-up. This is a
+//! faithful, test-vectored implementation but is **not** hardened against
+//! local side channels — see README "Security status".
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use crate::hash::HashAlg;
+use crate::prime::gen_prime;
+use crate::rng::ChaChaRng;
+
+/// Standard RSA public exponent (F4).
+pub const E: u64 = 65537;
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA private key with CRT parameters.
+#[derive(Clone)]
+pub struct RsaPrivateKey {
+    public: RsaPublicKey,
+    d: BigUint,
+    p: BigUint,
+    q: BigUint,
+    dp: BigUint,
+    dq: BigUint,
+    qinv: BigUint,
+}
+
+impl std::fmt::Debug for RsaPrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print private material.
+        f.debug_struct("RsaPrivateKey")
+            .field("bits", &self.public.bits())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A public/private key pair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    /// The public half, freely distributable.
+    pub public: RsaPublicKey,
+    /// The private half.
+    pub private: RsaPrivateKey,
+}
+
+impl RsaPublicKey {
+    /// Constructs from raw components (big-endian byte strings).
+    pub fn from_components(n: &[u8], e: &[u8]) -> Self {
+        RsaPublicKey {
+            n: BigUint::from_bytes_be(n),
+            e: BigUint::from_bytes_be(e),
+        }
+    }
+
+    /// Modulus size in bits.
+    pub fn bits(&self) -> usize {
+        self.n.bit_len()
+    }
+
+    /// Modulus size in bytes (k in PKCS#1 terms).
+    pub fn size(&self) -> usize {
+        (self.n.bit_len() + 7) / 8
+    }
+
+    /// Big-endian modulus bytes.
+    pub fn n_bytes(&self) -> Vec<u8> {
+        self.n.to_bytes_be()
+    }
+
+    /// Big-endian exponent bytes.
+    pub fn e_bytes(&self) -> Vec<u8> {
+        self.e.to_bytes_be()
+    }
+
+    /// A stable fingerprint of the key (SHA-256 of `len(n) ‖ n ‖ e`),
+    /// used as a principal identifier in the protocol layer.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        use crate::hash::Digest as _;
+        let mut h = crate::sha2::Sha256::default();
+        let n = self.n_bytes();
+        h.update(&(n.len() as u64).to_be_bytes());
+        h.update(&n);
+        h.update(&self.e_bytes());
+        let v = h.finalize();
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&v);
+        out
+    }
+
+    fn raw_encrypt(&self, m: &BigUint) -> BigUint {
+        m.mod_pow(&self.e, &self.n)
+    }
+
+    /// PKCS#1 v1.5 signature verification over `message` hashed with `alg`.
+    pub fn verify(&self, alg: HashAlg, message: &[u8], signature: &[u8]) -> Result<(), CryptoError> {
+        self.verify_prehashed(alg, &alg.hash(message), signature)
+    }
+
+    /// Verification when the caller already hashed the message.
+    pub fn verify_prehashed(
+        &self,
+        alg: HashAlg,
+        digest: &[u8],
+        signature: &[u8],
+    ) -> Result<(), CryptoError> {
+        let k = self.size();
+        if signature.len() != k {
+            return Err(CryptoError::InvalidLength);
+        }
+        if digest.len() != alg.output_len() {
+            return Err(CryptoError::InvalidLength);
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s.cmp_big(&self.n) != std::cmp::Ordering::Less {
+            return Err(CryptoError::BadSignature);
+        }
+        let em = self.raw_encrypt(&s);
+        let em_bytes = em.to_bytes_be_padded(k).ok_or(CryptoError::BadSignature)?;
+        let expected = emsa_pkcs1_v15(alg, digest, k)?;
+        if crate::ct::ct_eq(&em_bytes, &expected) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// PKCS#1 v1.5 (type 2) encryption of a short message.
+    ///
+    /// Maximum plaintext length is `k - 11` bytes; longer payloads go
+    /// through the hybrid [`crate::envelope`].
+    pub fn encrypt(&self, rng: &mut ChaChaRng, msg: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let k = self.size();
+        if msg.len() + 11 > k {
+            return Err(CryptoError::MessageTooLong);
+        }
+        // EM = 0x00 || 0x02 || PS (nonzero random) || 0x00 || M
+        let mut em = Vec::with_capacity(k);
+        em.push(0x00);
+        em.push(0x02);
+        for _ in 0..k - msg.len() - 3 {
+            loop {
+                let b = rng.gen_bytes(1)[0];
+                if b != 0 {
+                    em.push(b);
+                    break;
+                }
+            }
+        }
+        em.push(0x00);
+        em.extend_from_slice(msg);
+        let m = BigUint::from_bytes_be(&em);
+        let c = self.raw_encrypt(&m);
+        Ok(c.to_bytes_be_padded(k).expect("ciphertext fits modulus"))
+    }
+}
+
+impl RsaPrivateKey {
+    /// The matching public key.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Raw private-key operation without the CRT (`c^d mod n`); used to
+    /// cross-check the CRT path in tests.
+    pub fn raw_decrypt_no_crt(&self, c: &BigUint) -> BigUint {
+        c.mod_pow(&self.d, &self.public.n)
+    }
+
+    /// Raw private-key operation using the CRT.
+    fn raw_decrypt(&self, c: &BigUint) -> BigUint {
+        // m1 = c^dp mod p; m2 = c^dq mod q; h = qinv (m1 - m2) mod p
+        let m1 = c.rem(&self.p).mod_pow(&self.dp, &self.p);
+        let m2 = c.rem(&self.q).mod_pow(&self.dq, &self.q);
+        let h = m1.sub_mod(&m2.rem(&self.p), &self.p).mul_mod(&self.qinv, &self.p);
+        m2.add(&h.mul(&self.q))
+    }
+
+    /// PKCS#1 v1.5 signature over `message` hashed with `alg`.
+    pub fn sign(&self, alg: HashAlg, message: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        self.sign_prehashed(alg, &alg.hash(message))
+    }
+
+    /// Signing when the caller already hashed the message.
+    pub fn sign_prehashed(&self, alg: HashAlg, digest: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if digest.len() != alg.output_len() {
+            return Err(CryptoError::InvalidLength);
+        }
+        let k = self.public.size();
+        let em = emsa_pkcs1_v15(alg, digest, k)?;
+        let m = BigUint::from_bytes_be(&em);
+        let s = self.raw_decrypt(&m);
+        Ok(s.to_bytes_be_padded(k).expect("signature fits modulus"))
+    }
+
+    /// PKCS#1 v1.5 (type 2) decryption.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let k = self.public.size();
+        if ciphertext.len() != k || k < 11 {
+            return Err(CryptoError::InvalidLength);
+        }
+        let c = BigUint::from_bytes_be(ciphertext);
+        if c.cmp_big(&self.public.n) != std::cmp::Ordering::Less {
+            return Err(CryptoError::InvalidLength);
+        }
+        let m = self.raw_decrypt(&c);
+        let em = m.to_bytes_be_padded(k).ok_or(CryptoError::InvalidPadding)?;
+        // EM = 0x00 || 0x02 || PS || 0x00 || M with |PS| >= 8.
+        if em[0] != 0x00 || em[1] != 0x02 {
+            return Err(CryptoError::InvalidPadding);
+        }
+        let sep = em[2..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(CryptoError::InvalidPadding)?;
+        if sep < 8 {
+            return Err(CryptoError::InvalidPadding);
+        }
+        Ok(em[2 + sep + 1..].to_vec())
+    }
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with a modulus of `bits` bits.
+    ///
+    /// `bits` must be even and ≥ 512. 1024 matches the paper's era; tests use
+    /// 512 or the fixed test keys for speed.
+    pub fn generate(bits: usize, rng: &mut ChaChaRng) -> Self {
+        assert!(bits >= 512 && bits % 2 == 0, "unsupported RSA size {bits}");
+        let e = BigUint::from_u64(E);
+        loop {
+            let p = gen_prime(bits / 2, rng);
+            let q = gen_prime(bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            if let Some(kp) = Self::from_primes(p, q) {
+                if kp.public.bits() == bits {
+                    debug_assert_eq!(kp.public.e, e);
+                    return kp;
+                }
+            }
+        }
+    }
+
+    /// Builds a key pair from two primes; returns `None` if `e` is not
+    /// invertible mod φ(n) (caller retries with fresh primes).
+    pub fn from_primes(p: BigUint, q: BigUint) -> Option<Self> {
+        let one = BigUint::one();
+        let n = p.mul(&q);
+        let phi = p.sub(&one).mul(&q.sub(&one));
+        let e = BigUint::from_u64(E);
+        let d = e.mod_inverse(&phi)?;
+        let dp = d.rem(&p.sub(&one));
+        let dq = d.rem(&q.sub(&one));
+        let qinv = q.mod_inverse(&p)?;
+        // Keep p > q so CRT recombination in raw_decrypt stays simple.
+        let (p, q, dp, dq, qinv) = if p.cmp_big(&q) == std::cmp::Ordering::Less {
+            let qinv2 = p.mod_inverse(&q)?;
+            (q.clone(), p, dq, dp, qinv2)
+        } else {
+            (p, q, dp, dq, qinv)
+        };
+        Some(RsaKeyPair {
+            public: RsaPublicKey { n: n.clone(), e: e.clone() },
+            private: RsaPrivateKey {
+                public: RsaPublicKey { n, e },
+                d,
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+            },
+        })
+    }
+
+    /// A deterministic 512-bit key pair derived from `seed`, for tests and
+    /// simulations. **Never** use outside tests.
+    pub fn insecure_test_key(seed: u64) -> Self {
+        let mut rng = ChaChaRng::seed_from_u64(seed ^ 0x7057_4e52_6b65_7973); // "pTNRkeys"
+        Self::generate(512, &mut rng)
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding: `0x00 0x01 FF..FF 0x00 DigestInfo(hash)`.
+///
+/// DigestInfo prefixes are the standard DER encodings from RFC 8017 §9.2.
+fn emsa_pkcs1_v15(alg: HashAlg, digest: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
+    let prefix: &[u8] = match alg {
+        HashAlg::Md5 => &[
+            0x30, 0x20, 0x30, 0x0c, 0x06, 0x08, 0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x02, 0x05,
+            0x05, 0x00, 0x04, 0x10,
+        ],
+        HashAlg::Sha1 => &[
+            0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04,
+            0x14,
+        ],
+        HashAlg::Sha256 => &[
+            0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02,
+            0x01, 0x05, 0x00, 0x04, 0x20,
+        ],
+        HashAlg::Sha512 => &[
+            0x30, 0x51, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02,
+            0x03, 0x05, 0x00, 0x04, 0x40,
+        ],
+    };
+    let t_len = prefix.len() + digest.len();
+    if k < t_len + 11 {
+        return Err(CryptoError::MessageTooLong);
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(prefix);
+    em.extend_from_slice(digest);
+    Ok(em)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_key() -> RsaKeyPair {
+        RsaKeyPair::insecure_test_key(1)
+    }
+
+    #[test]
+    fn keygen_produces_working_pair() {
+        let kp = test_key();
+        assert_eq!(kp.public.bits(), 512);
+        assert_eq!(kp.public, *kp.private.public());
+    }
+
+    #[test]
+    fn sign_verify_roundtrip_all_algs() {
+        let kp = test_key();
+        for alg in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256] {
+            let sig = kp.private.sign(alg, b"the financial data").unwrap();
+            kp.public.verify(alg, b"the financial data", &sig).unwrap();
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = test_key();
+        let sig = kp.private.sign(HashAlg::Sha256, b"original").unwrap();
+        assert_eq!(
+            kp.public.verify(HashAlg::Sha256, b"tampered", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = test_key();
+        let mut sig = kp.private.sign(HashAlg::Sha256, b"m").unwrap();
+        sig[10] ^= 0x40;
+        assert_eq!(
+            kp.public.verify(HashAlg::Sha256, b"m", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = RsaKeyPair::insecure_test_key(1);
+        let kp2 = RsaKeyPair::insecure_test_key(2);
+        let sig = kp1.private.sign(HashAlg::Sha256, b"m").unwrap();
+        assert!(kp2.public.verify(HashAlg::Sha256, b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_hash_alg_rejected() {
+        let kp = test_key();
+        let sig = kp.private.sign(HashAlg::Sha256, b"m").unwrap();
+        assert!(kp.public.verify(HashAlg::Md5, b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn signature_length_enforced() {
+        let kp = test_key();
+        let sig = kp.private.sign(HashAlg::Sha256, b"m").unwrap();
+        assert_eq!(
+            kp.public.verify(HashAlg::Sha256, b"m", &sig[..sig.len() - 1]),
+            Err(CryptoError::InvalidLength)
+        );
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let kp = test_key();
+        let mut rng = ChaChaRng::seed_from_u64(9);
+        for msg in [&b""[..], b"x", b"a 32-byte session key goes here!"] {
+            let ct = kp.public.encrypt(&mut rng, msg).unwrap();
+            assert_eq!(ct.len(), kp.public.size());
+            assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let kp = test_key();
+        let mut rng = ChaChaRng::seed_from_u64(10);
+        let a = kp.public.encrypt(&mut rng, b"same").unwrap();
+        let b = kp.public.encrypt(&mut rng, b"same").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn oversized_plaintext_rejected() {
+        let kp = test_key();
+        let mut rng = ChaChaRng::seed_from_u64(11);
+        let too_long = vec![0u8; kp.public.size() - 10];
+        assert_eq!(
+            kp.public.encrypt(&mut rng, &too_long),
+            Err(CryptoError::MessageTooLong)
+        );
+    }
+
+    #[test]
+    fn corrupted_ciphertext_rejected() {
+        let kp = test_key();
+        let mut rng = ChaChaRng::seed_from_u64(12);
+        let mut ct = kp.public.encrypt(&mut rng, b"secret").unwrap();
+        ct[0] ^= 1;
+        // Either padding failure or a garbage plaintext — it must not be the
+        // original. (PKCS#1 v1.5 decryption can't authenticate.)
+        match kp.private.decrypt(&ct) {
+            Ok(pt) => assert_ne!(pt, b"secret"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn fingerprint_stable_and_distinct() {
+        let kp1 = RsaKeyPair::insecure_test_key(1);
+        let kp2 = RsaKeyPair::insecure_test_key(2);
+        assert_eq!(kp1.public.fingerprint(), kp1.public.fingerprint());
+        assert_ne!(kp1.public.fingerprint(), kp2.public.fingerprint());
+    }
+
+    #[test]
+    fn components_roundtrip() {
+        let kp = test_key();
+        let pk = RsaPublicKey::from_components(&kp.public.n_bytes(), &kp.public.e_bytes());
+        assert_eq!(pk, kp.public);
+    }
+
+    #[test]
+    fn debug_does_not_leak_private_key() {
+        let kp = test_key();
+        let s = format!("{:?}", kp.private);
+        assert!(!s.contains(&crate::encoding::hex_encode(&kp.private.d.to_bytes_be())));
+        assert!(s.contains("bits"));
+    }
+
+    #[test]
+    fn crt_matches_plain_exponentiation() {
+        let kp = test_key();
+        for v in [2u64, 12345, 0xffff_ffff] {
+            let c = BigUint::from_u64(v);
+            assert_eq!(kp.private.raw_decrypt(&c), kp.private.raw_decrypt_no_crt(&c));
+        }
+    }
+
+    #[test]
+    fn larger_keygen_1024() {
+        let mut rng = ChaChaRng::seed_from_u64(77);
+        let kp = RsaKeyPair::generate(1024, &mut rng);
+        assert_eq!(kp.public.bits(), 1024);
+        let sig = kp.private.sign(HashAlg::Sha256, b"big").unwrap();
+        kp.public.verify(HashAlg::Sha256, b"big", &sig).unwrap();
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests for the crypto substrate: bigint ring axioms,
+//! division invariants, modular arithmetic, encodings, MAC/cipher/secret
+//! sharing round-trips and signature soundness.
+
+use proptest::prelude::*;
+use tpnr_crypto::bigint::BigUint;
+use tpnr_crypto::encoding::{base64_decode, base64_encode, hex_decode, hex_encode};
+use tpnr_crypto::hash::{Digest, HashAlg};
+use tpnr_crypto::hmac::Hmac;
+use tpnr_crypto::sha2::Sha256;
+use tpnr_crypto::{chacha20, shamir, ChaChaRng};
+
+fn big(bytes: &[u8]) -> BigUint {
+    BigUint::from_bytes_be(bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ------------------------------------------------------------ bigint --
+
+    #[test]
+    fn bigint_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let v = big(&bytes);
+        let back = v.to_bytes_be();
+        let trimmed: Vec<u8> = bytes.iter().copied().skip_while(|&b| b == 0).collect();
+        prop_assert_eq!(back, trimmed);
+    }
+
+    #[test]
+    fn bigint_add_commutes(a in proptest::collection::vec(any::<u8>(), 0..48),
+                           b in proptest::collection::vec(any::<u8>(), 0..48)) {
+        let (x, y) = (big(&a), big(&b));
+        prop_assert_eq!(x.add(&y), y.add(&x));
+    }
+
+    #[test]
+    fn bigint_add_sub_inverse(a in proptest::collection::vec(any::<u8>(), 0..48),
+                              b in proptest::collection::vec(any::<u8>(), 0..48)) {
+        let (x, y) = (big(&a), big(&b));
+        prop_assert_eq!(x.add(&y).sub(&y), x);
+    }
+
+    #[test]
+    fn bigint_mul_commutes_and_distributes(
+        a in proptest::collection::vec(any::<u8>(), 0..24),
+        b in proptest::collection::vec(any::<u8>(), 0..24),
+        c in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let (x, y, z) = (big(&a), big(&b), big(&c));
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+        prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+    }
+
+    #[test]
+    fn bigint_div_rem_identity(a in proptest::collection::vec(any::<u8>(), 0..48),
+                               d in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let x = big(&a);
+        let y = big(&d);
+        prop_assume!(!y.is_zero());
+        let (q, r) = x.div_rem(&y);
+        prop_assert_eq!(q.mul(&y).add(&r), x.clone());
+        prop_assert!(r.cmp_big(&y) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn bigint_shift_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..32),
+                              s in 0usize..130) {
+        let x = big(&a);
+        prop_assert_eq!(x.shl(s).shr(s), x);
+    }
+
+    #[test]
+    fn bigint_mod_pow_matches_naive(base in 0u64..1000, exp in 0u32..12, m in 2u64..10_000) {
+        let naive = {
+            let mut acc: u128 = 1;
+            for _ in 0..exp {
+                acc = acc * base as u128 % m as u128;
+            }
+            acc as u64
+        };
+        let got = BigUint::from_u64(base)
+            .mod_pow(&BigUint::from_u64(exp as u64), &BigUint::from_u64(m));
+        prop_assert_eq!(got, BigUint::from_u64(naive));
+    }
+
+    #[test]
+    fn bigint_mod_inverse_is_inverse(a in 1u64..100_000, m in 2u64..100_000) {
+        let x = BigUint::from_u64(a);
+        let modulus = BigUint::from_u64(m);
+        if let Some(inv) = x.mod_inverse(&modulus) {
+            prop_assert_eq!(x.mul_mod(&inv, &modulus), BigUint::one());
+        } else {
+            // No inverse means gcd > 1.
+            prop_assert!(!x.gcd(&modulus).is_one());
+        }
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let g = BigUint::from_u64(a).gcd(&BigUint::from_u64(b));
+        let gv = g.low_u64();
+        prop_assert!(gv > 0 && a % gv == 0 && b % gv == 0);
+    }
+
+    // ---------------------------------------------------------- encodings --
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+    }
+
+    // ------------------------------------------------------------- hashes --
+
+    #[test]
+    fn hashing_is_deterministic_and_split_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in 0usize..2048,
+    ) {
+        let split = split.min(data.len());
+        for alg in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256, HashAlg::Sha512] {
+            let oneshot = alg.hash(&data);
+            prop_assert_eq!(&oneshot, &alg.hash(&data));
+            prop_assert_eq!(oneshot.len(), alg.output_len());
+        }
+        // Incremental == one-shot for the workhorse.
+        let mut h = Sha256::default();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    // --------------------------------------------------------------- hmac --
+
+    #[test]
+    fn hmac_verifies_and_rejects_flips(
+        key in proptest::collection::vec(any::<u8>(), 1..80),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        flip in 0usize..32,
+    ) {
+        let tag = Hmac::<Sha256>::mac(&key, &data);
+        prop_assert!(Hmac::<Sha256>::verify(&key, &data, &tag));
+        let mut bad = tag.clone();
+        let i = flip % bad.len();
+        bad[i] ^= 1;
+        prop_assert!(!Hmac::<Sha256>::verify(&key, &data, &bad));
+    }
+
+    // ------------------------------------------------------------ chacha20 --
+
+    #[test]
+    fn chacha_roundtrip_and_keystream_uniqueness(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let ct = chacha20::encrypt(&key, &nonce, &data);
+        prop_assert_eq!(chacha20::decrypt(&key, &nonce, &ct), data.clone());
+        if !data.is_empty() {
+            let mut other_nonce = nonce;
+            other_nonce[0] ^= 1;
+            prop_assert_ne!(chacha20::encrypt(&key, &other_nonce, &data), ct);
+        }
+    }
+
+    // -------------------------------------------------------------- shamir --
+
+    #[test]
+    fn shamir_any_k_of_n_recovers(
+        secret in proptest::collection::vec(any::<u8>(), 0..64),
+        k in 1usize..5,
+        extra in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let shares = shamir::split(&secret, k, n, &mut rng).unwrap();
+        // Any contiguous window of k shares recovers the secret.
+        for start in 0..=(n - k) {
+            prop_assert_eq!(shamir::combine(&shares[start..start + k]).unwrap(), secret.clone());
+        }
+    }
+
+    #[test]
+    fn shamir_corrupt_share_breaks_recovery(
+        secret in proptest::collection::vec(1u8..255, 1..32),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let mut shares = shamir::split(&secret, 2, 2, &mut rng).unwrap();
+        shares[0].y[0] ^= 0x55;
+        prop_assert_ne!(shamir::combine(&shares).unwrap(), secret);
+    }
+}
+
+// RSA proptests get fewer cases — each involves real modular exponentiation.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn rsa_sign_verify_and_tamper(msg in proptest::collection::vec(any::<u8>(), 0..256),
+                                  flip in any::<u8>()) {
+        let kp = tpnr_crypto::RsaKeyPair::insecure_test_key(9);
+        let sig = kp.private.sign(HashAlg::Sha256, &msg).unwrap();
+        prop_assert!(kp.public.verify(HashAlg::Sha256, &msg, &sig).is_ok());
+        let mut bad = sig.clone();
+        let i = flip as usize % bad.len();
+        bad[i] ^= 1;
+        prop_assert!(kp.public.verify(HashAlg::Sha256, &msg, &bad).is_err());
+    }
+
+    #[test]
+    fn rsa_encrypt_decrypt(msg in proptest::collection::vec(any::<u8>(), 0..48),
+                           seed in any::<u64>()) {
+        let kp = tpnr_crypto::RsaKeyPair::insecure_test_key(10);
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let ct = kp.public.encrypt(&mut rng, &msg).unwrap();
+        prop_assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_tamper(data in proptest::collection::vec(any::<u8>(), 0..1024),
+                                     seed in any::<u64>(),
+                                     flip in any::<usize>()) {
+        let kp = tpnr_crypto::RsaKeyPair::insecure_test_key(11);
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let env = tpnr_crypto::envelope::seal(&kp.public, &mut rng, &data).unwrap();
+        prop_assert_eq!(tpnr_crypto::envelope::open(&kp.private, &env).unwrap(), data);
+        let mut bad = env.clone();
+        let i = flip % bad.len();
+        bad[i] ^= 1;
+        prop_assert!(tpnr_crypto::envelope::open(&kp.private, &bad).is_err());
+    }
+}

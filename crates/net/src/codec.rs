@@ -1,0 +1,347 @@
+//! Canonical binary wire codec.
+//!
+//! TPNR evidence is *signed*, so every structure that appears under a
+//! signature must have exactly one byte representation. This module is a
+//! tiny, hand-rolled, length-prefixed big-endian codec with that canonicity
+//! guarantee (no maps, no floats, no optional-field ambiguity), used by the
+//! protocol messages, the storage manifests and the secure-channel frames.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the structure was complete.
+    UnexpectedEnd,
+    /// A length prefix exceeds the sanity bound.
+    LengthOverflow,
+    /// An enum discriminant or magic value is unknown.
+    BadDiscriminant(&'static str, u64),
+    /// Trailing bytes after a complete structure.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            CodecError::LengthOverflow => write!(f, "length prefix too large"),
+            CodecError::BadDiscriminant(what, v) => {
+                write!(f, "unknown {what} discriminant {v}")
+            }
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Upper bound on any single length-prefixed field (1 GiB) — prevents a
+/// hostile length prefix from driving an allocation bomb.
+pub const MAX_FIELD_LEN: usize = 1 << 30;
+
+/// Canonical encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16(v);
+        self
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.buf.put_u8(v as u8);
+        self
+    }
+
+    /// Appends raw bytes with a `u32` length prefix.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        assert!(v.len() <= MAX_FIELD_LEN, "field too large to encode");
+        self.buf.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Appends a UTF-8 string with a `u32` length prefix.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Appends fixed-width bytes with no length prefix (caller knows width).
+    pub fn fixed(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Finishes and returns the encoded buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Finishes into a plain `Vec<u8>`.
+    pub fn finish_vec(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// Canonical decoder over a borrowed buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Fails unless the input was consumed exactly.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.buf.len()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        let mut b = self.take(2)?;
+        Ok(b.get_u16())
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let mut b = self.take(4)?;
+        Ok(b.get_u32())
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let mut b = self.take(8)?;
+        Ok(b.get_u64())
+    }
+
+    /// Reads a bool; any byte other than 0/1 is non-canonical and rejected.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(CodecError::BadDiscriminant("bool", v as u64)),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed byte field.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(CodecError::LengthOverflow);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string (invalid UTF-8 is rejected).
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| CodecError::BadDiscriminant("utf-8 string", 0))
+    }
+
+    /// Reads exactly `n` bytes (no prefix).
+    pub fn fixed(&mut self, n: usize) -> Result<Vec<u8>, CodecError> {
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+}
+
+/// A type with a canonical wire form.
+pub trait Wire: Sized {
+    /// Appends this value to `w`.
+    fn encode(&self, w: &mut Writer);
+    /// Parses one value from `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes to a standalone buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.finish_vec()
+    }
+
+    /// Decodes from a complete buffer (trailing bytes are an error).
+    fn from_wire(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7).u16(300).u32(70_000).u64(u64::MAX).bool(true).bool(false);
+        let buf = w.finish_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn bytes_and_str_roundtrip() {
+        let mut w = Writer::new();
+        w.bytes(b"payload").str("Alice").bytes(b"");
+        let buf = w.finish_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"payload");
+        assert_eq!(r.str().unwrap(), "Alice");
+        assert_eq!(r.bytes().unwrap(), b"");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_detected() {
+        let mut w = Writer::new();
+        w.bytes(b"hello");
+        let buf = w.finish_vec();
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(r.bytes().is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.u8(1);
+        let mut buf = w.finish_vec();
+        buf.push(0);
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert_eq!(r.expect_end(), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn non_canonical_bool_rejected() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.bool(), Err(CodecError::BadDiscriminant("bool", 2))));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // Length prefix claims 0xFFFF_FFFF bytes; must not allocate.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0x00];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes(), Err(CodecError::LengthOverflow));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe]);
+        let buf = w.finish_vec();
+        let mut r = Reader::new(&buf);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn fixed_and_array() {
+        let mut w = Writer::new();
+        w.fixed(&[1, 2, 3, 4]);
+        let buf = w.finish_vec();
+        assert_eq!(buf.len(), 4); // no prefix
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.array::<4>().unwrap(), [1, 2, 3, 4]);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Sample {
+        id: u64,
+        name: String,
+        blob: Vec<u8>,
+    }
+
+    impl Wire for Sample {
+        fn encode(&self, w: &mut Writer) {
+            w.u64(self.id).str(&self.name).bytes(&self.blob);
+        }
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            Ok(Sample { id: r.u64()?, name: r.str()?, blob: r.bytes()? })
+        }
+    }
+
+    #[test]
+    fn wire_trait_roundtrip_and_canonicity() {
+        let s = Sample { id: 9, name: "bob".into(), blob: vec![1, 2, 3] };
+        let enc = s.to_wire();
+        assert_eq!(Sample::from_wire(&enc).unwrap(), s);
+        // Canonicity: re-encoding the decoded value is byte-identical.
+        assert_eq!(Sample::from_wire(&enc).unwrap().to_wire(), enc);
+        // Trailing garbage rejected.
+        let mut bad = enc.clone();
+        bad.push(0);
+        assert!(Sample::from_wire(&bad).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # tpnr-net
+//!
+//! Deterministic network substrate for the TPNR reproduction:
+//!
+//! * [`time`] — virtual clock ([`SimClock`]) so protocol timeouts are
+//!   simulated, not slept;
+//! * [`codec`] — canonical length-prefixed binary encoding (evidence is
+//!   signed, so wire forms must be byte-unique);
+//! * [`sim`] — discrete-event network with per-link latency/jitter/loss/
+//!   duplication and an adversary [`sim::Interceptor`] hook (the §5 attacker
+//!   owns the wire);
+//! * [`secure`] — the paper-era "SSL" session layer: per-session
+//!   confidentiality + integrity + in-order replay protection, and nothing
+//!   more — which is precisely why the in-storage integrity gap of paper
+//!   §2.4 exists.
+
+pub mod codec;
+pub mod secure;
+pub mod sim;
+pub mod time;
+
+pub use codec::{CodecError, Reader, Wire, Writer};
+pub use secure::{ChannelError, SecureSession};
+pub use sim::{Action, Envelope, Interceptor, LinkConfig, NetStats, NodeId, SimNet};
+pub use time::{Clock, SimClock, SimDuration, SimTime};

@@ -1,0 +1,308 @@
+//! Secure channel: the paper-era "SSL" session layer.
+//!
+//! Paper §2 repeatedly notes that each individual upload/download session is
+//! protected by SSL. This module provides that per-session guarantee over
+//! the simulator: an RSA key-transport handshake establishes directional
+//! ChaCha20 + HMAC-SHA256 keys, frames carry sequence numbers, and the
+//! receiver rejects tampering, truncation, reordering and within-session
+//! replay.
+//!
+//! Crucially — and this is the vulnerability the paper analyses — the secure
+//! channel says *nothing* about what happens to data **between** two
+//! sessions (while it sits in cloud storage). The integrity experiments in
+//! `tpnr-storage` tamper with stored data and show every SSL-protected
+//! session still verifying cleanly.
+
+use crate::codec::{Reader, Wire, Writer};
+use tpnr_crypto::{
+    chacha20, ct::ct_eq, CryptoError, ChaChaRng, Hmac, RsaKeyPair, RsaPublicKey,
+};
+use tpnr_crypto::sha2::Sha256;
+
+/// Errors from the secure channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Frame failed authentication.
+    BadFrame,
+    /// Sequence number was not the next expected one (reorder/replay).
+    BadSequence { expected: u64, got: u64 },
+    /// Handshake failure.
+    Handshake(CryptoError),
+    /// Frame too short / malformed.
+    Malformed,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::BadFrame => write!(f, "frame authentication failed"),
+            ChannelError::BadSequence { expected, got } => {
+                write!(f, "bad sequence number: expected {expected}, got {got}")
+            }
+            ChannelError::Handshake(e) => write!(f, "handshake failed: {e}"),
+            ChannelError::Malformed => write!(f, "malformed frame"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Directional key material.
+#[derive(Clone)]
+struct DirectionKeys {
+    cipher_key: [u8; 32],
+    mac_key: [u8; 32],
+}
+
+/// One endpoint of an established secure session.
+pub struct SecureSession {
+    send_keys: DirectionKeys,
+    recv_keys: DirectionKeys,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+/// The client's first handshake message: session keys wrapped for the
+/// server's public key.
+pub struct ClientHello {
+    /// RSA-encrypted key block (client→server keys ‖ server→client keys).
+    pub wrapped_keys: Vec<u8>,
+}
+
+impl Wire for ClientHello {
+    fn encode(&self, w: &mut Writer) {
+        w.bytes(&self.wrapped_keys);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, crate::codec::CodecError> {
+        Ok(ClientHello { wrapped_keys: r.bytes()? })
+    }
+}
+
+const MASTER_LEN: usize = 32;
+
+/// Expands the transported master secret into the four directional keys
+/// (TLS-PRF-style labelled derivation, so a short RSA payload suffices).
+fn split_keys(master: &[u8]) -> (DirectionKeys, DirectionKeys) {
+    use tpnr_crypto::hash::Digest as _;
+    let derive = |label: &[u8]| -> [u8; 32] {
+        let mut h = Sha256::default();
+        h.update(master);
+        h.update(label);
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&h.finalize());
+        out
+    };
+    let c2s = DirectionKeys {
+        cipher_key: derive(b"c2s-cipher"),
+        mac_key: derive(b"c2s-mac"),
+    };
+    let s2c = DirectionKeys {
+        cipher_key: derive(b"s2c-cipher"),
+        mac_key: derive(b"s2c-mac"),
+    };
+    (c2s, s2c)
+}
+
+impl SecureSession {
+    /// Client side: generates session keys and produces the hello to send.
+    pub fn client_start(
+        server_pk: &RsaPublicKey,
+        rng: &mut ChaChaRng,
+    ) -> Result<(SecureSession, ClientHello), ChannelError> {
+        let mut master = [0u8; MASTER_LEN];
+        rng.fill_bytes(&mut master);
+        let wrapped = server_pk.encrypt(rng, &master).map_err(ChannelError::Handshake)?;
+        let (c2s, s2c) = split_keys(&master);
+        Ok((
+            SecureSession { send_keys: c2s, recv_keys: s2c, send_seq: 0, recv_seq: 0 },
+            ClientHello { wrapped_keys: wrapped },
+        ))
+    }
+
+    /// Server side: accepts a hello and derives the mirror-image session.
+    pub fn server_accept(
+        server_keys: &RsaKeyPair,
+        hello: &ClientHello,
+    ) -> Result<SecureSession, ChannelError> {
+        let master = server_keys
+            .private
+            .decrypt(&hello.wrapped_keys)
+            .map_err(ChannelError::Handshake)?;
+        if master.len() != MASTER_LEN {
+            return Err(ChannelError::Malformed);
+        }
+        let (c2s, s2c) = split_keys(&master);
+        Ok(SecureSession { send_keys: s2c, recv_keys: c2s, send_seq: 0, recv_seq: 0 })
+    }
+
+    /// Encrypts and authenticates one application frame.
+    ///
+    /// Frame layout: `u64 seq ‖ ciphertext ‖ 32-byte HMAC(seq ‖ ciphertext)`.
+    /// The nonce is derived from the sequence number, so each direction's
+    /// keystream never repeats within a session.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        let mut nonce = [0u8; 12];
+        nonce[4..].copy_from_slice(&seq.to_be_bytes());
+        let mut body = plaintext.to_vec();
+        chacha20::xor_stream(&self.send_keys.cipher_key, &nonce, 1, &mut body);
+        let mut frame = Vec::with_capacity(8 + body.len() + 32);
+        frame.extend_from_slice(&seq.to_be_bytes());
+        frame.extend_from_slice(&body);
+        let tag = Hmac::<Sha256>::mac(&self.send_keys.mac_key, &frame);
+        frame.extend_from_slice(&tag);
+        frame
+    }
+
+    /// Verifies and decrypts one frame; enforces strictly increasing
+    /// in-order sequence numbers (replays and reorders are rejected).
+    pub fn open(&mut self, frame: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        if frame.len() < 8 + 32 {
+            return Err(ChannelError::Malformed);
+        }
+        let (body, tag) = frame.split_at(frame.len() - 32);
+        if !ct_eq(&Hmac::<Sha256>::mac(&self.recv_keys.mac_key, body), tag) {
+            return Err(ChannelError::BadFrame);
+        }
+        let seq = u64::from_be_bytes(body[..8].try_into().unwrap());
+        if seq != self.recv_seq {
+            return Err(ChannelError::BadSequence { expected: self.recv_seq, got: seq });
+        }
+        self.recv_seq += 1;
+        let mut nonce = [0u8; 12];
+        nonce[4..].copy_from_slice(&seq.to_be_bytes());
+        let mut plain = body[8..].to_vec();
+        chacha20::xor_stream(&self.recv_keys.cipher_key, &nonce, 1, &mut plain);
+        Ok(plain)
+    }
+}
+
+/// Establishes both ends of a session in one call (for in-process tests and
+/// simulations where the hello trivially crosses the wire).
+pub fn establish_pair(
+    server_keys: &RsaKeyPair,
+    rng: &mut ChaChaRng,
+) -> Result<(SecureSession, SecureSession), ChannelError> {
+    let (client, hello) = SecureSession::client_start(&server_keys.public, rng)?;
+    // Round-trip the hello through its wire form, as the simulator would.
+    let wire = hello.to_wire();
+    let hello2 = ClientHello::from_wire(&wire).map_err(|_| ChannelError::Malformed)?;
+    let server = SecureSession::server_accept(server_keys, &hello2)?;
+    Ok((client, server))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (SecureSession, SecureSession) {
+        let server = RsaKeyPair::insecure_test_key(100);
+        let mut rng = ChaChaRng::seed_from_u64(200);
+        establish_pair(&server, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn duplex_roundtrip() {
+        let (mut client, mut server) = pair();
+        let f = client.seal(b"PUT /blob data");
+        assert_eq!(server.open(&f).unwrap(), b"PUT /blob data");
+        let f = server.seal(b"201 Created");
+        assert_eq!(client.open(&f).unwrap(), b"201 Created");
+    }
+
+    #[test]
+    fn many_frames_in_order() {
+        let (mut client, mut server) = pair();
+        for i in 0..100u32 {
+            let f = client.seal(&i.to_be_bytes());
+            assert_eq!(server.open(&f).unwrap(), i.to_be_bytes());
+        }
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let (mut client, mut server) = pair();
+        let f = client.seal(b"sensitive");
+        for i in 0..f.len() {
+            let mut bad = f.clone();
+            bad[i] ^= 0x80;
+            let mut s2 = pair().1; // fresh receiver each time (seq state)
+            // Use the real server for the actual frame check below; for the
+            // flipped frame any verifier must reject.
+            assert!(s2.open(&bad).is_err() || bad == f, "flip at {i}");
+        }
+        assert_eq!(server.open(&f).unwrap(), b"sensitive");
+    }
+
+    #[test]
+    fn replay_within_session_rejected() {
+        let (mut client, mut server) = pair();
+        let f = client.seal(b"pay $100");
+        assert!(server.open(&f).is_ok());
+        let err = server.open(&f).unwrap_err();
+        assert!(matches!(err, ChannelError::BadSequence { expected: 1, got: 0 }));
+    }
+
+    #[test]
+    fn reorder_rejected() {
+        let (mut client, mut server) = pair();
+        let f0 = client.seal(b"first");
+        let f1 = client.seal(b"second");
+        assert!(matches!(server.open(&f1), Err(ChannelError::BadSequence { .. })));
+        // After the failure the expected counter is unchanged; in-order still works.
+        assert_eq!(server.open(&f0).unwrap(), b"first");
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (mut client, mut server) = pair();
+        let f = client.seal(b"data");
+        assert!(server.open(&f[..f.len() - 1]).is_err());
+        assert!(server.open(&[]).is_err());
+        assert!(server.open(&f[..10]).is_err());
+    }
+
+    #[test]
+    fn cross_session_frames_rejected() {
+        let (mut c1, _s1) = pair();
+        let server = RsaKeyPair::insecure_test_key(100);
+        let mut rng = ChaChaRng::seed_from_u64(999); // different session keys
+        let (_c2, mut s2) = establish_pair(&server, &mut rng).unwrap();
+        let f = c1.seal(b"session 1 frame");
+        assert_eq!(s2.open(&f), Err(ChannelError::BadFrame));
+    }
+
+    #[test]
+    fn directions_use_independent_keys() {
+        let (mut client, mut server) = pair();
+        let cf = client.seal(b"x");
+        let sf = server.seal(b"x");
+        assert_ne!(cf, sf, "same plaintext, different directional keys");
+    }
+
+    #[test]
+    fn malformed_hello_rejected() {
+        let server = RsaKeyPair::insecure_test_key(100);
+        assert!(SecureSession::server_accept(&server, &ClientHello { wrapped_keys: vec![] }).is_err());
+        assert!(SecureSession::server_accept(&server, &ClientHello { wrapped_keys: vec![1; 7] }).is_err());
+    }
+
+    #[test]
+    fn wrong_server_key_fails_handshake() {
+        let right = RsaKeyPair::insecure_test_key(100);
+        let wrong = RsaKeyPair::insecure_test_key(101);
+        let mut rng = ChaChaRng::seed_from_u64(5);
+        let (_c, hello) = SecureSession::client_start(&right.public, &mut rng).unwrap();
+        // Decrypting with the wrong key must fail padding or yield a
+        // key block that can't authenticate traffic.
+        match SecureSession::server_accept(&wrong, &hello) {
+            Err(_) => {}
+            Ok(mut s) => {
+                let mut c = SecureSession::client_start(&right.public, &mut rng).unwrap().0;
+                let f = c.seal(b"hi");
+                assert!(s.open(&f).is_err());
+            }
+        }
+    }
+}

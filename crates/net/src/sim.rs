@@ -1,0 +1,530 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! Models the "Internet" of the paper's Figure 1: named nodes exchange
+//! opaque payloads over links with configurable latency, jitter, loss,
+//! duplication and reordering. An optional [`Interceptor`] sits on the wire
+//! and can drop, modify, delay, or inject traffic — that is the §5
+//! adversary (MITM, replay, reflection, …).
+//!
+//! The simulator is single-threaded and fully deterministic: all randomness
+//! comes from a seeded [`ChaChaRng`] and all time from a shared
+//! [`SimClock`], so any attack trace replays byte-for-byte.
+
+use crate::time::{SimClock, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use tpnr_crypto::ChaChaRng;
+
+/// Identifies a registered node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A message sitting in a node's inbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+    /// When the message reached the inbox.
+    pub delivered_at: SimTime,
+}
+
+/// Per-link behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Base one-way latency.
+    pub latency: SimDuration,
+    /// Uniform jitter added on top of `latency` (0..=jitter).
+    pub jitter: SimDuration,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered message is duplicated.
+    pub dup_prob: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_millis(25),
+            jitter: SimDuration::ZERO,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// An ideal loss-free, jitter-free link with the given one-way latency.
+    pub fn ideal(latency: SimDuration) -> Self {
+        LinkConfig { latency, ..Default::default() }
+    }
+
+    /// A lossy link.
+    pub fn lossy(latency: SimDuration, drop_prob: f64) -> Self {
+        LinkConfig { latency, drop_prob, ..Default::default() }
+    }
+}
+
+/// What the wire adversary decides to do with an in-flight message.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Deliver unchanged.
+    Deliver,
+    /// Silently drop.
+    Drop,
+    /// Deliver a modified payload instead.
+    Modify(Vec<u8>),
+    /// Deliver unchanged and also inject extra messages (src, dst, payload)
+    /// scheduled with the same link rules.
+    InjectAfter(Vec<(NodeId, NodeId, Vec<u8>)>),
+    /// Hold the message back by the given extra delay.
+    Delay(SimDuration),
+}
+
+/// Wire-level adversary hook. Sees every message at send time.
+pub trait Interceptor {
+    /// Chooses the fate of an in-flight message.
+    fn intercept(&mut self, src: NodeId, dst: NodeId, payload: &[u8], now: SimTime) -> Action;
+}
+
+/// Blanket impl so plain closures can serve as interceptors.
+impl<F> Interceptor for F
+where
+    F: FnMut(NodeId, NodeId, &[u8], SimTime) -> Action,
+{
+    fn intercept(&mut self, src: NodeId, dst: NodeId, payload: &[u8], now: SimTime) -> Action {
+        self(src, dst, payload, now)
+    }
+}
+
+#[derive(Debug)]
+struct ScheduledDelivery {
+    at: SimTime,
+    /// Tie-breaker preserving send order for equal timestamps.
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for ScheduledDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledDelivery {}
+impl PartialOrd for ScheduledDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated network.
+pub struct SimNet {
+    clock: SimClock,
+    rng: ChaChaRng,
+    nodes: Vec<String>,
+    inboxes: Vec<VecDeque<Envelope>>,
+    links: HashMap<(NodeId, NodeId), LinkConfig>,
+    default_link: LinkConfig,
+    queue: BinaryHeap<Reverse<ScheduledDelivery>>,
+    seq: u64,
+    interceptor: Option<Box<dyn Interceptor>>,
+    /// Counters for experiment reports.
+    pub stats: NetStats,
+}
+
+/// Aggregate traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to `send`.
+    pub sent: u64,
+    /// Messages that reached an inbox.
+    pub delivered: u64,
+    /// Messages dropped by loss or the adversary.
+    pub dropped: u64,
+    /// Duplicates created by the link.
+    pub duplicated: u64,
+    /// Messages the adversary modified.
+    pub modified: u64,
+    /// Messages the adversary injected.
+    pub injected: u64,
+    /// Total payload bytes handed to `send`.
+    pub bytes_sent: u64,
+}
+
+impl SimNet {
+    /// Creates an empty network with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        SimNet {
+            clock: SimClock::new(),
+            rng: ChaChaRng::seed_from_u64(seed),
+            nodes: Vec::new(),
+            inboxes: Vec::new(),
+            links: HashMap::new(),
+            default_link: LinkConfig::default(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            interceptor: None,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The shared simulation clock (hand it to protocol actors).
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        use crate::time::Clock as _;
+        self.clock.now()
+    }
+
+    /// Registers a named node and returns its id.
+    pub fn register(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(name.to_string());
+        self.inboxes.push(VecDeque::new());
+        id
+    }
+
+    /// The display name of a node.
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0 as usize]
+    }
+
+    /// Sets the link configuration for the directed pair `(src, dst)`.
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
+        self.links.insert((src, dst), cfg);
+    }
+
+    /// Sets the link configuration for both directions.
+    pub fn set_link_bidi(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        self.set_link(a, b, cfg);
+        self.set_link(b, a, cfg);
+    }
+
+    /// Sets the fallback link used for pairs without an explicit config.
+    pub fn set_default_link(&mut self, cfg: LinkConfig) {
+        self.default_link = cfg;
+    }
+
+    /// Installs (or replaces) the wire adversary.
+    pub fn set_interceptor(&mut self, i: Box<dyn Interceptor>) {
+        self.interceptor = Some(i);
+    }
+
+    /// Removes the wire adversary.
+    pub fn clear_interceptor(&mut self) {
+        self.interceptor = None;
+    }
+
+    fn link_for(&self, src: NodeId, dst: NodeId) -> LinkConfig {
+        self.links.get(&(src, dst)).copied().unwrap_or(self.default_link)
+    }
+
+    /// Sends a payload; delivery is scheduled according to the link and the
+    /// adversary's decision.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>) {
+        assert!((dst.0 as usize) < self.nodes.len(), "unknown destination");
+        self.stats.sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        let now = self.now();
+
+        let action = match self.interceptor.as_mut() {
+            Some(i) => i.intercept(src, dst, &payload, now),
+            None => Action::Deliver,
+        };
+        let mut extra_delay = SimDuration::ZERO;
+        let mut payload = payload;
+        let mut injections: Vec<(NodeId, NodeId, Vec<u8>)> = Vec::new();
+        match action {
+            Action::Deliver => {}
+            Action::Drop => {
+                self.stats.dropped += 1;
+                return;
+            }
+            Action::Modify(p) => {
+                self.stats.modified += 1;
+                payload = p;
+            }
+            Action::InjectAfter(msgs) => {
+                self.stats.injected += msgs.len() as u64;
+                injections = msgs;
+            }
+            Action::Delay(d) => extra_delay = d,
+        }
+
+        self.schedule(src, dst, payload, extra_delay);
+        for (isrc, idst, ipayload) in injections {
+            self.schedule(isrc, idst, ipayload, SimDuration::ZERO);
+        }
+    }
+
+    fn schedule(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>, extra: SimDuration) {
+        let cfg = self.link_for(src, dst);
+        if cfg.drop_prob > 0.0 && self.rng.gen_bool(cfg.drop_prob) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let jitter = if cfg.jitter.micros() > 0 {
+            SimDuration::from_micros(self.rng.gen_below(cfg.jitter.micros() + 1))
+        } else {
+            SimDuration::ZERO
+        };
+        let at = self.now().after(cfg.latency).after(jitter).after(extra);
+        let duplicate = cfg.dup_prob > 0.0 && self.rng.gen_bool(cfg.dup_prob);
+        let env = Envelope { src, dst, payload, delivered_at: at };
+        self.seq += 1;
+        self.queue.push(Reverse(ScheduledDelivery { at, seq: self.seq, env: env.clone() }));
+        if duplicate {
+            self.stats.duplicated += 1;
+            self.seq += 1;
+            self.queue.push(Reverse(ScheduledDelivery { at: at.after(cfg.latency), seq: self.seq, env }));
+        }
+    }
+
+    /// Delivers the next scheduled message (advancing the clock to its
+    /// delivery time). Returns the delivered envelope, or `None` if the
+    /// network is quiet.
+    pub fn step(&mut self) -> Option<Envelope> {
+        let Reverse(mut d) = self.queue.pop()?;
+        self.clock.set(d.at);
+        d.env.delivered_at = d.at;
+        self.inboxes[d.env.dst.0 as usize].push_back(d.env.clone());
+        self.stats.delivered += 1;
+        Some(d.env)
+    }
+
+    /// Runs until no messages remain in flight. Returns how many were
+    /// delivered.
+    pub fn run_until_quiet(&mut self) -> usize {
+        let mut n = 0;
+        while self.step().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Delivers everything scheduled up to and including `t`, then advances
+    /// the clock to `t`.
+    pub fn advance_to(&mut self, t: SimTime) {
+        while let Some(Reverse(d)) = self.queue.peek() {
+            if d.at > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now() < t {
+            self.clock.set(t);
+        }
+    }
+
+    /// Advances by a duration (delivering everything due in the window).
+    pub fn advance(&mut self, d: SimDuration) {
+        let t = self.now().after(d);
+        self.advance_to(t);
+    }
+
+    /// Pops the oldest message from a node's inbox.
+    pub fn recv(&mut self, node: NodeId) -> Option<Envelope> {
+        self.inboxes[node.0 as usize].pop_front()
+    }
+
+    /// How many messages are waiting in a node's inbox.
+    pub fn inbox_len(&self, node: NodeId) -> usize {
+        self.inboxes[node.0 as usize].len()
+    }
+
+    /// True if messages are still in flight.
+    pub fn in_flight(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Delivery time of the next scheduled message, if any (lets callers
+    /// interleave protocol timers with in-flight traffic).
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(d)| d.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_nodes(seed: u64) -> (SimNet, NodeId, NodeId) {
+        let mut net = SimNet::new(seed);
+        let a = net.register("alice");
+        let b = net.register("bob");
+        (net, a, b)
+    }
+
+    #[test]
+    fn basic_delivery_with_latency() {
+        let (mut net, a, b) = two_nodes(1);
+        net.set_link(a, b, LinkConfig::ideal(SimDuration::from_millis(50)));
+        net.send(a, b, b"hello".to_vec());
+        assert!(net.recv(b).is_none(), "nothing before stepping");
+        let env = net.step().unwrap();
+        assert_eq!(env.payload, b"hello");
+        assert_eq!(net.now().micros(), 50_000);
+        let got = net.recv(b).unwrap();
+        assert_eq!(got.src, a);
+        assert_eq!(got.delivered_at.micros(), 50_000);
+    }
+
+    #[test]
+    fn fifo_order_on_equal_latency() {
+        let (mut net, a, b) = two_nodes(2);
+        for i in 0..10u8 {
+            net.send(a, b, vec![i]);
+        }
+        net.run_until_quiet();
+        for i in 0..10u8 {
+            assert_eq!(net.recv(b).unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn drops_are_deterministic_per_seed() {
+        let run = |seed| {
+            let (mut net, a, b) = two_nodes(seed);
+            net.set_link(a, b, LinkConfig::lossy(SimDuration::from_millis(1), 0.5));
+            for i in 0..100u8 {
+                net.send(a, b, vec![i]);
+            }
+            net.run_until_quiet();
+            let mut got = Vec::new();
+            while let Some(e) = net.recv(b) {
+                got.push(e.payload[0]);
+            }
+            got
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        let got = run(7);
+        assert!(got.len() > 20 && got.len() < 80, "loss rate wildly off: {}", got.len());
+    }
+
+    #[test]
+    fn duplication_creates_copies() {
+        let (mut net, a, b) = two_nodes(3);
+        net.set_link(a, b, LinkConfig { dup_prob: 1.0, ..LinkConfig::ideal(SimDuration::from_millis(1)) });
+        net.send(a, b, b"once".to_vec());
+        net.run_until_quiet();
+        assert_eq!(net.inbox_len(b), 2);
+        assert_eq!(net.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn jitter_varies_latency_within_bounds() {
+        let (mut net, a, b) = two_nodes(4);
+        net.set_link(a, b, LinkConfig {
+            latency: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(5),
+            ..Default::default()
+        });
+        let mut times = Vec::new();
+        for _ in 0..50 {
+            let mut n2 = SimNet::new(net.rng.next_u64());
+            let a2 = n2.register("a");
+            let b2 = n2.register("b");
+            n2.set_link(a2, b2, LinkConfig {
+                latency: SimDuration::from_millis(10),
+                jitter: SimDuration::from_millis(5),
+                ..Default::default()
+            });
+            n2.send(a2, b2, vec![0]);
+            let env = n2.step().unwrap();
+            times.push(env.delivered_at.micros());
+        }
+        assert!(times.iter().all(|&t| (10_000..=15_000).contains(&t)));
+        assert!(times.iter().any(|&t| t != times[0]), "jitter should vary");
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn interceptor_can_drop_and_modify() {
+        let (mut net, a, b) = two_nodes(5);
+        net.set_interceptor(Box::new(|_s, _d, payload: &[u8], _t| {
+            if payload == b"secret" {
+                Action::Modify(b"tampered".to_vec())
+            } else if payload == b"kill" {
+                Action::Drop
+            } else {
+                Action::Deliver
+            }
+        }));
+        net.send(a, b, b"secret".to_vec());
+        net.send(a, b, b"kill".to_vec());
+        net.send(a, b, b"ok".to_vec());
+        net.run_until_quiet();
+        assert_eq!(net.recv(b).unwrap().payload, b"tampered");
+        assert_eq!(net.recv(b).unwrap().payload, b"ok");
+        assert!(net.recv(b).is_none());
+        assert_eq!(net.stats.modified, 1);
+        assert_eq!(net.stats.dropped, 1);
+    }
+
+    #[test]
+    fn interceptor_can_inject_replays() {
+        let (mut net, a, b) = two_nodes(6);
+        net.set_interceptor(Box::new(|s, d, payload: &[u8], _t| {
+            Action::InjectAfter(vec![(s, d, payload.to_vec())]) // replay every message
+        }));
+        net.send(a, b, b"msg".to_vec());
+        net.run_until_quiet();
+        assert_eq!(net.inbox_len(b), 2, "original + replay");
+        assert_eq!(net.stats.injected, 1);
+    }
+
+    #[test]
+    fn advance_only_delivers_due_messages() {
+        let (mut net, a, b) = two_nodes(7);
+        net.set_link(a, b, LinkConfig::ideal(SimDuration::from_millis(100)));
+        net.send(a, b, b"x".to_vec());
+        net.advance(SimDuration::from_millis(50));
+        assert_eq!(net.inbox_len(b), 0);
+        assert_eq!(net.now().micros(), 50_000);
+        net.advance(SimDuration::from_millis(60));
+        assert_eq!(net.inbox_len(b), 1);
+    }
+
+    #[test]
+    fn delay_action_postpones() {
+        let (mut net, a, b) = two_nodes(8);
+        net.set_link(a, b, LinkConfig::ideal(SimDuration::from_millis(10)));
+        net.set_interceptor(Box::new(|_s, _d, _p: &[u8], _t| {
+            Action::Delay(SimDuration::from_millis(90))
+        }));
+        net.send(a, b, b"slow".to_vec());
+        let env = net.step().unwrap();
+        assert_eq!(env.delivered_at.micros(), 100_000);
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let (mut net, a, b) = two_nodes(9);
+        net.send(a, b, vec![0; 100]);
+        net.send(b, a, vec![0; 50]);
+        net.run_until_quiet();
+        assert_eq!(net.stats.sent, 2);
+        assert_eq!(net.stats.delivered, 2);
+        assert_eq!(net.stats.bytes_sent, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown destination")]
+    fn unknown_destination_panics() {
+        let mut net = SimNet::new(0);
+        let a = net.register("a");
+        net.send(a, NodeId(99), vec![]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! All protocol logic takes time from a [`Clock`] so that timeout paths
+//! (TPNR Abort/Resolve, paper §4.2–4.3) are exercised deterministically: the
+//! simulator advances a [`SimClock`] instead of sleeping.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Adds a duration.
+    pub fn after(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Time elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Microsecond count.
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// From hours (shipping simulations span days).
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000_000)
+    }
+
+    /// Microsecond count.
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point seconds (for experiment reports).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Sum of two spans.
+    pub fn plus(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Scales by an integer factor.
+    pub fn times(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+/// Source of current time for protocol logic.
+pub trait Clock {
+    /// The current instant.
+    fn now(&self) -> SimTime;
+}
+
+/// Shared, manually-advanced simulation clock.
+#[derive(Clone, Default)]
+pub struct SimClock {
+    now: Arc<Mutex<SimTime>>,
+}
+
+impl SimClock {
+    /// New clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: SimDuration) {
+        let mut now = self.now.lock();
+        *now = now.after(d);
+    }
+
+    /// Jumps the clock to `t`; panics if `t` is in the past (discrete-event
+    /// simulation time must be monotone).
+    pub fn set(&self, t: SimTime) {
+        let mut now = self.now.lock();
+        assert!(t >= *now, "simulation clock may not go backwards");
+        *now = t;
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> SimTime {
+        *self.now.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO.after(SimDuration::from_millis(5));
+        assert_eq!(t.micros(), 5_000);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::from_millis(5));
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO); // saturates
+        assert_eq!(SimDuration::from_secs(2).plus(SimDuration::from_millis(500)).micros(), 2_500_000);
+        assert_eq!(SimDuration::from_millis(10).times(3), SimDuration::from_millis(30));
+        assert_eq!(SimDuration::from_hours(1).micros(), 3_600_000_000);
+    }
+
+    #[test]
+    fn clock_advances_and_is_shared() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        c.advance(SimDuration::from_secs(1));
+        assert_eq!(c2.now().micros(), 1_000_000);
+        c2.set(SimTime(5_000_000));
+        assert_eq!(c.now().micros(), 5_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn clock_rejects_time_travel() {
+        let c = SimClock::new();
+        c.set(SimTime(10));
+        c.set(SimTime(5));
+    }
+
+    #[test]
+    fn as_secs_f64() {
+        assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,333 @@
+//! Google App Engine datastore + Secure Data Connector — paper §2.3 /
+//! Figure 4.
+//!
+//! The GAE model is deliberately thin, mirroring the paper's observation
+//! that the public datastore API exposes "only some functions such as GET
+//! and PUT" with no storage-integrity features at all. The SDC layer adds
+//! what the paper lists: an encrypted tunnel between the data source and
+//! Google Apps, resource rules checked by the agent, and *signed requests*
+//! carrying `owner_id, viewer_id, instance_id, app_id, public_key,
+//! consumer_key, nonce, token, signature`.
+
+use std::collections::{HashMap, HashSet};
+use tpnr_crypto::hash::HashAlg;
+use tpnr_crypto::{CryptoError, RsaKeyPair, RsaPublicKey};
+
+use crate::object::{ObjectStore, StoredObject, Tamper, TamperReport};
+use tpnr_net::time::SimTime;
+
+/// The signed request of paper §2.3 (all fields the paper enumerates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedRequest {
+    /// Data owner.
+    pub owner_id: String,
+    /// Requesting viewer.
+    pub viewer_id: String,
+    /// Gadget/app instance.
+    pub instance_id: u64,
+    /// Application id.
+    pub app_id: String,
+    /// Requester's public key fingerprint (hex).
+    pub public_key: String,
+    /// OAuth-style consumer key.
+    pub consumer_key: String,
+    /// Anti-replay nonce.
+    pub nonce: u64,
+    /// Access token.
+    pub token: String,
+    /// Resource being addressed.
+    pub resource: String,
+    /// RSA signature over all the above.
+    pub signature: Vec<u8>,
+}
+
+impl SignedRequest {
+    fn canonical_bytes(
+        owner_id: &str,
+        viewer_id: &str,
+        instance_id: u64,
+        app_id: &str,
+        public_key: &str,
+        consumer_key: &str,
+        nonce: u64,
+        token: &str,
+        resource: &str,
+    ) -> Vec<u8> {
+        format!(
+            "owner_id={owner_id}&viewer_id={viewer_id}&instance_id={instance_id}\
+             &app_id={app_id}&public_key={public_key}&consumer_key={consumer_key}\
+             &nonce={nonce}&token={token}&resource={resource}"
+        )
+        .into_bytes()
+    }
+
+    /// Builds and signs a request with the viewer's key.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        keys: &RsaKeyPair,
+        owner_id: &str,
+        viewer_id: &str,
+        instance_id: u64,
+        app_id: &str,
+        consumer_key: &str,
+        nonce: u64,
+        token: &str,
+        resource: &str,
+    ) -> Result<Self, CryptoError> {
+        let public_key = tpnr_crypto::encoding::hex_encode(&keys.public.fingerprint());
+        let bytes = Self::canonical_bytes(
+            owner_id, viewer_id, instance_id, app_id, &public_key, consumer_key, nonce, token,
+            resource,
+        );
+        let signature = keys.private.sign(HashAlg::Sha256, &bytes)?;
+        Ok(SignedRequest {
+            owner_id: owner_id.into(),
+            viewer_id: viewer_id.into(),
+            instance_id,
+            app_id: app_id.into(),
+            public_key,
+            consumer_key: consumer_key.into(),
+            nonce,
+            token: token.into(),
+            resource: resource.into(),
+            signature,
+        })
+    }
+
+    /// Verifies the signature against the claimed key.
+    pub fn verify(&self, pk: &RsaPublicKey) -> bool {
+        let bytes = Self::canonical_bytes(
+            &self.owner_id,
+            &self.viewer_id,
+            self.instance_id,
+            &self.app_id,
+            &self.public_key,
+            &self.consumer_key,
+            self.nonce,
+            &self.token,
+            &self.resource,
+        );
+        self.public_key == tpnr_crypto::encoding::hex_encode(&pk.fingerprint())
+            && pk.verify(HashAlg::Sha256, &bytes, &self.signature).is_ok()
+    }
+}
+
+/// Access decision by the SDC agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdcError {
+    /// Tunnel server did not recognise the requester.
+    TunnelAuthFailed,
+    /// Signature check failed.
+    BadSignature,
+    /// Nonce reuse (replay).
+    NonceReplayed,
+    /// Resource rules deny this viewer access to this resource.
+    AccessDenied,
+    /// Datastore miss.
+    NotFound,
+}
+
+impl std::fmt::Display for SdcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdcError::TunnelAuthFailed => write!(f, "tunnel authentication failed"),
+            SdcError::BadSignature => write!(f, "signed request verification failed"),
+            SdcError::NonceReplayed => write!(f, "nonce replayed"),
+            SdcError::AccessDenied => write!(f, "resource rules deny access"),
+            SdcError::NotFound => write!(f, "entity not found"),
+        }
+    }
+}
+
+impl std::error::Error for SdcError {}
+
+/// The GAE datastore plus the SDC gateway in front of it.
+pub struct GaeService {
+    datastore: ObjectStore,
+    /// viewer_id → registered public key (tunnel-server identity list).
+    identities: HashMap<String, RsaPublicKey>,
+    /// Resource rules: set of (viewer_id, resource-prefix) grants.
+    rules: HashSet<(String, String)>,
+    /// Nonces already accepted per viewer.
+    seen_nonces: HashMap<String, HashSet<u64>>,
+}
+
+impl Default for GaeService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GaeService {
+    /// Empty service.
+    pub fn new() -> Self {
+        GaeService {
+            datastore: ObjectStore::new(),
+            identities: HashMap::new(),
+            rules: HashSet::new(),
+            seen_nonces: HashMap::new(),
+        }
+    }
+
+    /// Registers a viewer identity at the tunnel server.
+    pub fn register_identity(&mut self, viewer_id: &str, pk: RsaPublicKey) {
+        self.identities.insert(viewer_id.to_string(), pk);
+    }
+
+    /// Grants `viewer_id` access to resources starting with `prefix`
+    /// (the "resource rules" of Figure 4).
+    pub fn grant(&mut self, viewer_id: &str, prefix: &str) {
+        self.rules.insert((viewer_id.to_string(), prefix.to_string()));
+    }
+
+    fn authorize(&mut self, req: &SignedRequest) -> Result<(), SdcError> {
+        let pk = self
+            .identities
+            .get(&req.viewer_id)
+            .ok_or(SdcError::TunnelAuthFailed)?;
+        if !req.verify(pk) {
+            return Err(SdcError::BadSignature);
+        }
+        let nonces = self.seen_nonces.entry(req.viewer_id.clone()).or_default();
+        if !nonces.insert(req.nonce) {
+            return Err(SdcError::NonceReplayed);
+        }
+        let allowed = self
+            .rules
+            .iter()
+            .any(|(v, p)| v == &req.viewer_id && req.resource.starts_with(p.as_str()));
+        if !allowed {
+            return Err(SdcError::AccessDenied);
+        }
+        Ok(())
+    }
+
+    /// Datastore PUT through the SDC (validated signed request required).
+    pub fn put(
+        &mut self,
+        req: &SignedRequest,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<(), SdcError> {
+        self.authorize(req)?;
+        self.datastore.put(
+            &req.resource,
+            StoredObject {
+                data: data.to_vec(),
+                // The paper notes the raw datastore API has no
+                // storage-integrity features: nothing is recorded.
+                stored_checksum: None,
+                checksum_alg: HashAlg::Md5,
+                uploaded_at: now,
+                owner: req.viewer_id.clone(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Datastore GET through the SDC.
+    pub fn get(&mut self, req: &SignedRequest) -> Result<Vec<u8>, SdcError> {
+        self.authorize(req)?;
+        self.datastore
+            .get(&req.resource)
+            .map(|o| o.data.clone())
+            .ok_or(SdcError::NotFound)
+    }
+
+    /// Provider-side tampering (Eve's capability).
+    pub fn tamper(&mut self, resource: &str, t: &Tamper) -> Option<TamperReport> {
+        self.datastore.tamper(resource, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GaeService, RsaKeyPair) {
+        let mut svc = GaeService::new();
+        let keys = RsaKeyPair::insecure_test_key(21);
+        svc.register_identity("alice", keys.public.clone());
+        svc.grant("alice", "apps/finance/");
+        (svc, keys)
+    }
+
+    fn request(keys: &RsaKeyPair, nonce: u64, resource: &str) -> SignedRequest {
+        SignedRequest::create(
+            keys, "ownerco", "alice", 1, "finance-app", "consumer-1", nonce, "tok", resource,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (mut svc, keys) = setup();
+        let r1 = request(&keys, 1, "apps/finance/q3");
+        svc.put(&r1, b"ledger", SimTime::ZERO).unwrap();
+        let r2 = request(&keys, 2, "apps/finance/q3");
+        assert_eq!(svc.get(&r2).unwrap(), b"ledger");
+    }
+
+    #[test]
+    fn unknown_identity_rejected_at_tunnel() {
+        let (mut svc, _) = setup();
+        let stranger = RsaKeyPair::insecure_test_key(22);
+        let mut req = request(&stranger, 1, "apps/finance/q3");
+        req.viewer_id = "mallory".into();
+        assert_eq!(svc.get(&req), Err(SdcError::TunnelAuthFailed));
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (mut svc, keys) = setup();
+        let mut req = request(&keys, 1, "apps/finance/q3");
+        req.resource = "apps/finance/other".into(); // changed after signing
+        assert_eq!(svc.get(&req), Err(SdcError::BadSignature));
+    }
+
+    #[test]
+    fn wrong_key_rejected_even_with_matching_fields() {
+        let (mut svc, _keys) = setup();
+        let impostor = RsaKeyPair::insecure_test_key(23);
+        // Impostor signs with own key but claims to be alice.
+        let req = SignedRequest::create(
+            &impostor, "ownerco", "alice", 1, "finance-app", "consumer-1", 5, "tok",
+            "apps/finance/q3",
+        )
+        .unwrap();
+        assert_eq!(svc.get(&req), Err(SdcError::BadSignature));
+    }
+
+    #[test]
+    fn nonce_replay_rejected() {
+        let (mut svc, keys) = setup();
+        let req = request(&keys, 9, "apps/finance/q3");
+        svc.put(&req, b"v", SimTime::ZERO).unwrap();
+        // Same nonce again — even for a different operation — is refused.
+        assert_eq!(svc.get(&req), Err(SdcError::NonceReplayed));
+    }
+
+    #[test]
+    fn resource_rules_enforced() {
+        let (mut svc, keys) = setup();
+        let req = request(&keys, 1, "apps/hr/salaries");
+        assert_eq!(svc.get(&req), Err(SdcError::AccessDenied));
+    }
+
+    #[test]
+    fn missing_entity_not_found() {
+        let (mut svc, keys) = setup();
+        let req = request(&keys, 1, "apps/finance/none");
+        assert_eq!(svc.get(&req), Err(SdcError::NotFound));
+    }
+
+    #[test]
+    fn datastore_has_no_integrity_metadata() {
+        // The paper's point about GAE: nothing to even compare against.
+        let (mut svc, keys) = setup();
+        svc.put(&request(&keys, 1, "apps/finance/q3"), b"true", SimTime::ZERO).unwrap();
+        svc.tamper("apps/finance/q3", &Tamper::Replace(b"fake".to_vec())).unwrap();
+        let got = svc.get(&request(&keys, 2, "apps/finance/q3")).unwrap();
+        assert_eq!(got, b"fake", "tamper returned verbatim; no checksum exists at all");
+    }
+}

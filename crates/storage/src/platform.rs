@@ -1,0 +1,297 @@
+//! A uniform view over the three platform façades.
+//!
+//! The Figure-5 vulnerability experiment (E1 in EXPERIMENTS.md) runs the
+//! same upload → tamper-in-storage → download story against Azure, AWS and
+//! GAE. [`Platform`] abstracts just enough for that: upload with whatever
+//! integrity metadata the platform records, download with whatever integrity
+//! metadata the platform returns, and provider-side tampering in between.
+
+use crate::azure::{Account, AzureService};
+use crate::aws::AwsService;
+use crate::gae::{GaeService, SignedRequest};
+use crate::object::Tamper;
+use crate::rest::{Method, RestRequest};
+use tpnr_crypto::encoding::base64_decode;
+use tpnr_crypto::hash::{Digest as _, HashAlg};
+use tpnr_crypto::md5::Md5;
+use tpnr_crypto::RsaKeyPair;
+use tpnr_net::time::SimTime;
+
+/// What a download handed back, plus the integrity metadata that came with
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Download {
+    /// The data as returned.
+    pub data: Vec<u8>,
+    /// The checksum the platform returned alongside (raw bytes), if any.
+    pub returned_checksum: Option<Vec<u8>>,
+    /// Whether the returned checksum is recomputed at download time
+    /// (AWS style) or the stored upload-time value (Azure style).
+    pub checksum_source: ChecksumSource,
+}
+
+/// Provenance of the checksum a platform returns on download.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChecksumSource {
+    /// The value recorded at upload (Azure: "the original MD5_1").
+    StoredAtUpload,
+    /// Recomputed over current data (AWS: "a recomputed MD5_2").
+    RecomputedAtDownload,
+    /// The platform returns no checksum at all (GAE datastore).
+    None,
+}
+
+/// Detection outcome when the client cross-checks a download.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientVerdict {
+    /// Data matches the returned checksum (or nothing to check): accepted.
+    LooksClean,
+    /// Returned checksum contradicts the data: tamper detected.
+    MismatchDetected,
+}
+
+impl Download {
+    /// The client-side check a diligent user can perform with only what the
+    /// platform gave them.
+    pub fn client_check(&self) -> ClientVerdict {
+        match &self.returned_checksum {
+            None => ClientVerdict::LooksClean, // nothing to compare
+            Some(sum) => {
+                if *sum == HashAlg::Md5.hash(&self.data) {
+                    ClientVerdict::LooksClean
+                } else {
+                    ClientVerdict::MismatchDetected
+                }
+            }
+        }
+    }
+}
+
+/// Platform-independent upload/tamper/download interface.
+pub trait Platform {
+    /// Platform display name.
+    fn name(&self) -> &'static str;
+    /// Uploads `data` under `key`, returning the checksum the *uploader*
+    /// computed (what the user keeps in their notes, if anything).
+    fn upload(&mut self, key: &str, data: &[u8], now: SimTime) -> Vec<u8>;
+    /// Provider-side tamper.
+    fn tamper(&mut self, key: &str, t: &Tamper) -> bool;
+    /// Downloads `key`.
+    fn download(&mut self, key: &str) -> Option<Download>;
+}
+
+/// Azure façade bound to one account.
+pub struct AzurePlatform {
+    svc: AzureService,
+    account: Account,
+    date_counter: u64,
+}
+
+impl AzurePlatform {
+    /// Creates a service and an account.
+    pub fn new(seed: u64) -> Self {
+        let mut svc = AzureService::new();
+        let mut rng = tpnr_crypto::ChaChaRng::seed_from_u64(seed);
+        let account = svc.create_account("user1", &mut rng);
+        AzurePlatform { svc, account, date_counter: 0 }
+    }
+
+    fn date(&mut self) -> String {
+        self.date_counter += 1;
+        format!("sim-date-{}", self.date_counter)
+    }
+}
+
+impl Platform for AzurePlatform {
+    fn name(&self) -> &'static str {
+        "Azure"
+    }
+
+    fn upload(&mut self, key: &str, data: &[u8], now: SimTime) -> Vec<u8> {
+        let date = self.date();
+        let req = RestRequest::new(Method::Put, key, data.to_vec(), &date)
+            .with_content_md5()
+            .sign(&self.account.name, &self.account.key);
+        self.svc.handle(&req, now).expect("upload accepted");
+        Md5::digest(data)
+    }
+
+    fn tamper(&mut self, key: &str, t: &Tamper) -> bool {
+        self.svc.tamper_blob(key, t).is_some()
+    }
+
+    fn download(&mut self, key: &str) -> Option<Download> {
+        let date = self.date();
+        let req = RestRequest::new(Method::Get, key, Vec::new(), &date)
+            .sign(&self.account.name, &self.account.key);
+        let resp = self.svc.handle(&req, SimTime::ZERO).ok()?;
+        Some(Download {
+            data: resp.body,
+            returned_checksum: resp.content_md5.as_deref().and_then(base64_decode),
+            checksum_source: ChecksumSource::StoredAtUpload,
+        })
+    }
+}
+
+/// AWS façade using the Internet (S3) path.
+pub struct AwsPlatform {
+    svc: AwsService,
+}
+
+impl AwsPlatform {
+    /// Creates a service with one registered user.
+    pub fn new(seed: u64) -> Self {
+        let mut svc = AwsService::new();
+        let keys = RsaKeyPair::insecure_test_key(seed);
+        svc.register_user("AKIAUSER", keys.public.clone());
+        AwsPlatform { svc }
+    }
+}
+
+impl Platform for AwsPlatform {
+    fn name(&self) -> &'static str {
+        "AWS"
+    }
+
+    fn upload(&mut self, key: &str, data: &[u8], now: SimTime) -> Vec<u8> {
+        self.svc.s3_put(key, data, "AKIAUSER", now)
+    }
+
+    fn tamper(&mut self, key: &str, t: &Tamper) -> bool {
+        self.svc.tamper(key, t).is_some()
+    }
+
+    fn download(&mut self, key: &str) -> Option<Download> {
+        let (data, md5) = self.svc.s3_get(key)?;
+        Some(Download {
+            data,
+            returned_checksum: Some(md5),
+            checksum_source: ChecksumSource::RecomputedAtDownload,
+        })
+    }
+}
+
+/// GAE façade bound to one granted viewer.
+pub struct GaePlatform {
+    svc: GaeService,
+    keys: RsaKeyPair,
+    nonce: u64,
+}
+
+impl GaePlatform {
+    /// Creates a service with one registered, fully-granted viewer.
+    pub fn new(seed: u64) -> Self {
+        let mut svc = GaeService::new();
+        let keys = RsaKeyPair::insecure_test_key(seed.wrapping_add(1000));
+        svc.register_identity("user1", keys.public.clone());
+        svc.grant("user1", "");
+        GaePlatform { svc, keys, nonce: 0 }
+    }
+
+    fn request(&mut self, resource: &str) -> SignedRequest {
+        self.nonce += 1;
+        SignedRequest::create(
+            &self.keys, "owner", "user1", 1, "app", "ck", self.nonce, "tok", resource,
+        )
+        .expect("signing")
+    }
+}
+
+impl Platform for GaePlatform {
+    fn name(&self) -> &'static str {
+        "GAE"
+    }
+
+    fn upload(&mut self, key: &str, data: &[u8], now: SimTime) -> Vec<u8> {
+        let req = self.request(key);
+        self.svc.put(&req, data, now).expect("upload accepted");
+        Md5::digest(data)
+    }
+
+    fn tamper(&mut self, key: &str, t: &Tamper) -> bool {
+        self.svc.tamper(key, t).is_some()
+    }
+
+    fn download(&mut self, key: &str) -> Option<Download> {
+        let req = self.request(key);
+        let data = self.svc.get(&req).ok()?;
+        Some(Download {
+            data,
+            returned_checksum: None,
+            checksum_source: ChecksumSource::None,
+        })
+    }
+}
+
+/// All three platforms, for matrix experiments.
+pub fn all_platforms(seed: u64) -> Vec<Box<dyn Platform>> {
+    vec![
+        Box::new(AzurePlatform::new(seed)),
+        Box::new(AwsPlatform::new(seed)),
+        Box::new(GaePlatform::new(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_on_every_platform() {
+        for mut p in all_platforms(7) {
+            let up_md5 = p.upload("k", b"payload", SimTime::ZERO);
+            let d = p.download("k").unwrap();
+            assert_eq!(d.data, b"payload", "{}", p.name());
+            assert_eq!(d.client_check(), ClientVerdict::LooksClean, "{}", p.name());
+            assert_eq!(up_md5, Md5::digest(b"payload"));
+        }
+    }
+
+    #[test]
+    fn missing_key_is_none_everywhere() {
+        for mut p in all_platforms(8) {
+            assert!(p.download("missing").is_none(), "{}", p.name());
+        }
+    }
+
+    /// Paper Figure 5, one row per platform: a *naive* in-storage tamper.
+    #[test]
+    fn naive_tamper_detection_varies_by_platform() {
+        for mut p in all_platforms(9) {
+            p.upload("k", b"original data", SimTime::ZERO);
+            assert!(p.tamper("k", &Tamper::BitFlip { offset: 2 }));
+            let d = p.download("k").unwrap();
+            match d.checksum_source {
+                // Azure returns the upload-time MD5 -> mismatch visible.
+                ChecksumSource::StoredAtUpload => {
+                    assert_eq!(d.client_check(), ClientVerdict::MismatchDetected)
+                }
+                // AWS recomputes -> corrupted data looks self-consistent.
+                ChecksumSource::RecomputedAtDownload => {
+                    assert_eq!(d.client_check(), ClientVerdict::LooksClean)
+                }
+                // GAE returns nothing -> nothing to detect with.
+                ChecksumSource::None => {
+                    assert_eq!(d.client_check(), ClientVerdict::LooksClean)
+                }
+            }
+        }
+    }
+
+    /// The consistent tamper defeats client checks on *all* platforms.
+    #[test]
+    fn consistent_tamper_never_detected() {
+        for mut p in all_platforms(10) {
+            p.upload("k", b"true records", SimTime::ZERO);
+            assert!(p.tamper("k", &Tamper::ConsistentReplace(b"cooked books".to_vec())));
+            let d = p.download("k").unwrap();
+            assert_eq!(d.data, b"cooked books", "{}", p.name());
+            assert_eq!(
+                d.client_check(),
+                ClientVerdict::LooksClean,
+                "{}: platform metadata cannot catch a provider who controls it",
+                p.name()
+            );
+        }
+    }
+}

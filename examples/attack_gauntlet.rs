@@ -1,0 +1,49 @@
+//! The §5 robustness analysis as an executable gauntlet: each of the five
+//! classic attacks runs against the full TPNR protocol and against the
+//! variant with the matching defence removed.
+//!
+//! Run with `cargo run --example attack_gauntlet`.
+
+use tpnr_attacks::{matrix, AttackKind};
+
+fn main() {
+    println!("== TPNR attack gauntlet (paper §5) ==\n");
+    println!(
+        "{:<19} {:<19} {:<8} detail",
+        "attack", "protocol variant", "blocked"
+    );
+    println!("{}", "-".repeat(100));
+    for outcome in matrix() {
+        println!(
+            "{:<19} {:<19} {:<8} {}",
+            outcome.attack.label(),
+            outcome.ablation.label(),
+            if outcome.blocked { "BLOCKED" } else { "SUCCESS" },
+            outcome.detail
+        );
+    }
+
+    println!("\nStructural defences (reflection / interleaving) cannot be toggled off —");
+    println!("they follow from role asymmetry and transaction binding. To show the");
+    println!("attack class is real, here is a naive symmetric challenge-response");
+    println!("protocol falling to both:\n");
+    println!(
+        "  reflection vs toy protocol:   {}",
+        if tpnr_attacks::toy::reflection_attack_succeeds() { "SUCCESS (attacker authenticated)" } else { "blocked" }
+    );
+    println!(
+        "  interleaving vs toy protocol: {}",
+        if tpnr_attacks::toy::interleaving_attack_succeeds() { "SUCCESS (attacker authenticated to both)" } else { "blocked" }
+    );
+
+    // Sanity: the full protocol blocked everything.
+    let all_blocked = matrix()
+        .iter()
+        .filter(|o| o.ablation == tpnr_core::config::Ablation::None)
+        .all(|o| o.blocked);
+    assert!(all_blocked);
+    println!(
+        "\nfull-TPNR verdict: all {} attacks blocked.",
+        AttackKind::all().len()
+    );
+}

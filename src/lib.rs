@@ -1,0 +1,1 @@
+pub use tpnr_core as core;
