@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo CI gate. Run from the repo root before pushing:
+#
+#   ./ci.sh            # full gate: format, lints, build, every test
+#   ./ci.sh --quick    # skip the release build (iteration loop)
+#
+# Everything here runs offline against the vendored workspace (the
+# proptest/criterion shims in crates/ — no network, no external deps).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+# Bench targets have `test = false` (the criterion shim runs no harness),
+# so the test sweep above never compiles them — check they still build.
+echo "==> cargo check --benches --workspace"
+cargo check --benches --workspace
+
+echo "CI green."

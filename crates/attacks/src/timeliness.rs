@@ -23,7 +23,12 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     // Alice signs an upload now…
     let (_txn, out) = w
         .client
-        .begin_upload(b"prices", b"prices as of day 0".to_vec(), w.net.now(), TimeoutStrategy::AbortFirst)
+        .begin_upload(
+            b"prices",
+            b"prices as of day 0".to_vec(),
+            w.net.now(),
+            TimeoutStrategy::AbortFirst,
+        )
         .expect("initiation");
     let Message::Transfer { .. } = &out[0].msg else { panic!("expected transfer") };
     let held = out[0].msg.to_wire();

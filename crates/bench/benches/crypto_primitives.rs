@@ -104,12 +104,5 @@ fn bench_shamir(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hashes,
-    bench_hmac,
-    bench_chacha20,
-    bench_rsa,
-    bench_shamir
-);
+criterion_group!(benches, bench_hashes, bench_hmac, bench_chacha20, bench_rsa, bench_shamir);
 criterion_main!(benches);

@@ -10,7 +10,12 @@ use tpnr_crypto::hash::HashAlg;
 use tpnr_crypto::ChaChaRng;
 use tpnr_net::time::SimTime;
 
-fn plaintext_for(alice: &Principal, bob: &Principal, alg: HashAlg, data: &[u8]) -> EvidencePlaintext {
+fn plaintext_for(
+    alice: &Principal,
+    bob: &Principal,
+    alg: HashAlg,
+    data: &[u8],
+) -> EvidencePlaintext {
     EvidencePlaintext {
         flag: Flag::UploadRequest,
         sender: alice.id(),

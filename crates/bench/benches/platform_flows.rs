@@ -4,12 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tpnr_crypto::ChaChaRng;
+use tpnr_crypto::RsaKeyPair;
 use tpnr_net::time::SimTime;
 use tpnr_storage::aws::{self, AwsService};
 use tpnr_storage::azure::AzureService;
 use tpnr_storage::gae::{GaeService, SignedRequest};
 use tpnr_storage::rest::{Method, RestRequest};
-use tpnr_crypto::RsaKeyPair;
 
 fn bench_azure(c: &mut Criterion) {
     let mut g = c.benchmark_group("azure");
@@ -99,7 +99,15 @@ fn bench_gae(c: &mut Criterion) {
         b.iter(|| {
             nonce += 1;
             let req = SignedRequest::create(
-                &keys, "owner", "alice", 1, "app", "ck", nonce, "tok", "apps/data",
+                &keys,
+                "owner",
+                "alice",
+                1,
+                "app",
+                "ck",
+                nonce,
+                "tok",
+                "apps/data",
             )
             .unwrap();
             svc.put(&req, b"entity bytes", SimTime::ZERO).unwrap();

@@ -51,10 +51,11 @@ fn bench_sub_protocols(c: &mut Criterion) {
             let mut w = World::new(seed, ProtocolConfig::full());
             // Receipts lost: resolve via the TTP recovers the NRR.
             let (alice, bob) = (w.alice_node, w.bob_node);
-            w.net.set_link(bob, alice, tpnr_net::LinkConfig {
-                drop_prob: 1.0,
-                ..Default::default()
-            });
+            w.net.set_link(
+                bob,
+                alice,
+                tpnr_net::LinkConfig { drop_prob: 1.0, ..Default::default() },
+            );
             let r = w.upload(b"obj", vec![0u8; 1024], TimeoutStrategy::ResolveImmediately);
             assert_eq!(r.state, TxnState::Completed);
             r

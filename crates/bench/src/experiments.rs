@@ -8,9 +8,9 @@ use tpnr_core::session::TxnState;
 use tpnr_crypto::hash::HashAlg;
 use tpnr_net::sim::LinkConfig;
 use tpnr_net::time::SimDuration;
+use tpnr_net::time::SimTime;
 use tpnr_storage::object::Tamper;
 use tpnr_storage::platform::{all_platforms, ClientVerdict};
-use tpnr_net::time::SimTime;
 
 // ---------------------------------------------------------------- E1 ----
 
@@ -133,8 +133,7 @@ pub fn e2_protocol_comparison(rtts_ms: &[u64], sizes: &[usize]) -> Vec<E2Row> {
                 ttp_used: r.ttp_used,
             });
 
-            let b = tpnr_core::baseline::run_exchange(seed, &data, one_way)
-                .expect("baseline run");
+            let b = tpnr_core::baseline::run_exchange(seed, &data, one_way).expect("baseline run");
             rows.push(E2Row {
                 protocol: "traditional-NR",
                 rtt_ms: rtt,
@@ -277,28 +276,22 @@ pub struct E6Row {
 /// E6 / §4.4 claim: the TTP is off-line — touched only when something goes
 /// wrong — whereas the traditional protocol routes every session through it.
 pub fn e6_ttp_load(fault_rates: &[f64], trials: usize) -> Vec<E6Row> {
-    use rayon::prelude::*;
     fault_rates
         .iter()
         .enumerate()
         .map(|(i, &p)| {
             // Trials are independent simulations — embarrassingly parallel.
-            let (ttp_hits, completed) = (0..trials)
-                .into_par_iter()
-                .map(|t| {
-                    let mut w =
-                        World::new((i * 1000 + t) as u64 + 9000, ProtocolConfig::full());
-                    // Receipts (bob→alice) are lost with probability p.
-                    let (a, b) = (w.alice_node, w.bob_node);
-                    let _ = a;
-                    w.net.set_link(b, a, LinkConfig::lossy(SimDuration::from_millis(25), p));
-                    let r = w.upload(b"obj", vec![1u8; 256], TimeoutStrategy::ResolveImmediately);
-                    (
-                        u64::from(r.ttp_used),
-                        u64::from(r.state == TxnState::Completed),
-                    )
-                })
-                .reduce(|| (0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1));
+            let (ttp_hits, completed) = crate::par_map_indexed(trials, |t| {
+                let mut w = World::new((i * 1000 + t) as u64 + 9000, ProtocolConfig::full());
+                // Receipts (bob→alice) are lost with probability p.
+                let (a, b) = (w.alice_node, w.bob_node);
+                let _ = a;
+                w.net.set_link(b, a, LinkConfig::lossy(SimDuration::from_millis(25), p));
+                let r = w.upload(b"obj", vec![1u8; 256], TimeoutStrategy::ResolveImmediately);
+                (u64::from(r.ttp_used), u64::from(r.state == TxnState::Completed))
+            })
+            .into_iter()
+            .fold((0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1));
             E6Row {
                 fault_rate: p,
                 tpnr_ttp_fraction: ttp_hits as f64 / trials as f64,
@@ -341,11 +334,7 @@ pub fn e7_bridge_schemes(seed: u64) -> Vec<E7Row> {
             E7Row {
                 scheme: kind,
                 messages: sum.messages,
-                records: (
-                    sum.user_record_bytes,
-                    sum.provider_record_bytes,
-                    sum.tac_record_bytes,
-                ),
+                records: (sum.user_record_bytes, sum.provider_record_bytes, sum.tac_record_bytes),
                 proves_with_cooperation: s.tamper_proven(coop) == Some(true),
                 proves_alone: s.tamper_proven(alone) == Some(true),
                 attributable: s.dispute_power(coop).attributable
@@ -363,7 +352,7 @@ mod tests {
     fn e1_shapes_match_the_paper() {
         let rows = e1_vulnerability_matrix(3);
         assert_eq!(rows.len(), 8); // (3 platforms + TPNR) × 2 tampers
-        // Consistent tampering is never detected by any platform…
+                                   // Consistent tampering is never detected by any platform…
         for r in rows.iter().filter(|r| r.tamper == "consistent replace") {
             if r.system == "TPNR" {
                 assert!(r.detected && r.attributable, "TPNR closes the gap");

@@ -222,7 +222,7 @@ impl Arbitrator {
                 && self
                     .dir
                     .lookup(&ttp_stmt.plaintext.sender)
-                    .map_or(false, |pk| ttp_stmt.reverify(&self.cfg, pk).is_ok());
+                    .is_some_and(|pk| ttp_stmt.reverify(&self.cfg, pk).is_ok());
             if !ttp_ok {
                 return Verdict::ForgedEvidence { by_claimant: true };
             }

@@ -212,7 +212,9 @@ mod tests {
             assert!(
                 matches!(
                     EvidenceBundle::load(&bad),
-                    Err(BundleError::Corrupted) | Err(BundleError::BadMagic) | Err(BundleError::Malformed)
+                    Err(BundleError::Corrupted)
+                        | Err(BundleError::BadMagic)
+                        | Err(BundleError::Malformed)
                 ),
                 "flip at {i} loaded successfully"
             );
@@ -239,7 +241,10 @@ mod tests {
         bytes[5] = 99; // version low byte
         let digest = Sha256::digest(&bytes[..body_len]);
         bytes[body_len..].copy_from_slice(&digest);
-        assert_eq!(EvidenceBundle::load(&bytes), Err(BundleError::BadVersion(99 | ((bytes[4] as u16) << 8))));
+        assert_eq!(
+            EvidenceBundle::load(&bytes),
+            Err(BundleError::BadVersion(99 | ((bytes[4] as u16) << 8)))
+        );
     }
 
     #[test]

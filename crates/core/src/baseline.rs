@@ -90,10 +90,10 @@ pub fn run_exchange(
     let nonce = [0u8; 12];
     let ciphertext = chacha20::encrypt(&key, &nonce, data);
     let c_hash = HashAlg::Sha256.hash(&ciphertext);
-    let nro = alice.keys.private.sign(
-        HashAlg::Sha256,
-        &label_bytes(&alice.id(), &bob.id(), label, &c_hash),
-    )?;
+    let nro = alice
+        .keys
+        .private
+        .sign(HashAlg::Sha256, &label_bytes(&alice.id(), &bob.id(), label, &c_hash))?;
     let mut msg1 = ciphertext.clone();
     msg1.extend_from_slice(&nro);
     net.send(a, b, msg1);
@@ -108,10 +108,10 @@ pub fn run_exchange(
     )?;
 
     // Step 2: B → A with NRR.
-    let nrr = bob.keys.private.sign(
-        HashAlg::Sha256,
-        &label_bytes(&bob.id(), &alice.id(), label, &c_hash),
-    )?;
+    let nrr = bob
+        .keys
+        .private
+        .sign(HashAlg::Sha256, &label_bytes(&bob.id(), &alice.id(), label, &c_hash))?;
     net.send(b, a, nrr.clone());
     net.run_until_quiet();
     let _ = net.recv(a);
@@ -122,10 +122,10 @@ pub fn run_exchange(
     )?;
 
     // Step 3: A → TTP submits the key.
-    let sub_k = alice.keys.private.sign(
-        HashAlg::Sha256,
-        &label_bytes(&alice.id(), &bob.id(), label, &key),
-    )?;
+    let sub_k = alice
+        .keys
+        .private
+        .sign(HashAlg::Sha256, &label_bytes(&alice.id(), &bob.id(), label, &key))?;
     let mut msg3 = key.to_vec();
     msg3.extend_from_slice(&sub_k);
     net.send(a, t, msg3);
@@ -138,10 +138,10 @@ pub fn run_exchange(
     )?;
 
     // Step 4: TTP publishes con_K to both parties.
-    let con_k = ttp.keys.private.sign(
-        HashAlg::Sha256,
-        &label_bytes(&alice.id(), &bob.id(), label, &key),
-    )?;
+    let con_k = ttp
+        .keys
+        .private
+        .sign(HashAlg::Sha256, &label_bytes(&alice.id(), &bob.id(), label, &key))?;
     let mut msg4 = key.to_vec();
     msg4.extend_from_slice(&con_k);
     net.send(t, a, msg4.clone());

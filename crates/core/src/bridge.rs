@@ -475,8 +475,7 @@ mod tests {
     fn tac_sks_survives_either_failure_mode() {
         let s = run_story(SchemeKind::TacAndSks, true);
         assert_eq!(s.tamper_proven(ALONE_WITH_TAC), Some(true), "TAC path");
-        let coop_no_tac =
-            DisputeScenario { counterparty_cooperates: true, tac_available: false };
+        let coop_no_tac = DisputeScenario { counterparty_cooperates: true, tac_available: false };
         assert_eq!(s.tamper_proven(coop_no_tac), Some(true), "share path");
         assert_eq!(s.tamper_proven(ALONE_NO_TAC), None);
     }

@@ -196,7 +196,11 @@ impl CertificateAuthority {
 ///
 /// `issuer` must be the certificate whose subject signed `cert` (for a
 /// self-signed root, pass the root itself).
-pub fn verify_link(cert: &Certificate, issuer: &Certificate, now: SimTime) -> Result<(), CertError> {
+pub fn verify_link(
+    cert: &Certificate,
+    issuer: &Certificate,
+    now: SimTime,
+) -> Result<(), CertError> {
     if now < cert.tbs.not_before || now > cert.tbs.not_after {
         return Err(CertError::Expired { at: now });
     }
@@ -286,16 +290,19 @@ mod tests {
 
     #[test]
     fn expired_and_premature_rejected() {
-        let ca = CertificateAuthority::new_root(
-            Principal::test("tac", 502),
-            SimTime(100),
-            SimTime(200),
-        )
-        .unwrap();
+        let ca =
+            CertificateAuthority::new_root(Principal::test("tac", 502), SimTime(100), SimTime(200))
+                .unwrap();
         let alice = Principal::test("alice", 503);
         let cert = ca.issue(&alice, SimTime(100), SimTime(200), false).unwrap();
-        assert!(matches!(verify_link(&cert, &ca.root, SimTime(50)), Err(CertError::Expired { .. })));
-        assert!(matches!(verify_link(&cert, &ca.root, SimTime(201)), Err(CertError::Expired { .. })));
+        assert!(matches!(
+            verify_link(&cert, &ca.root, SimTime(50)),
+            Err(CertError::Expired { .. })
+        ));
+        assert!(matches!(
+            verify_link(&cert, &ca.root, SimTime(201)),
+            Err(CertError::Expired { .. })
+        ));
         verify_link(&cert, &ca.root, SimTime(150)).unwrap();
     }
 
@@ -333,24 +340,23 @@ mod tests {
     #[test]
     fn intermediate_chain_verifies() {
         let (nb, na) = window();
-        let root = CertificateAuthority::new_root(Principal::test("root-tac", 510), nb, na).unwrap();
+        let root =
+            CertificateAuthority::new_root(Principal::test("root-tac", 510), nb, na).unwrap();
         let inter_principal = Principal::test("regional-tac", 511);
         let inter_cert = root.issue(&inter_principal, nb, na, true).unwrap();
-        let inter = CertificateAuthority {
-            principal: inter_principal,
-            root: inter_cert.clone(),
-        };
+        let inter = CertificateAuthority { principal: inter_principal, root: inter_cert.clone() };
         let alice = Principal::test("alice", 512);
         let leaf = inter.issue(&alice, nb, na, false).unwrap();
 
-        verify_chain(&[leaf.clone(), inter_cert.clone(), root.root.clone()], &root.root, SimTime(5))
-            .unwrap();
+        verify_chain(
+            &[leaf.clone(), inter_cert.clone(), root.root.clone()],
+            &root.root,
+            SimTime(5),
+        )
+        .unwrap();
         // A chain missing the intermediate fails.
         assert!(verify_chain(&[leaf, root.root.clone()], &root.root, SimTime(5)).is_err());
-        assert_eq!(
-            verify_chain(&[], &root.root, SimTime(5)),
-            Err(CertError::EmptyChain)
-        );
+        assert_eq!(verify_chain(&[], &root.root, SimTime(5)), Err(CertError::EmptyChain));
     }
 
     #[test]
@@ -362,8 +368,7 @@ mod tests {
         let mut forged = cert.clone();
         forged.tbs.subject = "evil".into();
 
-        let (dir, rejected) =
-            directory_from_certs(&[cert, bob_cert, forged], &ca.root, SimTime(5));
+        let (dir, rejected) = directory_from_certs(&[cert, bob_cert, forged], &ca.root, SimTime(5));
         assert!(dir.authenticate(&alice.id(), alice.public()));
         assert!(dir.authenticate(&bob.id(), bob.public()));
         assert_eq!(rejected.len(), 1);

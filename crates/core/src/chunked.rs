@@ -85,22 +85,14 @@ impl Provider {
         let Commitment::Merkle { chunk_size } = cfg.commitment else {
             return Err(AuditError::NotMerkleMode);
         };
-        let data = self
-            .peek_storage(&challenge.object)
-            .ok_or(AuditError::NoSuchObject)?;
+        let data = self.peek_storage(&challenge.object).ok_or(AuditError::NoSuchObject)?;
         let payload = Payload { key: challenge.object.clone(), data: data.to_vec() };
         let bytes = payload.to_wire();
         let tree = MerkleTree::build(cfg.hash_alg, &bytes, chunk_size);
-        let proof = tree
-            .prove(challenge.chunk_index)
-            .ok_or(AuditError::IndexOutOfRange)?;
+        let proof = tree.prove(challenge.chunk_index).ok_or(AuditError::IndexOutOfRange)?;
         let start = challenge.chunk_index * chunk_size;
         let end = (start + chunk_size).min(bytes.len());
-        Ok(AuditResponse {
-            challenge: challenge.clone(),
-            chunk: bytes[start..end].to_vec(),
-            proof,
-        })
+        Ok(AuditResponse { challenge: challenge.clone(), chunk: bytes[start..end].to_vec(), proof })
     }
 }
 
@@ -201,13 +193,9 @@ mod tests {
 
         // The chunk containing the flip fails…
         let bad_index = (8 + 11 + 1000) / CHUNK;
-        let challenge =
-            AuditChallenge { object: b"archive/big".to_vec(), chunk_index: bad_index };
+        let challenge = AuditChallenge { object: b"archive/big".to_vec(), chunk_index: bad_index };
         let resp = w.provider.answer_audit(&cfg(), &challenge).unwrap();
-        assert_eq!(
-            w.client.verify_audit(&cfg(), up, &resp),
-            Err(AuditError::ProofRejected)
-        );
+        assert_eq!(w.client.verify_audit(&cfg(), up, &resp), Err(AuditError::ProofRejected));
         // …and so does every other chunk: the whole tree root moved, so
         // even intact chunks cannot be proven against the signed root.
         let challenge = AuditChallenge { object: b"archive/big".to_vec(), chunk_index: 0 };
@@ -230,10 +218,7 @@ mod tests {
             chunk: vec![],
             proof: MerkleProof { index: 0, siblings: vec![] },
         };
-        assert_eq!(
-            w.client.verify_audit(&flat, r.txn_id, &fake),
-            Err(AuditError::NotMerkleMode)
-        );
+        assert_eq!(w.client.verify_audit(&flat, r.txn_id, &fake), Err(AuditError::NotMerkleMode));
     }
 
     #[test]

@@ -134,6 +134,12 @@ impl Client {
         self.txns.get(&txn_id)?.received.as_ref()
     }
 
+    /// Earliest timeout deadline over all non-terminal transactions (the
+    /// scheduler's view of this client's pending timers).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.txns.values().filter(|t| !t.state.is_terminal()).map(|t| t.deadline).min()
+    }
+
     fn build_transfer(
         &mut self,
         flag: Flag,
@@ -157,15 +163,12 @@ impl Client {
             hash_alg: self.cfg.hash_alg,
             data_hash: hash.clone(),
         };
-        let provider_pk = self
-            .lookup_key(&self.provider)
-            .ok_or(ValidationError::NoKey(self.provider))?;
+        let provider_pk =
+            self.lookup_key(&self.provider).ok_or(ValidationError::NoKey(self.provider))?;
         let sealed = seal(&self.cfg, &self.me, &provider_pk, &pt, &mut self.rng)
             .map_err(ValidationError::Evidence)?;
         // Alice archives her own NRO: the signatures she just produced.
-        let nro = self
-            .own_evidence(&pt)
-            .map_err(ValidationError::Evidence)?;
+        let nro = self.own_evidence(&pt).map_err(ValidationError::Evidence)?;
         self.txns.insert(
             txn_id,
             ClientTxn {
@@ -221,12 +224,7 @@ impl Client {
         now: SimTime,
         strategy: TimeoutStrategy,
     ) -> Result<(u64, Vec<Outgoing>), ValidationError> {
-        self.build_transfer(
-            Flag::UploadRequest,
-            Payload { key: key.to_vec(), data },
-            now,
-            strategy,
-        )
+        self.build_transfer(Flag::UploadRequest, Payload { key: key.to_vec(), data }, now, strategy)
     }
 
     /// Starts a download (Normal mode message 1 of 2).
@@ -276,10 +274,7 @@ impl Client {
         let expected = if self.cfg.bind_identities { Some(self.provider) } else { None };
         let _ = from;
         self.validator.check(&self.cfg, pt, expected, now)?;
-        let txn = self
-            .txns
-            .get(&pt.txn_id)
-            .ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
+        let txn = self.txns.get(&pt.txn_id).ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
         let ok_flag = matches!(
             (txn.kind, pt.flag),
             (Flag::UploadRequest, Flag::UploadReceipt)
@@ -328,10 +323,7 @@ impl Client {
         let sender_pk = self.lookup_key(&pt.sender).ok_or(ValidationError::NoKey(pt.sender))?;
         let nrr = open_and_verify(&self.cfg, &self.me, &sender_pk, pt, evidence)
             .map_err(ValidationError::Evidence)?;
-        let txn = self
-            .txns
-            .get_mut(&pt.txn_id)
-            .ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
+        let txn = self.txns.get_mut(&pt.txn_id).ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
         match outcome {
             AbortOutcome::Accept => {
                 txn.nrr = Some(nrr);
@@ -368,10 +360,7 @@ impl Client {
         }
         self.validator.check(&self.cfg, pt, None, now)?;
         let (kind, sent_hash, state) = {
-            let txn = self
-                .txns
-                .get(&pt.txn_id)
-                .ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
+            let txn = self.txns.get(&pt.txn_id).ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
             (txn.kind, txn.sent_hash.clone(), txn.state)
         };
         // A late/replayed resolve reply must not overwrite a settled state.
@@ -381,12 +370,10 @@ impl Client {
         match action {
             ResolveAction::Continue => {
                 // The reply plaintext is Bob's re-issued NRR plaintext.
-                let sender_pk = self
-                    .lookup_key(&pt.sender)
-                    .ok_or(ValidationError::NoKey(pt.sender))?;
-                let sealed = evidence.ok_or(ValidationError::Evidence(
-                    crate::evidence::EvidenceError::Malformed,
-                ))?;
+                let sender_pk =
+                    self.lookup_key(&pt.sender).ok_or(ValidationError::NoKey(pt.sender))?;
+                let sealed = evidence
+                    .ok_or(ValidationError::Evidence(crate::evidence::EvidenceError::Malformed))?;
                 let nrr = open_and_verify(&self.cfg, &self.me, &sender_pk, pt, sealed)
                     .map_err(ValidationError::Evidence)?;
                 // On upload the re-issued receipt must match what we sent.
@@ -462,7 +449,10 @@ impl Client {
         let txn = self.txns.get_mut(&txn_id).expect("exists");
         txn.abort_attempted = true;
         txn.deadline = now.after(self.cfg.response_timeout);
-        vec![Outgoing { to: self.provider, msg: Message::Abort { plaintext: pt, evidence: sealed } }]
+        vec![Outgoing {
+            to: self.provider,
+            msg: Message::Abort { plaintext: pt, evidence: sealed },
+        }]
     }
 
     fn send_resolve(&mut self, txn_id: u64, now: SimTime) -> Vec<Outgoing> {
@@ -509,5 +499,24 @@ impl Client {
             return None;
         }
         Some(up.plaintext.data_hash == down.plaintext.data_hash)
+    }
+}
+
+impl crate::sched::Actor for Client {
+    fn on_message(
+        &mut self,
+        from: PrincipalId,
+        msg: &Message,
+        now: SimTime,
+    ) -> Result<Vec<Outgoing>, ValidationError> {
+        self.handle(from, msg, now)
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        Client::next_deadline(self)
+    }
+
+    fn on_tick(&mut self, now: SimTime) -> Vec<Outgoing> {
+        self.poll_timeouts(now)
     }
 }

@@ -178,11 +178,7 @@ mod tests {
         };
         for a in Ablation::all() {
             let c = ProtocolConfig::ablated(a);
-            let diff = flags(&full)
-                .iter()
-                .zip(flags(&c).iter())
-                .filter(|(x, y)| x != y)
-                .count();
+            let diff = flags(&full).iter().zip(flags(&c).iter()).filter(|(x, y)| x != y).count();
             let expected = if a == Ablation::None { 0 } else { 1 };
             assert_eq!(diff, expected, "{:?}", a);
         }

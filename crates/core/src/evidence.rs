@@ -264,19 +264,15 @@ pub fn open_and_verify(
     plaintext: &EvidencePlaintext,
     sealed: &SealedEvidence,
 ) -> Result<VerifiedEvidence, EvidenceError> {
-    let body =
-        envelope::open(&recipient.keys.private, &sealed.sealed).map_err(|_| EvidenceError::Unsealable)?;
+    let body = envelope::open(&recipient.keys.private, &sealed.sealed)
+        .map_err(|_| EvidenceError::Unsealable)?;
     let mut r = Reader::new(&body);
     let sig_data_hash = r.bytes().map_err(|_| EvidenceError::Malformed)?;
     let sig_plaintext = r.bytes().map_err(|_| EvidenceError::Malformed)?;
     r.expect_end().map_err(|_| EvidenceError::Malformed)?;
 
     verify_signatures(cfg, sender_pk, plaintext, &sig_data_hash, &sig_plaintext)?;
-    Ok(VerifiedEvidence {
-        plaintext: plaintext.clone(),
-        sig_data_hash,
-        sig_plaintext,
-    })
+    Ok(VerifiedEvidence { plaintext: plaintext.clone(), sig_data_hash, sig_plaintext })
 }
 
 /// Signature check shared by the recipient and the arbitrator.

@@ -49,10 +49,10 @@
 
 pub mod arbiter;
 pub mod archive;
-pub mod cert;
-pub mod chunked;
 pub mod baseline;
 pub mod bridge;
+pub mod cert;
+pub mod chunked;
 pub mod client;
 pub mod config;
 pub mod evidence;
@@ -61,6 +61,7 @@ pub mod multi;
 pub mod principal;
 pub mod provider;
 pub mod runner;
+pub mod sched;
 pub mod session;
 pub mod ttp;
 
@@ -73,5 +74,6 @@ pub use message::Message;
 pub use principal::{Directory, Principal, PrincipalId};
 pub use provider::Provider;
 pub use runner::{TxnReport, World};
+pub use sched::{Actor, SettleOutcome, SettleReport};
 pub use session::{Outgoing, Payload, TxnState, ValidationError};
 pub use ttp::Ttp;

@@ -71,6 +71,10 @@ impl ResolveAction {
 }
 
 /// Every message that crosses the wire in the TPNR protocol.
+// Variant sizes differ because some carry payloads/evidence and some don't;
+// messages are built once and moved to the wire, so boxing the large
+// variants would only add indirection on the hot encode path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// Alice → Bob: upload `data` with evidence (NRO). Also used for
@@ -259,11 +263,7 @@ impl Wire for Message {
             7 => Message::ResolveReply {
                 action: ResolveAction::from_wire_id(r.u8()?)?,
                 plaintext: EvidencePlaintext::decode(r)?,
-                evidence: if r.bool()? {
-                    Some(SealedEvidence::decode(r)?)
-                } else {
-                    None
-                },
+                evidence: if r.bool()? { Some(SealedEvidence::decode(r)?) } else { None },
             },
             other => return Err(CodecError::BadDiscriminant("message", other as u64)),
         })
@@ -299,8 +299,16 @@ mod tests {
 
     fn all_messages() -> Vec<Message> {
         vec![
-            Message::Transfer { plaintext: pt(Flag::UploadRequest), data: b"d".to_vec(), evidence: sealed() },
-            Message::Receipt { plaintext: pt(Flag::UploadReceipt), data: vec![], evidence: sealed() },
+            Message::Transfer {
+                plaintext: pt(Flag::UploadRequest),
+                data: b"d".to_vec(),
+                evidence: sealed(),
+            },
+            Message::Receipt {
+                plaintext: pt(Flag::UploadReceipt),
+                data: vec![],
+                evidence: sealed(),
+            },
             Message::Abort { plaintext: pt(Flag::AbortRequest), evidence: sealed() },
             Message::AbortReply {
                 outcome: AbortOutcome::Accept,
@@ -316,7 +324,10 @@ mod tests {
                 },
                 report: "no response before timeout".into(),
             },
-            Message::ResolveForward { plaintext: pt(Flag::ResolveForward), ttp_timestamp: SimTime(55) },
+            Message::ResolveForward {
+                plaintext: pt(Flag::ResolveForward),
+                ttp_timestamp: SimTime(55),
+            },
             Message::ResolveReply {
                 action: ResolveAction::Continue,
                 plaintext: pt(Flag::ResolveResponse),

@@ -11,12 +11,14 @@ use crate::config::ProtocolConfig;
 use crate::message::Message;
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::provider::Provider;
+use crate::runner::TxnReport;
+use crate::sched::{self, Actor, EventHub, SettleReport};
 use crate::session::{Outgoing, TxnState};
 use crate::ttp::Ttp;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use tpnr_crypto::ChaChaRng;
 use tpnr_net::codec::Wire;
-use tpnr_net::sim::{LinkConfig, NodeId, SimNet};
+use tpnr_net::sim::{Envelope, LinkConfig, NodeId, SimNet};
 use tpnr_net::time::SimTime;
 
 /// N clients sharing one provider and one TTP over the simulator.
@@ -37,8 +39,13 @@ pub struct MultiWorld {
     pub ttp_node: NodeId,
     node_of: HashMap<PrincipalId, NodeId>,
     principal_of: HashMap<NodeId, PrincipalId>,
-    /// Safety valve against livelock.
+    /// Safety valve against livelock; when hit, settle reports
+    /// [`sched::SettleOutcome::StepCapExceeded`].
     pub max_steps: usize,
+    /// (owning client index, start time) per started transaction.
+    txn_meta: HashMap<u64, (usize, SimTime)>,
+    /// Transactions the TTP has seen a message for.
+    ttp_touched: HashSet<u64>,
 }
 
 impl MultiWorld {
@@ -59,10 +66,8 @@ impl MultiWorld {
         }
 
         let mut net = SimNet::new(seed);
-        let client_nodes: Vec<NodeId> = client_principals
-            .iter()
-            .map(|c| net.register(&c.name))
-            .collect();
+        let client_nodes: Vec<NodeId> =
+            client_principals.iter().map(|c| net.register(&c.name)).collect();
         let bob_node = net.register("bob");
         let ttp_node = net.register("ttp");
 
@@ -108,6 +113,8 @@ impl MultiWorld {
             node_of,
             principal_of,
             max_steps: 100_000,
+            txn_meta: HashMap::new(),
+            ttp_touched: HashSet::new(),
         }
     }
 
@@ -119,7 +126,8 @@ impl MultiWorld {
     fn dispatch(&mut self, from_node: NodeId, out: Vec<Outgoing>) {
         for o in out {
             if let Some(&dst) = self.node_of.get(&o.to) {
-                self.net.send(from_node, dst, o.msg.to_wire());
+                let txn = o.msg.txn_id();
+                self.net.send_tagged(from_node, dst, o.msg.to_wire(), Some(txn));
             }
         }
     }
@@ -134,9 +142,9 @@ impl MultiWorld {
         strategy: TimeoutStrategy,
     ) -> u64 {
         let now = self.net.now();
-        let (txn, out) = self.clients[idx]
-            .begin_upload(key, data, now, strategy)
-            .expect("initiation");
+        let (txn, out) =
+            self.clients[idx].begin_upload(key, data, now, strategy).expect("initiation");
+        self.txn_meta.insert(txn, (idx, now));
         self.dispatch(self.client_nodes[idx], out);
         txn
     }
@@ -144,9 +152,8 @@ impl MultiWorld {
     /// Starts a download from client `idx` without settling.
     pub fn start_download(&mut self, idx: usize, key: &[u8], strategy: TimeoutStrategy) -> u64 {
         let now = self.net.now();
-        let (txn, out) = self.clients[idx]
-            .begin_download(key, now, strategy)
-            .expect("initiation");
+        let (txn, out) = self.clients[idx].begin_download(key, now, strategy).expect("initiation");
+        self.txn_meta.insert(txn, (idx, now));
         self.dispatch(self.client_nodes[idx], out);
         txn
     }
@@ -155,77 +162,104 @@ impl MultiWorld {
         self.client_nodes.iter().position(|&n| n == node)
     }
 
-    /// Delivers traffic and drives timeouts until every transaction of
-    /// every client is terminal.
-    pub fn settle(&mut self) {
-        let mut steps = 0usize;
-        loop {
-            steps += 1;
-            if steps > self.max_steps {
-                break;
-            }
-            if let Some(env) = self.net.step() {
-                let now = self.net.now();
-                let from = self.principal_of[&env.src];
-                let Ok(msg) = Message::from_wire(&env.payload) else { continue };
-                let out = if env.dst == self.bob_node {
-                    self.provider.handle(from, &msg, now).unwrap_or_default()
-                } else if env.dst == self.ttp_node {
-                    self.ttp.handle(from, &msg, now).unwrap_or_default()
-                } else if let Some(i) = self.client_index(env.dst) {
-                    self.clients[i].handle(from, &msg, now).unwrap_or_default()
-                } else {
-                    Vec::new()
-                };
-                self.dispatch(env.dst, out);
-                continue;
-            }
+    fn actor_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = self.client_nodes.clone();
+        nodes.push(self.bob_node);
+        nodes.push(self.ttp_node);
+        nodes
+    }
 
-            // Quiet: any open transactions?
-            let open_deadlines: Vec<SimTime> = self
-                .clients
-                .iter()
-                .flat_map(|c| {
-                    c.txn_ids().into_iter().filter_map(move |id| {
-                        let t = c.txn(id)?;
-                        (!t.state.is_terminal()).then_some(t.deadline)
-                    })
-                })
-                .collect();
-            if open_deadlines.is_empty() {
-                break;
-            }
-            let next = *open_deadlines.iter().min().unwrap();
-            let now = self.net.now().max(next);
-            self.net.advance_to(now);
-            let mut produced = false;
-            for i in 0..self.clients.len() {
-                let out = self.clients[i].poll_timeouts(now);
-                if !out.is_empty() {
-                    produced = true;
-                    self.dispatch(self.client_nodes[i], out);
-                }
-            }
-            let ttp_out = self.ttp.poll_timeouts(now);
-            if !ttp_out.is_empty() {
-                produced = true;
-                self.dispatch(self.ttp_node, ttp_out);
-            }
-            if !produced && !self.net.in_flight() {
-                break;
-            }
+    fn actor(&self, node: NodeId) -> Option<&dyn Actor> {
+        if node == self.bob_node {
+            Some(&self.provider)
+        } else if node == self.ttp_node {
+            Some(&self.ttp)
+        } else {
+            self.client_index(node).map(|i| &self.clients[i] as &dyn Actor)
         }
+    }
+
+    fn actor_mut(&mut self, node: NodeId) -> Option<&mut dyn Actor> {
+        if node == self.bob_node {
+            Some(&mut self.provider)
+        } else if node == self.ttp_node {
+            Some(&mut self.ttp)
+        } else {
+            self.client_index(node).map(move |i| &mut self.clients[i] as &mut dyn Actor)
+        }
+    }
+
+    /// Delivers traffic and drives timeouts on the shared scheduler
+    /// ([`sched::settle`]) until every timer and delivery is drained or
+    /// `max_steps` is hit — check `outcome` on the returned report.
+    pub fn settle(&mut self) -> SettleReport {
+        let max_steps = self.max_steps;
+        sched::settle(self, max_steps)
     }
 
     /// Final state of a client's transaction.
     pub fn state(&self, client: usize, txn: u64) -> Option<TxnState> {
         self.clients[client].txn_state(txn)
     }
+
+    /// Exact per-transaction report from the simulator's tagged traffic
+    /// counters; `None` for unknown transaction ids. Latency runs from
+    /// initiation to the transaction's own last delivery (other sessions
+    /// may keep the shared clock running long after this one settled).
+    pub fn report(&self, txn: u64) -> Option<TxnReport> {
+        let &(idx, started) = self.txn_meta.get(&txn)?;
+        let t = self.net.txn_stats(txn);
+        Some(TxnReport {
+            txn_id: txn,
+            state: self.clients[idx].txn_state(txn)?,
+            messages: t.delivered,
+            bytes: t.bytes_sent,
+            latency: t.last_delivered_at.since(started),
+            ttp_used: self.ttp_touched.contains(&txn),
+        })
+    }
+}
+
+impl EventHub for MultiWorld {
+    fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
+    }
+
+    fn next_timer(&self) -> Option<SimTime> {
+        self.actor_nodes().into_iter().filter_map(|n| self.actor(n)?.next_deadline()).min()
+    }
+
+    fn fire_timers(&mut self, now: SimTime) -> usize {
+        let mut dispatched = 0;
+        for node in self.actor_nodes() {
+            let Some(actor) = self.actor_mut(node) else { continue };
+            let out = actor.on_tick(now);
+            dispatched += out.len();
+            self.dispatch(node, out);
+        }
+        dispatched
+    }
+
+    fn deliver(&mut self, env: Envelope) {
+        let now = self.net.now();
+        let from = self.principal_of[&env.src];
+        let Ok(msg) = Message::from_wire(&env.payload) else { return };
+        if env.dst == self.ttp_node {
+            self.ttp_touched.insert(msg.txn_id());
+        }
+        let out = match self.actor_mut(env.dst) {
+            Some(actor) => actor.on_message(from, &msg, now).unwrap_or_default(),
+            None => Vec::new(),
+        };
+        self.dispatch(env.dst, out);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::SettleOutcome;
+    use tpnr_net::time::SimDuration;
 
     #[test]
     fn ten_clients_interleaved_uploads_all_complete() {
@@ -236,7 +270,8 @@ mod tests {
                 (i, w.start_upload(i, &key, vec![i as u8; 200], TimeoutStrategy::AbortFirst))
             })
             .collect();
-        w.settle();
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::Quiescent);
         for (i, txn) in txns {
             assert_eq!(w.state(i, txn), Some(TxnState::Completed), "client {i}");
         }
@@ -244,19 +279,93 @@ mod tests {
     }
 
     #[test]
+    fn per_txn_accounting_sums_to_global_counters() {
+        // Every message is tagged with its transaction at dispatch, so the
+        // per-transaction counters must partition the global ones exactly —
+        // even with loss, duplication and ten interleaved sessions.
+        let mut w = MultiWorld::new(6, ProtocolConfig::full(), 10);
+        w.set_all_links(LinkConfig {
+            latency: SimDuration::from_millis(10),
+            drop_prob: 0.2,
+            dup_prob: 0.2,
+            ..Default::default()
+        });
+        let txns: Vec<u64> = (0..10)
+            .map(|i| {
+                let key = format!("k{i}").into_bytes();
+                w.start_upload(i, &key, vec![3u8; 64], TimeoutStrategy::ResolveImmediately)
+            })
+            .collect();
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::Quiescent);
+        assert_eq!(w.net.tagged_txns().len(), txns.len());
+        let (mut sent, mut bytes, mut delivered, mut dropped) = (0, 0, 0, 0);
+        for &txn in &txns {
+            let t = w.net.txn_stats(txn);
+            sent += t.sent;
+            bytes += t.bytes_sent;
+            delivered += t.delivered;
+            dropped += t.dropped;
+        }
+        assert_eq!(sent, w.net.stats.sent);
+        assert_eq!(bytes, w.net.stats.bytes_sent);
+        assert_eq!(dropped, w.net.stats.dropped);
+        // Deliveries include duplicate copies on both sides of the ledger.
+        assert_eq!(delivered, w.net.stats.delivered);
+        assert_eq!(
+            delivered,
+            txns.iter().map(|&t| w.report(t).unwrap().messages).sum::<u64>(),
+            "reports expose the same exact per-txn deliveries"
+        );
+    }
+
+    #[test]
+    fn fifty_clients_under_loss_and_duplication_settle_exactly() {
+        // Acceptance scenario: 50 interleaved clients on a 30%-lossy,
+        // duplicating network end all-terminal with exact accounting and
+        // true quiescence (no silent step-cap exits).
+        let mut w = MultiWorld::new(7, ProtocolConfig::full(), 50);
+        w.set_all_links(LinkConfig {
+            latency: SimDuration::from_millis(15),
+            drop_prob: 0.3,
+            dup_prob: 0.15,
+            ..Default::default()
+        });
+        let txns: Vec<(usize, u64)> = (0..50)
+            .map(|i| {
+                let key = format!("user{i}/obj").into_bytes();
+                (i, w.start_upload(i, &key, vec![i as u8; 48], TimeoutStrategy::ResolveImmediately))
+            })
+            .collect();
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::Quiescent);
+        let mut delivered_sum = 0;
+        for &(i, txn) in &txns {
+            let st = w.state(i, txn).unwrap();
+            assert!(st.is_terminal(), "client {i} stuck in {st:?}");
+            let r = w.report(txn).unwrap();
+            assert!(r.messages >= 2, "client {i} settled in {} messages", r.messages);
+            delivered_sum += r.messages;
+        }
+        assert_eq!(delivered_sum, w.net.stats.delivered, "exact partition of deliveries");
+    }
+
+    #[test]
     fn clients_cannot_read_each_others_evidence_but_share_namespace() {
         let mut w = MultiWorld::new(2, ProtocolConfig::full(), 2);
-        let t0 = w.start_upload(0, b"shared-key", b"from client 0".to_vec(), TimeoutStrategy::AbortFirst);
+        let t0 = w.start_upload(
+            0,
+            b"shared-key",
+            b"from client 0".to_vec(),
+            TimeoutStrategy::AbortFirst,
+        );
         w.settle();
         let t1 = w.start_download(1, b"shared-key", TimeoutStrategy::AbortFirst);
         w.settle();
         // Client 1 can fetch the object (this model has a flat namespace,
         // like a shared bucket)…
         assert_eq!(w.state(1, t1), Some(TxnState::Completed));
-        assert_eq!(
-            w.clients[1].download_result(t1).unwrap().data,
-            b"from client 0"
-        );
+        assert_eq!(w.clients[1].download_result(t1).unwrap().data, b"from client 0");
         // …but holds only its own transactions' evidence.
         assert!(w.clients[1].txn(t0).is_none());
         assert!(w.clients[0].txn(t1).is_none());
@@ -281,14 +390,15 @@ mod tests {
     fn mixed_fault_population_terminates() {
         let mut w = MultiWorld::new(4, ProtocolConfig::full(), 5);
         // A lossy world for everyone.
-        w.set_all_links(LinkConfig::lossy(tpnr_net::time::SimDuration::from_millis(15), 0.2));
+        w.set_all_links(LinkConfig::lossy(SimDuration::from_millis(15), 0.2));
         let txns: Vec<(usize, u64)> = (0..5)
             .map(|i| {
                 let key = format!("k{i}").into_bytes();
                 (i, w.start_upload(i, &key, vec![7u8; 64], TimeoutStrategy::ResolveImmediately))
             })
             .collect();
-        w.settle();
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::Quiescent);
         for (i, txn) in txns {
             let st = w.state(i, txn).unwrap();
             assert!(st.is_terminal(), "client {i} stuck in {st:?}");
@@ -305,7 +415,10 @@ mod tests {
         let mut txns = Vec::new();
         for i in 0..4 {
             let key = format!("k{i}").into_bytes();
-            txns.push((i, w.start_upload(i, &key, vec![1u8; 32], TimeoutStrategy::ResolveImmediately)));
+            txns.push((
+                i,
+                w.start_upload(i, &key, vec![1u8; 32], TimeoutStrategy::ResolveImmediately),
+            ));
         }
         w.settle();
         for (i, txn) in txns {

@@ -83,9 +83,7 @@ impl Directory {
     /// Checks that a key claimed on the wire matches the directory: this is
     /// the key-authentication step of §5.1.
     pub fn authenticate(&self, id: &PrincipalId, claimed: &RsaPublicKey) -> bool {
-        self.lookup(id).map_or(false, |pk| {
-            pk == claimed && PrincipalId(claimed.fingerprint()) == *id
-        })
+        self.lookup(id).is_some_and(|pk| pk == claimed && PrincipalId(claimed.fingerprint()) == *id)
     }
 }
 

@@ -21,6 +21,10 @@ use tpnr_crypto::{ChaChaRng, RsaPublicKey};
 use tpnr_net::codec::Wire;
 use tpnr_net::time::SimTime;
 
+/// Sealed NRR plus the raw `(data-sig, plaintext-sig)` pair, kept so the
+/// receipt can be re-issued on a Resolve forward.
+type SealedWithSigs = (crate::evidence::SealedEvidence, (Vec<u8>, Vec<u8>));
+
 /// Behaviour knobs for misbehaving-provider experiments.
 #[derive(Debug, Clone)]
 pub struct ProviderBehavior {
@@ -34,11 +38,7 @@ pub struct ProviderBehavior {
 
 impl Default for ProviderBehavior {
     fn default() -> Self {
-        ProviderBehavior {
-            respond_transfers: true,
-            respond_aborts: true,
-            respond_resolves: true,
-        }
+        ProviderBehavior { respond_transfers: true, respond_aborts: true, respond_resolves: true }
     }
 }
 
@@ -235,9 +235,8 @@ impl Provider {
             hash_alg: pt.hash_alg,
             data_hash: response_hash,
         };
-        let (sealed, sigs) = self
-            .sign_and_seal(&nrr_pt, &sender_pk)
-            .map_err(ValidationError::Evidence)?;
+        let (sealed, sigs) =
+            self.sign_and_seal(&nrr_pt, &sender_pk).map_err(ValidationError::Evidence)?;
 
         self.txns.insert(
             pt.txn_id,
@@ -307,9 +306,8 @@ impl Provider {
             hash_alg: pt.hash_alg,
             data_hash: pt.data_hash.clone(),
         };
-        let (sealed, _) = self
-            .sign_and_seal(&reply_pt, &sender_pk)
-            .map_err(ValidationError::Evidence)?;
+        let (sealed, _) =
+            self.sign_and_seal(&reply_pt, &sender_pk).map_err(ValidationError::Evidence)?;
         Ok(vec![Outgoing {
             to: pt.sender,
             msg: Message::AbortReply { outcome, plaintext: reply_pt, evidence: sealed },
@@ -335,17 +333,15 @@ impl Provider {
             Some(rec) if !rec.nrr_sigs.0.is_empty() => {
                 // Re-issue the NRR, re-sealed for Alice (she may have never
                 // received the original receipt).
-                let peer_pk = self
-                    .lookup_key(&rec.peer)
-                    .ok_or(ValidationError::NoKey(rec.peer))?;
+                let peer_pk = self.lookup_key(&rec.peer).ok_or(ValidationError::NoKey(rec.peer))?;
                 let body = {
                     let mut w = tpnr_net::codec::Writer::new();
                     w.bytes(&rec.nrr_sigs.0);
                     w.bytes(&rec.nrr_sigs.1);
                     w.finish_vec()
                 };
-                let sealed = tpnr_crypto::envelope::seal(&peer_pk, &mut self.rng, &body)
-                    .map_err(|e| {
+                let sealed =
+                    tpnr_crypto::envelope::seal(&peer_pk, &mut self.rng, &body).map_err(|e| {
                         ValidationError::Evidence(crate::evidence::EvidenceError::Crypto(e))
                     })?;
                 (
@@ -387,8 +383,7 @@ impl Provider {
         &mut self,
         pt: &EvidencePlaintext,
         recipient_pk: &RsaPublicKey,
-    ) -> Result<(crate::evidence::SealedEvidence, (Vec<u8>, Vec<u8>)), crate::evidence::EvidenceError>
-    {
+    ) -> Result<SealedWithSigs, crate::evidence::EvidenceError> {
         // Sign once, keep the signatures for Resolve re-issue, and seal.
         let (s1, s2) = if self.cfg.require_signatures {
             let s1 = self
@@ -414,5 +409,19 @@ impl Provider {
         let sealed = tpnr_crypto::envelope::seal(recipient_pk, &mut self.rng, &body)
             .map_err(crate::evidence::EvidenceError::Crypto)?;
         Ok((crate::evidence::SealedEvidence { sealed }, (s1, s2)))
+    }
+}
+
+/// The provider is purely reactive: it answers transfers, aborts and
+/// resolve forwards but owns no timers, so the `Actor` timer hooks keep
+/// their no-op defaults.
+impl crate::sched::Actor for Provider {
+    fn on_message(
+        &mut self,
+        from: PrincipalId,
+        msg: &Message,
+        now: SimTime,
+    ) -> Result<Vec<Outgoing>, ValidationError> {
+        self.handle(from, msg, now)
     }
 }

@@ -12,13 +12,14 @@ use crate::config::ProtocolConfig;
 use crate::message::Message;
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::provider::Provider;
+use crate::sched::{self, Actor, EventHub, SettleReport};
 use crate::session::{Outgoing, TxnState};
 use crate::ttp::Ttp;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use tpnr_crypto::ChaChaRng;
 use tpnr_net::codec::Wire;
-use tpnr_net::sim::{LinkConfig, NodeId, SimNet};
-use tpnr_net::time::{SimDuration, SimTime};
+use tpnr_net::sim::{Envelope, LinkConfig, NodeId, SimNet};
+use tpnr_net::time::SimTime;
 
 /// One delivered-message trace entry (for examples and debugging).
 #[derive(Debug, Clone)]
@@ -40,18 +41,24 @@ pub struct TraceEvent {
 }
 
 /// Per-transaction outcome report.
+///
+/// Counts come from the simulator's per-transaction tagged stats
+/// ([`SimNet::txn_stats`]), so they are exact even when many transactions
+/// interleave on the same network — not before/after deltas of global
+/// counters.
 #[derive(Debug, Clone)]
 pub struct TxnReport {
     /// Transaction id.
     pub txn_id: u64,
     /// Final state at the client.
     pub state: TxnState,
-    /// Protocol messages delivered for this transaction.
+    /// Protocol messages delivered for this transaction (duplicates count
+    /// per delivered copy).
     pub messages: u64,
     /// Bytes sent on the wire for this transaction.
     pub bytes: u64,
     /// Wall-clock (simulated) duration from initiation to settlement.
-    pub latency: SimDuration,
+    pub latency: tpnr_net::time::SimDuration,
     /// Whether the TTP handled any message of this transaction.
     pub ttp_used: bool,
 }
@@ -80,8 +87,12 @@ pub struct World {
     pub dir: Directory,
     /// Delivery trace.
     pub trace: Vec<TraceEvent>,
-    /// Safety valve against livelock in adversarial runs.
+    /// Safety valve against livelock in adversarial runs; when hit, settle
+    /// reports [`sched::SettleOutcome::StepCapExceeded`] instead of
+    /// silently stopping.
     pub max_steps: usize,
+    /// Transactions the TTP has seen a message for.
+    ttp_touched: HashSet<u64>,
 }
 
 impl World {
@@ -116,26 +127,15 @@ impl World {
             ttp_p.id(),
             ChaChaRng::seed_from_u64(seed ^ 0xb0b),
         );
-        let ttp = Ttp::new(
-            ttp_p.clone(),
-            cfg,
-            dir.clone(),
-            ChaChaRng::seed_from_u64(seed ^ 0x777),
-        );
+        let ttp = Ttp::new(ttp_p.clone(), cfg, dir.clone(), ChaChaRng::seed_from_u64(seed ^ 0x777));
 
-        let node_of: HashMap<_, _> = [
-            (alice.id(), alice_node),
-            (bob.id(), bob_node),
-            (ttp_p.id(), ttp_node),
-        ]
-        .into_iter()
-        .collect();
-        let principal_of: HashMap<_, _> =
-            node_of.iter().map(|(p, n)| (*n, *p)).collect();
-        let name_of: HashMap<NodeId, &'static str> =
-            [(alice_node, "alice"), (bob_node, "bob"), (ttp_node, "ttp")]
+        let node_of: HashMap<_, _> =
+            [(alice.id(), alice_node), (bob.id(), bob_node), (ttp_p.id(), ttp_node)]
                 .into_iter()
                 .collect();
+        let principal_of: HashMap<_, _> = node_of.iter().map(|(p, n)| (*n, *p)).collect();
+        let name_of: HashMap<NodeId, &'static str> =
+            [(alice_node, "alice"), (bob_node, "bob"), (ttp_node, "ttp")].into_iter().collect();
 
         World {
             net,
@@ -151,6 +151,7 @@ impl World {
             dir,
             trace: Vec::new(),
             max_steps: 10_000,
+            ttp_touched: HashSet::new(),
         }
     }
 
@@ -162,7 +163,8 @@ impl World {
     fn dispatch_outgoing(&mut self, from_node: NodeId, out: Vec<Outgoing>) {
         for o in out {
             let Some(&dst) = self.node_of.get(&o.to) else { continue };
-            self.net.send(from_node, dst, o.msg.to_wire());
+            let txn = o.msg.txn_id();
+            self.net.send_tagged(from_node, dst, o.msg.to_wire(), Some(txn));
         }
     }
 
@@ -171,131 +173,46 @@ impl World {
         self.dispatch_outgoing(self.alice_node, out);
     }
 
-    /// Runs deliveries and timeout polls until every client transaction is
-    /// terminal or nothing further can happen. Returns delivered-message
-    /// count.
-    pub fn settle(&mut self) -> usize {
-        let mut delivered = 0usize;
-        let mut steps = 0usize;
-        loop {
-            steps += 1;
-            if steps > self.max_steps {
-                break;
-            }
-            // A protocol timer due before the next delivery must fire first
-            // (otherwise a long-delayed message would suppress Abort/Resolve).
-            let next_deadline = self
-                .client
-                .txn_ids()
-                .into_iter()
-                .filter_map(|id| self.client.txn(id))
-                .filter(|t| !t.state.is_terminal())
-                .map(|t| t.deadline)
-                .min();
-            if let (Some(deadline), Some(event_at)) = (next_deadline, self.net.next_event_at()) {
-                if deadline < event_at && deadline >= self.net.now() {
-                    self.net.advance_to(deadline);
-                    let out = self.client.poll_timeouts(deadline);
-                    self.dispatch_outgoing(self.alice_node, out);
-                    let out = self.ttp.poll_timeouts(deadline);
-                    self.dispatch_outgoing(self.ttp_node, out);
-                    continue;
-                }
-            }
-            if let Some(env) = self.net.step() {
-                delivered += 1;
-                let now = self.net.now();
-                let from_principal = self.principal_of[&env.src];
-                let (kind, txn_id) = match Message::from_wire(&env.payload) {
-                    Ok(m) => (m.kind().to_string(), m.txn_id()),
-                    Err(_) => ("<garbled>".to_string(), 0),
-                };
-                let result: Result<Vec<Outgoing>, String> =
-                    match Message::from_wire(&env.payload) {
-                        Err(e) => Err(format!("decode: {e}")),
-                        Ok(msg) => {
-                            let r = if env.dst == self.alice_node {
-                                self.client.handle(from_principal, &msg, now)
-                            } else if env.dst == self.bob_node {
-                                self.provider.handle(from_principal, &msg, now)
-                            } else {
-                                self.ttp.handle(from_principal, &msg, now)
-                            };
-                            r.map_err(|e| e.to_string())
-                        }
-                    };
-                let accepted = result.is_ok();
-                let error = result.as_ref().err().cloned();
-                self.trace.push(TraceEvent {
-                    at: now,
-                    from: self.name_of[&env.src],
-                    to: self.name_of[&env.dst],
-                    kind,
-                    txn_id,
-                    accepted,
-                    error,
-                });
-                if let Ok(out) = result {
-                    self.dispatch_outgoing(env.dst, out);
-                }
-                continue;
-            }
+    fn actor_nodes(&self) -> [NodeId; 3] {
+        [self.alice_node, self.bob_node, self.ttp_node]
+    }
 
-            // Network quiet: if transactions are still open, advance the
-            // clock to the next deadline and fire timeout handlers.
-            let open: Vec<u64> = self
-                .client
-                .txn_ids()
-                .into_iter()
-                .filter(|id| {
-                    self.client
-                        .txn_state(*id)
-                        .map_or(false, |s| !s.is_terminal())
-                })
-                .collect();
-            if open.is_empty() {
-                break;
-            }
-            let next_deadline = open
-                .iter()
-                .filter_map(|id| self.client.txn(*id))
-                .map(|t| t.deadline)
-                .min()
-                .unwrap_or(self.net.now());
-            let now = self.net.now().max(next_deadline);
-            self.net.advance_to(now);
-            let from_client = self.client.poll_timeouts(now);
-            let from_ttp = self.ttp.poll_timeouts(now);
-            if from_client.is_empty() && from_ttp.is_empty() && !self.net.in_flight() {
-                // Nothing to do and nothing in flight: advance past TTP
-                // deadlines if any are pending, otherwise we are stuck done.
-                if self.ttp.pending_count() == 0 {
-                    break;
-                }
-                self.net.advance(SimDuration::from_secs(3600));
-                let late = self.ttp.poll_timeouts(self.net.now());
-                self.dispatch_outgoing(self.ttp_node, late);
-                continue;
-            }
-            self.dispatch_outgoing(self.alice_node, from_client);
-            self.dispatch_outgoing(self.ttp_node, from_ttp);
+    fn actor(&self, node: NodeId) -> &dyn Actor {
+        if node == self.alice_node {
+            &self.client
+        } else if node == self.bob_node {
+            &self.provider
+        } else {
+            &self.ttp
         }
-        delivered
+    }
+
+    fn actor_mut(&mut self, node: NodeId) -> &mut dyn Actor {
+        if node == self.alice_node {
+            &mut self.client
+        } else if node == self.bob_node {
+            &mut self.provider
+        } else {
+            &mut self.ttp
+        }
+    }
+
+    /// Runs deliveries and timeout polls on the shared scheduler
+    /// ([`sched::settle`]) until every timer and delivery is drained or
+    /// `max_steps` is hit — check `outcome` on the returned report.
+    pub fn settle(&mut self) -> SettleReport {
+        let max_steps = self.max_steps;
+        sched::settle(self, max_steps)
     }
 
     /// Uploads and settles, returning the report.
     pub fn upload(&mut self, key: &[u8], data: Vec<u8>, strategy: TimeoutStrategy) -> TxnReport {
         let started = self.net.now();
-        let sent_before = self.net.stats.sent;
-        let bytes_before = self.net.stats.bytes_sent;
-        let ttp_before = self.ttp.stats;
-        let (txn_id, out) = self
-            .client
-            .begin_upload(key, data, started, strategy)
-            .expect("upload initiation");
+        let (txn_id, out) =
+            self.client.begin_upload(key, data, started, strategy).expect("upload initiation");
         self.send_from_client(out);
         self.settle();
-        self.report(txn_id, started, sent_before, bytes_before, ttp_before)
+        self.report(txn_id, started)
     }
 
     /// Downloads and settles, returning the report and the data.
@@ -305,37 +222,81 @@ impl World {
         strategy: TimeoutStrategy,
     ) -> (TxnReport, Option<Vec<u8>>) {
         let started = self.net.now();
-        let sent_before = self.net.stats.sent;
-        let bytes_before = self.net.stats.bytes_sent;
-        let ttp_before = self.ttp.stats;
-        let (txn_id, out) = self
-            .client
-            .begin_download(key, started, strategy)
-            .expect("download initiation");
+        let (txn_id, out) =
+            self.client.begin_download(key, started, strategy).expect("download initiation");
         self.send_from_client(out);
         self.settle();
         let data = self.client.download_result(txn_id).map(|p| p.data.clone());
-        (
-            self.report(txn_id, started, sent_before, bytes_before, ttp_before),
-            data,
-        )
+        (self.report(txn_id, started), data)
     }
 
-    fn report(
-        &self,
-        txn_id: u64,
-        started: SimTime,
-        sent_before: u64,
-        bytes_before: u64,
-        ttp_before: crate::ttp::TtpStats,
-    ) -> TxnReport {
+    /// Builds an exact per-transaction report from the simulator's tagged
+    /// traffic counters.
+    pub fn report(&self, txn_id: u64, started: SimTime) -> TxnReport {
+        let t = self.net.txn_stats(txn_id);
         TxnReport {
             txn_id,
             state: self.client.txn_state(txn_id).unwrap_or(TxnState::Pending),
-            messages: self.net.stats.sent - sent_before,
-            bytes: self.net.stats.bytes_sent - bytes_before,
+            messages: t.delivered,
+            bytes: t.bytes_sent,
             latency: self.net.now().since(started),
-            ttp_used: self.ttp.stats.resolves_received > ttp_before.resolves_received,
+            ttp_used: self.ttp_touched.contains(&txn_id),
+        }
+    }
+}
+
+impl EventHub for World {
+    fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
+    }
+
+    fn next_timer(&self) -> Option<SimTime> {
+        self.actor_nodes().into_iter().filter_map(|n| self.actor(n).next_deadline()).min()
+    }
+
+    fn fire_timers(&mut self, now: SimTime) -> usize {
+        let mut dispatched = 0;
+        for node in self.actor_nodes() {
+            let out = self.actor_mut(node).on_tick(now);
+            dispatched += out.len();
+            self.dispatch_outgoing(node, out);
+        }
+        dispatched
+    }
+
+    fn deliver(&mut self, env: Envelope) {
+        let now = self.net.now();
+        let from_principal = self.principal_of[&env.src];
+        let decoded = Message::from_wire(&env.payload);
+        let (kind, txn_id) = match &decoded {
+            Ok(m) => (m.kind().to_string(), m.txn_id()),
+            Err(_) => ("<garbled>".to_string(), 0),
+        };
+        if env.dst == self.ttp_node {
+            if let Ok(m) = &decoded {
+                self.ttp_touched.insert(m.txn_id());
+            }
+        }
+        let result: Result<Vec<Outgoing>, String> = match decoded {
+            Err(e) => Err(format!("decode: {e}")),
+            Ok(msg) => self
+                .actor_mut(env.dst)
+                .on_message(from_principal, &msg, now)
+                .map_err(|e| e.to_string()),
+        };
+        let accepted = result.is_ok();
+        let error = result.as_ref().err().cloned();
+        self.trace.push(TraceEvent {
+            at: now,
+            from: self.name_of[&env.src],
+            to: self.name_of[&env.dst],
+            kind,
+            txn_id,
+            accepted,
+            error,
+        });
+        if let Ok(out) = result {
+            self.dispatch_outgoing(env.dst, out);
         }
     }
 }
@@ -343,6 +304,8 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::SettleOutcome;
+    use tpnr_net::time::SimDuration;
 
     fn world() -> World {
         World::new(1, ProtocolConfig::full())
@@ -387,10 +350,7 @@ mod tests {
         assert_eq!(down.state, TxnState::Completed);
         assert_eq!(data.unwrap(), b"fake data", "tampered bytes arrive 'validly'");
         // The TPNR integrity link catches it where the platforms could not:
-        assert_eq!(
-            w.client.verify_download_against_upload(up.txn_id, down.txn_id),
-            Some(false)
-        );
+        assert_eq!(w.client.verify_download_against_upload(up.txn_id, down.txn_id), Some(false));
     }
 
     #[test]
@@ -398,10 +358,7 @@ mod tests {
         let mut w = world();
         let up = w.upload(b"k", b"stable".to_vec(), TimeoutStrategy::AbortFirst);
         let (down, _) = w.download(b"k", TimeoutStrategy::AbortFirst);
-        assert_eq!(
-            w.client.verify_download_against_upload(up.txn_id, down.txn_id),
-            Some(true)
-        );
+        assert_eq!(w.client.verify_download_against_upload(up.txn_id, down.txn_id), Some(true));
     }
 
     #[test]
@@ -452,17 +409,113 @@ mod tests {
     #[test]
     fn settle_terminates_under_heavy_loss() {
         // Every protocol run must end in a terminal state even on a 30%
-        // lossy network (no stuck sessions) — DESIGN.md §6.
+        // lossy network (no stuck sessions) — DESIGN.md §6 — and the
+        // scheduler must reach true quiescence, not a silent step cap.
         for seed in 0..5 {
             let mut w = World::new(seed, ProtocolConfig::full());
             w.set_all_links(LinkConfig::lossy(SimDuration::from_millis(20), 0.3));
-            let r = w.upload(b"k", vec![1, 2, 3], TimeoutStrategy::ResolveImmediately);
-            assert!(
-                r.state.is_terminal(),
-                "seed {seed} left state {:?}",
-                r.state
-            );
+            let started = w.net.now();
+            let (txn_id, out) = w
+                .client
+                .begin_upload(b"k", vec![1, 2, 3], started, TimeoutStrategy::ResolveImmediately)
+                .unwrap();
+            w.send_from_client(out);
+            let s = w.settle();
+            assert_eq!(s.outcome, SettleOutcome::Quiescent, "seed {seed}");
+            let r = w.report(txn_id, started);
+            assert!(r.state.is_terminal(), "seed {seed} left state {:?}", r.state);
         }
+    }
+
+    #[test]
+    fn overdue_timer_fires_despite_background_traffic() {
+        // Regression for the settle-loop starvation bug: the old loop only
+        // fired a timer while `deadline >= now`, so once deliveries pushed
+        // the clock past the deadline, Abort/Resolve was postponed until
+        // the network drained. Flood the wire with undecodable chatter
+        // spread over ~2 minutes (latency jitter reorders it) against a
+        // silent provider: the resolve must still go out at its deadline,
+        // not after the flood.
+        let mut w = world();
+        w.provider.behavior.respond_transfers = false;
+        let (a, b) = (w.alice_node, w.bob_node);
+        w.net.set_link(
+            a,
+            b,
+            LinkConfig {
+                latency: SimDuration::from_millis(1),
+                jitter: SimDuration::from_secs(120),
+                ..Default::default()
+            },
+        );
+        let started = w.net.now();
+        let (txn_id, out) = w
+            .client
+            .begin_upload(b"k", b"data".to_vec(), started, TimeoutStrategy::ResolveImmediately)
+            .unwrap();
+        w.send_from_client(out);
+        for _ in 0..200 {
+            w.net.send(a, b, b"not a protocol message".to_vec());
+        }
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::Quiescent);
+        // A provider that drops transfers never records the NRO, so the
+        // resolve ends in a TTP-mediated Restart and the client marks the
+        // session failed — the fair outcome, and a terminal one.
+        assert_eq!(w.client.txn_state(txn_id), Some(TxnState::Failed));
+        let resolve_at = w.trace.iter().find(|t| t.kind == "Resolve").expect("resolve was sent").at;
+        // The client deadline is response_timeout after start — the flood
+        // tail is ~2 minutes out, so firing anywhere near the deadline
+        // proves the timer was not starved.
+        assert!(
+            resolve_at.micros() < 60_000_000,
+            "resolve delayed until the flood drained: {} µs",
+            resolve_at.micros()
+        );
+    }
+
+    #[test]
+    fn step_cap_reports_exceeded_instead_of_silently_settling() {
+        let mut w = world();
+        w.max_steps = 1;
+        let started = w.net.now();
+        let (_, out) = w
+            .client
+            .begin_upload(b"k", b"d".to_vec(), started, TimeoutStrategy::AbortFirst)
+            .unwrap();
+        w.send_from_client(out);
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::StepCapExceeded);
+        // Resuming with a sane cap finishes the run.
+        w.max_steps = 10_000;
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::Quiescent);
+    }
+
+    #[test]
+    fn timer_delivery_tie_is_deterministic_timer_first() {
+        // Arrange an exact tie: the receipt arrives at the very instant the
+        // client's response deadline expires (response_timeout == one RTT).
+        // The documented rule is timer-first — a reply landing exactly at
+        // the deadline is late — so the abort goes out even though the
+        // receipt was deliverable at the same timestamp, and the run is
+        // reproducible event-for-event.
+        let run = || {
+            let mut cfg = ProtocolConfig::full();
+            cfg.response_timeout = SimDuration::from_millis(50); // == RTT
+            let mut w = World::new(9, cfg);
+            let r = w.upload(b"k", b"d".to_vec(), TimeoutStrategy::AbortFirst);
+            let kinds: Vec<String> = w.trace.iter().map(|t| t.kind.clone()).collect();
+            (r.state, kinds)
+        };
+        let (state1, kinds1) = run();
+        let (state2, kinds2) = run();
+        assert_eq!(kinds1, kinds2, "tie-break must be deterministic");
+        assert_eq!(state1, state2);
+        assert!(
+            kinds1.iter().any(|k| k == "Abort"),
+            "timer fired before the same-instant receipt delivery: {kinds1:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The shared event scheduler behind [`World`](crate::runner::World) and
+//! [`MultiWorld`](crate::multi::MultiWorld).
+//!
+//! Both runners used to carry their own ~100-line settle loops with three
+//! latent bugs: an overdue protocol timer could be starved for as long as
+//! the network stayed busy (the timer only fired while `deadline >= now`),
+//! the step cap was a silent `break` that reported half-settled worlds as
+//! settled, and per-transaction accounting was derived from before/after
+//! deltas of global counters, which misattributes traffic the moment two
+//! transactions interleave. This module is the single replacement: one
+//! deadline-ordered loop that merges network deliveries with every actor's
+//! protocol timers and fails loudly when the cap is hit.
+//!
+//! Ordering rules (see DESIGN.md §4):
+//!
+//! - The next step is whichever of (earliest pending timer, earliest
+//!   scheduled delivery) comes first in simulated time.
+//! - **Tie-break: timers fire before deliveries at the same instant.** A
+//!   reply that lands exactly at the deadline is late — the timeout
+//!   sub-protocol starts, deterministically.
+//! - An overdue timer (deadline already in the past) fires immediately at
+//!   the current simulated time; it can never be pushed behind further
+//!   traffic.
+//! - A timer that fires without producing output and without moving its
+//!   deadline is *barren*; it is masked until the world changes (a delivery
+//!   happens or the deadline moves), so a wedged actor cannot livelock the
+//!   loop.
+
+use crate::message::Message;
+use crate::principal::PrincipalId;
+use crate::session::{Outgoing, ValidationError};
+use tpnr_net::sim::{Envelope, SimNet};
+use tpnr_net::time::SimTime;
+
+/// A protocol participant the scheduler can drive: it receives messages and
+/// owns zero or more pending timers.
+pub trait Actor {
+    /// Handles one delivered protocol message.
+    fn on_message(
+        &mut self,
+        from: PrincipalId,
+        msg: &Message,
+        now: SimTime,
+    ) -> Result<Vec<Outgoing>, ValidationError>;
+
+    /// Earliest pending protocol timer, if any. Actors without timers (the
+    /// provider is purely reactive) use the default.
+    fn next_deadline(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Fires every timer due at `now` and returns the messages produced.
+    fn on_tick(&mut self, _now: SimTime) -> Vec<Outgoing> {
+        Vec::new()
+    }
+}
+
+/// How a settle run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleOutcome {
+    /// Nothing left to do: no deliveries in flight and no live timers.
+    Quiescent,
+    /// The step cap was hit with work still pending. The world is *not*
+    /// settled; raise `max_steps` or investigate the livelock (see the
+    /// README troubleshooting section).
+    StepCapExceeded,
+}
+
+impl SettleOutcome {
+    /// True when the run drained every delivery and timer.
+    pub fn is_quiescent(self) -> bool {
+        self == SettleOutcome::Quiescent
+    }
+}
+
+/// What a settle run did.
+#[derive(Debug, Clone, Copy)]
+pub struct SettleReport {
+    /// How the run ended.
+    pub outcome: SettleOutcome,
+    /// Messages delivered to inboxes.
+    pub delivered: usize,
+    /// Timer rounds fired.
+    pub timer_rounds: usize,
+}
+
+/// What a runner must expose for [`settle`] to drive it. The runner keeps
+/// ownership of the actors and the routing tables; the scheduler only sees
+/// deadlines, deliveries, and opaque dispatch.
+pub trait EventHub {
+    /// The simulated network.
+    fn net_mut(&mut self) -> &mut SimNet;
+    /// Earliest pending timer across every actor.
+    fn next_timer(&self) -> Option<SimTime>;
+    /// Fires all timers due at `now` on every actor and dispatches whatever
+    /// they produce. Returns how many messages were dispatched.
+    fn fire_timers(&mut self, now: SimTime) -> usize;
+    /// Routes one delivered envelope to its actor and dispatches the
+    /// actor's replies.
+    fn deliver(&mut self, env: Envelope);
+}
+
+/// Runs the world until quiescence or the step cap: the single settle loop
+/// shared by `World` and `MultiWorld`.
+pub fn settle(hub: &mut dyn EventHub, max_steps: usize) -> SettleReport {
+    let mut report =
+        SettleReport { outcome: SettleOutcome::Quiescent, delivered: 0, timer_rounds: 0 };
+    let mut barren: Option<SimTime> = None;
+    for _ in 0..max_steps {
+        let timer = hub.next_timer().filter(|t| barren != Some(*t));
+        let delivery = hub.net_mut().next_event_at();
+        match (timer, delivery) {
+            // Timer first, including on ties (t == at).
+            (Some(t), at) if at.is_none_or(|at| t <= at) => {
+                let now = hub.net_mut().now().max(t);
+                hub.net_mut().advance_clock_to(now);
+                let produced = hub.fire_timers(now);
+                report.timer_rounds += 1;
+                // A fire that neither produced output nor moved the
+                // deadline would repeat forever; mask it until something
+                // else changes the world.
+                barren = (produced == 0 && hub.next_timer() == Some(t)).then_some(t);
+            }
+            (_, Some(_)) => {
+                let env = hub.net_mut().step().expect("delivery was just peeked");
+                report.delivered += 1;
+                barren = None;
+                hub.deliver(env);
+            }
+            (_, None) => return report,
+        }
+    }
+    report.outcome = SettleOutcome::StepCapExceeded;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpnr_net::sim::{LinkConfig, NodeId};
+    use tpnr_net::time::SimDuration;
+
+    /// A scripted hub: one synthetic timer plus whatever is in the network
+    /// queue. Records the exact order of timer fires and deliveries. A
+    /// `productive` timer "sends" once and disarms; a barren one produces
+    /// nothing and stays armed (a wedged actor).
+    struct ScriptHub {
+        net: SimNet,
+        deadline: Option<SimTime>,
+        productive: bool,
+        log: Vec<(String, u64)>,
+    }
+
+    impl EventHub for ScriptHub {
+        fn net_mut(&mut self) -> &mut SimNet {
+            &mut self.net
+        }
+        fn next_timer(&self) -> Option<SimTime> {
+            self.deadline
+        }
+        fn fire_timers(&mut self, now: SimTime) -> usize {
+            self.log.push(("timer".into(), now.micros()));
+            if self.productive {
+                self.deadline = None;
+                1
+            } else {
+                0
+            }
+        }
+        fn deliver(&mut self, env: Envelope) {
+            self.log.push(("deliver".into(), env.delivered_at.micros()));
+        }
+    }
+
+    fn hub_with_traffic(n_msgs: u64, spacing_ms: u64) -> (ScriptHub, NodeId, NodeId) {
+        let mut net = SimNet::new(42);
+        let a = net.register("a");
+        let b = net.register("b");
+        let mut hub = ScriptHub { net, deadline: None, productive: true, log: Vec::new() };
+        for i in 0..n_msgs {
+            hub.net.set_link(
+                a,
+                b,
+                LinkConfig::ideal(SimDuration::from_millis((i + 1) * spacing_ms)),
+            );
+            hub.net.send(a, b, vec![0]);
+        }
+        (hub, a, b)
+    }
+
+    #[test]
+    fn overdue_timer_is_never_starved_by_traffic() {
+        // Deliveries at 10, 20, …, 100 ms; a one-shot timer due at 35 ms.
+        // The old loop skipped overdue timers while the queue was busy; the
+        // shared scheduler must fire it between the 30 ms and 40 ms
+        // deliveries.
+        let (mut hub, _, _) = hub_with_traffic(10, 10);
+        hub.deadline = Some(SimTime(35_000));
+        let r = settle(&mut hub, 1000);
+        assert!(r.outcome.is_quiescent());
+        let timer_pos = hub.log.iter().position(|(k, _)| k == "timer").unwrap();
+        assert_eq!(hub.log[timer_pos], ("timer".into(), 35_000));
+        assert_eq!(timer_pos, 3, "after the 10/20/30 ms deliveries, before 40 ms");
+        assert_eq!(r.delivered, 10);
+    }
+
+    #[test]
+    fn timer_fires_before_delivery_on_equal_timestamp() {
+        let (mut hub, _, _) = hub_with_traffic(3, 10); // deliveries at 10/20/30 ms
+        hub.deadline = Some(SimTime(20_000)); // tie with the second delivery
+        let r = settle(&mut hub, 100);
+        assert!(r.outcome.is_quiescent());
+        assert_eq!(
+            hub.log,
+            vec![
+                ("deliver".into(), 10_000),
+                ("timer".into(), 20_000),
+                ("deliver".into(), 20_000),
+                ("deliver".into(), 30_000),
+            ],
+            "ties resolve timer-first, deterministically"
+        );
+    }
+
+    #[test]
+    fn barren_timer_does_not_livelock() {
+        // A timer that produces nothing and never moves must not spin the
+        // loop: deliveries drain, then the run is quiescent.
+        let (mut hub, _, _) = hub_with_traffic(5, 10);
+        hub.deadline = Some(SimTime(1)); // overdue immediately, forever
+        hub.productive = false;
+        let r = settle(&mut hub, 1000);
+        assert!(r.outcome.is_quiescent());
+        assert_eq!(r.delivered, 5);
+        // It got one chance per world change, not one per step.
+        assert!(r.timer_rounds <= 6, "fired {} rounds", r.timer_rounds);
+    }
+
+    #[test]
+    fn step_cap_is_reported_not_swallowed() {
+        let (mut hub, _, _) = hub_with_traffic(10, 10);
+        let r = settle(&mut hub, 3);
+        assert_eq!(r.outcome, SettleOutcome::StepCapExceeded);
+        assert!(!r.outcome.is_quiescent());
+        assert_eq!(r.delivered, 3, "stopped exactly at the cap");
+        assert!(hub.net.in_flight(), "work was genuinely left over");
+    }
+
+    #[test]
+    fn quiescent_empty_world() {
+        let mut net = SimNet::new(1);
+        net.register("only");
+        let mut hub = ScriptHub { net, deadline: None, productive: true, log: Vec::new() };
+        let r = settle(&mut hub, 10);
+        assert!(r.outcome.is_quiescent());
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.timer_rounds, 0);
+    }
+}

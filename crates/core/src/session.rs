@@ -210,8 +210,14 @@ impl Validator {
 
     /// Allocates the next outgoing sequence number for a transaction
     /// (paper: "the sequence number increases one by one").
+    ///
+    /// Saturates at `u64::MAX` instead of wrapping: a wrapped counter would
+    /// restart at 1 and every subsequent message would be rejected as a
+    /// replay by the peer's strictly-increasing window — saturation keeps
+    /// the last message valid and makes the exhaustion observable (the
+    /// counter stops moving) rather than a silent self-DoS.
     pub fn alloc_seq(&mut self, txn_id: u64) -> u64 {
-        let next = self.send_seq.get(&txn_id).copied().unwrap_or(0) + 1;
+        let next = self.send_seq.get(&txn_id).copied().unwrap_or(0).saturating_add(1);
         self.send_seq.insert(txn_id, next);
         next
     }
@@ -272,6 +278,32 @@ mod tests {
         assert_eq!(v.alloc_seq(1), 1);
         assert_eq!(v.alloc_seq(1), 2);
         assert_eq!(v.alloc_seq(2), 1);
+    }
+
+    #[test]
+    fn alloc_seq_saturates_at_u64_max() {
+        // A counter one step from the edge must not wrap to 0: a wrapped
+        // counter restarts at 1, and every message after that is rejected
+        // as stale by the peer's strictly-increasing window.
+        let mut v = validator();
+        v.send_seq.insert(7, u64::MAX - 1);
+        assert_eq!(v.alloc_seq(7), u64::MAX);
+        assert_eq!(v.alloc_seq(7), u64::MAX, "exhausted counter holds, never wraps");
+        assert_eq!(v.alloc_seq(7), u64::MAX);
+    }
+
+    #[test]
+    fn receive_window_at_u64_max_rejects_everything_after() {
+        // Once a peer has spent seq u64::MAX, no strictly-greater number
+        // exists: the window closes rather than reopening at small values.
+        let cfg = ProtocolConfig::full();
+        let mut v = validator();
+        v.check(&cfg, &pt(*b"alice\0\0\0", 1, u64::MAX, 100), None, SimTime(0)).unwrap();
+        let err =
+            v.check(&cfg, &pt(*b"alice\0\0\0", 1, u64::MAX, 100), None, SimTime(0)).unwrap_err();
+        assert_eq!(err, ValidationError::StaleSequence { last: u64::MAX, got: u64::MAX });
+        let err = v.check(&cfg, &pt(*b"alice\0\0\0", 1, 1, 100), None, SimTime(0)).unwrap_err();
+        assert_eq!(err, ValidationError::StaleSequence { last: u64::MAX, got: 1 });
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::principal::{Directory, Principal, PrincipalId};
 use crate::session::{Outgoing, ValidationError, Validator};
 use std::collections::HashMap;
 use tpnr_crypto::ChaChaRng;
-use tpnr_net::time::{SimTime};
+use tpnr_net::time::SimTime;
 
 /// A resolve in flight at the TTP.
 #[derive(Debug, Clone)]
@@ -82,6 +82,13 @@ impl Ttp {
         self.pending.len()
     }
 
+    /// Earliest respondent deadline among pending resolves (the scheduler's
+    /// view of this TTP's pending timers). Replaces the old runners' blind
+    /// one-hour clock jumps whenever `pending_count() > 0`.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.values().map(|p| p.deadline).min()
+    }
+
     /// Handles one incoming message.
     pub fn handle(
         &mut self,
@@ -117,9 +124,8 @@ impl Ttp {
             self.stats.resolves_rejected += 1;
             return Err(ValidationError::IdentityMismatch);
         }
-        self.validator.check(&self.cfg, pt, None, now).map_err(|e| {
+        self.validator.check(&self.cfg, pt, None, now).inspect_err(|_e| {
             self.stats.resolves_rejected += 1;
-            e
         })?;
 
         // Genuineness: the attached NRO must be validly signed by the
@@ -130,12 +136,10 @@ impl Ttp {
             && self
                 .dir
                 .lookup(&nro.plaintext.sender)
-                .map_or(false, |pk| nro.reverify(&self.cfg, pk).is_ok());
+                .is_some_and(|pk| nro.reverify(&self.cfg, pk).is_ok());
         if !genuine {
             self.stats.resolves_rejected += 1;
-            return Err(ValidationError::Evidence(
-                crate::evidence::EvidenceError::BadSignature,
-            ));
+            return Err(ValidationError::Evidence(crate::evidence::EvidenceError::BadSignature));
         }
 
         let respondent = nro.plaintext.recipient;
@@ -176,23 +180,44 @@ impl Ttp {
         action: ResolveAction,
         pt: &EvidencePlaintext,
         evidence: Option<crate::evidence::SealedEvidence>,
-        _now: SimTime,
+        now: SimTime,
     ) -> Result<Vec<Outgoing>, ValidationError> {
-        let pending = self
-            .pending
-            .remove(&pt.txn_id)
-            .ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
+        let pending =
+            self.pending.remove(&pt.txn_id).ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
         if self.cfg.bind_identities && from != pending.respondent {
             // Not from the party we queried — put it back and refuse.
             self.pending.insert(pt.txn_id, pending);
             return Err(ValidationError::IdentityMismatch);
         }
         self.stats.replies_relayed += 1;
-        // Relay verbatim to the initiator: the evidence inside is sealed for
-        // them, not for us — the TTP never learns the data or the receipts.
+        // A Continue reply is relayed verbatim: its plaintext is the
+        // respondent's re-issued receipt and the evidence inside is sealed
+        // for the initiator, not for us — the TTP never learns the data or
+        // the receipts. A Restart/Failed reply carries no evidence and its
+        // plaintext is addressed to us (the respondent answers the forward),
+        // so we re-issue it under our own authority, addressed to the
+        // initiator; otherwise the initiator's identity binding would reject
+        // the relay and re-resolve forever.
+        let plaintext = if evidence.is_some() {
+            pt.clone()
+        } else {
+            EvidencePlaintext {
+                flag: Flag::ResolveResponse,
+                sender: self.me.id(),
+                recipient: pending.initiator,
+                ttp: self.me.id(),
+                txn_id: pt.txn_id,
+                seq: u64::MAX / 2, // outside any normal window; carries TTP authority
+                nonce: self.rng.next_u64(),
+                time_limit: now.after(self.cfg.message_time_limit),
+                object: pending.object.clone(),
+                hash_alg: pending.hash_alg,
+                data_hash: pending.data_hash.clone(),
+            }
+        };
         Ok(vec![Outgoing {
             to: pending.initiator,
-            msg: Message::ResolveReply { action, plaintext: pt.clone(), evidence },
+            msg: Message::ResolveReply { action, plaintext, evidence },
         }])
     }
 
@@ -200,12 +225,8 @@ impl Ttp {
     /// deadline ("the TTP will respond to Alice by telling her that this
     /// session is failed and Bob did not respond").
     pub fn poll_timeouts(&mut self, now: SimTime) -> Vec<Outgoing> {
-        let expired: Vec<u64> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| now >= p.deadline)
-            .map(|(id, _)| *id)
-            .collect();
+        let expired: Vec<u64> =
+            self.pending.iter().filter(|(_, p)| now >= p.deadline).map(|(id, _)| *id).collect();
         let mut out = Vec::new();
         for txn_id in expired {
             let p = self.pending.remove(&txn_id).expect("collected above");
@@ -233,5 +254,24 @@ impl Ttp {
             });
         }
         out
+    }
+}
+
+impl crate::sched::Actor for Ttp {
+    fn on_message(
+        &mut self,
+        from: PrincipalId,
+        msg: &Message,
+        now: SimTime,
+    ) -> Result<Vec<Outgoing>, ValidationError> {
+        self.handle(from, msg, now)
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        Ttp::next_deadline(self)
+    }
+
+    fn on_tick(&mut self, now: SimTime) -> Vec<Outgoing> {
+        self.poll_timeouts(now)
     }
 }

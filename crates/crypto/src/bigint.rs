@@ -114,7 +114,7 @@ impl BigUint {
 
     /// True iff the low bit is clear.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for the value 0).
@@ -128,7 +128,7 @@ impl BigUint {
     /// Returns bit `i` (counting from the least significant bit).
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Sets bit `i`, growing the limb vector as needed.
@@ -167,11 +167,8 @@ impl BigUint {
 
     /// `self + other`.
     pub fn add(&self, other: &Self) -> Self {
-        let (big, small) = if self.limbs.len() >= other.limbs.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
+        let (big, small) =
+            if self.limbs.len() >= other.limbs.len() { (self, other) } else { (other, self) };
         let mut out = Vec::with_capacity(big.limbs.len() + 1);
         let mut carry = 0u64;
         for i in 0..big.limbs.len() {
@@ -189,10 +186,7 @@ impl BigUint {
 
     /// `self - other`. Panics if `other > self` (callers uphold ordering).
     pub fn sub(&self, other: &Self) -> Self {
-        assert!(
-            self.cmp_big(other) != Ordering::Less,
-            "BigUint::sub underflow"
-        );
+        assert!(self.cmp_big(other) != Ordering::Less, "BigUint::sub underflow");
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0u64;
         for i in 0..self.limbs.len() {
@@ -307,8 +301,7 @@ impl BigUint {
             let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
             let mut qhat = num / v_hi as u128;
             let mut rhat = num % v_hi as u128;
-            while qhat >> 64 != 0
-                || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
             {
                 qhat -= 1;
                 rhat += v_hi as u128;
@@ -564,12 +557,7 @@ impl MontgomeryCtx {
         let k = modulus.limbs.len();
         // R^2 mod n computed by shifting; done once per exponentiation.
         let r2 = BigUint::one().shl(64 * k * 2).rem(modulus);
-        MontgomeryCtx {
-            n: modulus.limbs.clone(),
-            n_prime,
-            r2,
-            modulus: modulus.clone(),
-        }
+        MontgomeryCtx { n: modulus.limbs.clone(), n_prime, r2, modulus: modulus.clone() }
     }
 
     /// Montgomery product `a·b·R^-1 mod n` (inputs in Montgomery form).
@@ -582,10 +570,10 @@ impl MontgomeryCtx {
             let ai = a_limbs.get(i).copied().unwrap_or(0);
             // t += ai * b
             let mut carry = 0u128;
-            for j in 0..k {
+            for (j, tj) in t.iter_mut().enumerate().take(k) {
                 let bj = b_limbs.get(j).copied().unwrap_or(0);
-                let s = t[j] as u128 + (ai as u128) * (bj as u128) + carry;
-                t[j] = s as u64;
+                let s = *tj as u128 + (ai as u128) * (bj as u128) + carry;
+                *tj = s as u64;
                 carry = s >> 64;
             }
             let s = t[k] as u128 + carry;

@@ -18,7 +18,7 @@ pub fn hex_encode(data: &[u8]) -> String {
 /// Decodes a hex string (case-insensitive). Returns `None` on odd length or
 /// non-hex characters.
 pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);
@@ -31,8 +31,7 @@ pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
     Some(out)
 }
 
-const B64_ALPHABET: &[u8; 64] =
-    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
 /// Encodes bytes as standard (RFC 4648) Base64 with padding.
 pub fn base64_encode(data: &[u8]) -> String {
@@ -49,11 +48,7 @@ pub fn base64_encode(data: &[u8]) -> String {
         } else {
             '='
         });
-        out.push(if chunk.len() > 2 {
-            B64_ALPHABET[n as usize & 0x3f] as char
-        } else {
-            '='
-        });
+        out.push(if chunk.len() > 2 { B64_ALPHABET[n as usize & 0x3f] as char } else { '=' });
     }
     out
 }
@@ -73,7 +68,7 @@ fn b64_value(c: u8) -> Option<u32> {
 /// input.
 pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
     let bytes = s.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return None;
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
@@ -85,11 +80,7 @@ pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
         }
         let mut n = 0u32;
         for (j, &c) in chunk.iter().enumerate() {
-            let v = if c == b'=' && j >= 4 - pad {
-                0
-            } else {
-                b64_value(c)?
-            };
+            let v = if c == b'=' && j >= 4 - pad { 0 } else { b64_value(c)? };
             n = (n << 6) | v;
         }
         out.push((n >> 16) as u8);

@@ -22,11 +22,7 @@ impl<D: Digest> Hmac<D> {
     /// Creates an HMAC context for `key` (any length; long keys are hashed
     /// first per the RFC).
     pub fn new(key: &[u8]) -> Self {
-        let mut k = if key.len() > D::BLOCK_LEN {
-            D::digest(key)
-        } else {
-            key.to_vec()
-        };
+        let mut k = if key.len() > D::BLOCK_LEN { D::digest(key) } else { key.to_vec() };
         k.resize(D::BLOCK_LEN, 0);
         let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
         let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();

@@ -108,7 +108,7 @@ impl MerkleTree {
         let mut siblings = Vec::with_capacity(self.levels.len() - 1);
         let mut i = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if i % 2 == 0 {
+            let sibling = if i.is_multiple_of(2) {
                 level.get(i + 1).map(|h| (Side::Right, h.clone()))
             } else {
                 Some((Side::Left, level[i - 1].clone()))

@@ -8,9 +8,9 @@ use crate::rng::ChaChaRng;
 
 /// Small primes used for cheap trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 46] = [
-    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
-    191, 193, 197, 199, 211,
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211,
 ];
 
 /// Number of Miller–Rabin witness rounds (error < 4^-40).
@@ -49,7 +49,7 @@ pub fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut ChaChaRng) -> boo
         r += 1;
     }
 
-    let n_bytes = (n.bit_len() + 7) / 8;
+    let n_bytes = n.bit_len().div_ceil(8);
     'witness: for _ in 0..rounds {
         // Random witness a in [2, n-2].
         let a = loop {
@@ -79,7 +79,7 @@ pub fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut ChaChaRng) -> boo
 /// full target width — the RSA convention) and the low bit to 1.
 pub fn gen_prime(bits: usize, rng: &mut ChaChaRng) -> BigUint {
     assert!(bits >= 16, "prime size too small to be meaningful");
-    let bytes = (bits + 7) / 8;
+    let bytes = bits.div_ceil(8);
     loop {
         let mut raw = rng.gen_bytes(bytes);
         // Trim to exactly `bits` bits.
@@ -107,10 +107,7 @@ mod tests {
     fn small_primes_accepted() {
         let mut r = rng();
         for p in [2u64, 3, 5, 7, 11, 13, 97, 211, 65537, 2147483647] {
-            assert!(
-                is_probable_prime(&BigUint::from_u64(p), 20, &mut r),
-                "{p} should be prime"
-            );
+            assert!(is_probable_prime(&BigUint::from_u64(p), 20, &mut r), "{p} should be prime");
         }
     }
 

@@ -23,13 +23,7 @@ pub struct ChaChaRng {
 impl ChaChaRng {
     /// Creates a generator from a 32-byte seed.
     pub fn from_seed(seed: [u8; 32]) -> Self {
-        ChaChaRng {
-            key: seed,
-            nonce: [0; 12],
-            counter: 0,
-            buf: [0; 64],
-            buf_pos: 64,
-        }
+        ChaChaRng { key: seed, nonce: [0; 12], counter: 0, buf: [0; 64], buf_pos: 64 }
     }
 
     /// Creates a generator from a `u64` seed (convenience for tests and
@@ -42,11 +36,30 @@ impl ChaChaRng {
         Self::from_seed(s)
     }
 
-    /// Creates a generator seeded from the operating system.
+    /// Creates a generator seeded from the operating system
+    /// (`/dev/urandom` where available, otherwise clock/address entropy —
+    /// adequate for simulations; not a substitute for a vetted CSPRNG when
+    /// keys must resist a real adversary).
     pub fn from_entropy() -> Self {
-        use rand::RngCore;
         let mut seed = [0u8; 32];
-        rand::rngs::OsRng.fill_bytes(&mut seed);
+        let mut filled = false;
+        if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+            use std::io::Read;
+            filled = f.read_exact(&mut seed).is_ok();
+        }
+        if !filled {
+            use crate::hash::Digest as _;
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0);
+            let stack_probe = &seed as *const _ as usize;
+            let mut material = Vec::with_capacity(32);
+            material.extend_from_slice(&now.to_le_bytes());
+            material.extend_from_slice(&(stack_probe as u64).to_le_bytes());
+            material.extend_from_slice(&std::process::id().to_le_bytes());
+            seed.copy_from_slice(&crate::sha2::Sha256::digest(&material));
+        }
         Self::from_seed(seed)
     }
 

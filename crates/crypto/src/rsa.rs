@@ -43,9 +43,7 @@ pub struct RsaPrivateKey {
 impl std::fmt::Debug for RsaPrivateKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print private material.
-        f.debug_struct("RsaPrivateKey")
-            .field("bits", &self.public.bits())
-            .finish_non_exhaustive()
+        f.debug_struct("RsaPrivateKey").field("bits", &self.public.bits()).finish_non_exhaustive()
     }
 }
 
@@ -61,10 +59,7 @@ pub struct RsaKeyPair {
 impl RsaPublicKey {
     /// Constructs from raw components (big-endian byte strings).
     pub fn from_components(n: &[u8], e: &[u8]) -> Self {
-        RsaPublicKey {
-            n: BigUint::from_bytes_be(n),
-            e: BigUint::from_bytes_be(e),
-        }
+        RsaPublicKey { n: BigUint::from_bytes_be(n), e: BigUint::from_bytes_be(e) }
     }
 
     /// Modulus size in bits.
@@ -74,7 +69,7 @@ impl RsaPublicKey {
 
     /// Modulus size in bytes (k in PKCS#1 terms).
     pub fn size(&self) -> usize {
-        (self.n.bit_len() + 7) / 8
+        self.n.bit_len().div_ceil(8)
     }
 
     /// Big-endian modulus bytes.
@@ -107,7 +102,12 @@ impl RsaPublicKey {
     }
 
     /// PKCS#1 v1.5 signature verification over `message` hashed with `alg`.
-    pub fn verify(&self, alg: HashAlg, message: &[u8], signature: &[u8]) -> Result<(), CryptoError> {
+    pub fn verify(
+        &self,
+        alg: HashAlg,
+        message: &[u8],
+        signature: &[u8],
+    ) -> Result<(), CryptoError> {
         self.verify_prehashed(alg, &alg.hash(message), signature)
     }
 
@@ -223,10 +223,7 @@ impl RsaPrivateKey {
         if em[0] != 0x00 || em[1] != 0x02 {
             return Err(CryptoError::InvalidPadding);
         }
-        let sep = em[2..]
-            .iter()
-            .position(|&b| b == 0)
-            .ok_or(CryptoError::InvalidPadding)?;
+        let sep = em[2..].iter().position(|&b| b == 0).ok_or(CryptoError::InvalidPadding)?;
         if sep < 8 {
             return Err(CryptoError::InvalidPadding);
         }
@@ -240,7 +237,7 @@ impl RsaKeyPair {
     /// `bits` must be even and ≥ 512. 1024 matches the paper's era; tests use
     /// 512 or the fixed test keys for speed.
     pub fn generate(bits: usize, rng: &mut ChaChaRng) -> Self {
-        assert!(bits >= 512 && bits % 2 == 0, "unsupported RSA size {bits}");
+        assert!(bits >= 512 && bits.is_multiple_of(2), "unsupported RSA size {bits}");
         let e = BigUint::from_u64(E);
         loop {
             let p = gen_prime(bits / 2, rng);
@@ -277,15 +274,7 @@ impl RsaKeyPair {
         };
         Some(RsaKeyPair {
             public: RsaPublicKey { n: n.clone(), e: e.clone() },
-            private: RsaPrivateKey {
-                public: RsaPublicKey { n, e },
-                d,
-                p,
-                q,
-                dp,
-                dq,
-                qinv,
-            },
+            private: RsaPrivateKey { public: RsaPublicKey { n, e }, d, p, q, dp, dq, qinv },
         })
     }
 
@@ -372,10 +361,7 @@ mod tests {
         let kp = test_key();
         let mut sig = kp.private.sign(HashAlg::Sha256, b"m").unwrap();
         sig[10] ^= 0x40;
-        assert_eq!(
-            kp.public.verify(HashAlg::Sha256, b"m", &sig),
-            Err(CryptoError::BadSignature)
-        );
+        assert_eq!(kp.public.verify(HashAlg::Sha256, b"m", &sig), Err(CryptoError::BadSignature));
     }
 
     #[test]
@@ -428,10 +414,7 @@ mod tests {
         let kp = test_key();
         let mut rng = ChaChaRng::seed_from_u64(11);
         let too_long = vec![0u8; kp.public.size() - 10];
-        assert_eq!(
-            kp.public.encrypt(&mut rng, &too_long),
-            Err(CryptoError::MessageTooLong)
-        );
+        assert_eq!(kp.public.encrypt(&mut rng, &too_long), Err(CryptoError::MessageTooLong));
     }
 
     #[test]
@@ -442,9 +425,8 @@ mod tests {
         ct[0] ^= 1;
         // Either padding failure or a garbage plaintext — it must not be the
         // original. (PKCS#1 v1.5 decryption can't authenticate.)
-        match kp.private.decrypt(&ct) {
-            Ok(pt) => assert_ne!(pt, b"secret"),
-            Err(_) => {}
+        if let Ok(pt) = kp.private.decrypt(&ct) {
+            assert_ne!(pt, b"secret")
         }
     }
 

@@ -117,8 +117,8 @@ pub fn combine(shares: &[Share]) -> Result<Vec<u8>, CryptoError> {
             }
             weight = gf_mul(weight, gf_mul(sm.x, gf_inv(sm.x ^ si.x)));
         }
-        for j in 0..len {
-            secret[j] ^= gf_mul(weight, si.y[j]);
+        for (sj, yj) in secret.iter_mut().zip(&si.y) {
+            *sj ^= gf_mul(weight, *yj);
         }
     }
     Ok(secret)

@@ -6,7 +6,6 @@
 //! guarantee (no maps, no floats, no optional-field ambiguity), used by the
 //! protocol messages, the storage manifests and the secure-channel frames.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Decoding error.
@@ -44,7 +43,7 @@ pub const MAX_FIELD_LEN: usize = 1 << 30;
 /// Canonical encoder.
 #[derive(Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
@@ -55,39 +54,39 @@ impl Writer {
 
     /// Appends a `u8`.
     pub fn u8(&mut self, v: u8) -> &mut Self {
-        self.buf.put_u8(v);
+        self.buf.push(v);
         self
     }
 
     /// Appends a big-endian `u16`.
     pub fn u16(&mut self, v: u16) -> &mut Self {
-        self.buf.put_u16(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
         self
     }
 
     /// Appends a big-endian `u32`.
     pub fn u32(&mut self, v: u32) -> &mut Self {
-        self.buf.put_u32(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
         self
     }
 
     /// Appends a big-endian `u64`.
     pub fn u64(&mut self, v: u64) -> &mut Self {
-        self.buf.put_u64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
         self
     }
 
     /// Appends a bool as one byte (0/1).
     pub fn bool(&mut self, v: bool) -> &mut Self {
-        self.buf.put_u8(v as u8);
+        self.buf.push(v as u8);
         self
     }
 
     /// Appends raw bytes with a `u32` length prefix.
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
         assert!(v.len() <= MAX_FIELD_LEN, "field too large to encode");
-        self.buf.put_u32(v.len() as u32);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(&(v.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(v);
         self
     }
 
@@ -98,18 +97,18 @@ impl Writer {
 
     /// Appends fixed-width bytes with no length prefix (caller knows width).
     pub fn fixed(&mut self, v: &[u8]) -> &mut Self {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
         self
     }
 
     /// Finishes and returns the encoded buffer.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
     }
 
     /// Finishes into a plain `Vec<u8>`.
     pub fn finish_vec(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 }
 
@@ -154,20 +153,22 @@ impl<'a> Reader<'a> {
 
     /// Reads a big-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        let mut b = self.take(2)?;
-        Ok(b.get_u16())
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
     /// Reads a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        let mut b = self.take(4)?;
-        Ok(b.get_u32())
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        let mut b = self.take(8)?;
-        Ok(b.get_u64())
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
     }
 
     /// Reads a bool; any byte other than 0/1 is non-canonical and rejected.
@@ -190,8 +191,7 @@ impl<'a> Reader<'a> {
 
     /// Reads a length-prefixed UTF-8 string (invalid UTF-8 is rejected).
     pub fn str(&mut self) -> Result<String, CodecError> {
-        String::from_utf8(self.bytes()?)
-            .map_err(|_| CodecError::BadDiscriminant("utf-8 string", 0))
+        String::from_utf8(self.bytes()?).map_err(|_| CodecError::BadDiscriminant("utf-8 string", 0))
     }
 
     /// Reads exactly `n` bytes (no prefix).

@@ -21,5 +21,5 @@ pub mod time;
 
 pub use codec::{CodecError, Reader, Wire, Writer};
 pub use secure::{ChannelError, SecureSession};
-pub use sim::{Action, Envelope, Interceptor, LinkConfig, NetStats, NodeId, SimNet};
+pub use sim::{Action, Envelope, Interceptor, LinkConfig, NetStats, NodeId, SimNet, TxnNetStats};
 pub use time::{Clock, SimClock, SimDuration, SimTime};

@@ -14,10 +14,8 @@
 //! session still verifying cleanly.
 
 use crate::codec::{Reader, Wire, Writer};
-use tpnr_crypto::{
-    chacha20, ct::ct_eq, CryptoError, ChaChaRng, Hmac, RsaKeyPair, RsaPublicKey,
-};
 use tpnr_crypto::sha2::Sha256;
+use tpnr_crypto::{chacha20, ct::ct_eq, ChaChaRng, CryptoError, Hmac, RsaKeyPair, RsaPublicKey};
 
 /// Errors from the secure channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,14 +90,8 @@ fn split_keys(master: &[u8]) -> (DirectionKeys, DirectionKeys) {
         out.copy_from_slice(&h.finalize());
         out
     };
-    let c2s = DirectionKeys {
-        cipher_key: derive(b"c2s-cipher"),
-        mac_key: derive(b"c2s-mac"),
-    };
-    let s2c = DirectionKeys {
-        cipher_key: derive(b"s2c-cipher"),
-        mac_key: derive(b"s2c-mac"),
-    };
+    let c2s = DirectionKeys { cipher_key: derive(b"c2s-cipher"), mac_key: derive(b"c2s-mac") };
+    let s2c = DirectionKeys { cipher_key: derive(b"s2c-cipher"), mac_key: derive(b"s2c-mac") };
     (c2s, s2c)
 }
 
@@ -124,10 +116,8 @@ impl SecureSession {
         server_keys: &RsaKeyPair,
         hello: &ClientHello,
     ) -> Result<SecureSession, ChannelError> {
-        let master = server_keys
-            .private
-            .decrypt(&hello.wrapped_keys)
-            .map_err(ChannelError::Handshake)?;
+        let master =
+            server_keys.private.decrypt(&hello.wrapped_keys).map_err(ChannelError::Handshake)?;
         if master.len() != MASTER_LEN {
             return Err(ChannelError::Malformed);
         }
@@ -228,8 +218,8 @@ mod tests {
             let mut bad = f.clone();
             bad[i] ^= 0x80;
             let mut s2 = pair().1; // fresh receiver each time (seq state)
-            // Use the real server for the actual frame check below; for the
-            // flipped frame any verifier must reject.
+                                   // Use the real server for the actual frame check below; for the
+                                   // flipped frame any verifier must reject.
             assert!(s2.open(&bad).is_err() || bad == f, "flip at {i}");
         }
         assert_eq!(server.open(&f).unwrap(), b"sensitive");
@@ -284,8 +274,11 @@ mod tests {
     #[test]
     fn malformed_hello_rejected() {
         let server = RsaKeyPair::insecure_test_key(100);
-        assert!(SecureSession::server_accept(&server, &ClientHello { wrapped_keys: vec![] }).is_err());
-        assert!(SecureSession::server_accept(&server, &ClientHello { wrapped_keys: vec![1; 7] }).is_err());
+        assert!(
+            SecureSession::server_accept(&server, &ClientHello { wrapped_keys: vec![] }).is_err()
+        );
+        assert!(SecureSession::server_accept(&server, &ClientHello { wrapped_keys: vec![1; 7] })
+            .is_err());
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct Envelope {
     pub payload: Vec<u8>,
     /// When the message reached the inbox.
     pub delivered_at: SimTime,
+    /// Transaction the sender attributed this message to (simulator
+    /// metadata, not on the wire). Duplicates keep the tag; payloads the
+    /// adversary modifies keep the original sender's tag; adversary
+    /// injections are untagged.
+    pub txn: Option<u64>,
 }
 
 /// Per-link behaviour.
@@ -138,6 +143,7 @@ pub struct SimNet {
     interceptor: Option<Box<dyn Interceptor>>,
     /// Counters for experiment reports.
     pub stats: NetStats,
+    txn_stats: HashMap<u64, TxnNetStats>,
 }
 
 /// Aggregate traffic counters.
@@ -159,6 +165,27 @@ pub struct NetStats {
     pub bytes_sent: u64,
 }
 
+/// Traffic counters for one transaction (see [`SimNet::send_tagged`]).
+///
+/// These are exact per-transaction attributions: every tagged send is
+/// counted against its own transaction, so interleaved sessions never bleed
+/// into each other the way before/after deltas of the global [`NetStats`]
+/// do. Untagged traffic (adversary injections, raw `send`) appears only in
+/// the global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnNetStats {
+    /// Messages handed to `send_tagged` for this transaction.
+    pub sent: u64,
+    /// Payload bytes handed to `send_tagged` for this transaction.
+    pub bytes_sent: u64,
+    /// Deliveries that reached an inbox (duplicates count per copy).
+    pub delivered: u64,
+    /// Copies dropped by loss or the adversary.
+    pub dropped: u64,
+    /// Time of the most recent delivery for this transaction.
+    pub last_delivered_at: SimTime,
+}
+
 impl SimNet {
     /// Creates an empty network with a deterministic RNG seed.
     pub fn new(seed: u64) -> Self {
@@ -173,6 +200,7 @@ impl SimNet {
             seq: 0,
             interceptor: None,
             stats: NetStats::default(),
+            txn_stats: HashMap::new(),
         }
     }
 
@@ -233,9 +261,21 @@ impl SimNet {
     /// Sends a payload; delivery is scheduled according to the link and the
     /// adversary's decision.
     pub fn send(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>) {
+        self.send_tagged(src, dst, payload, None);
+    }
+
+    /// Like [`SimNet::send`], but attributes the message to a transaction so
+    /// per-session traffic can be reported exactly (see
+    /// [`SimNet::txn_stats`]).
+    pub fn send_tagged(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>, txn: Option<u64>) {
         assert!((dst.0 as usize) < self.nodes.len(), "unknown destination");
         self.stats.sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
+        if let Some(t) = txn {
+            let ts = self.txn_stats.entry(t).or_default();
+            ts.sent += 1;
+            ts.bytes_sent += payload.len() as u64;
+        }
         let now = self.now();
 
         let action = match self.interceptor.as_mut() {
@@ -249,6 +289,7 @@ impl SimNet {
             Action::Deliver => {}
             Action::Drop => {
                 self.stats.dropped += 1;
+                self.count_txn_drop(txn);
                 return;
             }
             Action::Modify(p) => {
@@ -262,16 +303,30 @@ impl SimNet {
             Action::Delay(d) => extra_delay = d,
         }
 
-        self.schedule(src, dst, payload, extra_delay);
+        self.schedule(src, dst, payload, extra_delay, txn);
         for (isrc, idst, ipayload) in injections {
-            self.schedule(isrc, idst, ipayload, SimDuration::ZERO);
+            self.schedule(isrc, idst, ipayload, SimDuration::ZERO, None);
         }
     }
 
-    fn schedule(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>, extra: SimDuration) {
+    fn count_txn_drop(&mut self, txn: Option<u64>) {
+        if let Some(t) = txn {
+            self.txn_stats.entry(t).or_default().dropped += 1;
+        }
+    }
+
+    fn schedule(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload: Vec<u8>,
+        extra: SimDuration,
+        txn: Option<u64>,
+    ) {
         let cfg = self.link_for(src, dst);
         if cfg.drop_prob > 0.0 && self.rng.gen_bool(cfg.drop_prob) {
             self.stats.dropped += 1;
+            self.count_txn_drop(txn);
             return;
         }
         let jitter = if cfg.jitter.micros() > 0 {
@@ -281,13 +336,17 @@ impl SimNet {
         };
         let at = self.now().after(cfg.latency).after(jitter).after(extra);
         let duplicate = cfg.dup_prob > 0.0 && self.rng.gen_bool(cfg.dup_prob);
-        let env = Envelope { src, dst, payload, delivered_at: at };
+        let env = Envelope { src, dst, payload, delivered_at: at, txn };
         self.seq += 1;
         self.queue.push(Reverse(ScheduledDelivery { at, seq: self.seq, env: env.clone() }));
         if duplicate {
             self.stats.duplicated += 1;
             self.seq += 1;
-            self.queue.push(Reverse(ScheduledDelivery { at: at.after(cfg.latency), seq: self.seq, env }));
+            self.queue.push(Reverse(ScheduledDelivery {
+                at: at.after(cfg.latency),
+                seq: self.seq,
+                env,
+            }));
         }
     }
 
@@ -300,6 +359,11 @@ impl SimNet {
         d.env.delivered_at = d.at;
         self.inboxes[d.env.dst.0 as usize].push_back(d.env.clone());
         self.stats.delivered += 1;
+        if let Some(t) = d.env.txn {
+            let ts = self.txn_stats.entry(t).or_default();
+            ts.delivered += 1;
+            ts.last_delivered_at = d.at;
+        }
         Some(d.env)
     }
 
@@ -352,6 +416,33 @@ impl SimNet {
     /// interleave protocol timers with in-flight traffic).
     pub fn next_event_at(&self) -> Option<SimTime> {
         self.queue.peek().map(|Reverse(d)| d.at)
+    }
+
+    /// Traffic counters for one tagged transaction (zeroes if it never sent
+    /// anything).
+    pub fn txn_stats(&self, txn: u64) -> TxnNetStats {
+        self.txn_stats.get(&txn).copied().unwrap_or_default()
+    }
+
+    /// Transactions that have tagged traffic on record.
+    pub fn tagged_txns(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.txn_stats.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Advances the clock to `t` *without* delivering anything, for firing
+    /// a protocol timer due strictly before the next delivery. Panics if a
+    /// delivery is scheduled before `t` (stepping over it would reorder the
+    /// simulation); a `t` in the past is a no-op (the clock is monotone).
+    pub fn advance_clock_to(&mut self, t: SimTime) {
+        if t <= self.now() {
+            return;
+        }
+        if let Some(at) = self.next_event_at() {
+            assert!(at >= t, "advance_clock_to would skip a scheduled delivery");
+        }
+        self.clock.set(t);
     }
 }
 
@@ -416,7 +507,11 @@ mod tests {
     #[test]
     fn duplication_creates_copies() {
         let (mut net, a, b) = two_nodes(3);
-        net.set_link(a, b, LinkConfig { dup_prob: 1.0, ..LinkConfig::ideal(SimDuration::from_millis(1)) });
+        net.set_link(
+            a,
+            b,
+            LinkConfig { dup_prob: 1.0, ..LinkConfig::ideal(SimDuration::from_millis(1)) },
+        );
         net.send(a, b, b"once".to_vec());
         net.run_until_quiet();
         assert_eq!(net.inbox_len(b), 2);
@@ -426,21 +521,29 @@ mod tests {
     #[test]
     fn jitter_varies_latency_within_bounds() {
         let (mut net, a, b) = two_nodes(4);
-        net.set_link(a, b, LinkConfig {
-            latency: SimDuration::from_millis(10),
-            jitter: SimDuration::from_millis(5),
-            ..Default::default()
-        });
+        net.set_link(
+            a,
+            b,
+            LinkConfig {
+                latency: SimDuration::from_millis(10),
+                jitter: SimDuration::from_millis(5),
+                ..Default::default()
+            },
+        );
         let mut times = Vec::new();
         for _ in 0..50 {
             let mut n2 = SimNet::new(net.rng.next_u64());
             let a2 = n2.register("a");
             let b2 = n2.register("b");
-            n2.set_link(a2, b2, LinkConfig {
-                latency: SimDuration::from_millis(10),
-                jitter: SimDuration::from_millis(5),
-                ..Default::default()
-            });
+            n2.set_link(
+                a2,
+                b2,
+                LinkConfig {
+                    latency: SimDuration::from_millis(10),
+                    jitter: SimDuration::from_millis(5),
+                    ..Default::default()
+                },
+            );
             n2.send(a2, b2, vec![0]);
             let env = n2.step().unwrap();
             times.push(env.delivered_at.micros());
@@ -526,5 +629,68 @@ mod tests {
         let mut net = SimNet::new(0);
         let a = net.register("a");
         net.send(a, NodeId(99), vec![]);
+    }
+
+    #[test]
+    fn tagged_sends_attribute_per_transaction() {
+        let (mut net, a, b) = two_nodes(10);
+        net.send_tagged(a, b, vec![0; 100], Some(1));
+        net.send_tagged(b, a, vec![0; 40], Some(1));
+        net.send_tagged(a, b, vec![0; 7], Some(2));
+        net.send(a, b, vec![0; 3]); // untagged
+        net.run_until_quiet();
+        let t1 = net.txn_stats(1);
+        assert_eq!((t1.sent, t1.bytes_sent, t1.delivered, t1.dropped), (2, 140, 2, 0));
+        let t2 = net.txn_stats(2);
+        assert_eq!((t2.sent, t2.bytes_sent, t2.delivered), (1, 7, 1));
+        assert_eq!(net.txn_stats(99), TxnNetStats::default());
+        assert_eq!(net.tagged_txns(), vec![1, 2]);
+        // Untagged traffic appears only in the global counters.
+        assert_eq!(net.stats.sent, 4);
+        assert_eq!(t1.sent + t2.sent, 3);
+    }
+
+    #[test]
+    fn tagged_drops_and_duplicates_are_attributed() {
+        let (mut net, a, b) = two_nodes(11);
+        net.set_link(a, b, LinkConfig { drop_prob: 1.0, ..Default::default() });
+        net.set_link(
+            b,
+            a,
+            LinkConfig { dup_prob: 1.0, ..LinkConfig::ideal(SimDuration::from_millis(1)) },
+        );
+        net.send_tagged(a, b, vec![1], Some(7));
+        net.send_tagged(b, a, vec![2], Some(7));
+        net.run_until_quiet();
+        let t = net.txn_stats(7);
+        assert_eq!(t.sent, 2);
+        assert_eq!(t.dropped, 1);
+        assert_eq!(t.delivered, 2, "the duplicate copy keeps the tag");
+        assert_eq!(t.last_delivered_at.micros(), 2_000);
+    }
+
+    #[test]
+    fn advance_clock_only_never_delivers() {
+        let (mut net, a, b) = two_nodes(12);
+        net.set_link(a, b, LinkConfig::ideal(SimDuration::from_millis(10)));
+        net.send(a, b, vec![0]);
+        net.advance_clock_to(SimTime(9_000));
+        assert_eq!(net.now().micros(), 9_000);
+        assert_eq!(net.inbox_len(b), 0);
+        net.advance_clock_to(SimTime(1_000)); // past: no-op
+        assert_eq!(net.now().micros(), 9_000);
+        // Advancing exactly to the delivery time is allowed (timers fire
+        // before same-instant deliveries); beyond it would panic.
+        net.advance_clock_to(SimTime(10_000));
+        assert_eq!(net.inbox_len(b), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "skip a scheduled delivery")]
+    fn advance_clock_past_delivery_panics() {
+        let (mut net, a, b) = two_nodes(13);
+        net.set_link(a, b, LinkConfig::ideal(SimDuration::from_millis(10)));
+        net.send(a, b, vec![0]);
+        net.advance_clock_to(SimTime(10_001));
     }
 }

@@ -4,8 +4,7 @@
 //! (TPNR Abort/Resolve, paper §4.2–4.3) are exercised deterministically: the
 //! simulator advances a [`SimClock`] instead of sleeping.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A point in simulated time, in microseconds since simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -100,14 +99,14 @@ impl SimClock {
 
     /// Advances the clock by `d`.
     pub fn advance(&self, d: SimDuration) {
-        let mut now = self.now.lock();
+        let mut now = self.now.lock().expect("clock mutex poisoned");
         *now = now.after(d);
     }
 
     /// Jumps the clock to `t`; panics if `t` is in the past (discrete-event
     /// simulation time must be monotone).
     pub fn set(&self, t: SimTime) {
-        let mut now = self.now.lock();
+        let mut now = self.now.lock().expect("clock mutex poisoned");
         assert!(t >= *now, "simulation clock may not go backwards");
         *now = t;
     }
@@ -115,7 +114,7 @@ impl SimClock {
 
 impl Clock for SimClock {
     fn now(&self) -> SimTime {
-        *self.now.lock()
+        *self.now.lock().expect("clock mutex poisoned")
     }
 }
 
@@ -129,7 +128,10 @@ mod tests {
         assert_eq!(t.micros(), 5_000);
         assert_eq!(t.since(SimTime::ZERO), SimDuration::from_millis(5));
         assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO); // saturates
-        assert_eq!(SimDuration::from_secs(2).plus(SimDuration::from_millis(500)).micros(), 2_500_000);
+        assert_eq!(
+            SimDuration::from_secs(2).plus(SimDuration::from_millis(500)).micros(),
+            2_500_000
+        );
         assert_eq!(SimDuration::from_millis(10).times(3), SimDuration::from_millis(30));
         assert_eq!(SimDuration::from_hours(1).micros(), 3_600_000_000);
     }

@@ -4,11 +4,11 @@
 //! secure-channel soundness under random frame corruption.
 
 use proptest::prelude::*;
+use tpnr_crypto::{ChaChaRng, RsaKeyPair};
 use tpnr_net::codec::{Reader, Wire, Writer};
 use tpnr_net::secure;
 use tpnr_net::sim::{LinkConfig, SimNet};
 use tpnr_net::time::SimDuration;
-use tpnr_crypto::{ChaChaRng, RsaKeyPair};
 
 #[derive(Debug, Clone, PartialEq)]
 struct Record {
@@ -24,13 +24,7 @@ impl Wire for Record {
         w.u64(self.id).u8(self.tag).str(&self.name).bytes(&self.blob).bool(self.ok);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, tpnr_net::codec::CodecError> {
-        Ok(Record {
-            id: r.u64()?,
-            tag: r.u8()?,
-            name: r.str()?,
-            blob: r.bytes()?,
-            ok: r.bool()?,
-        })
+        Ok(Record { id: r.u64()?, tag: r.u8()?, name: r.str()?, blob: r.bytes()?, ok: r.bool()? })
     }
 }
 

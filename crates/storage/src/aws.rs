@@ -186,11 +186,7 @@ pub fn prepare_import(
 impl AwsService {
     /// Empty provider.
     pub fn new() -> Self {
-        AwsService {
-            s3: ObjectStore::new(),
-            users: std::collections::HashMap::new(),
-            next_log: 0,
-        }
+        AwsService { s3: ObjectStore::new(), users: std::collections::HashMap::new(), next_log: 0 }
     }
 
     /// Registers a user's verification key (the AWS account signup step).
@@ -199,10 +195,7 @@ impl AwsService {
     }
 
     fn validate(&self, manifest: &Manifest, device: &StorageDevice) -> Result<(), AwsError> {
-        let pk = self
-            .users
-            .get(&manifest.access_key_id)
-            .ok_or(AwsError::UnknownUser)?;
+        let pk = self.users.get(&manifest.access_key_id).ok_or(AwsError::UnknownUser)?;
         let sig_file = device.signature_file.as_ref().ok_or(AwsError::BadSignature)?;
         if device.device_id != manifest.device_id {
             return Err(AwsError::DeviceMismatch);

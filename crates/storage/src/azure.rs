@@ -115,9 +115,7 @@ impl AzureService {
     }
 
     fn authenticate(&self, req: &RestRequest) -> Result<String, AzureError> {
-        let (account, _) = req
-            .parse_authorization()
-            .ok_or(AzureError::AuthenticationFailed)?;
+        let (account, _) = req.parse_authorization().ok_or(AzureError::AuthenticationFailed)?;
         let key = self.accounts.get(&account).ok_or(AzureError::NoSuchAccount)?;
         if req.verify_signature(&account, key) {
             Ok(account)
@@ -159,7 +157,11 @@ impl AzureService {
                     .entry(path)
                     .or_default()
                     .insert(block_id.clone(), req.body.clone());
-                Ok(AzureResponse { status: 201, body: Vec::new(), content_md5: req.content_md5.clone() })
+                Ok(AzureResponse {
+                    status: 201,
+                    body: Vec::new(),
+                    content_md5: req.content_md5.clone(),
+                })
             }
             Method::Put if query.get("comp").map(String::as_str) == Some("blocklist") => {
                 let staged = self.uncommitted.remove(&path).unwrap_or_default();
@@ -192,10 +194,7 @@ impl AzureService {
                 if req.verify_content_md5() == Some(false) {
                     return Err(AzureError::Md5Mismatch);
                 }
-                let stored_checksum = req
-                    .content_md5
-                    .as_deref()
-                    .and_then(base64_decode);
+                let stored_checksum = req.content_md5.as_deref().and_then(base64_decode);
                 self.blobs.put(
                     &req.resource,
                     StoredObject {
@@ -206,7 +205,11 @@ impl AzureService {
                         owner: account,
                     },
                 );
-                Ok(AzureResponse { status: 201, body: Vec::new(), content_md5: req.content_md5.clone() })
+                Ok(AzureResponse {
+                    status: 201,
+                    body: Vec::new(),
+                    content_md5: req.content_md5.clone(),
+                })
             }
             Method::Get => {
                 let obj = self.blobs.get(&req.resource).ok_or(AzureError::BlobNotFound)?;
@@ -216,9 +219,7 @@ impl AzureService {
                 Ok(AzureResponse { status: 200, body: obj.data.clone(), content_md5: header })
             }
             Method::Delete => {
-                self.blobs
-                    .delete(&req.resource)
-                    .ok_or(AzureError::BlobNotFound)?;
+                self.blobs.delete(&req.resource).ok_or(AzureError::BlobNotFound)?;
                 Ok(AzureResponse { status: 202, body: Vec::new(), content_md5: None })
             }
         }
@@ -242,10 +243,7 @@ impl AzureService {
         if msg.len() >= MAX_QUEUE_MESSAGE {
             return Err(AzureError::TooLarge);
         }
-        self.queues
-            .entry(queue.to_string())
-            .or_default()
-            .push_back(msg.to_vec());
+        self.queues.entry(queue.to_string()).or_default().push_back(msg.to_vec());
         Ok(())
     }
 
@@ -371,7 +369,7 @@ mod tests {
     #[test]
     fn queue_respects_8k_limit() {
         let (mut svc, _) = setup();
-        assert!(svc.queue_push("q", &vec![0u8; 100]).is_ok());
+        assert!(svc.queue_push("q", &[0u8; 100]).is_ok());
         assert_eq!(svc.queue_push("q", &vec![0u8; 8192]), Err(AzureError::TooLarge));
         assert_eq!(svc.queue_pop("q").unwrap().len(), 100);
         assert!(svc.queue_pop("q").is_none());
@@ -424,13 +422,9 @@ mod tests {
     #[test]
     fn blocklist_referencing_missing_block_rejected() {
         let (mut svc, acct) = setup();
-        let commit = RestRequest::new(
-            Method::Put,
-            "/blob?comp=blocklist",
-            b"no-such-block".to_vec(),
-            "d",
-        )
-        .sign(&acct.name, &acct.key);
+        let commit =
+            RestRequest::new(Method::Put, "/blob?comp=blocklist", b"no-such-block".to_vec(), "d")
+                .sign(&acct.name, &acct.key);
         assert_eq!(svc.handle(&commit, SimTime::ZERO), Err(AzureError::BadRequest));
     }
 
@@ -445,14 +439,10 @@ mod tests {
     #[test]
     fn corrupted_block_body_rejected_by_md5() {
         let (mut svc, acct) = setup();
-        let mut req = RestRequest::new(
-            Method::Put,
-            "/blob?comp=block&blockid=b1",
-            b"clean".to_vec(),
-            "d",
-        )
-        .with_content_md5()
-        .sign(&acct.name, &acct.key);
+        let mut req =
+            RestRequest::new(Method::Put, "/blob?comp=block&blockid=b1", b"clean".to_vec(), "d")
+                .with_content_md5()
+                .sign(&acct.name, &acct.key);
         req.body[0] ^= 1;
         assert_eq!(svc.handle(&req, SimTime::ZERO), Err(AzureError::Md5Mismatch));
     }

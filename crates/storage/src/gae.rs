@@ -42,6 +42,8 @@ pub struct SignedRequest {
 }
 
 impl SignedRequest {
+    // One parameter per signed SDC field, in canonical order.
+    #[allow(clippy::too_many_arguments)]
     fn canonical_bytes(
         owner_id: &str,
         viewer_id: &str,
@@ -76,7 +78,14 @@ impl SignedRequest {
     ) -> Result<Self, CryptoError> {
         let public_key = tpnr_crypto::encoding::hex_encode(&keys.public.fingerprint());
         let bytes = Self::canonical_bytes(
-            owner_id, viewer_id, instance_id, app_id, &public_key, consumer_key, nonce, token,
+            owner_id,
+            viewer_id,
+            instance_id,
+            app_id,
+            &public_key,
+            consumer_key,
+            nonce,
+            token,
             resource,
         );
         let signature = keys.private.sign(HashAlg::Sha256, &bytes)?;
@@ -181,10 +190,7 @@ impl GaeService {
     }
 
     fn authorize(&mut self, req: &SignedRequest) -> Result<(), SdcError> {
-        let pk = self
-            .identities
-            .get(&req.viewer_id)
-            .ok_or(SdcError::TunnelAuthFailed)?;
+        let pk = self.identities.get(&req.viewer_id).ok_or(SdcError::TunnelAuthFailed)?;
         if !req.verify(pk) {
             return Err(SdcError::BadSignature);
         }
@@ -203,12 +209,7 @@ impl GaeService {
     }
 
     /// Datastore PUT through the SDC (validated signed request required).
-    pub fn put(
-        &mut self,
-        req: &SignedRequest,
-        data: &[u8],
-        now: SimTime,
-    ) -> Result<(), SdcError> {
+    pub fn put(&mut self, req: &SignedRequest, data: &[u8], now: SimTime) -> Result<(), SdcError> {
         self.authorize(req)?;
         self.datastore.put(
             &req.resource,
@@ -228,10 +229,7 @@ impl GaeService {
     /// Datastore GET through the SDC.
     pub fn get(&mut self, req: &SignedRequest) -> Result<Vec<u8>, SdcError> {
         self.authorize(req)?;
-        self.datastore
-            .get(&req.resource)
-            .map(|o| o.data.clone())
-            .ok_or(SdcError::NotFound)
+        self.datastore.get(&req.resource).map(|o| o.data.clone()).ok_or(SdcError::NotFound)
     }
 
     /// Provider-side tampering (Eve's capability).
@@ -254,7 +252,15 @@ mod tests {
 
     fn request(keys: &RsaKeyPair, nonce: u64, resource: &str) -> SignedRequest {
         SignedRequest::create(
-            keys, "ownerco", "alice", 1, "finance-app", "consumer-1", nonce, "tok", resource,
+            keys,
+            "ownerco",
+            "alice",
+            1,
+            "finance-app",
+            "consumer-1",
+            nonce,
+            "tok",
+            resource,
         )
         .unwrap()
     }
@@ -291,7 +297,14 @@ mod tests {
         let impostor = RsaKeyPair::insecure_test_key(23);
         // Impostor signs with own key but claims to be alice.
         let req = SignedRequest::create(
-            &impostor, "ownerco", "alice", 1, "finance-app", "consumer-1", 5, "tok",
+            &impostor,
+            "ownerco",
+            "alice",
+            1,
+            "finance-app",
+            "consumer-1",
+            5,
+            "tok",
             "apps/finance/q3",
         )
         .unwrap();

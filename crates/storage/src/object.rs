@@ -215,9 +215,7 @@ mod tests {
         // The crux of paper §2.4: the provider controls data AND metadata.
         let mut s = ObjectStore::new();
         s.put("k", obj(b"the true financial data"));
-        let rep = s
-            .tamper("k", &Tamper::ConsistentReplace(b"forged numbers".to_vec()))
-            .unwrap();
+        let rep = s.tamper("k", &Tamper::ConsistentReplace(b"forged numbers".to_vec())).unwrap();
         assert!(rep.checksum_still_consistent);
         assert_eq!(s.verify_checksum("k"), Some(true), "platform sees nothing wrong");
         assert_eq!(s.get("k").unwrap().data, b"forged numbers");

@@ -6,8 +6,8 @@
 //! integrity metadata the platform records, download with whatever integrity
 //! metadata the platform returns, and provider-side tampering in between.
 
-use crate::azure::{Account, AzureService};
 use crate::aws::AwsService;
+use crate::azure::{Account, AzureService};
 use crate::gae::{GaeService, SignedRequest};
 use crate::object::Tamper;
 use crate::rest::{Method, RestRequest};
@@ -215,11 +215,7 @@ impl Platform for GaePlatform {
     fn download(&mut self, key: &str) -> Option<Download> {
         let req = self.request(key);
         let data = self.svc.get(&req).ok()?;
-        Some(Download {
-            data,
-            returned_checksum: None,
-            checksum_source: ChecksumSource::None,
-        })
+        Some(Download { data, returned_checksum: None, checksum_source: ChecksumSource::None })
     }
 }
 

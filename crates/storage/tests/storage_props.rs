@@ -5,13 +5,13 @@
 //! provider (never both hidden *and* metadata-inconsistent).
 
 use proptest::prelude::*;
+use tpnr_crypto::hash::HashAlg;
 use tpnr_crypto::ChaChaRng;
 use tpnr_net::time::SimTime;
 use tpnr_storage::azure::AzureService;
 use tpnr_storage::object::{ObjectStore, StoredObject, Tamper};
 use tpnr_storage::platform::{all_platforms, ClientVerdict};
 use tpnr_storage::rest::{Method, RestRequest};
-use tpnr_crypto::hash::HashAlg;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

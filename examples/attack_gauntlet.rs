@@ -8,10 +8,7 @@ use tpnr_attacks::{matrix, AttackKind};
 
 fn main() {
     println!("== TPNR attack gauntlet (paper §5) ==\n");
-    println!(
-        "{:<19} {:<19} {:<8} detail",
-        "attack", "protocol variant", "blocked"
-    );
+    println!("{:<19} {:<19} {:<8} detail", "attack", "protocol variant", "blocked");
     println!("{}", "-".repeat(100));
     for outcome in matrix() {
         println!(
@@ -29,11 +26,19 @@ fn main() {
     println!("protocol falling to both:\n");
     println!(
         "  reflection vs toy protocol:   {}",
-        if tpnr_attacks::toy::reflection_attack_succeeds() { "SUCCESS (attacker authenticated)" } else { "blocked" }
+        if tpnr_attacks::toy::reflection_attack_succeeds() {
+            "SUCCESS (attacker authenticated)"
+        } else {
+            "blocked"
+        }
     );
     println!(
         "  interleaving vs toy protocol: {}",
-        if tpnr_attacks::toy::interleaving_attack_succeeds() { "SUCCESS (attacker authenticated to both)" } else { "blocked" }
+        if tpnr_attacks::toy::interleaving_attack_succeeds() {
+            "SUCCESS (attacker authenticated to both)"
+        } else {
+            "blocked"
+        }
     );
 
     // Sanity: the full protocol blocked everything.
@@ -42,8 +47,5 @@ fn main() {
         .filter(|o| o.ablation == tpnr_core::config::Ablation::None)
         .all(|o| o.blocked);
     assert!(all_blocked);
-    println!(
-        "\nfull-TPNR verdict: all {} attacks blocked.",
-        AttackKind::all().len()
-    );
+    println!("\nfull-TPNR verdict: all {} attacks blocked.", AttackKind::all().len());
 }

@@ -55,6 +55,9 @@ fn main() {
 
     println!("\n== Scenario 2: the client blackmails ==\n");
     let mut w = World::new(8, ProtocolConfig::full());
+    // A fresh world means fresh principals: the arbitrator must use this
+    // world's key directory or every signature looks forged.
+    let arb = Arbitrator::new(ProtocolConfig::full(), w.dir.clone());
     let up = w.upload(b"ledger", b"true accounts".to_vec(), TimeoutStrategy::AbortFirst);
     let (down, _) = w.download(b"ledger", TimeoutStrategy::AbortFirst);
     println!("Nothing was tampered, but Alice claims her data was destroyed and demands damages.");

@@ -46,7 +46,11 @@ fn main() {
     println!("\n== §6: the evidence protocol is free compared to shipping ==\n");
     let mut world = World::new(99, ProtocolConfig::full());
     world.set_all_links(tpnr_net::LinkConfig::ideal(SimDuration::from_millis(50)));
-    let report = world.upload(b"backups/2010-06/manifest", manifest.canonical_bytes(), TimeoutStrategy::AbortFirst);
+    let report = world.upload(
+        b"backups/2010-06/manifest",
+        manifest.canonical_bytes(),
+        TimeoutStrategy::AbortFirst,
+    );
     let protocol_secs = report.latency.as_secs_f64();
     let shipping_secs = Shipment::typical_transit().as_secs_f64();
     println!("TPNR evidence exchange over a 100 ms-RTT WAN: {:.3} s", protocol_secs);

@@ -51,11 +51,11 @@ fn main() {
     // Bob's upload receipt and download response both commit (under his
     // signature) to a hash of the object; comparing them closes the
     // upload-to-download gap of paper §2.4.
-    let intact = world
-        .client
-        .verify_download_against_upload(up.txn_id, down.txn_id)
-        .unwrap();
-    println!("integrity link (upload NRR vs download NRR): {}", if intact { "CONSISTENT" } else { "TAMPERED" });
+    let intact = world.client.verify_download_against_upload(up.txn_id, down.txn_id).unwrap();
+    println!(
+        "integrity link (upload NRR vs download NRR): {}",
+        if intact { "CONSISTENT" } else { "TAMPERED" }
+    );
 
     // --- Message trace ------------------------------------------------------
     println!("\nwire trace:");

@@ -38,8 +38,10 @@ fn main() {
             + resp.proof.siblings.iter().flatten().map(|(_, h)| h.len()).sum::<usize>();
         audited_bytes += proof_size;
         let verdict = world.client.verify_audit(&cfg, up.txn_id, &resp);
-        println!("  chunk {idx:>3}: proof {proof_size:>5} B  -> {}",
-                 if verdict.is_ok() { "OK" } else { "FAILED" });
+        println!(
+            "  chunk {idx:>3}: proof {proof_size:>5} B  -> {}",
+            if verdict.is_ok() { "OK" } else { "FAILED" }
+        );
         assert!(verdict.is_ok());
     }
     println!(

@@ -60,10 +60,7 @@ fn many_objects_many_transactions() {
     for (key, data, up_txn) in &txns {
         let (down, got) = w.download(key, TimeoutStrategy::AbortFirst);
         assert_eq!(got.unwrap(), *data);
-        assert_eq!(
-            w.client.verify_download_against_upload(*up_txn, down.txn_id),
-            Some(true)
-        );
+        assert_eq!(w.client.verify_download_against_upload(*up_txn, down.txn_id), Some(true));
     }
     assert_eq!(w.provider.txn_count(), 40);
 }
@@ -103,10 +100,7 @@ fn loss_sweep_terminates_and_completes_often() {
             completed += 1;
         }
     }
-    assert!(
-        completed >= total / 2,
-        "resolve should rescue most sessions: {completed}/{total}"
-    );
+    assert!(completed >= total / 2, "resolve should rescue most sessions: {completed}/{total}");
 }
 
 #[test]

@@ -46,12 +46,10 @@ fn e2_shape_two_vs_four_steps() {
 fn e3_shape_attack_matrix() {
     let rows = matrix();
     // Full protocol blocks all five attacks.
-    assert!(rows
-        .iter()
-        .filter(|r| r.ablation == Ablation::None)
-        .all(|r| r.blocked));
+    assert!(rows.iter().filter(|r| r.ablation == Ablation::None).all(|r| r.blocked));
     // The three toggleable defences are each load-bearing.
-    let succeeded: Vec<_> = rows.iter().filter(|r| !r.blocked).map(|r| (r.attack, r.ablation)).collect();
+    let succeeded: Vec<_> =
+        rows.iter().filter(|r| !r.blocked).map(|r| (r.attack, r.ablation)).collect();
     assert!(succeeded.contains(&(AttackKind::Mitm, Ablation::NoKeyAuthentication)));
     assert!(succeeded.contains(&(AttackKind::Replay, Ablation::NoSequenceNumbers)));
     assert!(succeeded.contains(&(AttackKind::Timeliness, Ablation::NoTimeLimits)));
@@ -69,7 +67,11 @@ fn e3_shape_attack_matrix() {
 fn e6_shape_ttp_offline_at_zero_faults() {
     let mut w = World::new(60, ProtocolConfig::full());
     for i in 0..10u32 {
-        let r = w.upload(format!("k{i}").as_bytes(), vec![0u8; 64], TimeoutStrategy::ResolveImmediately);
+        let r = w.upload(
+            format!("k{i}").as_bytes(),
+            vec![0u8; 64],
+            TimeoutStrategy::ResolveImmediately,
+        );
         assert_eq!(r.state, TxnState::Completed);
         assert!(!r.ttp_used, "healthy network must never touch the TTP");
     }
