@@ -31,4 +31,14 @@ cargo test --workspace -q
 echo "==> cargo check --benches --workspace"
 cargo check --benches --workspace
 
+if [ "$quick" -eq 0 ]; then
+    # The observability export must stay machine-readable: produce a trace
+    # and re-validate it with the binary's own JSONL checker.
+    echo "==> experiments --trace-jsonl / --validate-jsonl"
+    trace="$(mktemp)"
+    trap 'rm -f "$trace"' EXIT
+    cargo run --release -q -p tpnr-bench --bin experiments -- --trace-jsonl "$trace"
+    cargo run --release -q -p tpnr-bench --bin experiments -- --validate-jsonl "$trace"
+fi
+
 echo "CI green."

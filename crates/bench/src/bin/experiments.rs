@@ -1,12 +1,65 @@
 //! Regenerates every experiment table from EXPERIMENTS.md.
 //!
 //! Run with `cargo run --release -p tpnr-bench --bin experiments`.
+//!
+//! Extra modes:
+//! - `--trace-jsonl [path|-]` exports the observability stream of a faulted
+//!   multi-client run as JSONL (stdout when the path is `-` or omitted);
+//! - `--validate-jsonl <file>` syntax-checks such an export (CI uses this
+//!   pair to guard the format).
 
 use tpnr_bench::report::*;
 use tpnr_bench::*;
 use tpnr_crypto::hash::HashAlg;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--trace-jsonl") => {
+            let jsonl = trace_jsonl(2026);
+            match args.get(1).map(String::as_str) {
+                None | Some("-") => print!("{jsonl}"),
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &jsonl) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    let lines = jsonl.lines().count();
+                    eprintln!("wrote {lines} JSONL lines to {path}");
+                }
+            }
+        }
+        Some("--validate-jsonl") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: experiments --validate-jsonl <file>");
+                std::process::exit(2);
+            };
+            let contents = match std::fs::read_to_string(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match validate_jsonl(&contents) {
+                Ok(n) => eprintln!("{path}: {n} valid JSONL lines"),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!(
+                "unknown flag {other}; supported: --trace-jsonl [path|-], --validate-jsonl <file>"
+            );
+            std::process::exit(2);
+        }
+        None => print_tables(),
+    }
+}
+
+fn print_tables() {
     println!("{}", render_e1(&e1_vulnerability_matrix(2026)));
     println!(
         "{}",

@@ -344,6 +344,29 @@ pub fn e7_bridge_schemes(seed: u64) -> Vec<E7Row> {
         .collect()
 }
 
+// ------------------------------------------------------------- trace ----
+
+/// Runs a small faulted multi-client scenario and exports its complete
+/// observability stream (events + metrics summary) as JSONL. Feeds
+/// `experiments --trace-jsonl`; deterministic in `seed`.
+pub fn trace_jsonl(seed: u64) -> String {
+    use tpnr_core::multi::MultiWorld;
+
+    let mut w = MultiWorld::new(seed, ProtocolConfig::full(), 8);
+    w.set_all_links(LinkConfig {
+        latency: SimDuration::from_millis(20),
+        drop_prob: 0.2,
+        dup_prob: 0.1,
+        ..Default::default()
+    });
+    for i in 0..8 {
+        let key = format!("user{i}/obj").into_bytes();
+        w.start_upload(i, &key, vec![i as u8; 64], TimeoutStrategy::ResolveImmediately);
+    }
+    w.settle();
+    crate::report::render_trace_jsonl(w.obs.events(), &w.obs.metrics)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,8 @@
-//! Plain-text table rendering for the `experiments` binary.
+//! Plain-text table rendering for the `experiments` binary, plus the JSONL
+//! export of the observability stream (`experiments --trace-jsonl`).
 
 use crate::experiments::*;
+use tpnr_core::obs::{Event, EventKind, Histogram, Metrics};
 
 fn human_size(bytes: usize) -> String {
     if bytes >= 1 << 20 {
@@ -157,6 +159,302 @@ pub fn render_e7(rows: &[E7Row]) -> String {
     out
 }
 
+// ------------------------------------------------------------- JSONL ----
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+/// Renders one observability event as a single JSON object (no newline).
+pub fn event_json(ev: &Event) -> String {
+    let mut fields = vec![
+        format!("\"at_us\":{}", ev.at.micros()),
+        format!("\"txn\":{}", json_opt_u64(ev.txn)),
+        format!("\"actor\":\"{}\"", json_escape(&ev.actor)),
+        format!("\"kind\":\"{}\"", ev.kind.label()),
+    ];
+    match &ev.kind {
+        EventKind::Delivered { from, msg } => {
+            fields.push(format!("\"from\":\"{}\"", json_escape(from)));
+            fields.push(format!("\"msg\":\"{}\"", json_escape(msg)));
+        }
+        EventKind::Rejected { from, msg, error } => {
+            fields.push(format!("\"from\":\"{}\"", json_escape(from)));
+            fields.push(format!("\"msg\":\"{}\"", json_escape(msg)));
+            fields.push(format!("\"error\":\"{}\"", error.variant()));
+        }
+        EventKind::Garbled { from }
+        | EventKind::Dropped { from }
+        | EventKind::Duplicated { from } => {
+            fields.push(format!("\"from\":\"{}\"", json_escape(from)));
+        }
+        EventKind::TimerFired { messages } => {
+            fields.push(format!("\"messages\":{messages}"));
+        }
+        EventKind::StateTransition { from, to } => {
+            let from = from.map_or_else(
+                || "null".to_string(),
+                |s| format!("\"{}\"", json_escape(&format!("{s:?}"))),
+            );
+            fields.push(format!("\"from_state\":{from}"));
+            fields.push(format!("\"to_state\":\"{}\"", json_escape(&format!("{to:?}"))));
+        }
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{}}}",
+        h.count(),
+        json_opt_u64(h.min()),
+        json_opt_u64(h.max()),
+        h.mean(),
+        json_opt_u64(h.quantile(0.5)),
+        json_opt_u64(h.quantile(0.99)),
+    )
+}
+
+/// Renders the metrics registry as one JSON summary object (no newline).
+pub fn metrics_json(m: &Metrics) -> String {
+    let rejected_by =
+        m.rejected_by.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect::<Vec<_>>().join(",");
+    format!(
+        "{{\"kind\":\"metrics\",\"delivered\":{},\"rejected\":{},\"garbled\":{},\
+         \"dropped\":{},\"duplicated\":{},\"timer_fires\":{},\"state_transitions\":{},\
+         \"rejected_by\":{{{rejected_by}}},\"latency_us\":{},\"settle_steps\":{}}}",
+        m.delivered,
+        m.rejected,
+        m.garbled,
+        m.dropped,
+        m.duplicated,
+        m.timer_fires,
+        m.state_transitions,
+        histogram_json(&m.latency_us),
+        histogram_json(&m.settle_steps),
+    )
+}
+
+/// Renders a full run as JSONL: one line per event, then one final
+/// `"kind":"metrics"` summary line.
+pub fn render_trace_jsonl<'a>(
+    events: impl IntoIterator<Item = &'a Event>,
+    metrics: &Metrics,
+) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_json(ev));
+        out.push('\n');
+    }
+    out.push_str(&metrics_json(metrics));
+    out.push('\n');
+    out
+}
+
+/// Checks that every non-empty line of `s` is a syntactically valid JSON
+/// object and returns how many there were. A dependency-free validator for
+/// the CI step that guards the export format (the build cannot fetch a JSON
+/// crate).
+pub fn validate_jsonl(s: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut p = JsonParser { bytes: line.as_bytes(), pos: 0 };
+        p.skip_ws();
+        if p.peek() != Some(b'{') {
+            return Err(format!("line {}: not a JSON object", i + 1));
+        }
+        p.value().map_err(|e| format!("line {}: {e}", i + 1))?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("line {}: trailing garbage at byte {}", i + 1, p.pos));
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err("no JSON lines found".to_string());
+    }
+    Ok(n)
+}
+
+/// Minimal recursive-descent JSON syntax checker (values are not retained).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos.saturating_sub(1)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(char::from), self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(b) = self.bump() {
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            if !self.bump().is_some_and(|h| h.is_ascii_hexdigit()) {
+                                return Err(format!("bad \\u escape at byte {}", self.pos));
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos)),
+                },
+                b if b < 0x20 => return Err(format!("raw control byte in string at {}", self.pos)),
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("number without digits at byte {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("number with empty fraction at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("number with empty exponent at byte {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +473,89 @@ mod tests {
         let e7 = render_e7(&e7_bridge_schemes(1));
         assert!(e7.contains("3.1"));
         assert!(e7.contains("3.4"));
+    }
+
+    #[test]
+    fn event_json_covers_every_kind_and_validates() {
+        use tpnr_core::session::{TxnState, ValidationError};
+        use tpnr_net::time::SimTime;
+
+        let events = [
+            Event {
+                at: SimTime(1_000),
+                txn: Some(7),
+                actor: "bob".into(),
+                kind: EventKind::Delivered { from: "alice".into(), msg: "Transfer".into() },
+            },
+            Event {
+                at: SimTime(2_000),
+                txn: Some(7),
+                actor: "bob".into(),
+                kind: EventKind::Rejected {
+                    from: "alice".into(),
+                    msg: "Transfer".into(),
+                    error: ValidationError::StaleSequence { last: 2, got: 1 },
+                },
+            },
+            Event {
+                at: SimTime(3_000),
+                txn: None,
+                actor: "bob".into(),
+                kind: EventKind::Garbled { from: "mallory \"m\"\n".into() },
+            },
+            Event {
+                at: SimTime(4_000),
+                txn: Some(7),
+                actor: "alice".into(),
+                kind: EventKind::Dropped { from: "bob".into() },
+            },
+            Event {
+                at: SimTime(4_000),
+                txn: Some(7),
+                actor: "alice".into(),
+                kind: EventKind::Duplicated { from: "bob".into() },
+            },
+            Event {
+                at: SimTime(5_000),
+                txn: None,
+                actor: "ttp".into(),
+                kind: EventKind::TimerFired { messages: 1 },
+            },
+            Event {
+                at: SimTime(6_000),
+                txn: Some(7),
+                actor: "alice".into(),
+                kind: EventKind::StateTransition { from: None, to: TxnState::Pending },
+            },
+        ];
+        let jsonl = render_trace_jsonl(&events, &Metrics::default());
+        // 7 event lines + the metrics summary, all syntactically valid.
+        assert_eq!(validate_jsonl(&jsonl), Ok(8));
+        assert!(jsonl.contains("\"txn\":null"));
+        assert!(jsonl.contains("\"error\":\"stale-sequence\""));
+        assert!(jsonl.contains("mallory \\\"m\\\"\\n"));
+        assert!(jsonl.contains("\"from_state\":null"));
+        assert!(jsonl.lines().last().unwrap().contains("\"kind\":\"metrics\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_jsonl("").is_err(), "empty export is an error");
+        assert!(validate_jsonl("{\"a\":1}\n{\"b\":").is_err());
+        assert!(validate_jsonl("{\"a\":1} extra").is_err());
+        assert!(validate_jsonl("[1,2,3]").is_err(), "top level must be an object");
+        assert!(validate_jsonl("{\"a\":01}").is_ok(), "leading zeros pass the syntax check");
+        assert_eq!(validate_jsonl("{\"a\":[1,-2.5e3,\"x\",true,null],\"b\":{}}\n\n"), Ok(1));
+    }
+
+    #[test]
+    fn trace_jsonl_export_is_valid_and_complete() {
+        let jsonl = trace_jsonl(2026);
+        let n = validate_jsonl(&jsonl).expect("export is valid JSONL");
+        assert!(n > 20, "a full faulted run produces a real trace, got {n} lines");
+        for kind in ["delivered", "dropped", "duplicated", "state-transition"] {
+            assert!(jsonl.contains(&format!("\"kind\":\"{kind}\"")), "missing {kind}");
+        }
+        assert!(jsonl.lines().last().unwrap().contains("\"kind\":\"metrics\""));
     }
 }

@@ -65,6 +65,9 @@ pub struct Client {
     txns: HashMap<u64, ClientTxn>,
     wire_keys: HashMap<PrincipalId, RsaPublicKey>,
     next_txn: u64,
+    /// Message/tick counters, maintained by the scheduler-facing
+    /// [`Actor`](crate::sched::Actor) impl.
+    pub actor_stats: crate::obs::ActorStats,
 }
 
 impl Client {
@@ -90,6 +93,7 @@ impl Client {
             txns: HashMap::new(),
             wire_keys: HashMap::new(),
             next_txn,
+            actor_stats: crate::obs::ActorStats::default(),
         }
     }
 
@@ -509,7 +513,9 @@ impl crate::sched::Actor for Client {
         msg: &Message,
         now: SimTime,
     ) -> Result<Vec<Outgoing>, ValidationError> {
-        self.handle(from, msg, now)
+        let result = self.handle(from, msg, now);
+        self.actor_stats.note_message(&result);
+        result
     }
 
     fn next_deadline(&self) -> Option<SimTime> {
@@ -517,6 +523,8 @@ impl crate::sched::Actor for Client {
     }
 
     fn on_tick(&mut self, now: SimTime) -> Vec<Outgoing> {
-        self.poll_timeouts(now)
+        let out = self.poll_timeouts(now);
+        self.actor_stats.note_tick(&out);
+        out
     }
 }

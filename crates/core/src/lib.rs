@@ -24,6 +24,8 @@
 //!   paper's TB-scale setting (an extension);
 //! * [`multi`] — one provider serving many interleaved clients (Figure 1 at
 //!   population scale);
+//! * [`obs`] — the unified observability layer: one structured event stream
+//!   plus metrics, shared by both runners;
 //! * [`archive`] — integrity-protected evidence bundles that survive until
 //!   the dispute.
 //!
@@ -58,6 +60,7 @@ pub mod config;
 pub mod evidence;
 pub mod message;
 pub mod multi;
+pub mod obs;
 pub mod principal;
 pub mod provider;
 pub mod runner;
@@ -71,6 +74,7 @@ pub use client::{Client, TimeoutStrategy};
 pub use config::{Ablation, ProtocolConfig};
 pub use evidence::{EvidencePlaintext, Flag, SealedEvidence, VerifiedEvidence};
 pub use message::Message;
+pub use obs::{ActorStats, Event, EventKind, Metrics, Obs, TxnObs};
 pub use principal::{Directory, Principal, PrincipalId};
 pub use provider::Provider;
 pub use runner::{TxnReport, World};

@@ -9,6 +9,7 @@
 use crate::client::{Client, TimeoutStrategy};
 use crate::config::ProtocolConfig;
 use crate::message::Message;
+use crate::obs::{Event, EventKind, Obs};
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::provider::Provider;
 use crate::runner::TxnReport;
@@ -39,6 +40,11 @@ pub struct MultiWorld {
     pub ttp_node: NodeId,
     node_of: HashMap<PrincipalId, NodeId>,
     principal_of: HashMap<NodeId, PrincipalId>,
+    /// The shared observability sink — same type and semantics as
+    /// [`World`](crate::runner::World)'s: every delivery, rejection,
+    /// garbled arrival, drop, duplication, timer fire and state transition
+    /// in this world is visible here.
+    pub obs: Obs,
     /// Safety valve against livelock; when hit, settle reports
     /// [`sched::SettleOutcome::StepCapExceeded`].
     pub max_steps: usize,
@@ -112,6 +118,7 @@ impl MultiWorld {
             ttp_node,
             node_of,
             principal_of,
+            obs: Obs::new(),
             max_steps: 100_000,
             txn_meta: HashMap::new(),
             ttp_touched: HashSet::new(),
@@ -127,6 +134,9 @@ impl MultiWorld {
         for o in out {
             if let Some(&dst) = self.node_of.get(&o.to) {
                 let txn = o.msg.txn_id();
+                // First wire activity marks the transaction's start
+                // (idempotent), mirroring `World`.
+                self.obs.note_txn_started(txn, self.net.now());
                 self.net.send_tagged(from_node, dst, o.msg.to_wire(), Some(txn));
             }
         }
@@ -145,6 +155,7 @@ impl MultiWorld {
         let (txn, out) =
             self.clients[idx].begin_upload(key, data, now, strategy).expect("initiation");
         self.txn_meta.insert(txn, (idx, now));
+        self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
         self.dispatch(self.client_nodes[idx], out);
         txn
     }
@@ -154,6 +165,7 @@ impl MultiWorld {
         let now = self.net.now();
         let (txn, out) = self.clients[idx].begin_download(key, now, strategy).expect("initiation");
         self.txn_meta.insert(txn, (idx, now));
+        self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
         self.dispatch(self.client_nodes[idx], out);
         txn
     }
@@ -232,10 +244,31 @@ impl EventHub for MultiWorld {
     fn fire_timers(&mut self, now: SimTime) -> usize {
         let mut dispatched = 0;
         for node in self.actor_nodes() {
+            let due = self.actor(node).and_then(|a| a.next_deadline()).is_some_and(|d| d <= now);
             let Some(actor) = self.actor_mut(node) else { continue };
             let out = actor.on_tick(now);
+            if due {
+                let ev = Event {
+                    at: now,
+                    txn: None,
+                    actor: self.net.name(node).to_string(),
+                    kind: EventKind::TimerFired { messages: out.len() },
+                };
+                self.obs.record(ev);
+            }
             dispatched += out.len();
             self.dispatch(node, out);
+        }
+        // Timer rounds move client-visible states (abort/resolve
+        // initiation, failure declarations); diff every started txn, in
+        // txn order so same-instant transitions land deterministically.
+        let mut metas: Vec<(u64, usize)> =
+            self.txn_meta.iter().map(|(&t, &(i, _))| (t, i)).collect();
+        metas.sort_unstable();
+        for (txn, idx) in metas {
+            if let Some(st) = self.clients[idx].txn_state(txn) {
+                self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, st);
+            }
         }
         dispatched
     }
@@ -243,15 +276,72 @@ impl EventHub for MultiWorld {
     fn deliver(&mut self, env: Envelope) {
         let now = self.net.now();
         let from = self.principal_of[&env.src];
-        let Ok(msg) = Message::from_wire(&env.payload) else { return };
-        if env.dst == self.ttp_node {
-            self.ttp_touched.insert(msg.txn_id());
-        }
-        let out = match self.actor_mut(env.dst) {
-            Some(actor) => actor.on_message(from, &msg, now).unwrap_or_default(),
-            None => Vec::new(),
+        let msg = match Message::from_wire(&env.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                // Used to be a bare `return`: garbled arrivals were
+                // invisible. Record them, attributed only by wire tag.
+                let ev = Event {
+                    at: now,
+                    txn: env.txn,
+                    actor: self.net.name(env.dst).to_string(),
+                    kind: EventKind::Garbled { from: self.net.name(env.src).to_string() },
+                };
+                self.obs.record(ev);
+                return;
+            }
         };
-        self.dispatch(env.dst, out);
+        let txn_id = msg.txn_id();
+        if env.dst == self.ttp_node {
+            self.ttp_touched.insert(txn_id);
+        }
+        // Prefer the sender's wire tag; adversary injections are untagged
+        // but decode, so fall back to the protocol header's id.
+        let txn = env.txn.or(Some(txn_id));
+        let msg_kind = msg.kind().to_string();
+        let result = match self.actor_mut(env.dst) {
+            Some(actor) => actor.on_message(from, &msg, now),
+            None => return,
+        };
+        match result {
+            Ok(out) => {
+                let ev = Event {
+                    at: now,
+                    txn,
+                    actor: self.net.name(env.dst).to_string(),
+                    kind: EventKind::Delivered {
+                        from: self.net.name(env.src).to_string(),
+                        msg: msg_kind,
+                    },
+                };
+                self.obs.record(ev);
+                if let Some(idx) = self.client_index(env.dst) {
+                    if let Some(st) = self.clients[idx].txn_state(txn_id) {
+                        self.obs.note_state(now, self.net.name(env.dst), txn_id, st);
+                    }
+                }
+                self.dispatch(env.dst, out);
+            }
+            Err(error) => {
+                // Used to be `unwrap_or_default()`: validation rejections
+                // vanished. Record the event and its variant counter.
+                let ev = Event {
+                    at: now,
+                    txn,
+                    actor: self.net.name(env.dst).to_string(),
+                    kind: EventKind::Rejected {
+                        from: self.net.name(env.src).to_string(),
+                        msg: msg_kind,
+                        error,
+                    },
+                };
+                self.obs.record(ev);
+            }
+        }
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut Obs> {
+        Some(&mut self.obs)
     }
 }
 
@@ -426,5 +516,130 @@ mod tests {
         }
         // Exactly one client needed the TTP.
         assert_eq!(w.ttp.stats.resolves_received, 1);
+    }
+
+    #[test]
+    fn per_txn_events_partition_global_counters_under_loss_and_duplication() {
+        // Acceptance: 50 interleaved clients, 30% loss, duplication. The
+        // observability tallies must partition the global counters exactly
+        // and agree with the simulator's own per-txn ledger — no event
+        // invisible, none double-counted.
+        let mut w = MultiWorld::new(7, ProtocolConfig::full(), 50);
+        w.set_all_links(LinkConfig {
+            latency: SimDuration::from_millis(15),
+            drop_prob: 0.3,
+            dup_prob: 0.15,
+            ..Default::default()
+        });
+        let txns: Vec<u64> = (0..50)
+            .map(|i| {
+                let key = format!("user{i}/obj").into_bytes();
+                w.start_upload(i, &key, vec![i as u8; 48], TimeoutStrategy::ResolveImmediately)
+            })
+            .collect();
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::Quiescent);
+
+        let m = w.obs.metrics.clone();
+        // All traffic here is tagged and decodable, so accepted + rejected
+        // events account for every delivery, and the drop/duplication
+        // ledgers agree with the simulator.
+        assert_eq!(m.delivered + m.rejected, w.net.stats.delivered);
+        assert_eq!(m.garbled, 0);
+        assert_eq!(m.dropped, w.net.stats.dropped);
+        assert_eq!(m.duplicated, w.net.stats.duplicated);
+        assert!(m.rejected > 0, "duplicate copies must surface as rejections");
+        assert_eq!(m.rejected_by.values().sum::<u64>(), m.rejected);
+        assert!(m.rejected_by.contains_key("stale-sequence"), "{:?}", m.rejected_by);
+
+        let (mut acc, mut rej, mut drp, mut dup) = (0, 0, 0, 0);
+        for &txn in &txns {
+            let o = w.obs.txn(txn);
+            let t = w.net.txn_stats(txn);
+            assert_eq!(o.inbox_total(), t.delivered, "txn {txn}");
+            assert_eq!(o.dropped, t.dropped, "txn {txn}");
+            assert_eq!(o.duplicated, t.duplicated, "txn {txn}");
+            acc += o.accepted;
+            rej += o.rejected;
+            drp += o.dropped;
+            dup += o.duplicated;
+        }
+        assert_eq!(acc, m.delivered, "per-txn accepted partitions global deliveries");
+        assert_eq!(rej, m.rejected);
+        assert_eq!(drp, m.dropped);
+        assert_eq!(dup, m.duplicated);
+        let mut expected = txns.clone();
+        expected.sort_unstable();
+        assert_eq!(w.obs.txns(), expected, "no events attributed outside the real txns");
+        // Every settled transaction also has a latency sample.
+        assert_eq!(m.latency_us.count(), 50);
+    }
+
+    #[test]
+    fn garbled_and_rejected_arrivals_are_recorded_not_discarded() {
+        // Regression: `MultiWorld::deliver` used to `return` on undecodable
+        // payloads and `unwrap_or_default()` validation errors away.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use tpnr_net::sim::Action;
+
+        let mut w = MultiWorld::new(8, ProtocolConfig::full(), 2);
+        let (c0, bob) = (w.client_nodes[0], w.bob_node);
+        // Wiretap client 0's traffic so we can replay a real capture.
+        let tape: Rc<RefCell<Vec<Vec<u8>>>> = Rc::default();
+        let tap = tape.clone();
+        w.net.set_interceptor(Box::new(move |src, dst, payload: &[u8], _t| {
+            if src == c0 && dst == bob {
+                tap.borrow_mut().push(payload.to_vec());
+            }
+            Action::Deliver
+        }));
+        let t0 = w.start_upload(0, b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+        w.settle();
+        assert_eq!(w.state(0, t0), Some(TxnState::Completed));
+        w.net.clear_interceptor();
+
+        // Undecodable flood towards the provider: visible, unattributed.
+        for _ in 0..3 {
+            w.net.send(w.client_nodes[1], bob, b"garbage".to_vec());
+        }
+        w.settle();
+        assert_eq!(w.obs.metrics.garbled, 3);
+        let garbled: Vec<_> =
+            w.obs.events().iter().filter(|e| matches!(e.kind, EventKind::Garbled { .. })).collect();
+        assert_eq!(garbled.len(), 3);
+        assert!(garbled.iter().all(|e| e.txn.is_none() && e.actor == "bob"));
+
+        // A replayed capture decodes but fails validation: recorded with
+        // its variant and attributed to the session it replays into, even
+        // though the replay itself is untagged on the wire.
+        let replay = tape.borrow()[0].clone();
+        w.net.send(c0, bob, replay);
+        w.settle();
+        assert_eq!(w.obs.metrics.rejected, 1);
+        assert_eq!(w.obs.metrics.rejected_by.get("stale-sequence"), Some(&1));
+        let rej =
+            w.obs.events().iter().find(|e| matches!(e.kind, EventKind::Rejected { .. })).unwrap();
+        assert_eq!(rej.txn, Some(t0));
+        assert_eq!(rej.msg_kind(), Some("Transfer"));
+        assert_eq!(w.provider.actor_stats.rejected, 1);
+    }
+
+    #[test]
+    fn world_and_multiworld_report_identical_latency_semantics() {
+        // Acceptance: both runners measure txn-scoped latency (initiation →
+        // the transaction's own last delivery), so the same clean upload on
+        // the same links reports the same number in either runner.
+        let mut sw = crate::runner::World::new(21, ProtocolConfig::full());
+        let rw = sw.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+
+        let mut mw = MultiWorld::new(21, ProtocolConfig::full(), 1);
+        let txn = mw.start_upload(0, b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+        mw.settle();
+        let rm = mw.report(txn).unwrap();
+
+        assert_eq!(rw.latency.micros(), 50_000, "one RTT on the default 25 ms links");
+        assert_eq!(rm.latency.micros(), rw.latency.micros());
+        assert_eq!(rm.messages, rw.messages);
     }
 }

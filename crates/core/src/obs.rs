@@ -1,0 +1,566 @@
+//! Unified observability: one structured event stream plus a metrics
+//! registry, shared by every runner.
+//!
+//! The paper's evaluation is pure message accounting (2 steps in the Normal
+//! mode, TTP touched only on faults), so the reproduction lives or dies on
+//! *exact, inspectable* accounting of what happened on the wire. Before this
+//! module, `World` kept a private trace that `MultiWorld` never got — there,
+//! garbled payloads and validation rejections vanished without a record —
+//! and drops/duplications inside [`SimNet`](tpnr_net::sim::SimNet) were
+//! invisible to both. [`Obs`] is the single sink both runners share:
+//!
+//! - an [`Event`] ring buffer (bounded, so 50-client floods cannot grow
+//!   memory without bound; eviction is counted, never silent),
+//! - global [`Metrics`] counters with per-`ValidationError`-variant
+//!   rejection counts and latency/settle-step [`Histogram`]s,
+//! - exact per-transaction tallies ([`TxnObs`]) that partition the global
+//!   counters: for fully tagged traffic, summing any field over
+//!   [`Obs::txns`] reproduces the global number, and each transaction's
+//!   inbox total equals its `TxnNetStats::delivered`.
+//!
+//! Attribution is `Option<u64>`: an undecodable flood payload belongs to no
+//! transaction (it used to be reported as `txn_id: 0`). Decodable traffic
+//! prefers the sender's wire tag and falls back to the protocol header's
+//! transaction id, so adversary *injections* — untagged on the wire — are
+//! still attributed to the session they replay into.
+//!
+//! The bench crate renders events and metrics as JSONL
+//! (`tpnr-bench::report`); `experiments --trace-jsonl` exports a full run.
+
+use crate::session::{Outgoing, TxnState, ValidationError};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use tpnr_net::time::SimTime;
+
+/// Default ring-buffer capacity (events, not bytes). Large enough to hold a
+/// full 50-client faulted run; floods beyond it evict the oldest events and
+/// bump [`Obs::evicted`] while every counter stays exact.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// One observable happening, attributed to a point in simulated time, an
+/// actor (the affected receiver), and — when one exists — a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// When it happened.
+    pub at: SimTime,
+    /// Transaction this event belongs to. `None` for traffic no transaction
+    /// claims: undecodable floods, untagged raw sends, timer rounds.
+    pub txn: Option<u64>,
+    /// Display name of the actor the event happened *to* (the receiver for
+    /// wire events, the timer owner for `TimerFired`, the state owner for
+    /// `StateTransition`).
+    pub actor: String,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy. Wire-facing variants carry the sender's display name
+/// so a trace line reads as "who did what to whom".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A protocol message was decoded and accepted by its receiver.
+    Delivered {
+        /// Sender's display name.
+        from: String,
+        /// Message kind label (`Transfer`, `Receipt`, …).
+        msg: String,
+    },
+    /// A protocol message was decoded but refused by validation.
+    Rejected {
+        /// Sender's display name.
+        from: String,
+        /// Message kind label.
+        msg: String,
+        /// Why it was refused.
+        error: ValidationError,
+    },
+    /// An arriving payload did not decode as a protocol message.
+    Garbled {
+        /// Sender's display name.
+        from: String,
+    },
+    /// The network lost a copy (link loss or adversary drop).
+    Dropped {
+        /// Sender's display name.
+        from: String,
+    },
+    /// The link created an extra copy of a message.
+    Duplicated {
+        /// Sender's display name.
+        from: String,
+    },
+    /// An actor's due protocol timers fired.
+    TimerFired {
+        /// How many messages the tick produced.
+        messages: usize,
+    },
+    /// A transaction moved to a new client-visible state.
+    StateTransition {
+        /// Previous state; `None` when first observed.
+        from: Option<TxnState>,
+        /// New state.
+        to: TxnState,
+    },
+}
+
+impl EventKind {
+    /// Stable kebab-case label (JSONL `kind` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Delivered { .. } => "delivered",
+            EventKind::Rejected { .. } => "rejected",
+            EventKind::Garbled { .. } => "garbled",
+            EventKind::Dropped { .. } => "dropped",
+            EventKind::Duplicated { .. } => "duplicated",
+            EventKind::TimerFired { .. } => "timer-fired",
+            EventKind::StateTransition { .. } => "state-transition",
+        }
+    }
+}
+
+impl Event {
+    /// The protocol message kind this event carries, when it carries one
+    /// (`Delivered` and `Rejected`).
+    pub fn msg_kind(&self) -> Option<&str> {
+        match &self.kind {
+            EventKind::Delivered { msg, .. } | EventKind::Rejected { msg, .. } => Some(msg),
+            _ => None,
+        }
+    }
+}
+
+/// Fixed-bucket log2 histogram (bucket `i` holds values with
+/// `ilog2(value) == i`, bucket 0 holds 0 and 1). No allocation, O(1)
+/// record, exact count/sum/min/max alongside the bucketed shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value < 2 { 0 } else { value.ilog2() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// How many values were recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (q in 0..=1),
+    /// clamped to the exact max. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return Some(upper.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Global counters and distributions, updated on every [`Obs::record`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Protocol messages accepted by their receiver.
+    pub delivered: u64,
+    /// Protocol messages refused by validation.
+    pub rejected: u64,
+    /// Arriving payloads that did not decode.
+    pub garbled: u64,
+    /// Copies the network lost.
+    pub dropped: u64,
+    /// Extra copies the link created.
+    pub duplicated: u64,
+    /// Timer rounds that fired on some actor.
+    pub timer_fires: u64,
+    /// Client-visible transaction state changes.
+    pub state_transitions: u64,
+    /// Rejections by [`ValidationError::variant`] label.
+    pub rejected_by: BTreeMap<&'static str, u64>,
+    /// Per-transaction settlement latency in microseconds (recorded when a
+    /// transaction first reaches a terminal state).
+    pub latency_us: Histogram,
+    /// Steps (deliveries + timer rounds) per settle run.
+    pub settle_steps: Histogram,
+}
+
+/// Exact per-transaction event tallies. For fully tagged traffic,
+/// `accepted + rejected + garbled` equals the transaction's
+/// `TxnNetStats::delivered` and each field sums over all transactions to
+/// the matching global [`Metrics`] counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnObs {
+    /// Deliveries accepted.
+    pub accepted: u64,
+    /// Deliveries refused by validation.
+    pub rejected: u64,
+    /// Arrivals that did not decode.
+    pub garbled: u64,
+    /// Copies lost in the network.
+    pub dropped: u64,
+    /// Extra copies the link created.
+    pub duplicated: u64,
+}
+
+impl TxnObs {
+    /// Everything that reached an inbox for this transaction (equals
+    /// `TxnNetStats::delivered` for tagged traffic).
+    pub fn inbox_total(&self) -> u64 {
+        self.accepted + self.rejected + self.garbled
+    }
+}
+
+/// Per-actor message/tick counters. Each actor carries its own, so tests
+/// and experiments can read "how did Bob fare" without scanning the event
+/// stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActorStats {
+    /// Messages this actor accepted.
+    pub accepted: u64,
+    /// Messages this actor refused.
+    pub rejected: u64,
+    /// Messages this actor produced (replies and timer output).
+    pub produced: u64,
+    /// Ticks that produced at least one message.
+    pub productive_ticks: u64,
+}
+
+impl ActorStats {
+    /// Accounts one handled message.
+    pub fn note_message(&mut self, result: &Result<Vec<Outgoing>, ValidationError>) {
+        match result {
+            Ok(out) => {
+                self.accepted += 1;
+                self.produced += out.len() as u64;
+            }
+            Err(_) => self.rejected += 1,
+        }
+    }
+
+    /// Accounts one timer tick.
+    pub fn note_tick(&mut self, out: &[Outgoing]) {
+        if !out.is_empty() {
+            self.productive_ticks += 1;
+            self.produced += out.len() as u64;
+        }
+    }
+}
+
+/// The shared observability sink: bounded event ring plus metrics.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    events: VecDeque<Event>,
+    capacity: usize,
+    evicted: u64,
+    /// Global counters and distributions.
+    pub metrics: Metrics,
+    per_txn: HashMap<u64, TxnObs>,
+    last_state: HashMap<u64, TxnState>,
+    started: HashMap<u64, SimTime>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// Sink with the default ring capacity.
+    pub fn new() -> Self {
+        Obs::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Sink with an explicit ring capacity (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Obs {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+            metrics: Metrics::default(),
+            per_txn: HashMap::new(),
+            last_state: HashMap::new(),
+            started: HashMap::new(),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Re-bounds the ring, evicting oldest events immediately if needed.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+    }
+
+    /// Events evicted from the ring so far (counters are unaffected by
+    /// eviction).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &VecDeque<Event> {
+        &self.events
+    }
+
+    /// Tallies for one transaction (zeroes if it was never seen).
+    pub fn txn(&self, txn: u64) -> TxnObs {
+        self.per_txn.get(&txn).copied().unwrap_or_default()
+    }
+
+    /// Transactions with recorded events, ascending.
+    pub fn txns(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.per_txn.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Records one event: updates the metrics, the per-transaction tallies,
+    /// and the ring (evicting the oldest event when full).
+    pub fn record(&mut self, event: Event) {
+        match &event.kind {
+            EventKind::Delivered { .. } => {
+                self.metrics.delivered += 1;
+                if let Some(t) = event.txn {
+                    self.per_txn.entry(t).or_default().accepted += 1;
+                }
+            }
+            EventKind::Rejected { error, .. } => {
+                self.metrics.rejected += 1;
+                *self.metrics.rejected_by.entry(error.variant()).or_insert(0) += 1;
+                if let Some(t) = event.txn {
+                    self.per_txn.entry(t).or_default().rejected += 1;
+                }
+            }
+            EventKind::Garbled { .. } => {
+                self.metrics.garbled += 1;
+                if let Some(t) = event.txn {
+                    self.per_txn.entry(t).or_default().garbled += 1;
+                }
+            }
+            EventKind::Dropped { .. } => {
+                self.metrics.dropped += 1;
+                if let Some(t) = event.txn {
+                    self.per_txn.entry(t).or_default().dropped += 1;
+                }
+            }
+            EventKind::Duplicated { .. } => {
+                self.metrics.duplicated += 1;
+                if let Some(t) = event.txn {
+                    self.per_txn.entry(t).or_default().duplicated += 1;
+                }
+            }
+            EventKind::TimerFired { .. } => self.metrics.timer_fires += 1,
+            EventKind::StateTransition { .. } => self.metrics.state_transitions += 1,
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Marks when a transaction's first message hit the wire (idempotent;
+    /// the first call wins). Terminal-state latency is measured from here.
+    pub fn note_txn_started(&mut self, txn: u64, at: SimTime) {
+        self.started.entry(txn).or_insert(at);
+    }
+
+    /// Observes a transaction's current client-visible state, emitting a
+    /// [`EventKind::StateTransition`] only when it changed. The first
+    /// transition into a terminal state records settlement latency.
+    pub fn note_state(&mut self, at: SimTime, actor: &str, txn: u64, state: TxnState) {
+        let prev = self.last_state.insert(txn, state);
+        if prev == Some(state) {
+            return;
+        }
+        if state.is_terminal() && !prev.is_some_and(TxnState::is_terminal) {
+            if let Some(&started) = self.started.get(&txn) {
+                self.metrics.latency_us.record(at.since(started).micros());
+            }
+        }
+        self.record(Event {
+            at,
+            txn: Some(txn),
+            actor: actor.to_string(),
+            kind: EventKind::StateTransition { from: prev, to: state },
+        });
+    }
+
+    /// Records the size of one settle run (deliveries + timer rounds).
+    pub fn note_settle(&mut self, steps: u64) {
+        self.metrics.settle_steps.record(steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, txn: Option<u64>, kind: EventKind) -> Event {
+        Event { at: SimTime(at), txn, actor: "bob".into(), kind }
+    }
+
+    fn delivered(from: &str) -> EventKind {
+        EventKind::Delivered { from: from.into(), msg: "Transfer".into() }
+    }
+
+    #[test]
+    fn counters_and_per_txn_partition() {
+        let mut o = Obs::new();
+        o.record(ev(1, Some(1), delivered("alice")));
+        o.record(ev(2, Some(2), delivered("alice")));
+        o.record(ev(
+            3,
+            Some(1),
+            EventKind::Rejected {
+                from: "alice".into(),
+                msg: "Transfer".into(),
+                error: ValidationError::StaleSequence { last: 2, got: 1 },
+            },
+        ));
+        o.record(ev(4, None, EventKind::Garbled { from: "alice".into() }));
+        o.record(ev(5, Some(2), EventKind::Dropped { from: "alice".into() }));
+        o.record(ev(5, Some(2), EventKind::Duplicated { from: "alice".into() }));
+
+        assert_eq!(o.metrics.delivered, 2);
+        assert_eq!(o.metrics.rejected, 1);
+        assert_eq!(o.metrics.garbled, 1);
+        assert_eq!(o.metrics.dropped, 1);
+        assert_eq!(o.metrics.duplicated, 1);
+        assert_eq!(o.metrics.rejected_by.get("stale-sequence"), Some(&1));
+        assert_eq!(o.txns(), vec![1, 2]);
+        assert_eq!(o.txn(1), TxnObs { accepted: 1, rejected: 1, ..Default::default() });
+        assert_eq!(
+            o.txn(2),
+            TxnObs { accepted: 1, dropped: 1, duplicated: 1, ..Default::default() }
+        );
+        // The untagged garbled event is global-only.
+        let tallied: u64 = o.txns().iter().map(|&t| o.txn(t).garbled).sum();
+        assert_eq!(tallied, 0);
+        assert_eq!(o.txn(1).inbox_total(), 2);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_counters_stay_exact() {
+        let mut o = Obs::with_capacity(3);
+        for i in 0..10 {
+            o.record(ev(i, None, delivered("alice")));
+        }
+        assert_eq!(o.events().len(), 3);
+        assert_eq!(o.evicted(), 7);
+        assert_eq!(o.metrics.delivered, 10);
+        assert_eq!(o.events()[0].at, SimTime(7), "oldest retained is #7");
+
+        o.set_capacity(1);
+        assert_eq!(o.events().len(), 1);
+        assert_eq!(o.evicted(), 9);
+        assert_eq!(o.events()[0].at, SimTime(9));
+    }
+
+    #[test]
+    fn state_transitions_dedup_and_measure_latency() {
+        let mut o = Obs::new();
+        o.note_txn_started(1, SimTime(1_000));
+        o.note_state(SimTime(1_000), "alice", 1, TxnState::Pending);
+        o.note_state(SimTime(2_000), "alice", 1, TxnState::Pending); // no change
+        o.note_state(SimTime(51_000), "alice", 1, TxnState::Completed);
+        o.note_state(SimTime(60_000), "alice", 1, TxnState::Completed); // no change
+
+        assert_eq!(o.metrics.state_transitions, 2);
+        let kinds: Vec<_> = o
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::StateTransition { from, to } => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![(None, TxnState::Pending), (Some(TxnState::Pending), TxnState::Completed),]
+        );
+        assert_eq!(o.metrics.latency_us.count(), 1);
+        assert_eq!(o.metrics.latency_us.max(), Some(50_000));
+        // Re-entering a terminal state never records a second latency.
+        o.note_state(SimTime(70_000), "alice", 1, TxnState::Failed);
+        assert_eq!(o.metrics.latency_us.count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        for v in [0, 1, 2, 3, 100, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1_000_000));
+        assert!((h.mean() - (1_000_106.0 / 6.0)).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), Some(1), "first bucket upper bound");
+        assert_eq!(h.quantile(1.0), Some(1_000_000), "clamped to exact max");
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((2..=3).contains(&p50), "median bucket covers 2..=3, got {p50}");
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn actor_stats_track_messages_and_ticks() {
+        let mut s = ActorStats::default();
+        s.note_message(&Ok(Vec::new()));
+        s.note_message(&Err(ValidationError::HashMismatch));
+        s.note_tick(&[]);
+        assert_eq!(s, ActorStats { accepted: 1, rejected: 1, ..Default::default() });
+    }
+}

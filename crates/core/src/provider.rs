@@ -74,6 +74,9 @@ pub struct Provider {
     wire_keys: HashMap<PrincipalId, RsaPublicKey>,
     /// Misbehaviour switches.
     pub behavior: ProviderBehavior,
+    /// Message/tick counters, maintained by the scheduler-facing
+    /// [`Actor`](crate::sched::Actor) impl.
+    pub actor_stats: crate::obs::ActorStats,
 }
 
 impl Provider {
@@ -97,6 +100,7 @@ impl Provider {
             txns: HashMap::new(),
             wire_keys: HashMap::new(),
             behavior: ProviderBehavior::default(),
+            actor_stats: crate::obs::ActorStats::default(),
         }
     }
 
@@ -422,6 +426,8 @@ impl crate::sched::Actor for Provider {
         msg: &Message,
         now: SimTime,
     ) -> Result<Vec<Outgoing>, ValidationError> {
-        self.handle(from, msg, now)
+        let result = self.handle(from, msg, now);
+        self.actor_stats.note_message(&result);
+        result
     }
 }

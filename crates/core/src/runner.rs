@@ -10,6 +10,7 @@
 use crate::client::{Client, TimeoutStrategy};
 use crate::config::ProtocolConfig;
 use crate::message::Message;
+use crate::obs::{Event, EventKind, Obs};
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::provider::Provider;
 use crate::sched::{self, Actor, EventHub, SettleReport};
@@ -20,25 +21,6 @@ use tpnr_crypto::ChaChaRng;
 use tpnr_net::codec::Wire;
 use tpnr_net::sim::{Envelope, LinkConfig, NodeId, SimNet};
 use tpnr_net::time::SimTime;
-
-/// One delivered-message trace entry (for examples and debugging).
-#[derive(Debug, Clone)]
-pub struct TraceEvent {
-    /// Simulated delivery time.
-    pub at: SimTime,
-    /// Sender principal.
-    pub from: &'static str,
-    /// Receiver principal.
-    pub to: &'static str,
-    /// Message kind label.
-    pub kind: String,
-    /// Transaction id.
-    pub txn_id: u64,
-    /// Whether the receiver accepted it.
-    pub accepted: bool,
-    /// Rejection reason when not accepted.
-    pub error: Option<String>,
-}
 
 /// Per-transaction outcome report.
 ///
@@ -85,8 +67,11 @@ pub struct World {
     /// The authenticated key directory shared by all honest parties
     /// (exposed for arbitration and attack harnesses).
     pub dir: Directory,
-    /// Delivery trace.
-    pub trace: Vec<TraceEvent>,
+    /// The shared observability sink: structured events (deliveries,
+    /// rejections, garbled arrivals, drops, duplications, timer fires,
+    /// state transitions) plus the metrics registry. Same type and
+    /// semantics as [`MultiWorld`](crate::multi::MultiWorld)'s.
+    pub obs: Obs,
     /// Safety valve against livelock in adversarial runs; when hit, settle
     /// reports [`sched::SettleOutcome::StepCapExceeded`] instead of
     /// silently stopping.
@@ -149,7 +134,7 @@ impl World {
             principal_of,
             name_of,
             dir,
-            trace: Vec::new(),
+            obs: Obs::new(),
             max_steps: 10_000,
             ttp_touched: HashSet::new(),
         }
@@ -164,6 +149,9 @@ impl World {
         for o in out {
             let Some(&dst) = self.node_of.get(&o.to) else { continue };
             let txn = o.msg.txn_id();
+            // First wire activity marks the transaction's start (idempotent)
+            // so terminal-state latency is measurable for every entry path.
+            self.obs.note_txn_started(txn, self.net.now());
             self.net.send_tagged(from_node, dst, o.msg.to_wire(), Some(txn));
         }
     }
@@ -210,6 +198,7 @@ impl World {
         let started = self.net.now();
         let (txn_id, out) =
             self.client.begin_upload(key, data, started, strategy).expect("upload initiation");
+        self.obs.note_state(started, "alice", txn_id, TxnState::Pending);
         self.send_from_client(out);
         self.settle();
         self.report(txn_id, started)
@@ -224,6 +213,7 @@ impl World {
         let started = self.net.now();
         let (txn_id, out) =
             self.client.begin_download(key, started, strategy).expect("download initiation");
+        self.obs.note_state(started, "alice", txn_id, TxnState::Pending);
         self.send_from_client(out);
         self.settle();
         let data = self.client.download_result(txn_id).map(|p| p.data.clone());
@@ -231,7 +221,10 @@ impl World {
     }
 
     /// Builds an exact per-transaction report from the simulator's tagged
-    /// traffic counters.
+    /// traffic counters. Latency is txn-scoped — measured to this
+    /// transaction's own last delivery, not to `net.now()`, so unrelated
+    /// background traffic never inflates it (same rule as
+    /// [`MultiWorld::report`](crate::multi::MultiWorld::report)).
     pub fn report(&self, txn_id: u64, started: SimTime) -> TxnReport {
         let t = self.net.txn_stats(txn_id);
         TxnReport {
@@ -239,7 +232,7 @@ impl World {
             state: self.client.txn_state(txn_id).unwrap_or(TxnState::Pending),
             messages: t.delivered,
             bytes: t.bytes_sent,
-            latency: self.net.now().since(started),
+            latency: t.last_delivered_at.since(started),
             ttp_used: self.ttp_touched.contains(&txn_id),
         }
     }
@@ -257,9 +250,25 @@ impl EventHub for World {
     fn fire_timers(&mut self, now: SimTime) -> usize {
         let mut dispatched = 0;
         for node in self.actor_nodes() {
+            let due = self.actor(node).next_deadline().is_some_and(|d| d <= now);
             let out = self.actor_mut(node).on_tick(now);
+            if due {
+                self.obs.record(Event {
+                    at: now,
+                    txn: None,
+                    actor: self.name_of[&node].to_string(),
+                    kind: EventKind::TimerFired { messages: out.len() },
+                });
+            }
             dispatched += out.len();
             self.dispatch_outgoing(node, out);
+        }
+        // Timers move client-visible transaction states (abort/resolve
+        // initiation, local failure declarations); diff them all.
+        for txn in self.client.txn_ids() {
+            if let Some(st) = self.client.txn_state(txn) {
+                self.obs.note_state(now, "alice", txn, st);
+            }
         }
         dispatched
     }
@@ -267,37 +276,60 @@ impl EventHub for World {
     fn deliver(&mut self, env: Envelope) {
         let now = self.net.now();
         let from_principal = self.principal_of[&env.src];
-        let decoded = Message::from_wire(&env.payload);
-        let (kind, txn_id) = match &decoded {
-            Ok(m) => (m.kind().to_string(), m.txn_id()),
-            Err(_) => ("<garbled>".to_string(), 0),
+        let from = self.name_of[&env.src];
+        let actor = self.name_of[&env.dst];
+        let msg = match Message::from_wire(&env.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                // An undecodable payload belongs to whatever transaction
+                // tagged it on the wire — usually none. (It used to be
+                // reported as `txn_id: 0`, colliding with a real id.)
+                self.obs.record(Event {
+                    at: now,
+                    txn: env.txn,
+                    actor: actor.to_string(),
+                    kind: EventKind::Garbled { from: from.to_string() },
+                });
+                return;
+            }
         };
+        let txn_id = msg.txn_id();
         if env.dst == self.ttp_node {
-            if let Ok(m) = &decoded {
-                self.ttp_touched.insert(m.txn_id());
+            self.ttp_touched.insert(txn_id);
+        }
+        // Prefer the sender's wire tag; adversary injections are untagged
+        // but decode, so fall back to the protocol header's id.
+        let txn = env.txn.or(Some(txn_id));
+        let msg_kind = msg.kind().to_string();
+        let result = self.actor_mut(env.dst).on_message(from_principal, &msg, now);
+        match result {
+            Ok(out) => {
+                self.obs.record(Event {
+                    at: now,
+                    txn,
+                    actor: actor.to_string(),
+                    kind: EventKind::Delivered { from: from.to_string(), msg: msg_kind },
+                });
+                if env.dst == self.alice_node {
+                    if let Some(st) = self.client.txn_state(txn_id) {
+                        self.obs.note_state(now, actor, txn_id, st);
+                    }
+                }
+                self.dispatch_outgoing(env.dst, out);
+            }
+            Err(error) => {
+                self.obs.record(Event {
+                    at: now,
+                    txn,
+                    actor: actor.to_string(),
+                    kind: EventKind::Rejected { from: from.to_string(), msg: msg_kind, error },
+                });
             }
         }
-        let result: Result<Vec<Outgoing>, String> = match decoded {
-            Err(e) => Err(format!("decode: {e}")),
-            Ok(msg) => self
-                .actor_mut(env.dst)
-                .on_message(from_principal, &msg, now)
-                .map_err(|e| e.to_string()),
-        };
-        let accepted = result.is_ok();
-        let error = result.as_ref().err().cloned();
-        self.trace.push(TraceEvent {
-            at: now,
-            from: self.name_of[&env.src],
-            to: self.name_of[&env.dst],
-            kind,
-            txn_id,
-            accepted,
-            error,
-        });
-        if let Ok(out) = result {
-            self.dispatch_outgoing(env.dst, out);
-        }
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut Obs> {
+        Some(&mut self.obs)
     }
 }
 
@@ -463,7 +495,13 @@ mod tests {
         // resolve ends in a TTP-mediated Restart and the client marks the
         // session failed — the fair outcome, and a terminal one.
         assert_eq!(w.client.txn_state(txn_id), Some(TxnState::Failed));
-        let resolve_at = w.trace.iter().find(|t| t.kind == "Resolve").expect("resolve was sent").at;
+        let resolve_at = w
+            .obs
+            .events()
+            .iter()
+            .find(|e| e.msg_kind() == Some("Resolve"))
+            .expect("resolve was sent")
+            .at;
         // The client deadline is response_timeout after start — the flood
         // tail is ~2 minutes out, so firing anywhere near the deadline
         // proves the timer was not starved.
@@ -505,7 +543,8 @@ mod tests {
             cfg.response_timeout = SimDuration::from_millis(50); // == RTT
             let mut w = World::new(9, cfg);
             let r = w.upload(b"k", b"d".to_vec(), TimeoutStrategy::AbortFirst);
-            let kinds: Vec<String> = w.trace.iter().map(|t| t.kind.clone()).collect();
+            let kinds: Vec<String> =
+                w.obs.events().iter().filter_map(|e| e.msg_kind().map(str::to_string)).collect();
             (r.state, kinds)
         };
         let (state1, kinds1) = run();
@@ -519,13 +558,41 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_deliveries() {
+    fn event_stream_records_deliveries_and_states() {
         let mut w = world();
-        w.upload(b"k", b"d".to_vec(), TimeoutStrategy::AbortFirst);
-        assert_eq!(w.trace.len(), 2);
-        assert_eq!(w.trace[0].kind, "Transfer");
-        assert_eq!(w.trace[1].kind, "Receipt");
-        assert!(w.trace.iter().all(|t| t.accepted));
+        let r = w.upload(b"k", b"d".to_vec(), TimeoutStrategy::AbortFirst);
+        let deliveries: Vec<&Event> = w
+            .obs
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Delivered { .. }))
+            .collect();
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(deliveries[0].msg_kind(), Some("Transfer"));
+        assert_eq!(deliveries[0].actor, "bob");
+        assert_eq!(deliveries[0].txn, Some(r.txn_id));
+        assert_eq!(deliveries[1].msg_kind(), Some("Receipt"));
+        assert_eq!(deliveries[1].actor, "alice");
+        assert_eq!(w.obs.metrics.delivered, 2);
+        assert_eq!(w.obs.metrics.rejected + w.obs.metrics.garbled, 0);
+        // Pending → Completed, visible as state transitions, with the
+        // settlement latency sampled once.
+        let states: Vec<_> = w
+            .obs
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::StateTransition { from, to } => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            states,
+            vec![(None, TxnState::Pending), (Some(TxnState::Pending), TxnState::Completed)]
+        );
+        assert_eq!(w.obs.metrics.latency_us.count(), 1);
+        assert_eq!(w.obs.metrics.latency_us.max(), Some(r.latency.micros()));
+        assert_eq!(w.obs.txn(r.txn_id).inbox_total(), 2);
     }
 
     #[test]
@@ -539,5 +606,65 @@ mod tests {
         }
         assert_eq!(lat[0], 10_000);
         assert_eq!(lat[1], 100_000);
+    }
+
+    #[test]
+    fn report_latency_is_txn_scoped_not_clock_scoped() {
+        // Regression for the latency misreport: `report` used to measure to
+        // `net.now()`, so any background traffic inflated every number.
+        // Flood the wire with undecodable chatter whose jitter spreads it
+        // over ~2 minutes, then run a clean upload on a healed link: the
+        // upload's latency must reflect its own two deliveries, not the
+        // flood's tail.
+        let mut w = world();
+        let (a, b) = (w.alice_node, w.bob_node);
+        w.net.set_link(
+            a,
+            b,
+            LinkConfig {
+                latency: SimDuration::from_millis(1),
+                jitter: SimDuration::from_secs(120),
+                ..Default::default()
+            },
+        );
+        for _ in 0..200 {
+            w.net.send(a, b, b"background noise".to_vec());
+        }
+        w.net.set_link(a, b, LinkConfig::default());
+        let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+        assert_eq!(r.state, TxnState::Completed);
+        assert!(
+            w.net.now().micros() > 60_000_000,
+            "the flood should have kept the clock running: {}",
+            w.net.now().micros()
+        );
+        assert!(
+            r.latency.micros() <= 1_000_000,
+            "latency must be txn-scoped, got {} µs",
+            r.latency.micros()
+        );
+        // Satellite check: the garbled chatter is visible and attributed to
+        // no transaction (it used to claim `txn_id: 0`).
+        assert_eq!(w.obs.metrics.garbled, 200);
+        assert!(w
+            .obs
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Garbled { .. }))
+            .all(|e| e.txn.is_none()));
+    }
+
+    #[test]
+    fn ring_buffer_bounds_event_memory_under_flood() {
+        let mut w = world();
+        w.obs.set_capacity(64);
+        let (a, b) = (w.alice_node, w.bob_node);
+        for _ in 0..500 {
+            w.net.send(a, b, b"junk".to_vec());
+        }
+        w.settle();
+        assert_eq!(w.obs.events().len(), 64, "ring never exceeds its capacity");
+        assert_eq!(w.obs.evicted(), 500 - 64);
+        assert_eq!(w.obs.metrics.garbled, 500, "counters stay exact under eviction");
     }
 }

@@ -27,9 +27,10 @@
 //!   loop.
 
 use crate::message::Message;
+use crate::obs::{Event, EventKind, Obs};
 use crate::principal::PrincipalId;
 use crate::session::{Outgoing, ValidationError};
-use tpnr_net::sim::{Envelope, SimNet};
+use tpnr_net::sim::{Envelope, NetEventKind, SimNet};
 use tpnr_net::time::SimTime;
 
 /// A protocol participant the scheduler can drive: it receives messages and
@@ -98,6 +99,46 @@ pub trait EventHub {
     /// Routes one delivered envelope to its actor and dispatches the
     /// actor's replies.
     fn deliver(&mut self, env: Envelope);
+    /// The runner's observability sink, if it keeps one. The scheduler
+    /// drains the network's drop/duplication events into it and records a
+    /// settle-size sample on exit. Headless hubs use the default.
+    fn obs_mut(&mut self) -> Option<&mut Obs> {
+        None
+    }
+}
+
+/// Moves pending network events (drops, duplications) into the hub's
+/// observability sink, translating node ids to display names. Without a
+/// sink the pending buffer is still drained so it cannot accumulate.
+fn drain_net_events(hub: &mut dyn EventHub) {
+    let pending = hub.net_mut().take_events();
+    if pending.is_empty() {
+        return;
+    }
+    let events: Vec<Event> = {
+        let net = hub.net_mut();
+        pending
+            .into_iter()
+            .map(|e| Event {
+                at: e.at,
+                txn: e.txn,
+                actor: net.name(e.dst).to_string(),
+                kind: match e.kind {
+                    NetEventKind::Dropped => {
+                        EventKind::Dropped { from: net.name(e.src).to_string() }
+                    }
+                    NetEventKind::Duplicated => {
+                        EventKind::Duplicated { from: net.name(e.src).to_string() }
+                    }
+                },
+            })
+            .collect()
+    };
+    if let Some(obs) = hub.obs_mut() {
+        for ev in events {
+            obs.record(ev);
+        }
+    }
 }
 
 /// Runs the world until quiescence or the step cap: the single settle loop
@@ -107,6 +148,7 @@ pub fn settle(hub: &mut dyn EventHub, max_steps: usize) -> SettleReport {
         SettleReport { outcome: SettleOutcome::Quiescent, delivered: 0, timer_rounds: 0 };
     let mut barren: Option<SimTime> = None;
     for _ in 0..max_steps {
+        drain_net_events(hub);
         let timer = hub.next_timer().filter(|t| barren != Some(*t));
         let delivery = hub.net_mut().next_event_at();
         match (timer, delivery) {
@@ -127,11 +169,24 @@ pub fn settle(hub: &mut dyn EventHub, max_steps: usize) -> SettleReport {
                 barren = None;
                 hub.deliver(env);
             }
-            (_, None) => return report,
+            (_, None) => {
+                finish(hub, &report);
+                return report;
+            }
         }
     }
     report.outcome = SettleOutcome::StepCapExceeded;
+    finish(hub, &report);
     report
+}
+
+/// End-of-run bookkeeping: drain any events the final step produced and
+/// record the run's size in the settle-step histogram.
+fn finish(hub: &mut dyn EventHub, report: &SettleReport) {
+    drain_net_events(hub);
+    if let Some(obs) = hub.obs_mut() {
+        obs.note_settle((report.delivered + report.timer_rounds) as u64);
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +204,7 @@ mod tests {
         deadline: Option<SimTime>,
         productive: bool,
         log: Vec<(String, u64)>,
+        obs: Option<Obs>,
     }
 
     impl EventHub for ScriptHub {
@@ -157,6 +213,9 @@ mod tests {
         }
         fn next_timer(&self) -> Option<SimTime> {
             self.deadline
+        }
+        fn obs_mut(&mut self) -> Option<&mut Obs> {
+            self.obs.as_mut()
         }
         fn fire_timers(&mut self, now: SimTime) -> usize {
             self.log.push(("timer".into(), now.micros()));
@@ -176,7 +235,8 @@ mod tests {
         let mut net = SimNet::new(42);
         let a = net.register("a");
         let b = net.register("b");
-        let mut hub = ScriptHub { net, deadline: None, productive: true, log: Vec::new() };
+        let mut hub =
+            ScriptHub { net, deadline: None, productive: true, log: Vec::new(), obs: None };
         for i in 0..n_msgs {
             hub.net.set_link(
                 a,
@@ -250,10 +310,40 @@ mod tests {
     fn quiescent_empty_world() {
         let mut net = SimNet::new(1);
         net.register("only");
-        let mut hub = ScriptHub { net, deadline: None, productive: true, log: Vec::new() };
+        let mut hub =
+            ScriptHub { net, deadline: None, productive: true, log: Vec::new(), obs: None };
         let r = settle(&mut hub, 10);
         assert!(r.outcome.is_quiescent());
         assert_eq!(r.delivered, 0);
         assert_eq!(r.timer_rounds, 0);
+    }
+
+    #[test]
+    fn settle_drains_net_events_and_records_run_size() {
+        let mut net = SimNet::new(9);
+        let a = net.register("a");
+        let b = net.register("b");
+        net.set_link(a, b, LinkConfig { drop_prob: 1.0, ..Default::default() });
+        let mut hub = ScriptHub {
+            net,
+            deadline: None,
+            productive: true,
+            log: Vec::new(),
+            obs: Some(Obs::new()),
+        };
+        hub.net.send_tagged(a, b, vec![0], Some(4)); // lost on the wire
+        hub.net.set_link(a, b, LinkConfig::ideal(SimDuration::from_millis(1)));
+        hub.net.send(a, b, vec![1]); // delivered
+        let r = settle(&mut hub, 100);
+        assert!(r.outcome.is_quiescent());
+        let obs = hub.obs.as_ref().unwrap();
+        assert_eq!(obs.metrics.dropped, 1);
+        assert_eq!(obs.txn(4).dropped, 1);
+        let drop_ev =
+            obs.events().iter().find(|e| matches!(e.kind, EventKind::Dropped { .. })).unwrap();
+        assert_eq!(drop_ev.actor, "b");
+        assert_eq!(drop_ev.txn, Some(4));
+        assert_eq!(obs.metrics.settle_steps.count(), 1);
+        assert_eq!(obs.metrics.settle_steps.max(), Some(1), "one delivery, no timer rounds");
     }
 }

@@ -143,6 +143,25 @@ impl std::fmt::Display for ValidationError {
     }
 }
 
+impl ValidationError {
+    /// Stable kebab-case variant label, used as the key of the per-variant
+    /// rejection counters in [`crate::obs::Metrics::rejected_by`] and in
+    /// JSONL exports (payload details stay out of the key so counts
+    /// aggregate across transactions).
+    pub fn variant(&self) -> &'static str {
+        match self {
+            ValidationError::IdentityMismatch => "identity-mismatch",
+            ValidationError::StaleSequence { .. } => "stale-sequence",
+            ValidationError::Expired { .. } => "expired",
+            ValidationError::UnexpectedFlag(_) => "unexpected-flag",
+            ValidationError::HashMismatch => "hash-mismatch",
+            ValidationError::Evidence(_) => "evidence",
+            ValidationError::UnknownTxn(_) => "unknown-txn",
+            ValidationError::NoKey(_) => "no-key",
+        }
+    }
+}
+
 impl std::error::Error for ValidationError {}
 
 /// Per-conversation replay window and identity expectations.

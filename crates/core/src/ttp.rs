@@ -55,6 +55,9 @@ pub struct Ttp {
     pending: HashMap<u64, PendingResolve>,
     /// Counters for experiments.
     pub stats: TtpStats,
+    /// Message/tick counters, maintained by the scheduler-facing
+    /// [`Actor`](crate::sched::Actor) impl.
+    pub actor_stats: crate::obs::ActorStats,
 }
 
 impl Ttp {
@@ -69,6 +72,7 @@ impl Ttp {
             validator: Validator::new(my_id, my_id),
             pending: HashMap::new(),
             stats: TtpStats::default(),
+            actor_stats: crate::obs::ActorStats::default(),
         }
     }
 
@@ -264,7 +268,9 @@ impl crate::sched::Actor for Ttp {
         msg: &Message,
         now: SimTime,
     ) -> Result<Vec<Outgoing>, ValidationError> {
-        self.handle(from, msg, now)
+        let result = self.handle(from, msg, now);
+        self.actor_stats.note_message(&result);
+        result
     }
 
     fn next_deadline(&self) -> Option<SimTime> {
@@ -272,6 +278,8 @@ impl crate::sched::Actor for Ttp {
     }
 
     fn on_tick(&mut self, now: SimTime) -> Vec<Outgoing> {
-        self.poll_timeouts(now)
+        let out = self.poll_timeouts(now);
+        self.actor_stats.note_tick(&out);
+        out
     }
 }

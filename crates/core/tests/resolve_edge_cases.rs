@@ -72,8 +72,9 @@ fn corrupted_abort_gets_error_reply_and_retry_succeeds() {
     // After the Error round-trip, the regenerated abort is accepted.
     assert_eq!(r.state, TxnState::Aborted);
     assert!(corrupted_once.get(), "the corruption path actually ran");
-    // Trace shows an extra Abort/AbortReply pair beyond the minimum.
-    let aborts = w.trace.iter().filter(|e| e.kind == "Abort").count();
+    // The event stream shows an extra Abort/AbortReply pair beyond the
+    // minimum (the garbled forgery plus the regenerated original).
+    let aborts = w.obs.events().iter().filter(|e| e.msg_kind() == Some("Abort")).count();
     assert!(aborts >= 2, "abort was regenerated, saw {aborts}");
 }
 

@@ -73,6 +73,33 @@ impl LinkConfig {
     }
 }
 
+/// What the network did to a message copy. Drops and duplications happen
+/// inside the simulator where no actor can observe them, so the simulator
+/// records them as events for the runner to drain into its observability
+/// sink (see [`SimNet::take_events`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEventKind {
+    /// A copy was lost (link loss or adversary drop).
+    Dropped,
+    /// The link created an extra copy of a message.
+    Duplicated,
+}
+
+/// One recorded network happening, ready to be drained by the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetEvent {
+    /// When it happened (send time for drops/duplications).
+    pub at: SimTime,
+    /// Sending node of the affected message.
+    pub src: NodeId,
+    /// Intended receiver of the affected message.
+    pub dst: NodeId,
+    /// Transaction tag of the affected message, if any.
+    pub txn: Option<u64>,
+    /// What happened.
+    pub kind: NetEventKind,
+}
+
 /// What the wire adversary decides to do with an in-flight message.
 #[derive(Debug, Clone)]
 pub enum Action {
@@ -144,6 +171,11 @@ pub struct SimNet {
     /// Counters for experiment reports.
     pub stats: NetStats,
     txn_stats: HashMap<u64, TxnNetStats>,
+    /// Pending drop/duplication events awaiting [`SimNet::take_events`].
+    events: Vec<NetEvent>,
+    /// Events discarded because the pending buffer hit its cap (a runner
+    /// that never drains must not leak memory; counters above stay exact).
+    pub events_lost: u64,
 }
 
 /// Aggregate traffic counters.
@@ -182,6 +214,8 @@ pub struct TxnNetStats {
     pub delivered: u64,
     /// Copies dropped by loss or the adversary.
     pub dropped: u64,
+    /// Extra copies the link created for this transaction's messages.
+    pub duplicated: u64,
     /// Time of the most recent delivery for this transaction.
     pub last_delivered_at: SimTime,
 }
@@ -201,8 +235,14 @@ impl SimNet {
             interceptor: None,
             stats: NetStats::default(),
             txn_stats: HashMap::new(),
+            events: Vec::new(),
+            events_lost: 0,
         }
     }
+
+    /// Cap on pending undrained events; beyond this, events are counted in
+    /// [`SimNet::events_lost`] and discarded.
+    const EVENT_BUFFER_CAP: usize = 1 << 16;
 
     /// The shared simulation clock (hand it to protocol actors).
     pub fn clock(&self) -> SimClock {
@@ -288,8 +328,7 @@ impl SimNet {
         match action {
             Action::Deliver => {}
             Action::Drop => {
-                self.stats.dropped += 1;
-                self.count_txn_drop(txn);
+                self.drop_copy(src, dst, txn);
                 return;
             }
             Action::Modify(p) => {
@@ -309,9 +348,37 @@ impl SimNet {
         }
     }
 
-    fn count_txn_drop(&mut self, txn: Option<u64>) {
+    /// Accounts one lost copy (counters + observable event).
+    fn drop_copy(&mut self, src: NodeId, dst: NodeId, txn: Option<u64>) {
+        self.stats.dropped += 1;
         if let Some(t) = txn {
             self.txn_stats.entry(t).or_default().dropped += 1;
+        }
+        self.push_event(NetEventKind::Dropped, src, dst, txn);
+    }
+
+    fn push_event(&mut self, kind: NetEventKind, src: NodeId, dst: NodeId, txn: Option<u64>) {
+        if self.events.len() >= Self::EVENT_BUFFER_CAP {
+            self.events_lost += 1;
+            return;
+        }
+        let at = self.now();
+        self.events.push(NetEvent { at, src, dst, txn, kind });
+    }
+
+    /// Drains the pending drop/duplication events. The scheduler calls this
+    /// every settle step and feeds the result to the shared observability
+    /// sink; counters in [`NetStats`]/[`TxnNetStats`] are independent of
+    /// whether anyone drains.
+    pub fn take_events(&mut self) -> Vec<NetEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn roll_jitter(&mut self, cfg: &LinkConfig) -> SimDuration {
+        if cfg.jitter.micros() > 0 {
+            SimDuration::from_micros(self.rng.gen_below(cfg.jitter.micros() + 1))
+        } else {
+            SimDuration::ZERO
         }
     }
 
@@ -325,28 +392,31 @@ impl SimNet {
     ) {
         let cfg = self.link_for(src, dst);
         if cfg.drop_prob > 0.0 && self.rng.gen_bool(cfg.drop_prob) {
-            self.stats.dropped += 1;
-            self.count_txn_drop(txn);
+            self.drop_copy(src, dst, txn);
             return;
         }
-        let jitter = if cfg.jitter.micros() > 0 {
-            SimDuration::from_micros(self.rng.gen_below(cfg.jitter.micros() + 1))
-        } else {
-            SimDuration::ZERO
-        };
+        let jitter = self.roll_jitter(&cfg);
         let at = self.now().after(cfg.latency).after(jitter).after(extra);
-        let duplicate = cfg.dup_prob > 0.0 && self.rng.gen_bool(cfg.dup_prob);
         let env = Envelope { src, dst, payload, delivered_at: at, txn };
         self.seq += 1;
         self.queue.push(Reverse(ScheduledDelivery { at, seq: self.seq, env: env.clone() }));
-        if duplicate {
+        if cfg.dup_prob > 0.0 && self.rng.gen_bool(cfg.dup_prob) {
+            // The copy traverses the link again behind the original, so it
+            // re-rolls loss and jitter independently: a duplicating link
+            // must never be *more* reliable than a loss-free one.
             self.stats.duplicated += 1;
-            self.seq += 1;
-            self.queue.push(Reverse(ScheduledDelivery {
-                at: at.after(cfg.latency),
-                seq: self.seq,
-                env,
-            }));
+            if let Some(t) = txn {
+                self.txn_stats.entry(t).or_default().duplicated += 1;
+            }
+            self.push_event(NetEventKind::Duplicated, src, dst, txn);
+            if cfg.drop_prob > 0.0 && self.rng.gen_bool(cfg.drop_prob) {
+                self.drop_copy(src, dst, txn);
+            } else {
+                let jitter2 = self.roll_jitter(&cfg);
+                let at2 = at.after(cfg.latency).after(jitter2);
+                self.seq += 1;
+                self.queue.push(Reverse(ScheduledDelivery { at: at2, seq: self.seq, env }));
+            }
         }
     }
 
@@ -665,8 +735,109 @@ mod tests {
         let t = net.txn_stats(7);
         assert_eq!(t.sent, 2);
         assert_eq!(t.dropped, 1);
+        assert_eq!(t.duplicated, 1);
         assert_eq!(t.delivered, 2, "the duplicate copy keeps the tag");
         assert_eq!(t.last_delivered_at.micros(), 2_000);
+    }
+
+    #[test]
+    fn duplicate_copies_reroll_link_loss() {
+        // A duplicating lossy link must be able to lose the copy too; the
+        // old model scheduled copies unconditionally, making duplicating
+        // links *more* reliable than loss-free ones.
+        let (mut net, a, b) = two_nodes(14);
+        net.set_link(
+            a,
+            b,
+            LinkConfig {
+                latency: SimDuration::from_millis(1),
+                jitter: SimDuration::ZERO,
+                drop_prob: 0.5,
+                dup_prob: 1.0,
+            },
+        );
+        for i in 0..200u8 {
+            net.send_tagged(a, b, vec![i], Some(1));
+        }
+        net.run_until_quiet();
+        let s = net.stats;
+        // Conservation: every copy (original or duplicate) ends up
+        // delivered or dropped, globally and per transaction.
+        assert_eq!(s.delivered + s.dropped, s.sent + s.duplicated);
+        let t = net.txn_stats(1);
+        assert_eq!(t.delivered + t.dropped, t.sent + t.duplicated);
+        assert_eq!(t.duplicated, s.duplicated);
+        assert!(s.duplicated > 50, "every undropped original rolls a duplicate");
+        assert!(s.delivered < 2 * s.duplicated, "duplicate copies must re-roll link loss");
+    }
+
+    #[test]
+    fn duplicate_copies_reroll_jitter() {
+        let mut gaps = Vec::new();
+        for seed in 0..30 {
+            let (mut net, a, b) = two_nodes(100 + seed);
+            net.set_link(
+                a,
+                b,
+                LinkConfig {
+                    latency: SimDuration::from_millis(10),
+                    jitter: SimDuration::from_millis(5),
+                    drop_prob: 0.0,
+                    dup_prob: 1.0,
+                },
+            );
+            net.send(a, b, vec![0]);
+            let first = net.step().unwrap().delivered_at;
+            let second = net.step().unwrap().delivered_at;
+            gaps.push(second.since(first).micros());
+        }
+        // The copy trails the original by latency plus a *fresh* jitter
+        // roll; the old fixed-offset model pinned every gap at exactly
+        // `latency`.
+        assert!(gaps.iter().all(|&g| (10_000..=15_000).contains(&g)), "gaps: {gaps:?}");
+        assert!(gaps.iter().any(|&g| g != 10_000), "copy jitter must be re-rolled: {gaps:?}");
+    }
+
+    #[test]
+    fn drop_and_duplication_events_are_drained() {
+        let (mut net, a, b) = two_nodes(15);
+        net.set_link(a, b, LinkConfig { drop_prob: 1.0, ..Default::default() });
+        net.set_link(
+            b,
+            a,
+            LinkConfig { dup_prob: 1.0, ..LinkConfig::ideal(SimDuration::from_millis(1)) },
+        );
+        net.send_tagged(a, b, vec![1], Some(9));
+        net.send(b, a, vec![2]);
+        net.run_until_quiet();
+        let evs = net.take_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[0],
+            NetEvent {
+                at: SimTime::ZERO,
+                src: a,
+                dst: b,
+                txn: Some(9),
+                kind: NetEventKind::Dropped
+            }
+        );
+        assert_eq!(evs[1].kind, NetEventKind::Duplicated);
+        assert_eq!(evs[1].txn, None, "untagged traffic yields untagged events");
+        assert!(net.take_events().is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
+    fn event_buffer_is_bounded() {
+        let (mut net, a, b) = two_nodes(16);
+        net.set_link(a, b, LinkConfig { drop_prob: 1.0, ..Default::default() });
+        let n = (1u64 << 16) + 10;
+        for _ in 0..n {
+            net.send(a, b, vec![0]);
+        }
+        assert_eq!(net.take_events().len(), 1 << 16);
+        assert_eq!(net.events_lost, 10);
+        assert_eq!(net.stats.dropped, n, "counters stay exact past the cap");
     }
 
     #[test]

@@ -57,17 +57,26 @@ fn main() {
         if intact { "CONSISTENT" } else { "TAMPERED" }
     );
 
-    // --- Message trace ------------------------------------------------------
-    println!("\nwire trace:");
-    for ev in &world.trace {
+    // --- Event stream -------------------------------------------------------
+    println!("\nevent stream:");
+    for ev in world.obs.events() {
+        let txn = ev.txn.map(|t| t.to_string()).unwrap_or_else(|| "-".into());
         println!(
-            "  t={:>7.1} ms  {:>5} -> {:<5}  {:<10} txn={}  accepted={}",
+            "  t={:>7.1} ms  {:<8} txn={:<3} {:<16} {}",
             ev.at.micros() as f64 / 1e3,
-            ev.from,
-            ev.to,
-            ev.kind,
-            ev.txn_id,
-            ev.accepted
+            ev.actor,
+            txn,
+            ev.kind.label(),
+            ev.msg_kind().unwrap_or("")
         );
     }
+
+    let m = &world.obs.metrics;
+    println!(
+        "\nmetrics: delivered={}  rejected={}  garbled={}  p99 latency={:.1} ms",
+        m.delivered,
+        m.rejected,
+        m.garbled,
+        m.latency_us.quantile(0.99).unwrap_or(0) as f64 / 1e3
+    );
 }
