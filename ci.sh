@@ -18,6 +18,13 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Protocol-invariant lint (crates/lint): constant-time comparisons, no wall
+# clock outside net::time, no panics on protocol paths, deterministic
+# iteration, evidence-constructor discipline, no unsafe. Exits nonzero on
+# any finding not justified in lint-allow.toml.
+echo "==> tpnr-lint"
+cargo run -q -p tpnr-lint
+
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo build --release"
     cargo build --release

@@ -13,6 +13,8 @@
 //! sessions, transaction binding under the signature), which the
 //! deliberately symmetric [`toy`] protocol demonstrates by falling to both.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod interleave;
 pub mod mitm;

@@ -7,6 +7,7 @@ use tpnr_core::runner::World;
 use tpnr_core::session::TxnState;
 use tpnr_crypto::hash::HashAlg;
 use tpnr_net::sim::LinkConfig;
+use tpnr_net::time::HostStopwatch;
 use tpnr_net::time::SimDuration;
 use tpnr_net::time::SimTime;
 use tpnr_storage::object::Tamper;
@@ -189,7 +190,7 @@ pub fn e4_evidence_cost(sizes: &[usize], algs: &[HashAlg]) -> Vec<E4Row> {
             let mut rng = ChaChaRng::seed_from_u64(77);
             let reps = if size >= 1 << 22 { 3 } else { 10 };
 
-            let t0 = std::time::Instant::now();
+            let t0 = HostStopwatch::start();
             let mut made = Vec::new();
             for i in 0..reps {
                 let pt = EvidencePlaintext {
@@ -208,14 +209,14 @@ pub fn e4_evidence_cost(sizes: &[usize], algs: &[HashAlg]) -> Vec<E4Row> {
                 let sealed = seal(&cfg, &alice, bob.public(), &pt, &mut rng).unwrap();
                 made.push((pt, sealed));
             }
-            let generate_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+            let generate_us = t0.elapsed_secs_f64() * 1e6 / reps as f64;
 
-            let t0 = std::time::Instant::now();
+            let t0 = HostStopwatch::start();
             for (pt, sealed) in &made {
                 let _ = alg.hash(&data); // receiver re-hashes the payload
                 open_and_verify(&cfg, &bob, alice.public(), pt, sealed).unwrap();
             }
-            let verify_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+            let verify_us = t0.elapsed_secs_f64() * 1e6 / reps as f64;
             rows.push(E4Row { size, alg, generate_us, verify_us });
         }
     }

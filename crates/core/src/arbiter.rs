@@ -137,7 +137,7 @@ impl Arbitrator {
             if up.plaintext.object == down.plaintext.object
                 && up.plaintext.hash_alg == down.plaintext.hash_alg
             {
-                return if up.plaintext.data_hash == down.plaintext.data_hash {
+                return if tpnr_crypto::ct::eq(&up.plaintext.data_hash, &down.plaintext.data_hash) {
                     // Provider provably served exactly what it received.
                     Verdict::ClaimRejected
                 } else {
@@ -157,7 +157,7 @@ impl Arbitrator {
             if nro.plaintext.object == down.plaintext.object
                 && nro.plaintext.hash_alg == down.plaintext.hash_alg
             {
-                return if nro.plaintext.data_hash == down.plaintext.data_hash {
+                return if tpnr_crypto::ct::eq(&nro.plaintext.data_hash, &down.plaintext.data_hash) {
                     Verdict::ClaimRejected
                 } else {
                     Verdict::ProviderAtFault
@@ -241,7 +241,7 @@ impl Arbitrator {
                         .to_vec()
                     }
                 };
-                if hash == nrr.plaintext.data_hash {
+                if tpnr_crypto::ct::eq(&hash, &nrr.plaintext.data_hash) {
                     Verdict::ClaimRejected
                 } else {
                     // Producing the *wrong* bytes is as damning as none.
@@ -484,6 +484,53 @@ mod tests {
             produced_payload: None,
         };
         assert_eq!(arb.judge_loss(&case), Verdict::ForgedEvidence { by_claimant: true });
+    }
+
+    #[test]
+    fn verdicts_unchanged_by_constant_time_comparison() {
+        // Regression for the ct::eq conversion of the three hash
+        // comparisons in judge()/judge_loss(): every verdict branch that
+        // flows through a comparison must rule exactly as the old `==` did.
+        use tpnr_net::codec::Wire as _;
+
+        // Step-2 site (upload NRR vs download NRR): equal hashes reject the
+        // claim, differing same-length hashes convict.
+        let (w, up, down) = story(false);
+        assert_eq!(arbitrator(&w).judge(&full_case(&w, up, down)), Verdict::ClaimRejected);
+        let (w, up, down) = story(true);
+        assert_eq!(arbitrator(&w).judge(&full_case(&w, up, down)), Verdict::ProviderAtFault);
+
+        // Step-3 site (upload NRO vs download NRR, receipt withheld).
+        let (w, up, down) = story(false);
+        let mut case = full_case(&w, up, down);
+        case.upload_nrr = None;
+        assert_eq!(arbitrator(&w).judge(&case), Verdict::ClaimRejected);
+        let (w, up, down) = story(true);
+        let mut case = full_case(&w, up, down);
+        case.upload_nrr = None;
+        assert_eq!(arbitrator(&w).judge(&case), Verdict::ProviderAtFault);
+
+        // judge_loss site (produced payload hash vs receipt hash).
+        let mut w = World::new(5, ProtocolConfig::full());
+        let up = w.upload(b"ledger", b"archived data".to_vec(), TimeoutStrategy::AbortFirst);
+        let arb = arbitrator(&w);
+        let honest = crate::session::Payload {
+            key: b"ledger".to_vec(),
+            data: w.provider.peek_storage(b"ledger").unwrap().to_vec(),
+        };
+        let base = LossCase {
+            claimant: Some(w.client.id()),
+            respondent: Some(w.provider.id()),
+            upload_nrr: w.client.txn(up.txn_id).and_then(|t| t.nrr.clone()),
+            ttp_failure: None,
+            produced_payload: Some(honest.to_wire()),
+        };
+        assert_eq!(arb.judge_loss(&base), Verdict::ClaimRejected);
+        // Producing the wrong bytes must still convict, same as `==`.
+        let short = crate::session::Payload { key: b"ledger".to_vec(), data: b"arch".to_vec() };
+        let mut case = base.clone();
+        case.produced_payload = Some(short.to_wire());
+        assert_eq!(arb.judge_loss(&case), Verdict::ProviderAtFault);
     }
 
     #[test]

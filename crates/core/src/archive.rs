@@ -114,7 +114,7 @@ impl EvidenceBundle {
             return Err(BundleError::Malformed);
         }
         let (body, digest) = bytes.split_at(bytes.len() - 32);
-        if Sha256::digest(body) != digest {
+        if !tpnr_crypto::ct::eq(&Sha256::digest(body), digest) {
             return Err(BundleError::Corrupted);
         }
         let mut r = Reader::new(body);

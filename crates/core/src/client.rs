@@ -14,7 +14,7 @@ use crate::message::{AbortOutcome, Message, ResolveAction};
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::session::{Outgoing, Payload, TxnState, ValidationError, Validator};
 use std::collections::HashMap;
-use tpnr_crypto::{ChaChaRng, RsaPublicKey};
+use tpnr_crypto::{ct, ChaChaRng, RsaPublicKey};
 use tpnr_net::codec::Wire;
 use tpnr_net::time::SimTime;
 
@@ -201,23 +201,9 @@ impl Client {
         &self,
         pt: &EvidencePlaintext,
     ) -> Result<VerifiedEvidence, crate::evidence::EvidenceError> {
-        let (s1, s2) = if self.cfg.require_signatures {
-            (
-                self.me
-                    .keys
-                    .private
-                    .sign_prehashed(pt.hash_alg, &pt.data_hash)
-                    .map_err(crate::evidence::EvidenceError::Crypto)?,
-                self.me
-                    .keys
-                    .private
-                    .sign_prehashed(pt.hash_alg, &pt.digest())
-                    .map_err(crate::evidence::EvidenceError::Crypto)?,
-            )
-        } else {
-            (pt.data_hash.clone(), pt.digest())
-        };
-        Ok(VerifiedEvidence { plaintext: pt.clone(), sig_data_hash: s1, sig_plaintext: s2 })
+        // Archived through the core::evidence signing constructor — never
+        // by struct literal (EVIDENCE-CTOR).
+        crate::evidence::own_evidence(&self.cfg, &self.me, pt)
     }
 
     /// Starts an upload (Normal mode message 1 of 2).
@@ -288,13 +274,13 @@ impl Client {
             return Err(ValidationError::UnexpectedFlag(pt.flag));
         }
         // On upload the receipt must acknowledge exactly what we sent.
-        if txn.kind == Flag::UploadRequest && pt.data_hash != txn.sent_hash {
+        if txn.kind == Flag::UploadRequest && !ct::eq(&pt.data_hash, &txn.sent_hash) {
             return Err(ValidationError::HashMismatch);
         }
         // On download the carried data must match the signed hash.
         let received = if txn.kind == Flag::DownloadRequest {
             let payload = Payload::from_wire(data).map_err(|_| ValidationError::HashMismatch)?;
-            if payload.commit(&self.cfg) != pt.data_hash || payload.key != txn.object {
+            if !ct::eq(&payload.commit(&self.cfg), &pt.data_hash) || payload.key != txn.object {
                 return Err(ValidationError::HashMismatch);
             }
             Some(payload)
@@ -304,7 +290,7 @@ impl Client {
         let sender_pk = self.lookup_key(&pt.sender).ok_or(ValidationError::NoKey(pt.sender))?;
         let nrr = open_and_verify(&self.cfg, &self.me, &sender_pk, pt, evidence)
             .map_err(ValidationError::Evidence)?;
-        let txn = self.txns.get_mut(&pt.txn_id).expect("checked above");
+        let txn = self.txns.get_mut(&pt.txn_id).ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
         txn.nrr = Some(nrr);
         txn.received = received;
         txn.state = TxnState::Completed;
@@ -381,20 +367,27 @@ impl Client {
                 let nrr = open_and_verify(&self.cfg, &self.me, &sender_pk, pt, sealed)
                     .map_err(ValidationError::Evidence)?;
                 // On upload the re-issued receipt must match what we sent.
-                if kind == Flag::UploadRequest && pt.data_hash != sent_hash {
+                if kind == Flag::UploadRequest && !ct::eq(&pt.data_hash, &sent_hash) {
                     return Err(ValidationError::HashMismatch);
                 }
-                let txn = self.txns.get_mut(&pt.txn_id).expect("checked above");
+                let txn =
+                    self.txns.get_mut(&pt.txn_id).ok_or(ValidationError::UnknownTxn(pt.txn_id))?;
                 txn.nrr = Some(nrr);
                 txn.state = TxnState::Completed;
             }
             ResolveAction::Restart => {
                 // Bob never saw the transfer; Alice marks it failed locally
                 // (the application decides whether to retry as a new txn).
-                self.txns.get_mut(&pt.txn_id).expect("checked above").state = TxnState::Failed;
+                self.txns
+                    .get_mut(&pt.txn_id)
+                    .ok_or(ValidationError::UnknownTxn(pt.txn_id))?
+                    .state = TxnState::Failed;
             }
             ResolveAction::Failed => {
-                self.txns.get_mut(&pt.txn_id).expect("checked above").state = TxnState::Failed;
+                self.txns
+                    .get_mut(&pt.txn_id)
+                    .ok_or(ValidationError::UnknownTxn(pt.txn_id))?
+                    .state = TxnState::Failed;
             }
         }
         Ok(Vec::new())
@@ -450,7 +443,7 @@ impl Client {
         let Ok(sealed) = seal(&self.cfg, &self.me, &provider_pk, &pt, &mut self.rng) else {
             return Vec::new();
         };
-        let txn = self.txns.get_mut(&txn_id).expect("exists");
+        let Some(txn) = self.txns.get_mut(&txn_id) else { return Vec::new() };
         txn.abort_attempted = true;
         txn.deadline = now.after(self.cfg.response_timeout);
         vec![Outgoing {
@@ -476,7 +469,7 @@ impl Client {
             hash_alg: self.cfg.hash_alg,
             data_hash: txn.sent_hash.clone(),
         };
-        let txn = self.txns.get_mut(&txn_id).expect("exists");
+        let Some(txn) = self.txns.get_mut(&txn_id) else { return Vec::new() };
         txn.state = TxnState::Resolving;
         txn.deadline = now.after(self.cfg.response_timeout.times(2));
         vec![Outgoing {
@@ -502,7 +495,7 @@ impl Client {
         if up.plaintext.object != down.plaintext.object {
             return None;
         }
-        Some(up.plaintext.data_hash == down.plaintext.data_hash)
+        Some(ct::eq(&up.plaintext.data_hash, &down.plaintext.data_hash))
     }
 }
 

@@ -218,21 +218,18 @@ impl std::fmt::Display for EvidenceError {
 
 impl std::error::Error for EvidenceError {}
 
-/// Builds sealed evidence: sign the data hash and the plaintext hash with
-/// the sender's key, then encrypt both signatures for the recipient.
+/// The sign step of evidence construction: `(Sign(H(data)), Sign(H(pt)))`.
 ///
 /// With `require_signatures` ablated (see [`ProtocolConfig`]), the
 /// "signatures" degrade to the bare hashes — the structure survives but
 /// carries no non-repudiation, which is what the E3 ablation experiment
 /// demonstrates.
-pub fn seal(
+pub fn sign_pair(
     cfg: &ProtocolConfig,
     sender: &Principal,
-    recipient_pk: &RsaPublicKey,
     plaintext: &EvidencePlaintext,
-    rng: &mut ChaChaRng,
-) -> Result<SealedEvidence, EvidenceError> {
-    let (sig_data_hash, sig_plaintext) = if cfg.require_signatures {
+) -> Result<(Vec<u8>, Vec<u8>), EvidenceError> {
+    if cfg.require_signatures {
         let s1 = sender
             .keys
             .private
@@ -243,16 +240,57 @@ pub fn seal(
             .private
             .sign_prehashed(plaintext.hash_alg, &plaintext.digest())
             .map_err(EvidenceError::Crypto)?;
-        (s1, s2)
+        Ok((s1, s2))
     } else {
-        (plaintext.data_hash.clone(), plaintext.digest())
-    };
+        Ok((plaintext.data_hash.clone(), plaintext.digest()))
+    }
+}
+
+/// The encrypt step: wrap an already-signed pair for the recipient. This
+/// is the *only* way (outside this module) to obtain a [`SealedEvidence`],
+/// so sealing without signing first is unrepresentable — the lint rule
+/// EVIDENCE-CTOR enforces that callers cannot bypass it with a struct
+/// literal.
+pub fn seal_signatures(
+    recipient_pk: &RsaPublicKey,
+    rng: &mut ChaChaRng,
+    sig_data_hash: &[u8],
+    sig_plaintext: &[u8],
+) -> Result<SealedEvidence, EvidenceError> {
     let mut w = Writer::new();
-    w.bytes(&sig_data_hash);
-    w.bytes(&sig_plaintext);
+    w.bytes(sig_data_hash);
+    w.bytes(sig_plaintext);
     let body = w.finish_vec();
     let sealed = envelope::seal(recipient_pk, rng, &body).map_err(EvidenceError::Crypto)?;
     Ok(SealedEvidence { sealed })
+}
+
+/// Builds sealed evidence: sign the data hash and the plaintext hash with
+/// the sender's key, then encrypt both signatures for the recipient —
+/// sign-then-encrypt, in that order (paper §4.1).
+pub fn seal(
+    cfg: &ProtocolConfig,
+    sender: &Principal,
+    recipient_pk: &RsaPublicKey,
+    plaintext: &EvidencePlaintext,
+    rng: &mut ChaChaRng,
+) -> Result<SealedEvidence, EvidenceError> {
+    let (sig_data_hash, sig_plaintext) = sign_pair(cfg, sender, plaintext)?;
+    seal_signatures(recipient_pk, rng, &sig_data_hash, &sig_plaintext)
+}
+
+/// A sender's own archived copy of the evidence it just produced: the same
+/// signatures it sealed for the peer, kept in verified form for later
+/// arbitration. (The sender signed them itself, so no verification pass is
+/// needed — but they must still come from [`sign_pair`], never be forged
+/// by struct literal.)
+pub fn own_evidence(
+    cfg: &ProtocolConfig,
+    sender: &Principal,
+    plaintext: &EvidencePlaintext,
+) -> Result<VerifiedEvidence, EvidenceError> {
+    let (sig_data_hash, sig_plaintext) = sign_pair(cfg, sender, plaintext)?;
+    Ok(VerifiedEvidence { plaintext: plaintext.clone(), sig_data_hash, sig_plaintext })
 }
 
 /// Opens sealed evidence with the recipient's private key and verifies both
@@ -292,8 +330,12 @@ pub fn verify_signatures(
             .map_err(|_| EvidenceError::BadSignature)?;
         Ok(())
     } else {
-        // Ablated: "verification" only compares hashes — forgeable by anyone.
-        if sig_data_hash == plaintext.data_hash && sig_plaintext == plaintext.digest() {
+        // Ablated: "verification" only compares hashes — forgeable by
+        // anyone. Still constant-time: even degraded comparisons must not
+        // leak where the bytes diverge.
+        let data_ok = tpnr_crypto::ct::eq(sig_data_hash, &plaintext.data_hash);
+        let pt_ok = tpnr_crypto::ct::eq(sig_plaintext, &plaintext.digest());
+        if data_ok & pt_ok {
             Ok(())
         } else {
             Err(EvidenceError::BadSignature)

@@ -49,6 +49,8 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arbiter;
 pub mod archive;
 pub mod baseline;

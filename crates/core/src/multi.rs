@@ -14,7 +14,7 @@ use crate::principal::{Directory, Principal, PrincipalId};
 use crate::provider::Provider;
 use crate::runner::TxnReport;
 use crate::sched::{self, Actor, EventHub, SettleReport};
-use crate::session::{Outgoing, TxnState};
+use crate::session::{Outgoing, TxnState, ValidationError};
 use crate::ttp::Ttp;
 use std::collections::{HashMap, HashSet};
 use tpnr_crypto::ChaChaRng;
@@ -143,7 +143,9 @@ impl MultiWorld {
     }
 
     /// Starts an upload from client `idx` without settling (so many
-    /// transactions can be in flight together). Returns the txn id.
+    /// transactions can be in flight together). Returns the txn id, or the
+    /// sentinel 0 (never a real id) when initiation fails — the failure is
+    /// recorded as a rejection in [`Obs`], never a panic.
     pub fn start_upload(
         &mut self,
         idx: usize,
@@ -152,22 +154,40 @@ impl MultiWorld {
         strategy: TimeoutStrategy,
     ) -> u64 {
         let now = self.net.now();
-        let (txn, out) =
-            self.clients[idx].begin_upload(key, data, now, strategy).expect("initiation");
+        let (txn, out) = match self.clients[idx].begin_upload(key, data, now, strategy) {
+            Ok(v) => v,
+            Err(e) => return self.failed_initiation(idx, now, e),
+        };
         self.txn_meta.insert(txn, (idx, now));
         self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
         self.dispatch(self.client_nodes[idx], out);
         txn
     }
 
-    /// Starts a download from client `idx` without settling.
+    /// Starts a download from client `idx` without settling. Initiation
+    /// failures degrade exactly as in [`MultiWorld::start_upload`].
     pub fn start_download(&mut self, idx: usize, key: &[u8], strategy: TimeoutStrategy) -> u64 {
         let now = self.net.now();
-        let (txn, out) = self.clients[idx].begin_download(key, now, strategy).expect("initiation");
+        let (txn, out) = match self.clients[idx].begin_download(key, now, strategy) {
+            Ok(v) => v,
+            Err(e) => return self.failed_initiation(idx, now, e),
+        };
         self.txn_meta.insert(txn, (idx, now));
         self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
         self.dispatch(self.client_nodes[idx], out);
         txn
+    }
+
+    /// Records a client-side initiation failure; returns the sentinel id 0.
+    fn failed_initiation(&mut self, idx: usize, now: SimTime, error: ValidationError) -> u64 {
+        let name = self.net.name(self.client_nodes[idx]).to_string();
+        self.obs.record(Event {
+            at: now,
+            txn: None,
+            actor: name.clone(),
+            kind: EventKind::Rejected { from: name, msg: "Transfer".to_string(), error },
+        });
+        0
     }
 
     fn client_index(&self, node: NodeId) -> Option<usize> {

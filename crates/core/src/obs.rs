@@ -28,7 +28,7 @@
 //! (`tpnr-bench::report`); `experiments --trace-jsonl` exports a full run.
 
 use crate::session::{Outgoing, TxnState, ValidationError};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use tpnr_net::time::SimTime;
 
 /// Default ring-buffer capacity (events, not bytes). Large enough to hold a
@@ -296,9 +296,9 @@ pub struct Obs {
     evicted: u64,
     /// Global counters and distributions.
     pub metrics: Metrics,
-    per_txn: HashMap<u64, TxnObs>,
-    last_state: HashMap<u64, TxnState>,
-    started: HashMap<u64, SimTime>,
+    per_txn: BTreeMap<u64, TxnObs>,
+    last_state: BTreeMap<u64, TxnState>,
+    started: BTreeMap<u64, SimTime>,
 }
 
 impl Default for Obs {
@@ -320,9 +320,9 @@ impl Obs {
             capacity: capacity.max(1),
             evicted: 0,
             metrics: Metrics::default(),
-            per_txn: HashMap::new(),
-            last_state: HashMap::new(),
-            started: HashMap::new(),
+            per_txn: BTreeMap::new(),
+            last_state: BTreeMap::new(),
+            started: BTreeMap::new(),
         }
     }
 

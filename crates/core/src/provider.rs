@@ -199,7 +199,9 @@ impl Provider {
         self.validator.check(&self.cfg, pt, expected, now)?;
 
         let payload = Payload::from_wire(data).map_err(|_| ValidationError::HashMismatch)?;
-        if pt.data_hash != payload.commit(&self.cfg) || pt.object != payload.key {
+        if !tpnr_crypto::ct::eq(&pt.data_hash, &payload.commit(&self.cfg))
+            || pt.object != payload.key
+        {
             return Err(ValidationError::HashMismatch);
         }
         let sender_pk = self.lookup_key(&pt.sender).ok_or(ValidationError::NoKey(pt.sender))?;
@@ -214,11 +216,11 @@ impl Provider {
                 // no bulk data back.
                 Payload { key: payload.key.clone(), data: payload.data }
             }
-            Flag::DownloadRequest => {
+            // Guarded to UploadRequest | DownloadRequest at the top.
+            _ => {
                 let stored = self.storage.get(&payload.key).cloned().unwrap_or_default();
                 Payload { key: payload.key.clone(), data: stored }
             }
-            _ => unreachable!(),
         };
         let response_hash = response_payload.commit(&self.cfg);
         let (reply_flag, reply_data) = match pt.flag {
@@ -338,20 +340,14 @@ impl Provider {
                 // Re-issue the NRR, re-sealed for Alice (she may have never
                 // received the original receipt).
                 let peer_pk = self.lookup_key(&rec.peer).ok_or(ValidationError::NoKey(rec.peer))?;
-                let body = {
-                    let mut w = tpnr_net::codec::Writer::new();
-                    w.bytes(&rec.nrr_sigs.0);
-                    w.bytes(&rec.nrr_sigs.1);
-                    w.finish_vec()
-                };
-                let sealed =
-                    tpnr_crypto::envelope::seal(&peer_pk, &mut self.rng, &body).map_err(|e| {
-                        ValidationError::Evidence(crate::evidence::EvidenceError::Crypto(e))
-                    })?;
-                (
-                    ResolveAction::Continue,
-                    Some((crate::evidence::SealedEvidence { sealed }, rec.nrr_plaintext.clone())),
+                let sealed = crate::evidence::seal_signatures(
+                    &peer_pk,
+                    &mut self.rng,
+                    &rec.nrr_sigs.0,
+                    &rec.nrr_sigs.1,
                 )
+                .map_err(ValidationError::Evidence)?;
+                (ResolveAction::Continue, Some((sealed, rec.nrr_plaintext.clone())))
             }
             // We never saw the transaction (the NRO was lost in flight):
             // ask Alice to restart the session.
@@ -388,31 +384,12 @@ impl Provider {
         pt: &EvidencePlaintext,
         recipient_pk: &RsaPublicKey,
     ) -> Result<SealedWithSigs, crate::evidence::EvidenceError> {
-        // Sign once, keep the signatures for Resolve re-issue, and seal.
-        let (s1, s2) = if self.cfg.require_signatures {
-            let s1 = self
-                .me
-                .keys
-                .private
-                .sign_prehashed(pt.hash_alg, &pt.data_hash)
-                .map_err(crate::evidence::EvidenceError::Crypto)?;
-            let s2 = self
-                .me
-                .keys
-                .private
-                .sign_prehashed(pt.hash_alg, &pt.digest())
-                .map_err(crate::evidence::EvidenceError::Crypto)?;
-            (s1, s2)
-        } else {
-            (pt.data_hash.clone(), pt.digest())
-        };
-        let mut w = tpnr_net::codec::Writer::new();
-        w.bytes(&s1);
-        w.bytes(&s2);
-        let body = w.finish_vec();
-        let sealed = tpnr_crypto::envelope::seal(recipient_pk, &mut self.rng, &body)
-            .map_err(crate::evidence::EvidenceError::Crypto)?;
-        Ok((crate::evidence::SealedEvidence { sealed }, (s1, s2)))
+        // Sign once, keep the signatures for Resolve re-issue, and seal —
+        // both steps through the core::evidence constructors so the
+        // sign-then-encrypt order is witnessed by the API.
+        let (s1, s2) = crate::evidence::sign_pair(&self.cfg, &self.me, pt)?;
+        let sealed = crate::evidence::seal_signatures(recipient_pk, &mut self.rng, &s1, &s2)?;
+        Ok((sealed, (s1, s2)))
     }
 }
 

@@ -194,30 +194,63 @@ impl World {
     }
 
     /// Uploads and settles, returning the report.
+    ///
+    /// A failed initiation (e.g. no provider key) never panics: it is
+    /// recorded as a rejection in [`Obs`](crate::obs::Obs) and reported as
+    /// a `Failed` transaction with the sentinel id 0 (real ids start at 1).
     pub fn upload(&mut self, key: &[u8], data: Vec<u8>, strategy: TimeoutStrategy) -> TxnReport {
         let started = self.net.now();
-        let (txn_id, out) =
-            self.client.begin_upload(key, data, started, strategy).expect("upload initiation");
+        let (txn_id, out) = match self.client.begin_upload(key, data, started, strategy) {
+            Ok(v) => v,
+            Err(e) => return self.failed_initiation(started, "Transfer", e),
+        };
         self.obs.note_state(started, "alice", txn_id, TxnState::Pending);
         self.send_from_client(out);
         self.settle();
         self.report(txn_id, started)
     }
 
-    /// Downloads and settles, returning the report and the data.
+    /// Downloads and settles, returning the report and the data. Failed
+    /// initiations degrade exactly as in [`World::upload`].
     pub fn download(
         &mut self,
         key: &[u8],
         strategy: TimeoutStrategy,
     ) -> (TxnReport, Option<Vec<u8>>) {
         let started = self.net.now();
-        let (txn_id, out) =
-            self.client.begin_download(key, started, strategy).expect("download initiation");
+        let (txn_id, out) = match self.client.begin_download(key, started, strategy) {
+            Ok(v) => v,
+            Err(e) => return (self.failed_initiation(started, "Transfer", e), None),
+        };
         self.obs.note_state(started, "alice", txn_id, TxnState::Pending);
         self.send_from_client(out);
         self.settle();
         let data = self.client.download_result(txn_id).map(|p| p.data.clone());
         (self.report(txn_id, started), data)
+    }
+
+    /// Records a client-side initiation failure and builds the degraded
+    /// report (no traffic was ever generated for the transaction).
+    fn failed_initiation(
+        &mut self,
+        started: SimTime,
+        msg: &str,
+        error: crate::session::ValidationError,
+    ) -> TxnReport {
+        self.obs.record(Event {
+            at: started,
+            txn: None,
+            actor: "alice".to_string(),
+            kind: EventKind::Rejected { from: "alice".to_string(), msg: msg.to_string(), error },
+        });
+        TxnReport {
+            txn_id: 0,
+            state: TxnState::Failed,
+            messages: 0,
+            bytes: 0,
+            latency: started.since(started),
+            ttp_used: false,
+        }
     }
 
     /// Builds an exact per-transaction report from the simulator's tagged

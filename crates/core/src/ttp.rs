@@ -233,7 +233,7 @@ impl Ttp {
             self.pending.iter().filter(|(_, p)| now >= p.deadline).map(|(id, _)| *id).collect();
         let mut out = Vec::new();
         for txn_id in expired {
-            let p = self.pending.remove(&txn_id).expect("collected above");
+            let Some(p) = self.pending.remove(&txn_id) else { continue };
             self.stats.failures_declared += 1;
             let pt = EvidencePlaintext {
                 flag: Flag::ResolveResponse,

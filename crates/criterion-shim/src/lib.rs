@@ -10,6 +10,8 @@
 //! Set `CRITERION_SHIM_QUICK=1` to run every closure exactly once (used by
 //! CI smoke runs where timing fidelity does not matter).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -2,14 +2,16 @@
 //!
 //! MAC and padding checks must not leak *where* two byte strings diverge
 //! through timing; all comparison of secrets in this workspace goes through
-//! [`ct_eq`].
+//! [`eq`]. The `tpnr-lint` CT-CMP rule enforces this mechanically: raw
+//! `==` / `!=` on digest/MAC/signature values outside this module is a
+//! CI failure.
 
 /// Constant-time byte-slice equality.
 ///
 /// Always inspects every byte of both slices (when lengths match); the
 /// length comparison itself is public information.
 #[inline]
-pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
     if a.len() != b.len() {
         return false;
     }
@@ -35,11 +37,11 @@ mod tests {
 
     #[test]
     fn eq_basic() {
-        assert!(ct_eq(b"", b""));
-        assert!(ct_eq(b"abc", b"abc"));
-        assert!(!ct_eq(b"abc", b"abd"));
-        assert!(!ct_eq(b"abc", b"ab"));
-        assert!(!ct_eq(b"", b"a"));
+        assert!(eq(b"", b""));
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(!eq(b"", b"a"));
     }
 
     #[test]
@@ -48,7 +50,7 @@ mod tests {
         for i in 0..64 {
             let mut b = a.clone();
             b[i] ^= 1;
-            assert!(!ct_eq(&a, &b), "difference at {i} missed");
+            assert!(!eq(&a, &b), "difference at {i} missed");
         }
     }
 

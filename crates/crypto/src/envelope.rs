@@ -13,7 +13,7 @@
 //! 512-bit test keys.
 
 use crate::chacha20;
-use crate::ct::ct_eq;
+use crate::ct;
 use crate::error::CryptoError;
 use crate::hmac::Hmac;
 use crate::rng::ChaChaRng;
@@ -87,7 +87,7 @@ pub fn open(recipient: &RsaPrivateKey, envelope: &[u8]) -> Result<Vec<u8>, Crypt
         return Err(CryptoError::InvalidPadding);
     }
     let (cipher_key, mac_key) = derive_keys(&seed);
-    if !ct_eq(&Hmac::<Sha256>::mac(&mac_key, body), tag) {
+    if !ct::eq(&Hmac::<Sha256>::mac(&mac_key, body), tag) {
         return Err(CryptoError::BadMac);
     }
     let mut nonce = [0u8; NONCE_LEN];

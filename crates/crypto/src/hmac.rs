@@ -4,7 +4,7 @@
 //! / Table 1; HMAC also authenticates the secure-channel frames in
 //! `tpnr-net`.
 
-use crate::ct::ct_eq;
+use crate::ct;
 use crate::hash::{Digest, HashAlg};
 use crate::md5::Md5;
 use crate::sha1::Sha1;
@@ -54,7 +54,7 @@ impl<D: Digest> Hmac<D> {
 
     /// Constant-time verification of a full-length tag.
     pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
-        ct_eq(&Self::mac(key, data), tag)
+        ct::eq(&Self::mac(key, data), tag)
     }
 }
 
@@ -70,7 +70,7 @@ pub fn hmac(alg: HashAlg, key: &[u8], data: &[u8]) -> Vec<u8> {
 
 /// Constant-time verify with a runtime-selected hash.
 pub fn hmac_verify(alg: HashAlg, key: &[u8], data: &[u8], tag: &[u8]) -> bool {
-    ct_eq(&hmac(alg, key, data), tag)
+    ct::eq(&hmac(alg, key, data), tag)
 }
 
 #[cfg(test)]

@@ -32,6 +32,8 @@
 //! MD5 and SHA-1 are included solely to model the platforms the paper
 //! analyses.
 
+#![forbid(unsafe_code)]
+
 pub mod bigint;
 pub mod chacha20;
 pub mod ct;

@@ -132,7 +132,7 @@ impl RsaPublicKey {
         let em = self.raw_encrypt(&s);
         let em_bytes = em.to_bytes_be_padded(k).ok_or(CryptoError::BadSignature)?;
         let expected = emsa_pkcs1_v15(alg, digest, k)?;
-        if crate::ct::ct_eq(&em_bytes, &expected) {
+        if crate::ct::eq(&em_bytes, &expected) {
             Ok(())
         } else {
             Err(CryptoError::BadSignature)

@@ -1,0 +1,218 @@
+//! The `lint-allow.toml` suppression list.
+//!
+//! Format: a sequence of `[[allow]]` tables, each with a `rule`, a
+//! workspace-relative `path`, and a **mandatory, non-empty**
+//! `justification`. A suppression without a written justification is a
+//! parse error — the policy is that every exception to a protocol
+//! invariant must say *why* it is safe, in the file, under review.
+//!
+//! The parser is a hand-rolled TOML subset (dependency-free, like the
+//! rest of the crate): `[[allow]]` headers, `key = "quoted string"` pairs
+//! with `\"` / `\\` escapes, `#` comments, blank lines. Anything else is
+//! rejected loudly rather than silently ignored.
+
+/// One suppression entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub justification: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (used when `lint-allow.toml` is absent).
+    pub fn empty() -> Allowlist {
+        Allowlist::default()
+    }
+
+    /// Parse the TOML-subset text; errors carry the offending line number.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        // Fields of the entry currently being built, if any.
+        let mut cur: Option<(Option<String>, Option<String>, Option<String>)> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(c) = cur.take() {
+                    entries.push(finish_entry(c, lineno)?);
+                }
+                cur = Some((None, None, None));
+                continue;
+            }
+            let (key, value) = parse_kv(&line).ok_or_else(|| {
+                format!("lint-allow.toml:{lineno}: expected `key = \"value\"`, got `{line}`")
+            })?;
+            let slot = cur.as_mut().ok_or_else(|| {
+                format!("lint-allow.toml:{lineno}: `{key}` outside an [[allow]] table")
+            })?;
+            match key.as_str() {
+                "rule" => slot.0 = Some(value),
+                "path" => slot.1 = Some(value),
+                "justification" => slot.2 = Some(value),
+                other => {
+                    return Err(format!("lint-allow.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(c) = cur.take() {
+            entries.push(finish_entry(c, text.lines().count())?);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Does any entry suppress `rule` findings in `file`?
+    pub fn permits(&self, file: &str, rule: &str) -> bool {
+        self.entries.iter().any(|e| e.path == file && e.rule == rule)
+    }
+
+    /// Entries that never matched a finding — stale suppressions worth
+    /// removing. Returned for the binary to warn about.
+    pub fn unused<'a>(&'a self, findings: &[crate::Finding]) -> Vec<&'a AllowEntry> {
+        self.entries
+            .iter()
+            .filter(|e| !findings.iter().any(|f| f.allowed && f.file == e.path && f.rule == e.rule))
+            .collect()
+    }
+}
+
+fn finish_entry(
+    (rule, path, justification): (Option<String>, Option<String>, Option<String>),
+    lineno: usize,
+) -> Result<AllowEntry, String> {
+    let rule =
+        rule.ok_or_else(|| format!("lint-allow.toml:{lineno}: [[allow]] entry missing `rule`"))?;
+    let path =
+        path.ok_or_else(|| format!("lint-allow.toml:{lineno}: [[allow]] entry missing `path`"))?;
+    let justification = justification.ok_or_else(|| {
+        format!("lint-allow.toml:{lineno}: [[allow]] entry missing `justification`")
+    })?;
+    if justification.trim().is_empty() {
+        return Err(format!(
+            "lint-allow.toml:{lineno}: empty justification for {rule} @ {path}; \
+             every suppression must say why it is safe"
+        ));
+    }
+    Ok(AllowEntry { rule, path, justification })
+}
+
+/// Strip a `#` comment, but not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `key = "value"` with `\"` / `\\` escapes in the value.
+fn parse_kv(line: &str) -> Option<(String, String)> {
+    let eq = line.find('=')?;
+    let key = line[..eq].trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    let rest = line[eq + 1..].trim();
+    let mut chars = rest.chars();
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut value = String::new();
+    let mut escaped = false;
+    for c in chars.by_ref() {
+        if escaped {
+            match c {
+                'n' => value.push('\n'),
+                't' => value.push('\t'),
+                other => value.push(other),
+            }
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            // Only trailing whitespace may follow the closing quote.
+            return if chars.as_str().trim().is_empty() {
+                Some((key.to_string(), value))
+            } else {
+                None
+            };
+        } else {
+            value.push(c);
+        }
+    }
+    None // unterminated string
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text =
+            "# comment\n\n[[allow]]\nrule = \"NO-WALLCLOCK\"\npath = \"crates/x/src/lib.rs\"\n\
+                    justification = \"host-facing bench harness\"\n\n[[allow]]\nrule = \"UNSAFE\"\n\
+                    path = \"a.rs\"\njustification = \"b\"\n";
+        let al = Allowlist::parse(text).unwrap();
+        assert_eq!(al.entries.len(), 2);
+        assert!(al.permits("crates/x/src/lib.rs", "NO-WALLCLOCK"));
+        assert!(!al.permits("crates/x/src/lib.rs", "UNSAFE"));
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let text = "[[allow]]\nrule = \"UNSAFE\"\npath = \"a.rs\"\n";
+        let err = Allowlist::parse(text).unwrap_err();
+        assert!(err.contains("missing `justification`"), "{err}");
+    }
+
+    #[test]
+    fn empty_justification_is_an_error() {
+        let text = "[[allow]]\nrule = \"UNSAFE\"\npath = \"a.rs\"\njustification = \"  \"\n";
+        let err = Allowlist::parse(text).unwrap_err();
+        assert!(err.contains("empty justification"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let text = "[[allow]]\nrule = \"UNSAFE\"\npath = \"a.rs\"\nreason = \"nope\"\n";
+        assert!(Allowlist::parse(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_escapes() {
+        let text = "[[allow]]  # trailing comment\nrule = \"CT-CMP\" # why not\n\
+                    path = \"a.rs\"\njustification = \"says \\\"hi\\\" # not a comment\"\n";
+        let al = Allowlist::parse(text).unwrap();
+        assert_eq!(al.entries[0].justification, "says \"hi\" # not a comment");
+    }
+
+    #[test]
+    fn unused_entries_detected() {
+        let al = Allowlist::parse(
+            "[[allow]]\nrule = \"UNSAFE\"\npath = \"a.rs\"\njustification = \"j\"\n",
+        )
+        .unwrap();
+        let unused = al.unused(&[]);
+        assert_eq!(unused.len(), 1);
+    }
+}

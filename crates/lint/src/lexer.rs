@@ -1,0 +1,575 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rules in this crate are token-level heuristics, so the lexer's only
+//! hard job is to *never* emit tokens from non-code regions: line comments,
+//! (nested) block comments, string literals, raw string literals, byte
+//! strings, and char literals. Everything else is classified coarsely into
+//! identifiers, literals, lifetimes, and punctuation.
+//!
+//! Rust subtleties this lexer gets right (they are all covered by tests):
+//! - block comments nest (`/* a /* b */ c */` is one comment);
+//! - raw strings `r#"…"#` count their `#` fence and ignore escapes;
+//! - a `\` at the end of a `//` comment does **not** continue the comment
+//!   onto the next line (unlike C);
+//! - `'a'` is a char literal but `'a` in `<'a>` is a lifetime;
+//! - char literals may contain `"` and escaped quotes.
+
+/// Coarse token classification — just enough for the rule heuristics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `HashMap`, `impl`, …).
+    Ident(String),
+    /// Integer literal, including any type suffix (`0`, `8usize`, `0xff`).
+    Int,
+    /// Float literal (`1.5`, `2e9`).
+    Float,
+    /// String / raw-string / byte-string / char / byte-char literal.
+    Lit,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Operator or punctuation, longest-match (`==`, `::`, `..=`, `{`, …).
+    Punct(&'static str),
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokKind::Punct(q) if *q == p)
+    }
+
+    /// True when this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+}
+
+/// Multi-character punctuation, longest first so matching is greedy.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "+", "-", "*", "/", "%", "^", "&", "|",
+    "!", "=", "<", ">", "(", ")", "[", "]", "{", "}", ",", ";", ":", ".", "#", "?", "@", "$", "~",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor { chars: src.chars().collect(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream. Comments and literal *contents* are
+/// swallowed; literals become a single [`TokKind::Lit`] token at the
+/// position of their opening quote/prefix.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while !cur.eof() {
+        let line = cur.line;
+        let col = cur.col;
+        let c = match cur.peek(0) {
+            Some(c) => c,
+            None => break,
+        };
+        // Line comment. Note: a trailing `\` does NOT continue the comment.
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        // Block comment, which nests in Rust.
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 && !cur.eof() {
+                if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else {
+                    cur.bump();
+                }
+            }
+            continue;
+        }
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Raw / byte / raw-byte string prefixes must be checked before
+        // generic identifier lexing: `r"…"`, `r#"…"#`, `b"…"`, `b'…'`,
+        // `br"…"`, `br#"…"#`.
+        if c == 'r' && matches!(cur.peek(1), Some('"') | Some('#')) && raw_string_ahead(&cur, 1) {
+            cur.bump(); // r
+            eat_raw_string(&mut cur);
+            out.push(Token { kind: TokKind::Lit, line, col });
+            continue;
+        }
+        if c == 'b' {
+            if cur.peek(1) == Some('"') {
+                cur.bump();
+                cur.bump();
+                eat_quoted(&mut cur, '"');
+                out.push(Token { kind: TokKind::Lit, line, col });
+                continue;
+            }
+            if cur.peek(1) == Some('\'') {
+                cur.bump();
+                cur.bump();
+                eat_quoted(&mut cur, '\'');
+                out.push(Token { kind: TokKind::Lit, line, col });
+                continue;
+            }
+            if cur.peek(1) == Some('r')
+                && matches!(cur.peek(2), Some('"') | Some('#'))
+                && raw_string_ahead(&cur, 2)
+            {
+                cur.bump();
+                cur.bump();
+                eat_raw_string(&mut cur);
+                out.push(Token { kind: TokKind::Lit, line, col });
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let mut name = String::new();
+            while let Some(c) = cur.peek(0) {
+                if is_ident_continue(c) {
+                    name.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.push(Token { kind: TokKind::Ident(name), line, col });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let kind = eat_number(&mut cur);
+            out.push(Token { kind, line, col });
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            eat_quoted(&mut cur, '"');
+            out.push(Token { kind: TokKind::Lit, line, col });
+            continue;
+        }
+        if c == '\'' {
+            // Disambiguate char literal from lifetime. After the quote:
+            // an escape is always a char; an ident char followed by `'`
+            // closes a char literal; otherwise it is a lifetime.
+            if cur.peek(1) == Some('\\') {
+                cur.bump();
+                eat_quoted(&mut cur, '\'');
+                out.push(Token { kind: TokKind::Lit, line, col });
+            } else if cur.peek(1).is_some_and(is_ident_start) && cur.peek(2) != Some('\'') {
+                cur.bump();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.push(Token { kind: TokKind::Lifetime, line, col });
+            } else {
+                // Char literal: any single char (possibly `"`) then `'`.
+                cur.bump();
+                eat_quoted(&mut cur, '\'');
+                out.push(Token { kind: TokKind::Lit, line, col });
+            }
+            continue;
+        }
+        // Punctuation, longest match first.
+        let mut matched = false;
+        for p in PUNCTS {
+            if matches_at(&cur, p) {
+                for _ in 0..p.chars().count() {
+                    cur.bump();
+                }
+                out.push(Token { kind: TokKind::Punct(p), line, col });
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            // Unknown character (shouldn't happen in valid Rust): skip it.
+            cur.bump();
+        }
+    }
+    out
+}
+
+/// After an `r` (at `cur.pos + offset`), is this really a raw string
+/// (`#…#"` fence or a direct `"`), as opposed to e.g. `r#ident`?
+fn raw_string_ahead(cur: &Cursor, offset: usize) -> bool {
+    let mut i = offset;
+    while cur.peek(i) == Some('#') {
+        i += 1;
+    }
+    cur.peek(i) == Some('"')
+}
+
+/// Consume `#…#"…"#…#` with the cursor positioned at the first `#` or `"`.
+fn eat_raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some('"') {
+        return; // not actually a raw string; bail without consuming more
+    }
+    cur.bump();
+    // Scan for `"` followed by `hashes` hashes. No escapes in raw strings.
+    'outer: while !cur.eof() {
+        if cur.bump() == Some('"') {
+            for i in 0..hashes {
+                if cur.peek(i) != Some('#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// Consume a quoted literal body (after the opening quote), honoring `\`
+/// escapes, until the closing `close` quote.
+fn eat_quoted(cur: &mut Cursor, close: char) {
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump(); // skip the escaped char (covers \' \" \\ \n …)
+        } else if c == close {
+            return;
+        }
+    }
+}
+
+/// Consume a numeric literal. `1.5` / `2e9` are floats; `0..n` keeps the
+/// range operator intact; type suffixes (`8usize`, `0xffu8`) are swallowed.
+fn eat_number(cur: &mut Cursor) -> TokKind {
+    let mut float = false;
+    // Leading digits (covers the 0x/0o/0b prefix bodies too, since hex
+    // digits and `_` fall under is_ident_continue below).
+    while let Some(c) = cur.peek(0).filter(|c| is_ident_continue(*c)) {
+        // `2e9` / `1e-3`: exponent marker may be followed by a sign.
+        cur.bump();
+        if (c == 'e' || c == 'E') && matches!(cur.peek(0), Some('+') | Some('-')) {
+            float = true;
+            cur.bump();
+        }
+    }
+    // A `.` continues the number only if followed by a digit (so `0..n`
+    // and `1.method()` leave the dot alone).
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+fn matches_at(cur: &Cursor, p: &str) -> bool {
+    for (i, pc) in p.chars().enumerate() {
+        if cur.peek(i) != Some(pc) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Per-token "is inside a `#[cfg(test)]` / `#[test]` region" flags.
+///
+/// A test region starts at the attribute and covers the following item:
+/// any further attributes, then either a balanced `{…}` block or a
+/// terminating `;`. `#[cfg(not(test))]` is *not* a test region.
+pub fn test_region_flags(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && i + 1 < tokens.len() && tokens[i + 1].is_punct("[") {
+            let (attr_end, is_test) = scan_attr(tokens, i + 1);
+            if is_test {
+                let region_end = scan_item_end(tokens, attr_end);
+                for f in flags.iter_mut().take(region_end).skip(i) {
+                    *f = true;
+                }
+                i = region_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Scan a `[…]` attribute starting at the `[` index. Returns (index one
+/// past the closing `]`, whether this is a test attribute).
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut has_cfg_or_bare = false;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if let Some(name) = t.ident() {
+            match name {
+                "test" => {
+                    has_test = true;
+                    // `#[test]` bare, or `#[tokio::test]`-style: treat the
+                    // first ident being `test`-ish as a test marker.
+                    if j == open + 1 {
+                        has_cfg_or_bare = true;
+                    }
+                }
+                "cfg" | "cfg_attr" => has_cfg_or_bare = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    (j, has_test && has_cfg_or_bare && !has_not)
+}
+
+/// From the first token after an attribute, skip any further attributes
+/// and return the index one past the guarded item (balanced `{…}`, or the
+/// `;` for brace-less items like `mod tests;`).
+fn scan_item_end(tokens: &[Token], mut i: usize) -> usize {
+    // Skip stacked attributes on the same item.
+    while i + 1 < tokens.len() && tokens[i].is_punct("#") && tokens[i + 1].is_punct("[") {
+        let (end, _) = scan_attr(tokens, i + 1);
+        i = end;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(";") && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn line_comment_swallowed() {
+        assert_eq!(idents("let x = 1; // unwrap() unsafe\nlet y;"), ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn line_comment_backslash_does_not_continue() {
+        // Unlike C, `\` at end of a `//` comment does not splice lines:
+        // the second line is code.
+        let src = "// comment ends here \\\nlet real_code = 1;";
+        assert_eq!(idents(src), ["let", "real_code"]);
+    }
+
+    #[test]
+    fn nested_block_comment_swallowed() {
+        let src = "/* outer /* unsafe inner */ still comment */ let z;";
+        assert_eq!(idents(src), ["let", "z"]);
+    }
+
+    #[test]
+    fn raw_string_contents_swallowed() {
+        let src = r###"let s = r#"x.unwrap() == digest"#; let t;"###;
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r###"let a = b"unsafe"; let b2 = br#"unwrap()"#;"###;
+        assert_eq!(idents(src), ["let", "a", "let", "b2"]);
+    }
+
+    #[test]
+    fn char_literal_with_quote() {
+        // A char literal containing `"` must not open a string.
+        let src = "let q = '\"'; let after = 1;";
+        assert_eq!(idents(src), ["let", "q", "let", "after"]);
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let src = "let q = '\\''; let nl = '\\n'; done();";
+        assert_eq!(idents(src), ["let", "q", "let", "nl", "done"]);
+    }
+
+    #[test]
+    fn lifetime_is_not_char() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        assert!(idents(src).contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let src = r#"let s = "she said \"hi\" \\"; let t;"#;
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn longest_match_punct() {
+        let toks = lex("a == b != c .. d ..= e :: f");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "..", "..=", "::"]);
+    }
+
+    #[test]
+    fn range_keeps_int() {
+        let toks = lex("for i in 0..reps { }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Int));
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Float));
+    }
+
+    #[test]
+    fn float_lexes_as_float() {
+        let toks = lex("let x = 1.5e3;");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Float));
+    }
+
+    #[test]
+    fn cfg_test_region_detected() {
+        let src = "fn prod() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }";
+        let toks = lex(src);
+        let flags = test_region_flags(&toks);
+        // The `b` ident is inside the test region; `a` is not.
+        let a_idx = toks.iter().position(|t| t.is_ident("a")).unwrap();
+        let b_idx = toks.iter().position(|t| t.is_ident("b")).unwrap();
+        assert!(!flags[a_idx]);
+        assert!(flags[b_idx]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod prod { fn p() { x.unwrap(); } }";
+        let toks = lex(src);
+        let flags = test_region_flags(&toks);
+        assert!(flags.iter().all(|f| !f));
+    }
+
+    #[test]
+    fn test_attr_with_stacked_attrs() {
+        let src = "#[test]\n#[ignore]\nfn t() { y.unwrap(); } fn prod() { z.unwrap(); }";
+        let toks = lex(src);
+        let flags = test_region_flags(&toks);
+        let y_idx = toks.iter().position(|t| t.is_ident("y")).unwrap();
+        let z_idx = toks.iter().position(|t| t.is_ident("z")).unwrap();
+        assert!(flags[y_idx]);
+        assert!(!flags[z_idx]);
+    }
+}

@@ -1,0 +1,87 @@
+//! **DET-ORDER** — `HashMap` / `HashSet` forbidden in modules that render
+//! traces, reports, or serialized evidence (`obs`, `report`, `codec`).
+//!
+//! PR 2's JSONL trace validator checks output the paper's auditor is
+//! supposed to replay; hash-map iteration order is randomized per process,
+//! so any hash container feeding serialized output makes traces
+//! non-reproducible. `BTreeMap` / `BTreeSet` give deterministic order.
+//! The rule applies to the whole file, tests included — deterministic
+//! fixtures keep golden tests stable.
+
+use crate::{FileCtx, Finding};
+
+pub const ID: &str = "DET-ORDER";
+
+/// Module leaf names whose output must be deterministic.
+const SCOPE_LEAVES: &[&str] = &["obs", "report", "codec"];
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !SCOPE_LEAVES.contains(&ctx.module_leaf()) {
+        return;
+    }
+    for t in ctx.tokens {
+        if let Some(name) = t.ident() {
+            if name == "HashMap" || name == "HashSet" {
+                let fix = if name == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+                out.push(Finding {
+                    file: ctx.path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: ID,
+                    message: format!(
+                        "`{name}` in a deterministic-output module; iteration order is \
+                         randomized — use {fix}"
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    #[test]
+    fn fires_on_hashmap_in_obs() {
+        let hits = run_rule(
+            check,
+            "crates/core/src/obs.rs",
+            "use std::collections::HashMap;\nstruct Obs { per_txn: HashMap<u64, TxnObs> }",
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].rule, ID);
+    }
+
+    #[test]
+    fn fires_on_hashset_in_report() {
+        let hits = run_rule(
+            check,
+            "crates/bench/src/report.rs",
+            "fn f() { let seen: HashSet<u64> = HashSet::new(); }",
+        );
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn silent_on_btreemap_form() {
+        let hits = run_rule(
+            check,
+            "crates/core/src/obs.rs",
+            "use std::collections::BTreeMap;\nstruct Obs { per_txn: BTreeMap<u64, TxnObs> }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn silent_outside_scope() {
+        let hits = run_rule(
+            check,
+            "crates/core/src/ttp.rs",
+            "use std::collections::HashMap;\nstruct Ttp { pending: HashMap<u64, P> }",
+        );
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! The rule registry. Each rule lives in its own module with unit tests
+//! on inline source snippets; `ALL` is the engine's iteration order.
+
+pub mod ct_cmp;
+pub mod det_order;
+pub mod evidence_ctor;
+pub mod no_panic_path;
+pub mod no_unsafe;
+pub mod no_wallclock;
+
+use crate::{FileCtx, Finding};
+
+/// A registered rule: stable id plus its token-level checker.
+pub struct Rule {
+    pub id: &'static str,
+    pub check: fn(&FileCtx, &mut Vec<Finding>),
+}
+
+/// Every rule, in the order they run. `Summary::rules` counts this.
+pub const ALL: &[Rule] = &[
+    Rule { id: ct_cmp::ID, check: ct_cmp::check },
+    Rule { id: no_wallclock::ID, check: no_wallclock::check },
+    Rule { id: no_panic_path::ID, check: no_panic_path::check },
+    Rule { id: det_order::ID, check: det_order::check },
+    Rule { id: evidence_ctor::ID, check: evidence_ctor::check },
+    Rule { id: no_unsafe::ID, check: no_unsafe::check },
+];
+
+/// Test helper shared by the rule modules: lint one in-memory file at
+/// `path` with a single rule and return the findings.
+#[cfg(test)]
+pub(crate) fn run_rule(
+    rule: fn(&FileCtx, &mut Vec<Finding>),
+    path: &str,
+    src: &str,
+) -> Vec<Finding> {
+    let tokens = crate::lexer::lex(src);
+    let in_test = crate::lexer::test_region_flags(&tokens);
+    let (module, is_test_file) = crate::module_of(path);
+    let ctx = FileCtx { path, module, is_test_file, tokens: &tokens, in_test: &in_test };
+    let mut out = Vec::new();
+    rule(&ctx, &mut out);
+    out
+}

@@ -1,0 +1,169 @@
+//! **NO-PANIC-PATH** — `unwrap()` / `expect()` / `panic!`-family macros /
+//! indexing-by-literal forbidden in protocol-actor modules.
+//!
+//! Paper §4–5: a protocol actor that aborts on malformed input hands the
+//! adversary a free denial-of-service and destroys the evidence trail the
+//! non-repudiation argument depends on. Actors in scope must degrade into
+//! `ValidationError` (or otherwise refuse gracefully), never panic.
+//! Test regions and test files are exempt: panicking is how tests assert.
+
+use crate::lexer::TokKind;
+use crate::{FileCtx, Finding};
+
+pub const ID: &str = "NO-PANIC-PATH";
+
+/// Modules whose non-test code must be panic-free.
+const SCOPE: &[&str] = &[
+    "core::client",
+    "core::provider",
+    "core::ttp",
+    "core::session",
+    "core::evidence",
+    "core::runner",
+    "core::multi",
+    "net::codec",
+    "net::secure",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.is_test_file || !SCOPE.contains(&ctx.module_str()) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if let Some(name) = t.ident() {
+            // `.unwrap()` / `.expect(...)` method calls.
+            if (name == "unwrap" || name == "expect")
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && i + 1 < toks.len()
+                && toks[i + 1].is_punct("(")
+            {
+                out.push(finding(ctx, t.line, t.col, format!(
+                    "`.{name}()` in protocol path; degrade into ValidationError instead of panicking"
+                )));
+                continue;
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+            if PANIC_MACROS.contains(&name) && i + 1 < toks.len() && toks[i + 1].is_punct("!") {
+                out.push(finding(
+                    ctx,
+                    t.line,
+                    t.col,
+                    format!(
+                    "`{name}!` in protocol path; degrade into ValidationError instead of panicking"
+                ),
+                ));
+                continue;
+            }
+        }
+        // Indexing by integer literal: `buf[0]` can panic on short input.
+        // Ranges (`buf[..8]`) and array types (`[u8; 32]`) don't match.
+        if t.is_punct("[")
+            && i > 0
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Int
+            && toks[i + 2].is_punct("]")
+        {
+            let indexable = matches!(
+                &toks[i - 1].kind,
+                TokKind::Ident(_) | TokKind::Punct(")") | TokKind::Punct("]") | TokKind::Punct("?")
+            );
+            if indexable {
+                out.push(finding(
+                    ctx,
+                    t.line,
+                    t.col,
+                    "indexing by integer literal can panic on short input; use get()".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+fn finding(ctx: &FileCtx, line: u32, col: u32, message: String) -> Finding {
+    Finding { file: ctx.path.to_string(), line, col, rule: ID, message, allowed: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    const PATH: &str = "crates/core/src/client.rs";
+
+    #[test]
+    fn fires_on_unwrap() {
+        let hits = run_rule(check, PATH, "fn f() { let x = self.txns.get(&id).unwrap(); }");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, ID);
+    }
+
+    #[test]
+    fn fires_on_expect_and_unreachable() {
+        let src = "fn f() { m.get(&k).expect(\"present\"); match x { _ => unreachable!() } }";
+        let hits = run_rule(check, PATH, src);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn fires_on_literal_index() {
+        let hits = run_rule(check, PATH, "fn f(b: &[u8]) -> u8 { b[0] }");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn fires_on_literal_index_after_try() {
+        let hits =
+            run_rule(check, PATH, "fn f(&mut self) -> Result<u8, E> { Ok(self.take(1)?[0]) }");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn silent_on_range_index_and_array_type() {
+        let src = "fn f(b: &[u8]) -> [u8; 32] { let _ = &b[..8]; [0u8; 32] }";
+        let hits = run_rule(check, PATH, src);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn silent_on_validation_error_form() {
+        let src = "fn f(&self, id: u64) -> Result<(), ValidationError> {\n\
+                   let _t = self.txns.get(&id).ok_or(ValidationError::UnknownTxn(id))?; Ok(()) }";
+        let hits = run_rule(check, PATH, src);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn silent_outside_scope() {
+        let hits =
+            run_rule(check, "crates/crypto/src/rsa.rs", "fn f() { x.unwrap(); panic!(\"boom\"); }");
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn silent_in_test_region_and_test_file() {
+        let src = "#[cfg(test)]\nmod tests { #[test]\nfn t() { x.unwrap(); } }";
+        assert!(run_rule(check, PATH, src).is_empty());
+        assert!(run_rule(check, "crates/core/tests/edge.rs", "fn t() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn silent_on_unwrap_in_raw_string() {
+        // Lexer satellite: raw strings containing unwrap() produce nothing.
+        let src = r###"fn f() { let doc = r#"call .unwrap() here"#; let _ = doc; }"###;
+        assert!(run_rule(check, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn expect_named_method_is_not_expect() {
+        let hits = run_rule(check, PATH, "fn f() { parser.expect_end(); }");
+        assert!(hits.is_empty());
+    }
+}

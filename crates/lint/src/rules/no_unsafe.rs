@@ -1,0 +1,64 @@
+//! **UNSAFE** — any `unsafe` token is an error, workspace-wide.
+//!
+//! The workspace is pure safe Rust and every library crate root carries
+//! `#![forbid(unsafe_code)]`; this rule extends the guarantee to bins,
+//! examples, benches, and tests (which `forbid` in a lib root does not
+//! cover), and catches the attribute being removed.
+
+use crate::{FileCtx, Finding};
+
+pub const ID: &str = "UNSAFE";
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for t in ctx.tokens {
+        if t.is_ident("unsafe") {
+            out.push(Finding {
+                file: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: ID,
+                message: "`unsafe` is forbidden workspace-wide".to_string(),
+                allowed: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    #[test]
+    fn fires_on_unsafe_block_anywhere() {
+        let hits = run_rule(
+            check,
+            "crates/core/tests/edge.rs",
+            "fn f() { unsafe { std::hint::unreachable_unchecked() } }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, ID);
+    }
+
+    #[test]
+    fn silent_on_safe_form() {
+        let hits = run_rule(check, "crates/core/src/client.rs", "fn f() { let x = 1 + 1; }");
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn silent_on_unsafe_in_nested_comment_and_string() {
+        // Lexer satellite: nested block comments containing `unsafe`.
+        let src = "/* outer /* unsafe */ still comment */ fn f() { let s = \"unsafe\"; }";
+        let hits = run_rule(check, "crates/core/src/client.rs", src);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn forbid_attribute_is_not_a_finding() {
+        // `#![forbid(unsafe_code)]` contains the ident `unsafe_code`,
+        // not `unsafe` — the attribute itself must NOT be a finding.
+        let hits = run_rule(check, "crates/core/src/lib.rs", "#![forbid(unsafe_code)]\nfn f() {}");
+        assert!(hits.is_empty());
+    }
+}

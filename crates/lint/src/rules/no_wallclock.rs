@@ -1,0 +1,90 @@
+//! **NO-WALLCLOCK** — `std::time::{Instant, SystemTime}` forbidden
+//! outside `net::time`.
+//!
+//! Paper §6: timeliness (evidence deadlines, resolve timeouts) is part of
+//! the protocol's fairness argument, so every actor takes time from the
+//! deterministic sim clock. Host wall-clock reads anywhere else make runs
+//! non-reproducible and let real-time jitter leak into protocol decisions.
+//! Genuinely host-facing measurement goes through
+//! `tpnr_net::time::HostStopwatch` (inside the exempt module) or gets an
+//! allowlist entry with a written justification.
+
+use crate::{FileCtx, Finding};
+
+pub const ID: &str = "NO-WALLCLOCK";
+
+const EXEMPT_MODULE: &str = "net::time";
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.module_str() == EXEMPT_MODULE {
+        return;
+    }
+    for t in ctx.tokens {
+        if let Some(name) = t.ident() {
+            if name == "Instant" || name == "SystemTime" {
+                out.push(Finding {
+                    file: ctx.path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: ID,
+                    message: format!(
+                        "`{name}` outside net::time; protocol time must come from the sim clock \
+                         (use Clock / tpnr_net::time::HostStopwatch)"
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    #[test]
+    fn fires_on_instant_now() {
+        let hits = run_rule(
+            check,
+            "crates/bench/src/experiments.rs",
+            "fn f() { let t0 = std::time::Instant::now(); }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, ID);
+    }
+
+    #[test]
+    fn fires_on_system_time() {
+        let hits =
+            run_rule(check, "crates/crypto/src/rng.rs", "fn f() { let t = SystemTime::now(); }");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn silent_on_sim_clock_form() {
+        let hits = run_rule(
+            check,
+            "crates/bench/src/experiments.rs",
+            "fn f(clock: &SimClock) { let t0 = clock.now(); }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn silent_inside_net_time() {
+        let hits = run_rule(
+            check,
+            "crates/net/src/time.rs",
+            "pub struct HostStopwatch { start: std::time::Instant }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn silent_on_instant_in_comment_or_string() {
+        let src = "// Instant is forbidden\nfn f() { let s = \"SystemTime\"; }";
+        let hits = run_rule(check, "crates/core/src/client.rs", src);
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Golden test: `tpnr-lint --json` output is byte-stable for a fixed
+//! input set, and every line parses with a dependency-free JSON syntax
+//! checker in the same style as the bench crate's `--validate-jsonl`.
+
+use tpnr_lint::{allow::Allowlist, jsonout, lint_files, FileInput, Summary};
+
+fn fixture() -> Vec<FileInput> {
+    vec![
+        FileInput {
+            path: "crates/core/src/client.rs".into(),
+            source: "fn f() { let x = self.txns.get(&id).unwrap(); }\n".into(),
+        },
+        FileInput {
+            path: "crates/core/src/obs.rs".into(),
+            source: "use std::collections::HashMap;\n".into(),
+        },
+        FileInput {
+            path: "crates/bench/src/lib.rs".into(),
+            source: "fn t0() { let _ = std::time::Instant::now(); }\n".into(),
+        },
+    ]
+}
+
+#[test]
+fn json_output_is_stable() {
+    let files = fixture();
+    let allow = Allowlist::parse(
+        "[[allow]]\nrule = \"NO-WALLCLOCK\"\npath = \"crates/bench/src/lib.rs\"\n\
+         justification = \"fixture: host-facing measurement\"\n",
+    )
+    .unwrap();
+    let findings = lint_files(&files, &allow);
+    let summary = Summary::of(&files, &findings);
+    let got = jsonout::render(&findings, &summary);
+    let want = concat!(
+        "{\"kind\":\"finding\",\"file\":\"crates/bench/src/lib.rs\",\"line\":1,\"col\":30,",
+        "\"rule\":\"NO-WALLCLOCK\",\"message\":\"`Instant` outside net::time; protocol time ",
+        "must come from the sim clock (use Clock / tpnr_net::time::HostStopwatch)\",",
+        "\"allowed\":true}\n",
+        "{\"kind\":\"finding\",\"file\":\"crates/core/src/client.rs\",\"line\":1,\"col\":37,",
+        "\"rule\":\"NO-PANIC-PATH\",\"message\":\"`.unwrap()` in protocol path; degrade into ",
+        "ValidationError instead of panicking\",\"allowed\":false}\n",
+        "{\"kind\":\"finding\",\"file\":\"crates/core/src/obs.rs\",\"line\":1,\"col\":23,",
+        "\"rule\":\"DET-ORDER\",\"message\":\"`HashMap` in a deterministic-output module; ",
+        "iteration order is randomized — use BTreeMap\",\"allowed\":false}\n",
+        "{\"kind\":\"summary\",\"files\":3,\"rules\":6,\"findings\":3,\"allowlisted\":1}\n",
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn every_line_is_valid_json() {
+    let files = fixture();
+    let findings = lint_files(&files, &Allowlist::empty());
+    let summary = Summary::of(&files, &findings);
+    let out = jsonout::render(&findings, &summary);
+    let mut lines = 0;
+    for line in out.lines() {
+        let mut p = Json::new(line);
+        p.value().unwrap_or_else(|e| panic!("line {lines}: {e}: {line}"));
+        p.expect_end().unwrap_or_else(|e| panic!("line {lines}: {e}: {line}"));
+        lines += 1;
+    }
+    assert_eq!(lines, findings.len() + 1);
+}
+
+/// Minimal recursive-descent JSON syntax checker (values are not
+/// retained, only validated) — same approach as `bench::report`'s
+/// JSONL validator.
+struct Json<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Json<'a> {
+    fn new(s: &'a str) -> Self {
+        Json { b: s.as_bytes(), i: 0 }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.string()?;
+            self.eat(b':')?;
+            self.value()?;
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad object at {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad array at {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let esc = *self.b.get(self.i).ok_or("dangling escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = *self.b.get(self.i).ok_or("short \\u escape")?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err("bad \\u escape".into());
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                }
+                c if c < 0x20 => return Err("raw control char in string".into()),
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            Err("empty number".into())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        self.ws();
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{word}`"))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        self.ws();
+        if self.i == self.b.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes at {}", self.i))
+        }
+    }
+}

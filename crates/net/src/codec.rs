@@ -148,27 +148,25 @@ impl<'a> Reader<'a> {
 
     /// Reads a `u8`.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(CodecError::UnexpectedEnd)
     }
 
     /// Reads a big-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        let b = self.take(2)?;
-        Ok(u16::from_be_bytes([b[0], b[1]]))
+        let b: [u8; 2] = self.take(2)?.try_into().map_err(|_| CodecError::UnexpectedEnd)?;
+        Ok(u16::from_be_bytes(b))
     }
 
     /// Reads a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        let b = self.take(4)?;
-        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self.take(4)?.try_into().map_err(|_| CodecError::UnexpectedEnd)?;
+        Ok(u32::from_be_bytes(b))
     }
 
     /// Reads a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        let b = self.take(8)?;
-        let mut a = [0u8; 8];
-        a.copy_from_slice(b);
-        Ok(u64::from_be_bytes(a))
+        let b: [u8; 8] = self.take(8)?.try_into().map_err(|_| CodecError::UnexpectedEnd)?;
+        Ok(u64::from_be_bytes(b))
     }
 
     /// Reads a bool; any byte other than 0/1 is non-canonical and rejected.

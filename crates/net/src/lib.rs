@@ -14,6 +14,8 @@
 //!   more — which is precisely why the in-storage integrity gap of paper
 //!   §2.4 exists.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod secure;
 pub mod sim;

@@ -15,7 +15,7 @@
 
 use crate::codec::{Reader, Wire, Writer};
 use tpnr_crypto::sha2::Sha256;
-use tpnr_crypto::{chacha20, ct::ct_eq, ChaChaRng, CryptoError, Hmac, RsaKeyPair, RsaPublicKey};
+use tpnr_crypto::{chacha20, ct, ChaChaRng, CryptoError, Hmac, RsaKeyPair, RsaPublicKey};
 
 /// Errors from the secure channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,10 +152,11 @@ impl SecureSession {
             return Err(ChannelError::Malformed);
         }
         let (body, tag) = frame.split_at(frame.len() - 32);
-        if !ct_eq(&Hmac::<Sha256>::mac(&self.recv_keys.mac_key, body), tag) {
+        if !ct::eq(&Hmac::<Sha256>::mac(&self.recv_keys.mac_key, body), tag) {
             return Err(ChannelError::BadFrame);
         }
-        let seq = u64::from_be_bytes(body[..8].try_into().unwrap());
+        let seq_bytes: [u8; 8] = body[..8].try_into().map_err(|_| ChannelError::Malformed)?;
+        let seq = u64::from_be_bytes(seq_bytes);
         if seq != self.recv_seq {
             return Err(ChannelError::BadSequence { expected: self.recv_seq, got: seq });
         }

@@ -79,6 +79,27 @@ impl SimDuration {
     }
 }
 
+/// Host wall-clock stopwatch for *measurement* code (benchmark and
+/// experiment harnesses timing real CPU work).
+///
+/// Protocol logic must take time from a [`Clock`]; this type exists so host
+/// timing is confined to `net::time`, the one module the NO-WALLCLOCK lint
+/// exempts. It deliberately exposes only elapsed spans, never absolute time,
+/// so it cannot leak into protocol timeliness decisions.
+pub struct HostStopwatch(std::time::Instant);
+
+impl HostStopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        HostStopwatch(std::time::Instant::now())
+    }
+
+    /// Seconds elapsed since [`HostStopwatch::start`].
+    pub fn elapsed_secs_f64(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
 /// Source of current time for protocol logic.
 pub trait Clock {
     /// The current instant.

@@ -18,6 +18,8 @@
 //! per-test seed (fully deterministic across runs), and failing inputs are
 //! printed but **not shrunk**.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 pub mod test_runner {

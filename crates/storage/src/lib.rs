@@ -17,6 +17,8 @@
 //!   with fully-populated signed requests and resource rules;
 //! * [`platform`] — one trait over all three for the Figure-5 experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod aws;
 pub mod azure;
 pub mod gae;

@@ -128,7 +128,7 @@ impl ObjectStore {
             }
         }
         let consistent = match &obj.stored_checksum {
-            Some(sum) => *sum == obj.checksum_alg.hash(&obj.data),
+            Some(sum) => tpnr_crypto::ct::eq(sum, &obj.checksum_alg.hash(&obj.data)),
             None => true, // nothing recorded, nothing to contradict
         };
         Some(TamperReport { checksum_still_consistent: consistent })
@@ -139,7 +139,7 @@ impl ObjectStore {
     pub fn verify_checksum(&self, key: &str) -> Option<bool> {
         let obj = self.objects.get(key)?;
         let sum = obj.stored_checksum.as_ref()?;
-        Some(*sum == obj.checksum_alg.hash(&obj.data))
+        Some(tpnr_crypto::ct::eq(sum, &obj.checksum_alg.hash(&obj.data)))
     }
 }
 

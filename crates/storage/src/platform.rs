@@ -57,7 +57,7 @@ impl Download {
         match &self.returned_checksum {
             None => ClientVerdict::LooksClean, // nothing to compare
             Some(sum) => {
-                if *sum == HashAlg::Md5.hash(&self.data) {
+                if tpnr_crypto::ct::eq(sum, &HashAlg::Md5.hash(&self.data)) {
                     ClientVerdict::LooksClean
                 } else {
                     ClientVerdict::MismatchDetected

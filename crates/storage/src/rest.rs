@@ -124,7 +124,7 @@ impl RestRequest {
         use tpnr_crypto::hash::Digest as _;
         let header = self.content_md5.as_deref()?;
         let want = base64_decode(header)?;
-        Some(want == tpnr_crypto::md5::Md5::digest(&self.body))
+        Some(tpnr_crypto::ct::eq(&want, &tpnr_crypto::md5::Md5::digest(&self.body)))
     }
 
     /// Renders the request head like the paper's Table 1 (for examples/logs).

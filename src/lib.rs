@@ -1,1 +1,5 @@
+//! Umbrella re-exports for the TPNR workspace.
+
+#![forbid(unsafe_code)]
+
 pub use tpnr_core as core;
