@@ -38,6 +38,18 @@ cargo test --workspace -q
 echo "==> cargo check --benches --workspace"
 cargo check --benches --workspace
 
+# The E4 perf exhibit must stay machine-readable and copy-free: emit the
+# quick sweep (≤ 1 MiB payloads) and re-validate it with the JSONL checker.
+echo "==> experiments --bench-e4 --quick"
+bench_e4="$(mktemp)"
+cargo run -q -p tpnr-bench --bin experiments -- --bench-e4 "$bench_e4" --quick
+cargo run -q -p tpnr-bench --bin experiments -- --validate-jsonl "$bench_e4"
+if grep -q '"upload_deep_copies":[1-9]' "$bench_e4"; then
+    echo "error: transport probe reported deep payload copies" >&2
+    exit 1
+fi
+rm -f "$bench_e4"
+
 if [ "$quick" -eq 0 ]; then
     # The observability export must stay machine-readable: produce a trace
     # and re-validate it with the binary's own JSONL checker.

@@ -19,6 +19,7 @@ use tpnr_core::runner::World;
 use tpnr_core::session::TxnState;
 use tpnr_net::codec::Wire;
 use tpnr_net::sim::Action;
+use tpnr_net::Bytes;
 
 /// Runs the interleaving attack against the given protocol variant.
 pub fn run(ablation: Ablation) -> AttackOutcome {
@@ -26,14 +27,14 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let mut w = World::new(71, cfg);
 
     // Record bob→alice receipts.
-    let tape: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+    let tape: Rc<RefCell<Vec<Bytes>>> = Rc::new(RefCell::new(Vec::new()));
     let tap = tape.clone();
     let bob_node = w.bob_node;
     let alice_node = w.alice_node;
     w.net.set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, payload: &[u8], _t| {
             if src == bob_node && dst == alice_node {
-                tap.borrow_mut().push(payload.to_vec());
+                tap.borrow_mut().push(Bytes::from(payload.to_vec()));
             }
             Action::Deliver
         },
@@ -41,7 +42,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
 
     // Session 1 completes normally; its receipt is on tape.
     let _r1 = w.upload(b"same-object", b"same bytes".to_vec(), TimeoutStrategy::AbortFirst);
-    let session1_receipt = Message::from_wire(&tape.borrow()[0]).unwrap();
+    let session1_receipt = Message::from_wire_bytes(&tape.borrow()[0]).unwrap();
 
     // Session 2: identical object and bytes, but a new transaction. The
     // attacker suppresses Bob's real receipt and splices in session 1's.

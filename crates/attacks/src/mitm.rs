@@ -36,7 +36,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     w.provider.learn_wire_key(alice_id, mallory.public().clone());
 
     // Forge the transfer.
-    let payload = Payload { key: b"ledger".to_vec(), data: b"planted by mallory".to_vec() };
+    let payload = Payload { key: b"ledger".to_vec(), data: b"planted by mallory".to_vec().into() };
     let pt = EvidencePlaintext {
         flag: Flag::UploadRequest,
         sender: alice_id, // the lie
@@ -52,7 +52,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     };
     let bob_pk = w.dir.lookup(&bob_id).expect("bob registered").clone();
     let sealed = seal(&cfg, &mallory, &bob_pk, &pt, &mut rng).expect("sealing");
-    let msg = Message::Transfer { plaintext: pt, data: payload.to_wire(), evidence: sealed };
+    let msg = Message::Transfer { plaintext: pt, data: payload.to_wire_bytes(), evidence: sealed };
 
     let result = w.provider.handle(alice_id, &msg, now);
     let planted = w.provider.peek_storage(b"ledger") == Some(&b"planted by mallory"[..]);

@@ -29,15 +29,15 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
         .client
         .begin_upload(b"k", b"data".to_vec(), now, TimeoutStrategy::AbortFirst)
         .expect("initiation");
-    let wire = out[0].msg.to_wire();
+    let wire = out[0].msg.to_wire_bytes();
 
     // …and reflect it straight back at her, claiming it came from Bob.
-    let reflected = Message::from_wire(&wire).unwrap();
+    let reflected = Message::from_wire_bytes(&wire).unwrap();
     let result = w.client.handle(bob_id, &reflected, now);
 
     // Also try reflecting Bob's receipt back at Bob (the other direction).
     let receipt_reflection = {
-        let fwd = Message::from_wire(&wire).unwrap();
+        let fwd = Message::from_wire_bytes(&wire).unwrap();
         let replies = w.provider.handle(alice_id, &fwd, now).unwrap_or_default();
         match replies.into_iter().next() {
             Some(r) => w.provider.handle(alice_id, &r.msg, now).is_ok(),

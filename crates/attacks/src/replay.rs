@@ -16,6 +16,7 @@ use tpnr_core::message::Message;
 use tpnr_core::runner::World;
 use tpnr_net::codec::Wire;
 use tpnr_net::sim::Action;
+use tpnr_net::Bytes;
 
 /// Runs the replay attack against the given protocol variant.
 pub fn run(ablation: Ablation) -> AttackOutcome {
@@ -23,14 +24,16 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let mut w = World::new(41, cfg);
 
     // A passive wiretap records alice→bob traffic.
-    let tape: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+    let tape: Rc<RefCell<Vec<Bytes>>> = Rc::new(RefCell::new(Vec::new()));
     let tap = tape.clone();
     let alice_node = w.alice_node;
     let bob_node = w.bob_node;
     w.net.set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, payload: &[u8], _t| {
             if src == alice_node && dst == bob_node {
-                tap.borrow_mut().push(payload.to_vec());
+                // The wiretap's own recording copy; replaying the capture
+                // later decodes it as a shared zero-copy frame.
+                tap.borrow_mut().push(Bytes::from(payload.to_vec()));
             }
             Action::Deliver
         },
@@ -43,7 +46,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
 
     // The attacker replays the captured v1 transfer verbatim.
     let captured = tape.borrow()[0].clone();
-    let replayed = Message::from_wire(&captured).expect("captured frame decodes");
+    let replayed = Message::from_wire_bytes(&captured).expect("captured frame decodes");
     assert_eq!(replayed.txn_id(), r1.txn_id);
     let alice_id = w.client.id();
     let now = w.net.now();

@@ -31,11 +31,11 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
         )
         .expect("initiation");
     let Message::Transfer { .. } = &out[0].msg else { panic!("expected transfer") };
-    let held = out[0].msg.to_wire();
+    let held = out[0].msg.to_wire_bytes();
 
     // …but the attacker sits on it for ten days before delivery.
     w.net.advance(SimDuration::from_hours(10 * 24));
-    let late = Message::from_wire(&held).unwrap();
+    let late = Message::from_wire_bytes(&held).unwrap();
     let now = w.net.now();
     let result = w.provider.handle(alice_id, &late, now);
 

@@ -5,8 +5,11 @@
 //! Extra modes:
 //! - `--trace-jsonl [path|-]` exports the observability stream of a faulted
 //!   multi-client run as JSONL (stdout when the path is `-` or omitted);
+//! - `--bench-e4 [path|-] [--quick]` emits the E4 evidence-cost sweep plus
+//!   the zero-copy transport probes as JSONL (`BENCH_e4.json`); `--quick`
+//!   caps the sweep at 1 MiB for the CI smoke step;
 //! - `--validate-jsonl <file>` syntax-checks such an export (CI uses this
-//!   pair to guard the format).
+//!   pair to guard the formats).
 
 use tpnr_bench::report::*;
 use tpnr_bench::*;
@@ -26,6 +29,40 @@ fn main() {
                     }
                     let lines = jsonl.lines().count();
                     eprintln!("wrote {lines} JSONL lines to {path}");
+                }
+            }
+        }
+        Some("--bench-e4") => {
+            let mut path: Option<&str> = None;
+            let mut quick = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    p => path = Some(p),
+                }
+            }
+            let sizes: &[usize] = if quick {
+                &[1 << 10, 1 << 16, 1 << 20]
+            } else {
+                &[1 << 10, 1 << 16, 1 << 20, 16 << 20]
+            };
+            let rows = e4_evidence_cost(sizes, &[HashAlg::Md5, HashAlg::Sha256]);
+            let transport: Vec<(usize, u64, u64)> = sizes
+                .iter()
+                .map(|&s| {
+                    let (copies, bytes) = e4_transport_copies(s);
+                    (s, copies, bytes)
+                })
+                .collect();
+            let json = render_bench_e4_json(&rows, &transport);
+            match path {
+                None | Some("-") => print!("{json}"),
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &json) {
+                        eprintln!("error: cannot write {p}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {} JSONL lines to {p}", json.lines().count());
                 }
             }
         }
@@ -51,7 +88,8 @@ fn main() {
         }
         Some(other) => {
             eprintln!(
-                "unknown flag {other}; supported: --trace-jsonl [path|-], --validate-jsonl <file>"
+                "unknown flag {other}; supported: --trace-jsonl [path|-], \
+                 --bench-e4 [path|-] [--quick], --validate-jsonl <file>"
             );
             std::process::exit(2);
         }

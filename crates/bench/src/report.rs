@@ -85,17 +85,49 @@ pub fn render_e3(rows: &[tpnr_attacks::AttackOutcome]) -> String {
 /// Renders E4 as a table.
 pub fn render_e4(rows: &[E4Row]) -> String {
     let mut out = String::from(
-        "E4 — evidence generation/verification cost\n\
-         size      hash      generate(us)  verify(us)\n\
-         --------  --------  ------------  ----------\n",
+        "E4 — evidence generation/verification cost (memoized commit path)\n\
+         size      hash      generate(us)  verify(us)  memo h/m  deep copies\n\
+         --------  --------  ------------  ----------  --------  -----------\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<9} {:<9} {:>12.0}  {:>10.0}\n",
+            "{:<9} {:<9} {:>12.0}  {:>10.0}  {:>4}/{:<3}  {:>11}\n",
             human_size(r.size),
             r.alg.name(),
             r.generate_us,
-            r.verify_us
+            r.verify_us,
+            r.cache_hits,
+            r.cache_misses,
+            r.deep_copies,
+        ));
+    }
+    out
+}
+
+/// Renders the E4 sweep plus the transport copy probes as machine-readable
+/// JSONL (one object per line, `validate_jsonl`-clean). Written to
+/// `BENCH_e4.json` by `experiments --bench-e4`.
+pub fn render_bench_e4_json(rows: &[E4Row], transport: &[(usize, u64, u64)]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{{\"kind\":\"e4\",\"size\":{},\"alg\":\"{}\",\"generate_us\":{:.1},\
+             \"verify_us\":{:.1},\"cache_hits\":{},\"cache_misses\":{},\
+             \"deep_copies\":{},\"deep_copy_bytes\":{}}}\n",
+            r.size,
+            r.alg.name(),
+            r.generate_us,
+            r.verify_us,
+            r.cache_hits,
+            r.cache_misses,
+            r.deep_copies,
+            r.deep_copy_bytes,
+        ));
+    }
+    for &(size, copies, bytes) in transport {
+        out.push_str(&format!(
+            "{{\"kind\":\"e4-transport\",\"size\":{size},\"upload_deep_copies\":{copies},\
+             \"upload_deep_copy_bytes\":{bytes}}}\n",
         ));
     }
     out
@@ -536,6 +568,17 @@ mod tests {
         assert!(jsonl.contains("mallory \\\"m\\\"\\n"));
         assert!(jsonl.contains("\"from_state\":null"));
         assert!(jsonl.lines().last().unwrap().contains("\"kind\":\"metrics\""));
+    }
+
+    #[test]
+    fn bench_e4_json_is_valid_jsonl() {
+        use tpnr_crypto::hash::HashAlg;
+        let rows = e4_evidence_cost(&[1 << 10], &[HashAlg::Md5]);
+        let jsonl = render_bench_e4_json(&rows, &[(1 << 10, 0, 0)]);
+        assert_eq!(validate_jsonl(&jsonl), Ok(2));
+        assert!(jsonl.contains("\"kind\":\"e4\""));
+        assert!(jsonl.contains("\"kind\":\"e4-transport\""));
+        assert!(jsonl.contains("\"deep_copies\":0"));
     }
 
     #[test]

@@ -411,7 +411,7 @@ mod tests {
         // The provider produces the canonical payload of the stored object.
         let payload = crate::session::Payload {
             key: b"ledger".to_vec(),
-            data: w.provider.peek_storage(b"ledger").unwrap().to_vec(),
+            data: w.provider.peek_storage(b"ledger").unwrap().to_vec().into(),
         };
         use tpnr_net::codec::Wire as _;
         let case = LossCase {
@@ -432,7 +432,7 @@ mod tests {
         let arb = arbitrator(&w);
         let payload = crate::session::Payload {
             key: b"ledger".to_vec(),
-            data: w.provider.peek_storage(b"ledger").unwrap().to_vec(),
+            data: w.provider.peek_storage(b"ledger").unwrap().to_vec().into(),
         };
         use tpnr_net::codec::Wire as _;
         let case = LossCase {
@@ -516,7 +516,7 @@ mod tests {
         let arb = arbitrator(&w);
         let honest = crate::session::Payload {
             key: b"ledger".to_vec(),
-            data: w.provider.peek_storage(b"ledger").unwrap().to_vec(),
+            data: w.provider.peek_storage(b"ledger").unwrap().to_vec().into(),
         };
         let base = LossCase {
             claimant: Some(w.client.id()),
@@ -527,7 +527,8 @@ mod tests {
         };
         assert_eq!(arb.judge_loss(&base), Verdict::ClaimRejected);
         // Producing the wrong bytes must still convict, same as `==`.
-        let short = crate::session::Payload { key: b"ledger".to_vec(), data: b"arch".to_vec() };
+        let short =
+            crate::session::Payload { key: b"ledger".to_vec(), data: b"arch".to_vec().into() };
         let mut case = base.clone();
         case.produced_payload = Some(short.to_wire());
         assert_eq!(arb.judge_loss(&case), Verdict::ProviderAtFault);

@@ -21,6 +21,7 @@ use crate::provider::Provider;
 use crate::session::Payload;
 use tpnr_crypto::merkle::{MerkleProof, MerkleTree};
 use tpnr_net::codec::Wire;
+use tpnr_net::Bytes;
 
 /// A challenge naming one chunk of one object.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,8 +37,9 @@ pub struct AuditChallenge {
 pub struct AuditResponse {
     /// Echo of the challenge.
     pub challenge: AuditChallenge,
-    /// The chunk of the canonical payload encoding.
-    pub chunk: Vec<u8>,
+    /// The chunk of the canonical payload encoding — a zero-copy view into
+    /// the provider's encoding buffer, not a per-response copy.
+    pub chunk: Bytes,
     /// Merkle path to the committed root.
     pub proof: MerkleProof,
 }
@@ -85,14 +87,19 @@ impl Provider {
         let Commitment::Merkle { chunk_size } = cfg.commitment else {
             return Err(AuditError::NotMerkleMode);
         };
-        let data = self.peek_storage(&challenge.object).ok_or(AuditError::NoSuchObject)?;
-        let payload = Payload { key: challenge.object.clone(), data: data.to_vec() };
-        let bytes = payload.to_wire();
+        // The stored object is a shared handle: building the payload bumps
+        // a refcount instead of cloning the whole object per audit (the old
+        // code copied every byte of a TB-scale archive to answer for one
+        // chunk). The canonical encoding is produced once, and the answered
+        // chunk is a zero-copy slice of it.
+        let data = self.stored(&challenge.object).ok_or(AuditError::NoSuchObject)?;
+        let payload = Payload { key: challenge.object.clone(), data: data.clone() };
+        let bytes = payload.to_wire_bytes();
         let tree = MerkleTree::build(cfg.hash_alg, &bytes, chunk_size);
         let proof = tree.prove(challenge.chunk_index).ok_or(AuditError::IndexOutOfRange)?;
         let start = challenge.chunk_index * chunk_size;
         let end = (start + chunk_size).min(bytes.len());
-        Ok(AuditResponse { challenge: challenge.clone(), chunk: bytes[start..end].to_vec(), proof })
+        Ok(AuditResponse { challenge: challenge.clone(), chunk: bytes.slice(start..end), proof })
     }
 }
 
@@ -215,7 +222,7 @@ mod tests {
         let flat = ProtocolConfig::full();
         let fake = AuditResponse {
             challenge,
-            chunk: vec![],
+            chunk: Bytes::new(),
             proof: MerkleProof { index: 0, siblings: vec![] },
         };
         assert_eq!(w.client.verify_audit(&flat, r.txn_id, &fake), Err(AuditError::NotMerkleMode));

@@ -8,15 +8,17 @@
 
 use crate::config::ProtocolConfig;
 use crate::evidence::{
-    open_and_verify, seal, EvidencePlaintext, Flag, SealedEvidence, VerifiedEvidence,
+    open_and_verify, seal, seal_and_own, EvidencePlaintext, Flag, SealedEvidence, VerifiedEvidence,
 };
 use crate::message::{AbortOutcome, Message, ResolveAction};
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::session::{Outgoing, Payload, TxnState, ValidationError, Validator};
 use std::collections::HashMap;
+use tpnr_crypto::hash::DigestCache;
 use tpnr_crypto::{ct, ChaChaRng, RsaPublicKey};
 use tpnr_net::codec::Wire;
 use tpnr_net::time::SimTime;
+use tpnr_net::Bytes;
 
 /// What Alice does when the provider goes quiet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +67,9 @@ pub struct Client {
     txns: HashMap<u64, ClientTxn>,
     wire_keys: HashMap<PrincipalId, RsaPublicKey>,
     next_txn: u64,
+    /// Memoizes payload commitments by buffer identity: an object uploaded,
+    /// re-sent, and checked on download hashes once per algorithm.
+    cache: DigestCache,
     /// Message/tick counters, maintained by the scheduler-facing
     /// [`Actor`](crate::sched::Actor) impl.
     pub actor_stats: crate::obs::ActorStats,
@@ -93,6 +98,7 @@ impl Client {
             txns: HashMap::new(),
             wire_keys: HashMap::new(),
             next_txn,
+            cache: DigestCache::new(32),
             actor_stats: crate::obs::ActorStats::default(),
         }
     }
@@ -153,7 +159,7 @@ impl Client {
     ) -> Result<(u64, Vec<Outgoing>), ValidationError> {
         let txn_id = self.next_txn;
         self.next_txn += 1;
-        let hash = payload.commit(&self.cfg);
+        let hash = payload.commit_cached(&self.cfg, &mut self.cache);
         let pt = EvidencePlaintext {
             flag,
             sender: self.me.id(),
@@ -169,10 +175,11 @@ impl Client {
         };
         let provider_pk =
             self.lookup_key(&self.provider).ok_or(ValidationError::NoKey(self.provider))?;
-        let sealed = seal(&self.cfg, &self.me, &provider_pk, &pt, &mut self.rng)
+        // One sign_pair serves both artifacts: the sealed evidence for Bob
+        // and Alice's own archived NRO (still built through the
+        // core::evidence signing constructors — EVIDENCE-CTOR).
+        let (sealed, nro) = seal_and_own(&self.cfg, &self.me, &provider_pk, &pt, &mut self.rng)
             .map_err(ValidationError::Evidence)?;
-        // Alice archives her own NRO: the signatures she just produced.
-        let nro = self.own_evidence(&pt).map_err(ValidationError::Evidence)?;
         self.txns.insert(
             txn_id,
             ClientTxn {
@@ -192,29 +199,33 @@ impl Client {
             txn_id,
             vec![Outgoing {
                 to: self.provider,
-                msg: Message::Transfer { plaintext: pt, data: payload.to_wire(), evidence: sealed },
+                msg: Message::Transfer {
+                    plaintext: pt,
+                    data: payload.to_wire_bytes(),
+                    evidence: sealed,
+                },
             }],
         ))
     }
 
-    fn own_evidence(
-        &self,
-        pt: &EvidencePlaintext,
-    ) -> Result<VerifiedEvidence, crate::evidence::EvidenceError> {
-        // Archived through the core::evidence signing constructor — never
-        // by struct literal (EVIDENCE-CTOR).
-        crate::evidence::own_evidence(&self.cfg, &self.me, pt)
-    }
-
     /// Starts an upload (Normal mode message 1 of 2).
+    ///
+    /// `data` is anything convertible to [`Bytes`]; passing an owned
+    /// `Vec<u8>` (or an existing `Bytes` clone) moves the buffer in without
+    /// copying it.
     pub fn begin_upload(
         &mut self,
         key: &[u8],
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
         now: SimTime,
         strategy: TimeoutStrategy,
     ) -> Result<(u64, Vec<Outgoing>), ValidationError> {
-        self.build_transfer(Flag::UploadRequest, Payload { key: key.to_vec(), data }, now, strategy)
+        self.build_transfer(
+            Flag::UploadRequest,
+            Payload { key: key.to_vec(), data: data.into() },
+            now,
+            strategy,
+        )
     }
 
     /// Starts a download (Normal mode message 1 of 2).
@@ -226,7 +237,7 @@ impl Client {
     ) -> Result<(u64, Vec<Outgoing>), ValidationError> {
         self.build_transfer(
             Flag::DownloadRequest,
-            Payload { key: key.to_vec(), data: Vec::new() },
+            Payload { key: key.to_vec(), data: Bytes::new() },
             now,
             strategy,
         )
@@ -257,7 +268,7 @@ impl Client {
         &mut self,
         from: PrincipalId,
         pt: &EvidencePlaintext,
-        data: &[u8],
+        data: &Bytes,
         evidence: &SealedEvidence,
         now: SimTime,
     ) -> Result<Vec<Outgoing>, ValidationError> {
@@ -277,10 +288,15 @@ impl Client {
         if txn.kind == Flag::UploadRequest && !ct::eq(&pt.data_hash, &txn.sent_hash) {
             return Err(ValidationError::HashMismatch);
         }
-        // On download the carried data must match the signed hash.
+        // On download the carried data must match the signed hash. Decoding
+        // from the Bytes frame keeps the bulk data shared with the received
+        // message rather than copying it out.
         let received = if txn.kind == Flag::DownloadRequest {
-            let payload = Payload::from_wire(data).map_err(|_| ValidationError::HashMismatch)?;
-            if !ct::eq(&payload.commit(&self.cfg), &pt.data_hash) || payload.key != txn.object {
+            let payload =
+                Payload::from_wire_bytes(data).map_err(|_| ValidationError::HashMismatch)?;
+            let object_matches = payload.key == txn.object;
+            let commitment = payload.commit_cached(&self.cfg, &mut self.cache);
+            if !ct::eq(&commitment, &pt.data_hash) || !object_matches {
                 return Err(ValidationError::HashMismatch);
             }
             Some(payload)

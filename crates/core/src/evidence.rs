@@ -279,6 +279,28 @@ pub fn seal(
     seal_signatures(recipient_pk, rng, &sig_data_hash, &sig_plaintext)
 }
 
+/// Builds the sealed evidence for the peer **and** the sender's own archived
+/// copy from a single [`sign_pair`] call.
+///
+/// Senders need both artifacts for every transfer. Calling [`seal`] and
+/// [`own_evidence`] separately runs the sign step twice — two RSA private
+/// exponentiations and two canonical-plaintext digests for identical
+/// signatures (PKCS#1 v1.5 signing is deterministic). This constructor is
+/// the hot-path variant: sign once, seal those signatures, archive the
+/// same ones.
+pub fn seal_and_own(
+    cfg: &ProtocolConfig,
+    sender: &Principal,
+    recipient_pk: &RsaPublicKey,
+    plaintext: &EvidencePlaintext,
+    rng: &mut ChaChaRng,
+) -> Result<(SealedEvidence, VerifiedEvidence), EvidenceError> {
+    let (sig_data_hash, sig_plaintext) = sign_pair(cfg, sender, plaintext)?;
+    let sealed = seal_signatures(recipient_pk, rng, &sig_data_hash, &sig_plaintext)?;
+    let own = VerifiedEvidence { plaintext: plaintext.clone(), sig_data_hash, sig_plaintext };
+    Ok((sealed, own))
+}
+
 /// A sender's own archived copy of the evidence it just produced: the same
 /// signatures it sealed for the peer, kept in verified form for later
 /// arbitration. (The sender signed them itself, so no verification pass is
@@ -321,12 +343,13 @@ pub fn verify_signatures(
     sig_data_hash: &[u8],
     sig_plaintext: &[u8],
 ) -> Result<(), EvidenceError> {
+    let pt_digest = plaintext.digest();
     if cfg.require_signatures {
         sender_pk
             .verify_prehashed(plaintext.hash_alg, &plaintext.data_hash, sig_data_hash)
             .map_err(|_| EvidenceError::BadSignature)?;
         sender_pk
-            .verify_prehashed(plaintext.hash_alg, &plaintext.digest(), sig_plaintext)
+            .verify_prehashed(plaintext.hash_alg, &pt_digest, sig_plaintext)
             .map_err(|_| EvidenceError::BadSignature)?;
         Ok(())
     } else {
@@ -334,7 +357,7 @@ pub fn verify_signatures(
         // anyone. Still constant-time: even degraded comparisons must not
         // leak where the bytes diverge.
         let data_ok = tpnr_crypto::ct::eq(sig_data_hash, &plaintext.data_hash);
-        let pt_ok = tpnr_crypto::ct::eq(sig_plaintext, &plaintext.digest());
+        let pt_ok = tpnr_crypto::ct::eq(sig_plaintext, &pt_digest);
         if data_ok & pt_ok {
             Ok(())
         } else {
@@ -392,6 +415,21 @@ mod tests {
         let ev = open_and_verify(&cfg, &bob, alice.public(), &pt, &sealed).unwrap();
         assert_eq!(ev.plaintext, pt);
         ev.reverify(&cfg, alice.public()).unwrap();
+    }
+
+    #[test]
+    fn seal_and_own_matches_the_two_separate_constructors() {
+        let (alice, bob, ttp, cfg, mut rng) = actors();
+        let pt = plaintext(&alice, &bob, &ttp);
+        let (sealed, own) = seal_and_own(&cfg, &alice, bob.public(), &pt, &mut rng).unwrap();
+        // The archived copy carries exactly the signatures own_evidence
+        // would produce (signing is deterministic)…
+        assert_eq!(own, own_evidence(&cfg, &alice, &pt).unwrap());
+        own.reverify(&cfg, alice.public()).unwrap();
+        // …and the sealed copy opens to the same signatures.
+        let opened = open_and_verify(&cfg, &bob, alice.public(), &pt, &sealed).unwrap();
+        assert_eq!(opened.sig_data_hash, own.sig_data_hash);
+        assert_eq!(opened.sig_plaintext, own.sig_plaintext);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::evidence::{EvidencePlaintext, SealedEvidence, VerifiedEvidence};
 use tpnr_net::codec::{CodecError, Reader, Wire, Writer};
 use tpnr_net::time::SimTime;
+use tpnr_net::Bytes;
 
 /// Outcome carried by an Abort response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,7 +85,8 @@ pub enum Message {
         /// Signed plaintext.
         plaintext: EvidencePlaintext,
         /// Payload bytes (data on upload; object key on download request).
-        data: Vec<u8>,
+        /// Shared handle: cloning the message never copies the object.
+        data: Bytes,
         /// Sealed NRO.
         evidence: SealedEvidence,
     },
@@ -94,7 +96,8 @@ pub enum Message {
         /// Signed plaintext.
         plaintext: EvidencePlaintext,
         /// Payload bytes (empty on upload receipt; data on download).
-        data: Vec<u8>,
+        /// Shared handle: cloning the message never copies the object.
+        data: Bytes,
         /// Sealed NRR.
         evidence: SealedEvidence,
     },
@@ -234,12 +237,12 @@ impl Wire for Message {
         Ok(match r.u8()? {
             1 => Message::Transfer {
                 plaintext: EvidencePlaintext::decode(r)?,
-                data: r.bytes()?,
+                data: r.bytes_shared()?,
                 evidence: SealedEvidence::decode(r)?,
             },
             2 => Message::Receipt {
                 plaintext: EvidencePlaintext::decode(r)?,
-                data: r.bytes()?,
+                data: r.bytes_shared()?,
                 evidence: SealedEvidence::decode(r)?,
             },
             3 => Message::Abort {
@@ -301,12 +304,12 @@ mod tests {
         vec![
             Message::Transfer {
                 plaintext: pt(Flag::UploadRequest),
-                data: b"d".to_vec(),
+                data: b"d".to_vec().into(),
                 evidence: sealed(),
             },
             Message::Receipt {
                 plaintext: pt(Flag::UploadReceipt),
-                data: vec![],
+                data: Bytes::new(),
                 evidence: sealed(),
             },
             Message::Abort { plaintext: pt(Flag::AbortRequest), evidence: sealed() },
@@ -349,6 +352,23 @@ mod tests {
             assert_eq!(dec, m, "{}", m.kind());
             assert_eq!(dec.to_wire(), enc, "canonical: {}", m.kind());
         }
+    }
+
+    #[test]
+    fn transfer_data_decodes_as_a_view_into_the_frame() {
+        let m = Message::Transfer {
+            plaintext: pt(Flag::UploadRequest),
+            data: vec![0x5au8; 8192].into(),
+            evidence: sealed(),
+        };
+        let frame = m.to_wire_bytes();
+        let decoded = Message::from_wire_bytes(&frame).unwrap();
+        assert_eq!(decoded, m);
+        let Message::Transfer { data, .. } = decoded else { unreachable!() };
+        assert!(
+            data.same_allocation(&frame.slice(0..frame.len())),
+            "bulk data must alias the received frame, not be re-allocated"
+        );
     }
 
     #[test]

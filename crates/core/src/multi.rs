@@ -137,7 +137,9 @@ impl MultiWorld {
                 // First wire activity marks the transaction's start
                 // (idempotent), mirroring `World`.
                 self.obs.note_txn_started(txn, self.net.now());
-                self.net.send_tagged(from_node, dst, o.msg.to_wire(), Some(txn));
+                // Encode once into a shared buffer; the simulator clones
+                // only the handle from here on (queue, duplicates, inbox).
+                self.net.send_tagged(from_node, dst, o.msg.to_wire_bytes(), Some(txn));
             }
         }
     }
@@ -150,7 +152,7 @@ impl MultiWorld {
         &mut self,
         idx: usize,
         key: &[u8],
-        data: Vec<u8>,
+        data: impl Into<tpnr_net::Bytes>,
         strategy: TimeoutStrategy,
     ) -> u64 {
         let now = self.net.now();
@@ -296,7 +298,7 @@ impl EventHub for MultiWorld {
     fn deliver(&mut self, env: Envelope) {
         let now = self.net.now();
         let from = self.principal_of[&env.src];
-        let msg = match Message::from_wire(&env.payload) {
+        let msg = match Message::from_wire_bytes(&env.payload) {
             Ok(m) => m,
             Err(_) => {
                 // Used to be a bare `return`: garbled arrivals were

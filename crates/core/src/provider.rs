@@ -17,9 +17,11 @@ use crate::message::{AbortOutcome, Message, ResolveAction};
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::session::{Outgoing, Payload, TxnState, ValidationError, Validator};
 use std::collections::HashMap;
+use tpnr_crypto::hash::DigestCache;
 use tpnr_crypto::{ChaChaRng, RsaPublicKey};
 use tpnr_net::codec::Wire;
 use tpnr_net::time::SimTime;
+use tpnr_net::Bytes;
 
 /// Sealed NRR plus the raw `(data-sig, plaintext-sig)` pair, kept so the
 /// receipt can be re-issued on a Resolve forward.
@@ -69,9 +71,14 @@ pub struct Provider {
     ttp: PrincipalId,
     rng: ChaChaRng,
     validator: Validator,
-    storage: HashMap<Vec<u8>, Vec<u8>>,
+    /// Stored objects as shared immutable buffers: upload, archive and
+    /// download-response all hold the same allocation.
+    storage: HashMap<Vec<u8>, Bytes>,
     txns: HashMap<u64, ProviderTxn>,
     wire_keys: HashMap<PrincipalId, RsaPublicKey>,
+    /// Memoizes payload commitments by buffer identity: a stored object
+    /// served to N downloaders hashes once, not N times.
+    cache: DigestCache,
     /// Misbehaviour switches.
     pub behavior: ProviderBehavior,
     /// Message/tick counters, maintained by the scheduler-facing
@@ -99,6 +106,7 @@ impl Provider {
             storage: HashMap::new(),
             txns: HashMap::new(),
             wire_keys: HashMap::new(),
+            cache: DigestCache::new(32),
             behavior: ProviderBehavior::default(),
             actor_stats: crate::obs::ActorStats::default(),
         }
@@ -124,10 +132,15 @@ impl Provider {
     }
 
     /// Provider-side storage tamper (Eve's move in the Figure-5 scenario).
+    ///
+    /// The tampered bytes go into a **fresh allocation** (`Bytes::from` the
+    /// owned vec): stored buffers are immutable-by-sharing, and a new
+    /// allocation means a new digest-cache identity — a tampered object can
+    /// never be answered with the old object's memoized hash.
     pub fn tamper_storage(&mut self, key: &[u8], new_data: Vec<u8>) -> bool {
         match self.storage.get_mut(key) {
             Some(slot) => {
-                *slot = new_data;
+                *slot = Bytes::from(new_data);
                 true
             }
             None => false,
@@ -136,7 +149,13 @@ impl Provider {
 
     /// Direct storage read (assertions in tests/experiments).
     pub fn peek_storage(&self, key: &[u8]) -> Option<&[u8]> {
-        self.storage.get(key).map(|v| v.as_slice())
+        self.storage.get(key).map(|v| &v[..])
+    }
+
+    /// Shared handle to a stored object — clone it to hold the object
+    /// without copying (audits and experiments use this).
+    pub fn stored(&self, key: &[u8]) -> Option<&Bytes> {
+        self.storage.get(key)
     }
 
     /// Bob's archived record for a transaction.
@@ -186,7 +205,7 @@ impl Provider {
         &mut self,
         from: PrincipalId,
         pt: &EvidencePlaintext,
-        data: &[u8],
+        data: &Bytes,
         evidence: &crate::evidence::SealedEvidence,
         now: SimTime,
     ) -> Result<Vec<Outgoing>, ValidationError> {
@@ -198,17 +217,19 @@ impl Provider {
         let expected = if self.cfg.bind_identities { Some(from) } else { None };
         self.validator.check(&self.cfg, pt, expected, now)?;
 
-        let payload = Payload::from_wire(data).map_err(|_| ValidationError::HashMismatch)?;
-        if !tpnr_crypto::ct::eq(&pt.data_hash, &payload.commit(&self.cfg))
-            || pt.object != payload.key
-        {
+        // Decode from the Bytes frame: the bulk data stays a view into the
+        // received message, and the same view goes into storage below.
+        let payload = Payload::from_wire_bytes(data).map_err(|_| ValidationError::HashMismatch)?;
+        let commitment = payload.commit_cached(&self.cfg, &mut self.cache);
+        if !tpnr_crypto::ct::eq(&pt.data_hash, &commitment) || pt.object != payload.key {
             return Err(ValidationError::HashMismatch);
         }
         let sender_pk = self.lookup_key(&pt.sender).ok_or(ValidationError::NoKey(pt.sender))?;
         let nro = open_and_verify(&self.cfg, &self.me, &sender_pk, pt, evidence)
             .map_err(ValidationError::Evidence)?;
 
-        // Serve the request.
+        // Serve the request. Bytes clones are refcount bumps, so storing an
+        // upload and serving a download never copy the object.
         let response_payload = match pt.flag {
             Flag::UploadRequest => {
                 self.storage.insert(payload.key.clone(), payload.data.clone());
@@ -222,10 +243,10 @@ impl Provider {
                 Payload { key: payload.key.clone(), data: stored }
             }
         };
-        let response_hash = response_payload.commit(&self.cfg);
+        let response_hash = response_payload.commit_cached(&self.cfg, &mut self.cache);
         let (reply_flag, reply_data) = match pt.flag {
-            Flag::UploadRequest => (Flag::UploadReceipt, Vec::new()),
-            _ => (Flag::DownloadResponse, response_payload.to_wire()),
+            Flag::UploadRequest => (Flag::UploadReceipt, Bytes::new()),
+            _ => (Flag::DownloadResponse, response_payload.to_wire_bytes()),
         };
 
         let nrr_pt = EvidencePlaintext {

@@ -21,6 +21,7 @@ use tpnr_crypto::ChaChaRng;
 use tpnr_net::codec::Wire;
 use tpnr_net::sim::{Envelope, LinkConfig, NodeId, SimNet};
 use tpnr_net::time::SimTime;
+use tpnr_net::Bytes;
 
 /// Per-transaction outcome report.
 ///
@@ -152,7 +153,9 @@ impl World {
             // First wire activity marks the transaction's start (idempotent)
             // so terminal-state latency is measurable for every entry path.
             self.obs.note_txn_started(txn, self.net.now());
-            self.net.send_tagged(from_node, dst, o.msg.to_wire(), Some(txn));
+            // Encode once into a shared buffer; the simulator clones only
+            // the handle from here on (queue, duplicates, inbox).
+            self.net.send_tagged(from_node, dst, o.msg.to_wire_bytes(), Some(txn));
         }
     }
 
@@ -198,7 +201,12 @@ impl World {
     /// A failed initiation (e.g. no provider key) never panics: it is
     /// recorded as a rejection in [`Obs`](crate::obs::Obs) and reported as
     /// a `Failed` transaction with the sentinel id 0 (real ids start at 1).
-    pub fn upload(&mut self, key: &[u8], data: Vec<u8>, strategy: TimeoutStrategy) -> TxnReport {
+    pub fn upload(
+        &mut self,
+        key: &[u8],
+        data: impl Into<Bytes>,
+        strategy: TimeoutStrategy,
+    ) -> TxnReport {
         let started = self.net.now();
         let (txn_id, out) = match self.client.begin_upload(key, data, started, strategy) {
             Ok(v) => v,
@@ -210,13 +218,14 @@ impl World {
         self.report(txn_id, started)
     }
 
-    /// Downloads and settles, returning the report and the data. Failed
-    /// initiations degrade exactly as in [`World::upload`].
+    /// Downloads and settles, returning the report and the data (a shared
+    /// handle into the received payload — no copy). Failed initiations
+    /// degrade exactly as in [`World::upload`].
     pub fn download(
         &mut self,
         key: &[u8],
         strategy: TimeoutStrategy,
-    ) -> (TxnReport, Option<Vec<u8>>) {
+    ) -> (TxnReport, Option<Bytes>) {
         let started = self.net.now();
         let (txn_id, out) = match self.client.begin_download(key, started, strategy) {
             Ok(v) => v,
@@ -311,7 +320,7 @@ impl EventHub for World {
         let from_principal = self.principal_of[&env.src];
         let from = self.name_of[&env.src];
         let actor = self.name_of[&env.dst];
-        let msg = match Message::from_wire(&env.payload) {
+        let msg = match Message::from_wire_bytes(&env.payload) {
             Ok(m) => m,
             Err(_) => {
                 // An undecodable payload belongs to whatever transaction

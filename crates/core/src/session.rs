@@ -10,19 +10,25 @@ use crate::config::ProtocolConfig;
 use crate::evidence::{EvidencePlaintext, Flag};
 use crate::principal::PrincipalId;
 use std::collections::HashMap;
+use tpnr_crypto::hash::DigestCache;
 use tpnr_net::codec::{CodecError, Reader, Wire, Writer};
 use tpnr_net::time::SimTime;
+use tpnr_net::Bytes;
 
 /// The payload carried inside a Transfer/Receipt `data` field.
 ///
 /// Hashing the canonical encoding of this structure (rather than the raw
 /// data alone) binds the object key to the data under every signature.
+///
+/// `data` is a shared immutable [`Bytes`] handle: cloning a payload (or the
+/// message carrying it) bumps a refcount instead of copying the object, and
+/// decoding from a [`Bytes`]-backed frame shares the frame's allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Payload {
     /// Object key.
     pub key: Vec<u8>,
     /// Object bytes (empty for download requests).
-    pub data: Vec<u8>,
+    pub data: Bytes,
 }
 
 impl Wire for Payload {
@@ -31,7 +37,7 @@ impl Wire for Payload {
         w.bytes(&self.data);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(Payload { key: r.bytes()?, data: r.bytes()? })
+        Ok(Payload { key: r.bytes()?, data: r.bytes_shared()? })
     }
 }
 
@@ -53,6 +59,30 @@ impl Payload {
                     .to_vec()
             }
         }
+    }
+
+    /// [`Payload::commit`], memoized on the `data` buffer's allocation
+    /// identity.
+    ///
+    /// The commitment is a pure function of `(key, data, hash_alg,
+    /// commitment mode)`; everything but the bulk data is tiny, so it is
+    /// folded into the cache key as `aux` bytes (length-prefixed key, so
+    /// `key="a", mode tag "b…"` cannot collide with `key="ab"`, plus the
+    /// commitment-mode tag). Repeated commitments of the same object —
+    /// sign-time, receipt verification, retransmits — then hash it once.
+    pub fn commit_cached(&self, cfg: &ProtocolConfig, cache: &mut DigestCache) -> Vec<u8> {
+        let (start, end) = self.data.range();
+        let mut aux = Vec::with_capacity(self.key.len() + 32);
+        aux.extend_from_slice(&(self.key.len() as u64).to_le_bytes());
+        aux.extend_from_slice(&self.key);
+        match cfg.commitment {
+            crate::config::Commitment::Flat => aux.extend_from_slice(b"commit:flat"),
+            crate::config::Commitment::Merkle { chunk_size } => {
+                aux.extend_from_slice(b"commit:merkle:");
+                aux.extend_from_slice(&(chunk_size as u64).to_le_bytes());
+            }
+        }
+        cache.memo(cfg.hash_alg, self.data.backing(), start, end, &aux, |_| self.commit(cfg))
     }
 }
 
@@ -392,10 +422,47 @@ mod tests {
 
     #[test]
     fn payload_roundtrip_and_hash_binds_key() {
-        let p1 = Payload { key: b"k1".to_vec(), data: b"d".to_vec() };
-        let p2 = Payload { key: b"k2".to_vec(), data: b"d".to_vec() };
+        let p1 = Payload { key: b"k1".to_vec(), data: b"d".to_vec().into() };
+        let p2 = Payload { key: b"k2".to_vec(), data: b"d".to_vec().into() };
         assert_eq!(Payload::from_wire(&p1.to_wire()).unwrap(), p1);
         assert_ne!(p1.hash(HashAlg::Sha256), p2.hash(HashAlg::Sha256));
+    }
+
+    #[test]
+    fn payload_decode_from_bytes_frame_shares_the_allocation() {
+        let p = Payload { key: b"k".to_vec(), data: vec![0xabu8; 4096].into() };
+        let frame = p.to_wire_bytes();
+        let decoded = Payload::from_wire_bytes(&frame).unwrap();
+        assert_eq!(decoded, p);
+        assert!(
+            decoded.data.same_allocation(&frame.slice(0..frame.len())),
+            "decoded payload data must be a view into the frame, not a copy"
+        );
+    }
+
+    #[test]
+    fn commit_cached_matches_commit_and_discriminates_key_and_mode() {
+        use crate::config::Commitment;
+        let mut cache = tpnr_crypto::hash::DigestCache::new(16);
+        let data: tpnr_net::Bytes = vec![7u8; 2048].into();
+        let p1 = Payload { key: b"k1".to_vec(), data: data.clone() };
+        let p2 = Payload { key: b"k2".to_vec(), data: data.clone() };
+        let flat = ProtocolConfig::full();
+        let merkle =
+            ProtocolConfig { commitment: Commitment::Merkle { chunk_size: 256 }, ..flat.clone() };
+
+        assert_eq!(p1.commit_cached(&flat, &mut cache), p1.commit(&flat));
+        assert_eq!(cache.misses(), 1);
+        // Replay is answered from the memo.
+        assert_eq!(p1.commit_cached(&flat, &mut cache), p1.commit(&flat));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Same data allocation, different key or commitment mode: distinct
+        // entries, never a cross-hit.
+        assert_eq!(p2.commit_cached(&flat, &mut cache), p2.commit(&flat));
+        assert_eq!(p1.commit_cached(&merkle, &mut cache), p1.commit(&merkle));
+        assert_eq!(cache.misses(), 3);
+        assert_ne!(p1.commit(&flat), p2.commit(&flat));
+        assert_ne!(p1.commit(&flat), p1.commit(&merkle));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! guarantee (no maps, no floats, no optional-field ambiguity), used by the
 //! protocol messages, the storage manifests and the secure-channel frames.
 
+use crate::bytes::Bytes;
 use std::fmt;
 
 /// Decoding error.
@@ -110,17 +111,35 @@ impl Writer {
     pub fn finish_vec(self) -> Vec<u8> {
         self.buf
     }
+
+    /// Finishes into a shared immutable buffer (pure move, no copy).
+    pub fn finish_bytes(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
 }
 
 /// Canonical decoder over a borrowed buffer.
 pub struct Reader<'a> {
     buf: &'a [u8],
+    /// Bytes consumed so far (offset of `buf[0]` within the original
+    /// input), used by [`Reader::bytes_shared`] to map positions back
+    /// into `origin`.
+    consumed: usize,
+    /// When decoding out of a shared buffer, the buffer itself — byte
+    /// fields can then be returned as zero-copy subviews.
+    origin: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// Wraps a byte slice.
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf }
+        Reader { buf, consumed: 0, origin: None }
+    }
+
+    /// Wraps a shared buffer; [`Reader::bytes_shared`] fields decode as
+    /// zero-copy subviews of `origin`'s allocation.
+    pub fn with_origin(origin: &'a Bytes) -> Self {
+        Reader { buf: origin, consumed: 0, origin: Some(origin) }
     }
 
     /// Bytes not yet consumed.
@@ -143,6 +162,7 @@ impl<'a> Reader<'a> {
         }
         let (head, rest) = self.buf.split_at(n);
         self.buf = rest;
+        self.consumed += n;
         Ok(head)
     }
 
@@ -187,6 +207,24 @@ impl<'a> Reader<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
+    /// Reads a `u32`-length-prefixed byte field as shared [`Bytes`].
+    ///
+    /// When the reader was built with [`Reader::with_origin`] the result
+    /// is a zero-copy subview of the origin allocation; otherwise the
+    /// field is deep-copied (and counted by the [`Bytes`] copy counters).
+    pub fn bytes_shared(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(CodecError::LengthOverflow);
+        }
+        let start = self.consumed;
+        let field = self.take(len)?;
+        match self.origin {
+            Some(origin) => Ok(origin.slice(start..start + len)),
+            None => Ok(Bytes::copy_from_slice(field)),
+        }
+    }
+
     /// Reads a length-prefixed UTF-8 string (invalid UTF-8 is rejected).
     pub fn str(&mut self) -> Result<String, CodecError> {
         String::from_utf8(self.bytes()?).map_err(|_| CodecError::BadDiscriminant("utf-8 string", 0))
@@ -222,6 +260,23 @@ pub trait Wire: Sized {
     /// Decodes from a complete buffer (trailing bytes are an error).
     fn from_wire(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+
+    /// Encodes into a shared immutable buffer (pure move, no extra copy).
+    fn to_wire_bytes(&self) -> Bytes {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.finish_bytes()
+    }
+
+    /// Decodes from a shared buffer; fields read via
+    /// [`Reader::bytes_shared`] come back as zero-copy subviews of
+    /// `bytes`' allocation.
+    fn from_wire_bytes(bytes: &Bytes) -> Result<Self, CodecError> {
+        let mut r = Reader::with_origin(bytes);
         let v = Self::decode(&mut r)?;
         r.expect_end()?;
         Ok(v)
@@ -327,6 +382,47 @@ mod tests {
         }
         fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
             Ok(Sample { id: r.u64()?, name: r.str()?, blob: r.bytes()? })
+        }
+    }
+
+    #[test]
+    fn bytes_shared_is_zero_copy_with_origin() {
+        let mut w = Writer::new();
+        w.u8(5).bytes(b"abcdefgh").u16(9).bytes(b"tail");
+        let wire = w.finish_bytes();
+        let before = Bytes::deep_copies();
+        let mut r = Reader::with_origin(&wire);
+        assert_eq!(r.u8().unwrap(), 5);
+        let field = r.bytes_shared().unwrap();
+        assert_eq!(field, b"abcdefgh");
+        assert!(field.same_allocation(&wire), "subview of the wire buffer");
+        assert_eq!(r.u16().unwrap(), 9);
+        let tail = r.bytes_shared().unwrap();
+        assert_eq!(tail, b"tail");
+        assert!(tail.same_allocation(&wire));
+        r.expect_end().unwrap();
+        assert_eq!(Bytes::deep_copies(), before, "no deep copies with an origin");
+    }
+
+    #[test]
+    fn bytes_shared_without_origin_copies() {
+        let mut w = Writer::new();
+        w.bytes(b"xyz");
+        let buf = w.finish_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes_shared().unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn bytes_shared_rejects_hostile_lengths_and_truncation() {
+        let wire = Bytes::from(vec![0xff, 0xff, 0xff, 0xff, 0x00]);
+        assert_eq!(Reader::with_origin(&wire).bytes_shared(), Err(CodecError::LengthOverflow));
+        let mut w = Writer::new();
+        w.bytes(b"hello");
+        let full = w.finish_bytes();
+        for cut in 0..full.len() {
+            let trunc = full.slice(0..cut);
+            assert!(Reader::with_origin(&trunc).bytes_shared().is_err(), "cut at {cut}");
         }
     }
 

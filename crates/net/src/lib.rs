@@ -2,6 +2,9 @@
 //!
 //! Deterministic network substrate for the TPNR reproduction:
 //!
+//! * [`bytes`] — shared immutable payload buffers ([`Bytes`]) so large
+//!   objects cross the simulator, the codec and storage without deep
+//!   copies;
 //! * [`time`] — virtual clock ([`SimClock`]) so protocol timeouts are
 //!   simulated, not slept;
 //! * [`codec`] — canonical length-prefixed binary encoding (evidence is
@@ -16,11 +19,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bytes;
 pub mod codec;
 pub mod secure;
 pub mod sim;
 pub mod time;
 
+pub use bytes::Bytes;
 pub use codec::{CodecError, Reader, Wire, Writer};
 pub use secure::{ChannelError, SecureSession};
 pub use sim::{Action, Envelope, Interceptor, LinkConfig, NetStats, NodeId, SimNet, TxnNetStats};

@@ -1,0 +1,104 @@
+//! `tpnr-par`: dependency-free deterministic fork-join helpers.
+//!
+//! The workspace's parallelism needs are narrow: run a pure function over
+//! an index range on however many cores the host offers, and join the
+//! results **in index order** so callers observe exactly what a serial
+//! loop would have produced. That determinism requirement is load-bearing —
+//! Merkle leaf hashing and the E6 trial grid both feed seeded, replayable
+//! pipelines where "same seed → same trace" must survive parallel
+//! execution. Keeping the crate free of dependencies (std only) lets
+//! `tpnr-crypto` use it without cycles and keeps the offline build trivial.
+
+#![forbid(unsafe_code)]
+
+/// Maps `f` over `0..n` using scoped threads and returns the results in
+/// index order. `f` must be pure for the output to be deterministic; the
+/// scheduling below never reorders results regardless of which worker
+/// finishes first.
+///
+/// Work is split into contiguous chunks, one per worker, where the worker
+/// count is `min(available_parallelism, n)`. With `n == 0` no threads are
+/// spawned and an empty vector is returned.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(w * chunk + i));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("worker filled every slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_range_spawns_nothing() {
+        let out: Vec<u64> = par_map_indexed(0, |_| unreachable!("no indices to map"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fewer_items_than_workers() {
+        // With n below available_parallelism the worker count is clamped to
+        // n, so every index still maps exactly once.
+        let out = par_map_indexed(2, |i| i * 10);
+        assert_eq!(out, vec![0, 10]);
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map_indexed(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn n_not_divisible_by_chunk_size() {
+        // A prime n forces a ragged final chunk on any multi-worker split.
+        let n = 97;
+        let out = par_map_indexed(n, |i| i as u64 * i as u64);
+        assert_eq!(out.len(), n);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn results_join_in_index_order() {
+        // Make late indices cheap and early indices expensive so workers
+        // finish out of order; the join must still be index-ordered.
+        let n = 64;
+        let out = par_map_indexed(n, |i| {
+            let spins = (n - i) * 1000;
+            let mut acc = i as u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+            }
+            (i, acc)
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn matches_serial_map_exactly() {
+        let serial: Vec<u64> = (0..1000).map(|i| (i as u64).wrapping_mul(0x9e3779b9)).collect();
+        let parallel = par_map_indexed(1000, |i| (i as u64).wrapping_mul(0x9e3779b9));
+        assert_eq!(serial, parallel);
+    }
+}

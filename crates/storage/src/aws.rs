@@ -218,7 +218,7 @@ impl AwsService {
         self.s3.put(
             &manifest.destination,
             StoredObject {
-                data: device.data.clone(),
+                data: device.data.clone().into(),
                 stored_checksum: Some(md5.clone()),
                 checksum_alg: HashAlg::Md5,
                 uploaded_at: now,
@@ -236,7 +236,7 @@ impl AwsService {
         self.s3.put(
             &log_location,
             StoredObject {
-                data: log_line.into_bytes(),
+                data: log_line.into_bytes().into(),
                 stored_checksum: None,
                 checksum_alg: HashAlg::Md5,
                 uploaded_at: now,
@@ -263,7 +263,7 @@ impl AwsService {
     ) -> Result<(StorageDevice, StatusEmail), AwsError> {
         self.validate(manifest, &device)?;
         let obj = self.s3.get(&manifest.destination).ok_or(AwsError::NoSuchObject)?;
-        device.data = obj.data.clone();
+        device.data = obj.data.to_vec();
         // Recomputed at export time — NOT the MD5 recorded at import.
         let md5 = Md5::digest(&device.data);
         let email = StatusEmail {
@@ -283,7 +283,7 @@ impl AwsService {
         self.s3.put(
             key,
             StoredObject {
-                data: data.to_vec(),
+                data: data.to_vec().into(),
                 stored_checksum: Some(md5.clone()),
                 checksum_alg: HashAlg::Md5,
                 uploaded_at: now,
@@ -297,7 +297,7 @@ impl AwsService {
     pub fn s3_get(&self, key: &str) -> Option<(Vec<u8>, Vec<u8>)> {
         let obj = self.s3.get(key)?;
         let md5 = Md5::digest(&obj.data);
-        Some((obj.data.clone(), md5))
+        Some((obj.data.to_vec(), md5))
     }
 
     /// Provider-side tampering (Eve's capability).

@@ -175,7 +175,7 @@ impl AzureService {
                 self.blobs.put(
                     &path,
                     StoredObject {
-                        data: assembled,
+                        data: assembled.into(),
                         stored_checksum: Some(md5),
                         checksum_alg: HashAlg::Md5,
                         uploaded_at: now,
@@ -198,7 +198,7 @@ impl AzureService {
                 self.blobs.put(
                     &req.resource,
                     StoredObject {
-                        data: req.body.clone(),
+                        data: req.body.clone().into(),
                         stored_checksum,
                         checksum_alg: HashAlg::Md5,
                         uploaded_at: now,
@@ -216,7 +216,7 @@ impl AzureService {
                 // Azure returns the MD5 recorded at upload, NOT a recomputed
                 // one — so consistent in-storage tampering sails through.
                 let header = obj.stored_checksum.as_ref().map(|s| base64_encode(s));
-                Ok(AzureResponse { status: 200, body: obj.data.clone(), content_md5: header })
+                Ok(AzureResponse { status: 200, body: obj.data.to_vec(), content_md5: header })
             }
             Method::Delete => {
                 self.blobs.delete(&req.resource).ok_or(AzureError::BlobNotFound)?;

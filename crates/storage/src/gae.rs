@@ -214,7 +214,7 @@ impl GaeService {
         self.datastore.put(
             &req.resource,
             StoredObject {
-                data: data.to_vec(),
+                data: data.to_vec().into(),
                 // The paper notes the raw datastore API has no
                 // storage-integrity features: nothing is recorded.
                 stored_checksum: None,
@@ -229,7 +229,7 @@ impl GaeService {
     /// Datastore GET through the SDC.
     pub fn get(&mut self, req: &SignedRequest) -> Result<Vec<u8>, SdcError> {
         self.authorize(req)?;
-        self.datastore.get(&req.resource).map(|o| o.data.clone()).ok_or(SdcError::NotFound)
+        self.datastore.get(&req.resource).map(|o| o.data.to_vec()).ok_or(SdcError::NotFound)
     }
 
     /// Provider-side tampering (Eve's capability).

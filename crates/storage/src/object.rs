@@ -9,14 +9,19 @@
 //! own integrity metadata agrees with the corrupted data.
 
 use std::collections::HashMap;
-use tpnr_crypto::hash::HashAlg;
+use tpnr_crypto::hash::{DigestCache, HashAlg};
 use tpnr_net::time::SimTime;
+use tpnr_net::Bytes;
 
 /// A stored object plus the integrity metadata the platform keeps.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredObject {
-    /// Object payload.
-    pub data: Vec<u8>,
+    /// Object payload — a shared immutable buffer, so putting, getting and
+    /// serving an object never copy it. Tampering replaces the handle with
+    /// a freshly allocated one (copy-mutate-rewrap), which also gives the
+    /// corrupted bytes a new digest-cache identity: a memoized hash of the
+    /// old object can never vouch for the new one.
+    pub data: Bytes,
     /// Checksum recorded at upload time (`Content-MD5` on Azure, the
     /// Import/Export log MD5 on AWS). `None` if the uploader supplied none.
     pub stored_checksum: Option<Vec<u8>>,
@@ -105,25 +110,33 @@ impl ObjectStore {
     /// not exist.
     pub fn tamper(&mut self, key: &str, t: &Tamper) -> Option<TamperReport> {
         let obj = self.objects.get_mut(key)?;
+        // Stored buffers are immutable-by-sharing: every mutation copies
+        // into a fresh buffer and rewraps (or, for Truncate, re-windows the
+        // shared allocation — the digest cache keys on the window too, so
+        // even that gets a distinct cache identity).
         match t {
             Tamper::BitFlip { offset } => {
                 if !obj.data.is_empty() {
                     let i = offset % obj.data.len();
-                    obj.data[i] ^= 1;
+                    let mut copy = obj.data.to_vec();
+                    copy[i] ^= 1;
+                    obj.data = Bytes::from(copy);
                 }
             }
             Tamper::Truncate { len } => {
                 let new_len = (*len).min(obj.data.len());
-                obj.data.truncate(new_len);
+                obj.data = obj.data.slice(0..new_len);
             }
             Tamper::Replace(new_data) => {
-                obj.data = new_data.clone();
+                obj.data = Bytes::from(new_data.clone());
             }
             Tamper::Append(extra) => {
-                obj.data.extend_from_slice(extra);
+                let mut copy = obj.data.to_vec();
+                copy.extend_from_slice(extra);
+                obj.data = Bytes::from(copy);
             }
             Tamper::ConsistentReplace(new_data) => {
-                obj.data = new_data.clone();
+                obj.data = Bytes::from(new_data.clone());
                 obj.stored_checksum = Some(obj.checksum_alg.hash(&obj.data));
             }
         }
@@ -141,6 +154,18 @@ impl ObjectStore {
         let sum = obj.stored_checksum.as_ref()?;
         Some(tpnr_crypto::ct::eq(sum, &obj.checksum_alg.hash(&obj.data)))
     }
+
+    /// [`ObjectStore::verify_checksum`] with the data hash memoized on the
+    /// buffer's identity: repeated integrity sweeps over unchanged objects
+    /// hash each object once. Tampering always rewraps into a new
+    /// allocation (or window), so a stale hit is impossible.
+    pub fn verify_checksum_cached(&self, key: &str, cache: &mut DigestCache) -> Option<bool> {
+        let obj = self.objects.get(key)?;
+        let sum = obj.stored_checksum.as_ref()?;
+        let (start, end) = obj.data.range();
+        let digest = cache.hash(obj.checksum_alg, obj.data.backing(), start, end);
+        Some(tpnr_crypto::ct::eq(sum, &digest))
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +174,7 @@ mod tests {
 
     fn obj(data: &[u8]) -> StoredObject {
         StoredObject {
-            data: data.to_vec(),
+            data: data.to_vec().into(),
             stored_checksum: Some(HashAlg::Md5.hash(data)),
             checksum_alg: HashAlg::Md5,
             uploaded_at: SimTime::ZERO,
@@ -219,6 +244,27 @@ mod tests {
         assert!(rep.checksum_still_consistent);
         assert_eq!(s.verify_checksum("k"), Some(true), "platform sees nothing wrong");
         assert_eq!(s.get("k").unwrap().data, b"forged numbers");
+    }
+
+    #[test]
+    fn cached_checksum_sweep_hashes_once_and_never_vouches_for_tampered_data() {
+        let mut s = ObjectStore::new();
+        let mut cache = DigestCache::new(8);
+        s.put("k", obj(b"stable object"));
+        assert_eq!(s.verify_checksum_cached("k", &mut cache), Some(true));
+        assert_eq!(s.verify_checksum_cached("k", &mut cache), Some(true));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1), "second sweep is a pure lookup");
+        // Every tamper rewraps, so the memoized digest of the old buffer
+        // cannot answer for the new one — the check recomputes and fails.
+        s.tamper("k", &Tamper::BitFlip { offset: 0 }).unwrap();
+        assert_eq!(s.verify_checksum_cached("k", &mut cache), Some(false));
+        assert_eq!(cache.misses(), 2, "tampered object forced a recompute");
+        // Truncate re-windows the shared allocation; the window is part of
+        // the cache key, so it too recomputes.
+        s.put("t", obj(b"0123456789"));
+        assert_eq!(s.verify_checksum_cached("t", &mut cache), Some(true));
+        s.tamper("t", &Tamper::Truncate { len: 4 }).unwrap();
+        assert_eq!(s.verify_checksum_cached("t", &mut cache), Some(false));
     }
 
     #[test]

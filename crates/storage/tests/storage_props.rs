@@ -77,7 +77,7 @@ proptest! {
     ) {
         let mut store = ObjectStore::new();
         store.put("k", StoredObject {
-            data: original.clone(),
+            data: original.clone().into(),
             stored_checksum: Some(HashAlg::Md5.hash(&original)),
             checksum_alg: HashAlg::Md5,
             uploaded_at: SimTime::ZERO,
