@@ -50,6 +50,26 @@ if grep -q '"upload_deep_copies":[1-9]' "$bench_e4"; then
 fi
 rm -f "$bench_e4"
 
+# Chaos smoke: the E8 sweep must stay machine-readable, and no crashed run
+# may lose sealed evidence — "limbo"/"evidence_loss" must be 0 in every row.
+echo "==> experiments --bench-e8 --quick"
+bench_e8="$(mktemp)"
+cargo run -q -p tpnr-bench --bin experiments -- --bench-e8 "$bench_e8" --quick
+cargo run -q -p tpnr-bench --bin experiments -- --validate-jsonl "$bench_e8"
+if grep -Eq '"(limbo|evidence_loss)":[1-9]' "$bench_e8"; then
+    echo "error: chaos sweep reported evidence-less limbo" >&2
+    exit 1
+fi
+rm -f "$bench_e8"
+
+# Allowlist audit: the lint gate above already fails on unallowlisted
+# findings; also fail if the allowlist itself has rotted (stale entries).
+echo "==> tpnr-lint allowlist audit"
+if cargo run -q -p tpnr-lint 2>&1 | grep -q 'unused allowlist entry'; then
+    echo "error: lint-allow.toml has stale entries" >&2
+    exit 1
+fi
+
 if [ "$quick" -eq 0 ]; then
     # The observability export must stay machine-readable: produce a trace
     # and re-validate it with the binary's own JSONL checker.

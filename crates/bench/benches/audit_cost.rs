@@ -28,7 +28,7 @@ fn bench_audit_vs_download(c: &mut Criterion) {
             b.iter(|| {
                 let mut w2 = World::new(78, cfg.clone());
                 let up2 = w2.upload(b"obj", vec![0xabu8; size], TimeoutStrategy::AbortFirst);
-                let (down, _) = w2.download(b"obj", TimeoutStrategy::AbortFirst);
+                let down = w2.download(b"obj", TimeoutStrategy::AbortFirst);
                 assert_eq!(
                     w2.client.verify_download_against_upload(up2.txn_id, down.txn_id),
                     Some(true)

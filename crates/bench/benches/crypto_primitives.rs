@@ -1,4 +1,4 @@
-//! E4/E8 (crypto side): throughput of every primitive the protocol leans on
+//! E4/E9 (crypto side): throughput of every primitive the protocol leans on
 //! — the 2010-era hash suite, HMAC, RSA operations and Shamir sharing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};

@@ -22,7 +22,7 @@ fn bench_normal_mode(c: &mut Criterion) {
                 seed += 1;
                 let mut w = World::new(seed, ProtocolConfig::full());
                 let r = w.upload(b"obj", vec![0u8; sz], TimeoutStrategy::AbortFirst);
-                assert_eq!(r.state, TxnState::Completed);
+                assert_eq!(r.outcome, TxnState::Completed);
                 r
             })
         });
@@ -40,7 +40,7 @@ fn bench_sub_protocols(c: &mut Criterion) {
             let mut w = World::new(seed, ProtocolConfig::full());
             w.provider.behavior.respond_transfers = false;
             let r = w.upload(b"obj", vec![0u8; 1024], TimeoutStrategy::AbortFirst);
-            assert_eq!(r.state, TxnState::Aborted);
+            assert_eq!(r.outcome, TxnState::Aborted);
             r
         })
     });
@@ -57,7 +57,7 @@ fn bench_sub_protocols(c: &mut Criterion) {
                 tpnr_net::LinkConfig { drop_prob: 1.0, ..Default::default() },
             );
             let r = w.upload(b"obj", vec![0u8; 1024], TimeoutStrategy::ResolveImmediately);
-            assert_eq!(r.state, TxnState::Completed);
+            assert_eq!(r.outcome, TxnState::Completed);
             r
         })
     });

@@ -8,6 +8,9 @@
 //! - `--bench-e4 [path|-] [--quick]` emits the E4 evidence-cost sweep plus
 //!   the zero-copy transport probes as JSONL (`BENCH_e4.json`); `--quick`
 //!   caps the sweep at 1 MiB for the CI smoke step;
+//! - `--bench-e8 [path|-] [--quick]` emits the E8 crash-recovery chaos
+//!   sweep as JSONL (`BENCH_e8.json`); `--quick` trims probabilities and
+//!   trial counts for the CI smoke step;
 //! - `--validate-jsonl <file>` syntax-checks such an export (CI uses this
 //!   pair to guard the formats).
 
@@ -66,6 +69,29 @@ fn main() {
                 }
             }
         }
+        Some("--bench-e8") => {
+            let mut path: Option<&str> = None;
+            let mut quick = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    p => path = Some(p),
+                }
+            }
+            let (permilles, trials): (&[u32], usize) =
+                if quick { (&[0, 150, 300], 10) } else { (&[0, 100, 200, 300], 40) };
+            let json = render_bench_e8_json(&e8_chaos(permilles, trials));
+            match path {
+                None | Some("-") => print!("{json}"),
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &json) {
+                        eprintln!("error: cannot write {p}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {} JSONL lines to {p}", json.lines().count());
+                }
+            }
+        }
         Some("--validate-jsonl") => {
             let Some(path) = args.get(1) else {
                 eprintln!("usage: experiments --validate-jsonl <file>");
@@ -89,7 +115,8 @@ fn main() {
         Some(other) => {
             eprintln!(
                 "unknown flag {other}; supported: --trace-jsonl [path|-], \
-                 --bench-e4 [path|-] [--quick], --validate-jsonl <file>"
+                 --bench-e4 [path|-] [--quick], --bench-e8 [path|-] [--quick], \
+                 --validate-jsonl <file>"
             );
             std::process::exit(2);
         }
@@ -114,4 +141,5 @@ fn print_tables() {
     println!("{}", render_e5(&e5_shipping_overhead(&[24, 48, 72, 120])));
     println!("{}", render_e6(&e6_ttp_load(&[0.0, 0.05, 0.1, 0.2, 0.3, 0.5], 40)));
     println!("{}", render_e7(&e7_bridge_schemes(2026)));
+    println!("{}", render_e8(&e8_chaos(&[0, 100, 200, 300], 40)));
 }

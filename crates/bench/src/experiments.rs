@@ -66,7 +66,7 @@ pub fn e1_vulnerability_matrix(seed: u64) -> Vec<E1Row> {
                 w.provider.tamper_storage(b"k", b"forged".to_vec());
             }
         }
-        let (down, _) = w.download(b"k", TimeoutStrategy::AbortFirst);
+        let down = w.download(b"k", TimeoutStrategy::AbortFirst);
         let detected =
             w.client.verify_download_against_upload(up.txn_id, down.txn_id) == Some(false);
         let verdict = {
@@ -124,14 +124,14 @@ pub fn e2_protocol_comparison(rtts_ms: &[u64], sizes: &[usize]) -> Vec<E2Row> {
             let mut w = World::new(seed, ProtocolConfig::full());
             w.set_all_links(LinkConfig::ideal(one_way));
             let r = w.upload(b"obj", data.clone(), TimeoutStrategy::AbortFirst);
-            assert_eq!(r.state, TxnState::Completed);
+            assert_eq!(r.outcome, TxnState::Completed);
             rows.push(E2Row {
                 protocol: "TPNR",
                 rtt_ms: rtt,
                 size,
-                messages: r.messages,
-                latency_ms: r.latency.as_secs_f64() * 1e3,
-                ttp_used: r.ttp_used,
+                messages: r.report.messages,
+                latency_ms: r.report.latency.as_secs_f64() * 1e3,
+                ttp_used: r.report.ttp_used,
             });
 
             let b = tpnr_core::baseline::run_exchange(seed, &data, one_way).expect("baseline run");
@@ -270,7 +270,7 @@ pub fn e4_transport_copies(size: usize) -> (u64, u64) {
     let before = (Bytes::deep_copies(), Bytes::deep_copy_bytes());
     let mut w = World::new(404, ProtocolConfig::full());
     let r = w.upload(b"copy-probe", vec![0xa5u8; size], TimeoutStrategy::AbortFirst);
-    assert_eq!(r.state, TxnState::Completed);
+    assert_eq!(r.outcome, TxnState::Completed);
     (Bytes::deep_copies() - before.0, Bytes::deep_copy_bytes() - before.1)
 }
 
@@ -298,7 +298,7 @@ pub fn e5_shipping_overhead(transit_hours: &[u64]) -> Vec<E5Row> {
         let mut w = World::new(500 + i as u64, ProtocolConfig::full());
         w.set_all_links(LinkConfig::ideal(SimDuration::from_millis(50)));
         let r = w.upload(b"device-manifest", vec![0u8; 4096], TimeoutStrategy::AbortFirst);
-        let protocol = r.latency;
+        let protocol = r.report.latency;
         let shipping = SimDuration::from_hours(hours);
         let total = shipping.plus(protocol);
         rows.push(E5Row {
@@ -340,7 +340,7 @@ pub fn e6_ttp_load(fault_rates: &[f64], trials: usize) -> Vec<E6Row> {
                 let _ = a;
                 w.net.set_link(b, a, LinkConfig::lossy(SimDuration::from_millis(25), p));
                 let r = w.upload(b"obj", vec![1u8; 256], TimeoutStrategy::ResolveImmediately);
-                (u64::from(r.ttp_used), u64::from(r.state == TxnState::Completed))
+                (u64::from(r.report.ttp_used), u64::from(r.outcome == TxnState::Completed))
             })
             .into_iter()
             .fold((0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1));
@@ -396,6 +396,99 @@ pub fn e7_bridge_schemes(seed: u64) -> Vec<E7Row> {
         .collect()
 }
 
+// ---------------------------------------------------------------- E8 ----
+
+/// One row of the E8 chaos sweep: outcome classification of a fleet of
+/// transactions run under a given per-delivery crash probability.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// Per-delivery crash probability, in permille (300 = 0.3).
+    pub crash_prob_permille: u32,
+    /// Independent transactions attempted at this probability.
+    pub trials: u64,
+    /// Completed with both NRO and NRR sealed — full evidence.
+    pub completed_full_evidence: u64,
+    /// Terminal (Aborted / AbortRejected / Failed) without a receipt, but
+    /// the client still holds sealed evidence it can take to arbitration.
+    pub arbitrable_terminal: u64,
+    /// Neither — evidence-less limbo. The protocol's §4 claim is that this
+    /// is zero at every crash probability.
+    pub limbo: u64,
+    /// Actor crashes injected across all trials.
+    pub crashes: u64,
+    /// Snapshot restarts performed across all trials.
+    pub restarts: u64,
+    /// Timeout-driven re-sends beyond the first attempt.
+    pub retries: u64,
+    /// Transactions whose retry budget was exhausted (now `Failed`).
+    pub gave_up: u64,
+    /// Durable-state bytes written by the write-ahead sync policy.
+    pub snapshot_bytes: u64,
+}
+
+/// E8 / §4.11: crash-recovery chaos sweep. Alice, Bob and the TTP each
+/// crash with the given probability per delivery (bounded budget per run)
+/// and restart from their last durable snapshot; the client retries with
+/// exponential backoff. The claim under test: every transaction either
+/// completes with full evidence or terminates in an arbitrable state.
+/// Deterministic in the trial seeds; all-integer rows so the JSONL export
+/// is byte-identical across runs.
+pub fn e8_chaos(crash_permilles: &[u32], trials: usize) -> Vec<E8Row> {
+    use tpnr_core::fault::{FaultPlan, RetryPolicy};
+
+    crash_permilles
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            // Trials are independent simulations — embarrassingly parallel.
+            let per_trial = crate::par_map_indexed(trials, |t| {
+                let seed = (i * 10_000 + t) as u64 + 80_000;
+                let plan = FaultPlan::none()
+                    .with_seed(seed)
+                    .with_chaos(&["alice", "bob", "ttp"], p, 8)
+                    .with_restart_delay(SimDuration::from_secs(2));
+                let cfg = ProtocolConfig::builder()
+                    .retry_policy(RetryPolicy::exponential(6))
+                    .fault_plan(plan)
+                    .build();
+                let mut w = World::new(seed, cfg);
+                let r = w.upload(b"obj", vec![1u8; 256], TimeoutStrategy::ResolveImmediately);
+                let full = r.completed() && r.nrr.is_some();
+                let arbitrable = !full && r.outcome.is_terminal() && r.nro.is_some();
+                let f = w.fault_counters();
+                [
+                    u64::from(full),
+                    u64::from(arbitrable),
+                    u64::from(!full && !arbitrable),
+                    f.crashes,
+                    f.restarts,
+                    f.retries,
+                    f.gave_up,
+                    f.snapshot_bytes,
+                ]
+            });
+            let sum = per_trial.into_iter().fold([0u64; 8], |mut acc, x| {
+                for (a, v) in acc.iter_mut().zip(x) {
+                    *a += v;
+                }
+                acc
+            });
+            E8Row {
+                crash_prob_permille: p,
+                trials: trials as u64,
+                completed_full_evidence: sum[0],
+                arbitrable_terminal: sum[1],
+                limbo: sum[2],
+                crashes: sum[3],
+                restarts: sum[4],
+                retries: sum[5],
+                gave_up: sum[6],
+                snapshot_bytes: sum[7],
+            }
+        })
+        .collect()
+}
+
 // ------------------------------------------------------------- trace ----
 
 /// Runs a small faulted multi-client scenario and exports its complete
@@ -422,6 +515,31 @@ pub fn trace_jsonl(seed: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e8_no_evidence_less_limbo_at_any_crash_probability() {
+        let rows = e8_chaos(&[0, 300], 8);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.completed_full_evidence + r.arbitrable_terminal + r.limbo, r.trials);
+            assert_eq!(r.limbo, 0, "p={}: evidence-less limbo", r.crash_prob_permille);
+        }
+        // No faults → no fault machinery engaged at all.
+        assert_eq!(rows[0].crashes, 0);
+        assert_eq!(rows[0].restarts, 0);
+        assert_eq!(rows[0].trials, rows[0].completed_full_evidence);
+        // Heavy chaos → crashes actually happen and recovery actually runs.
+        assert!(rows[1].crashes > 0, "p=0.3 must inject crashes: {:?}", rows[1]);
+        assert_eq!(rows[1].crashes, rows[1].restarts, "every crash restarts");
+        assert!(rows[1].snapshot_bytes > 0, "restarts imply durable snapshots");
+    }
+
+    #[test]
+    fn e8_is_deterministic() {
+        let a = e8_chaos(&[200], 6);
+        let b = e8_chaos(&[200], 6);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
 
     #[test]
     fn e1_shapes_match_the_paper() {

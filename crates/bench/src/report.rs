@@ -191,6 +191,58 @@ pub fn render_e7(rows: &[E7Row]) -> String {
     out
 }
 
+/// Renders E8 as a table.
+pub fn render_e8(rows: &[E8Row]) -> String {
+    let mut out = String::from(
+        "E8 / §4.11 — crash-recovery chaos sweep\n\
+         crash p   trials  full-evid  arbitrable  limbo  crashes  restarts  retries  gave-up\n\
+         --------  ------  ---------  ----------  -----  -------  --------  -------  -------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8.2}  {:>6}  {:>9}  {:>10}  {:>5}  {:>7}  {:>8}  {:>7}  {:>7}\n",
+            r.crash_prob_permille as f64 / 1000.0,
+            r.trials,
+            r.completed_full_evidence,
+            r.arbitrable_terminal,
+            r.limbo,
+            r.crashes,
+            r.restarts,
+            r.retries,
+            r.gave_up,
+        ));
+    }
+    out
+}
+
+/// Renders the E8 chaos sweep as machine-readable JSONL (one object per
+/// line, `validate_jsonl`-clean, all-integer fields so reruns are
+/// byte-identical). Written to `BENCH_e8.json` by `experiments --bench-e8`.
+pub fn render_bench_e8_json(rows: &[E8Row]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        let evidence_loss = r.limbo;
+        out.push_str(&format!(
+            "{{\"kind\":\"e8\",\"crash_prob_permille\":{},\"trials\":{},\
+             \"completed_full_evidence\":{},\"arbitrable_terminal\":{},\
+             \"limbo\":{},\"evidence_loss\":{},\"crashes\":{},\"restarts\":{},\
+             \"retries\":{},\"gave_up\":{},\"snapshot_bytes\":{}}}\n",
+            r.crash_prob_permille,
+            r.trials,
+            r.completed_full_evidence,
+            r.arbitrable_terminal,
+            r.limbo,
+            evidence_loss,
+            r.crashes,
+            r.restarts,
+            r.retries,
+            r.gave_up,
+            r.snapshot_bytes,
+        ));
+    }
+    out
+}
+
 // ------------------------------------------------------------- JSONL ----
 
 /// Escapes `s` for inclusion inside a JSON string literal.
@@ -248,6 +300,10 @@ pub fn event_json(ev: &Event) -> String {
             fields.push(format!("\"from_state\":{from}"));
             fields.push(format!("\"to_state\":\"{}\"", json_escape(&format!("{to:?}"))));
         }
+        EventKind::Crashed => {}
+        EventKind::Restarted { snapshot_bytes } => {
+            fields.push(format!("\"snapshot_bytes\":{snapshot_bytes}"));
+        }
     }
     format!("{{{}}}", fields.join(","))
 }
@@ -271,6 +327,7 @@ pub fn metrics_json(m: &Metrics) -> String {
     format!(
         "{{\"kind\":\"metrics\",\"delivered\":{},\"rejected\":{},\"garbled\":{},\
          \"dropped\":{},\"duplicated\":{},\"timer_fires\":{},\"state_transitions\":{},\
+         \"crashes\":{},\"restarts\":{},\"retries\":{},\"snapshot_bytes\":{},\
          \"rejected_by\":{{{rejected_by}}},\"latency_us\":{},\"settle_steps\":{}}}",
         m.delivered,
         m.rejected,
@@ -279,6 +336,10 @@ pub fn metrics_json(m: &Metrics) -> String {
         m.duplicated,
         m.timer_fires,
         m.state_transitions,
+        m.crashes,
+        m.restarts,
+        m.retries,
+        m.snapshot_bytes,
         histogram_json(&m.latency_us),
         histogram_json(&m.settle_steps),
     )
@@ -579,6 +640,18 @@ mod tests {
         assert!(jsonl.contains("\"kind\":\"e4\""));
         assert!(jsonl.contains("\"kind\":\"e4-transport\""));
         assert!(jsonl.contains("\"deep_copies\":0"));
+    }
+
+    #[test]
+    fn bench_e8_json_is_valid_jsonl() {
+        let rows = e8_chaos(&[0, 300], 4);
+        let jsonl = render_bench_e8_json(&rows);
+        assert_eq!(validate_jsonl(&jsonl), Ok(2));
+        assert!(jsonl.contains("\"kind\":\"e8\""));
+        assert!(jsonl.contains("\"evidence_loss\":0"));
+        assert!(jsonl.contains("\"limbo\":0"));
+        // The table renderer covers every row too.
+        assert_eq!(render_e8(&rows).lines().count(), 3 + rows.len());
     }
 
     #[test]

@@ -267,7 +267,7 @@ mod tests {
         if tamper {
             w.provider.tamper_storage(b"ledger", b"cooked accounts".to_vec());
         }
-        let (down, _) = w.download(b"ledger", TimeoutStrategy::AbortFirst);
+        let down = w.download(b"ledger", TimeoutStrategy::AbortFirst);
         (w, up.txn_id, down.txn_id)
     }
 
@@ -374,7 +374,7 @@ mod tests {
         let mut w = World::new(5, ProtocolConfig::full());
         let up_a = w.upload(b"obj-a", b"aaa".to_vec(), TimeoutStrategy::AbortFirst);
         let up_b = w.upload(b"obj-b", b"bbb".to_vec(), TimeoutStrategy::AbortFirst);
-        let (down_b, _) = w.download(b"obj-b", TimeoutStrategy::AbortFirst);
+        let down_b = w.download(b"obj-b", TimeoutStrategy::AbortFirst);
         let arb = arbitrator(&w);
         // Alice pairs the receipt for obj-a with the download of obj-b.
         let case = DisputeCase {

@@ -168,7 +168,7 @@ mod tests {
     fn settled_world() -> (World, u64, u64) {
         let mut w = World::new(30, ProtocolConfig::full());
         let up = w.upload(b"obj", b"payload".to_vec(), TimeoutStrategy::AbortFirst);
-        let (down, _) = w.download(b"obj", TimeoutStrategy::AbortFirst);
+        let down = w.download(b"obj", TimeoutStrategy::AbortFirst);
         (w, up.txn_id, down.txn_id)
     }
 

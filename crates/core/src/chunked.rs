@@ -162,7 +162,7 @@ mod tests {
         let mut w = World::new(21, cfg);
         let data: Vec<u8> = (0..4000u32).map(|i| (i % 251) as u8).collect();
         let r = w.upload(b"archive/big", data, TimeoutStrategy::AbortFirst);
-        assert_eq!(r.state, TxnState::Completed);
+        assert_eq!(r.outcome, TxnState::Completed);
         (w, r.txn_id)
     }
 
@@ -173,9 +173,9 @@ mod tests {
     #[test]
     fn merkle_mode_protocol_roundtrips() {
         let (mut w, up) = merkle_world();
-        let (down, got) = w.download(b"archive/big", TimeoutStrategy::AbortFirst);
-        assert_eq!(down.state, TxnState::Completed);
-        assert_eq!(got.unwrap().len(), 4000);
+        let down = w.download(b"archive/big", TimeoutStrategy::AbortFirst);
+        assert_eq!(down.outcome, TxnState::Completed);
+        assert_eq!(down.data.as_ref().unwrap().as_ref().len(), 4000);
         assert_eq!(w.client.verify_download_against_upload(up, down.txn_id), Some(true));
     }
 

@@ -53,6 +53,9 @@ pub struct ClientTxn {
     pub strategy: TimeoutStrategy,
     /// Whether an abort has been attempted already.
     pub abort_attempted: bool,
+    /// Timeout-driven sends (abort/resolve) spent so far; drives the
+    /// [`RetryPolicy`](crate::fault::RetryPolicy) backoff and give-up bound.
+    pub attempts: u32,
 }
 
 /// The client actor.
@@ -73,6 +76,12 @@ pub struct Client {
     /// Message/tick counters, maintained by the scheduler-facing
     /// [`Actor`](crate::sched::Actor) impl.
     pub actor_stats: crate::obs::ActorStats,
+    /// Retry-policy counters (resends, give-ups). Monotone: excluded from
+    /// durable snapshots so restarts never undercount.
+    pub retry_stats: crate::fault::RetryStats,
+    /// Crash-recovery epochs survived; scales the sequence skip applied on
+    /// each restore so dirty-window counters are never reused.
+    restarts: u64,
 }
 
 impl Client {
@@ -100,6 +109,8 @@ impl Client {
             next_txn,
             cache: DigestCache::new(32),
             actor_stats: crate::obs::ActorStats::default(),
+            retry_stats: crate::fault::RetryStats::default(),
+            restarts: 0,
         }
     }
 
@@ -193,6 +204,7 @@ impl Client {
                 deadline: now.after(self.cfg.response_timeout),
                 strategy,
                 abort_attempted: false,
+                attempts: 0,
             },
         );
         Ok((
@@ -420,10 +432,21 @@ impl Client {
             .collect();
         let mut out = Vec::new();
         for txn_id in due {
-            let (strategy, abort_attempted, state) = {
+            let (strategy, abort_attempted, state, attempts) = {
                 let t = &self.txns[&txn_id];
-                (t.strategy, t.abort_attempted, t.state)
+                (t.strategy, t.abort_attempted, t.state, t.attempts)
             };
+            // Retry budget spent: give up. The transaction is declared
+            // failed but all sealed evidence (the NRO, any NRR) is
+            // retained, so a dispute stays arbitrable. Surfaced as
+            // `SettleOutcome::Degraded` and the `gave_up` counter.
+            if self.cfg.retry.exhausted(attempts) {
+                if let Some(t) = self.txns.get_mut(&txn_id) {
+                    t.state = TxnState::Failed;
+                }
+                self.retry_stats.gave_up += 1;
+                continue;
+            }
             let escalate_to_resolve = state == TxnState::Resolving
                 || strategy == TimeoutStrategy::ResolveImmediately
                 || abort_attempted;
@@ -436,6 +459,39 @@ impl Client {
             }
         }
         out
+    }
+
+    /// Computes the deadline for the (0-based) `attempt`th timeout-driven
+    /// send: retry-policy backoff over `base` plus deterministic jitter
+    /// drawn from the client's seeded RNG. With the legacy policy this is
+    /// exactly `now + base` and draws nothing.
+    fn retry_deadline(
+        &mut self,
+        now: SimTime,
+        base: tpnr_net::time::SimDuration,
+        attempt: u32,
+    ) -> SimTime {
+        let backed = self.cfg.retry.backoff(base, attempt);
+        let mut us = backed.micros();
+        if self.cfg.retry.jitter_pct > 0 {
+            let span = (us / 100).saturating_mul(u64::from(self.cfg.retry.jitter_pct));
+            if span > 0 {
+                us = us.saturating_add(self.rng.gen_below(span + 1));
+            }
+        }
+        now.after(tpnr_net::time::SimDuration::from_micros(us))
+    }
+
+    /// Accounts one timeout-driven send on `txn_id` and returns the attempt
+    /// index to back off with. Sends beyond the first count as retries.
+    fn note_attempt(&mut self, txn_id: u64) -> u32 {
+        let Some(txn) = self.txns.get_mut(&txn_id) else { return 0 };
+        let attempt = txn.attempts;
+        txn.attempts = txn.attempts.saturating_add(1);
+        if attempt > 0 {
+            self.retry_stats.retries += 1;
+        }
+        attempt
     }
 
     fn send_abort(&mut self, txn_id: u64, now: SimTime) -> Vec<Outgoing> {
@@ -459,9 +515,11 @@ impl Client {
         let Ok(sealed) = seal(&self.cfg, &self.me, &provider_pk, &pt, &mut self.rng) else {
             return Vec::new();
         };
+        let attempt = self.note_attempt(txn_id);
+        let deadline = self.retry_deadline(now, self.cfg.response_timeout, attempt);
         let Some(txn) = self.txns.get_mut(&txn_id) else { return Vec::new() };
         txn.abort_attempted = true;
-        txn.deadline = now.after(self.cfg.response_timeout);
+        txn.deadline = deadline;
         vec![Outgoing {
             to: self.provider,
             msg: Message::Abort { plaintext: pt, evidence: sealed },
@@ -485,9 +543,11 @@ impl Client {
             hash_alg: self.cfg.hash_alg,
             data_hash: txn.sent_hash.clone(),
         };
+        let attempt = self.note_attempt(txn_id);
+        let deadline = self.retry_deadline(now, self.cfg.response_timeout.times(2), attempt);
         let Some(txn) = self.txns.get_mut(&txn_id) else { return Vec::new() };
         txn.state = TxnState::Resolving;
-        txn.deadline = now.after(self.cfg.response_timeout.times(2));
+        txn.deadline = deadline;
         vec![Outgoing {
             to: self.ttp,
             msg: Message::Resolve {
@@ -496,6 +556,11 @@ impl Client {
                 report: "no response from provider before timeout".to_string(),
             },
         }]
+    }
+
+    /// Crash-recovery epochs this client has survived.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts
     }
 
     /// The integrity link: checks a completed download of `download_txn`
@@ -512,6 +577,58 @@ impl Client {
             return None;
         }
         Some(ct::eq(&up.plaintext.data_hash, &down.plaintext.data_hash))
+    }
+}
+
+/// Durable image of a [`Client`]: session table, archived evidence and
+/// validator sequence state. The RNG, digest cache and monotone telemetry
+/// stay live — rolling an RNG back would replay nonces.
+#[derive(Debug, Clone)]
+pub struct ClientSnapshot {
+    txns: HashMap<u64, ClientTxn>,
+    validator: crate::session::ValidatorSnapshot,
+    next_txn: u64,
+    bytes: u64,
+}
+
+impl ClientSnapshot {
+    /// Approximate serialized size of this snapshot.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl crate::fault::Durable for Client {
+    type Snapshot = ClientSnapshot;
+
+    fn snapshot(&self) -> ClientSnapshot {
+        let mut bytes = self.validator.state_bytes() + 16;
+        for t in self.txns.values() {
+            bytes += (t.object.len() + t.sent_hash.len() + 64) as u64;
+            bytes += crate::fault::evidence_bytes(&t.nro);
+            if let Some(nrr) = &t.nrr {
+                bytes += crate::fault::evidence_bytes(nrr);
+            }
+            if let Some(p) = &t.received {
+                bytes += (p.key.len() + p.data.as_ref().len()) as u64;
+            }
+        }
+        ClientSnapshot {
+            txns: self.txns.clone(),
+            validator: self.validator.snapshot(),
+            next_txn: self.next_txn,
+            bytes,
+        }
+    }
+
+    fn restore(&mut self, snap: &ClientSnapshot) {
+        self.restarts += 1;
+        let skip = self.restarts.saturating_mul(crate::fault::SEQ_RECOVERY_SKIP);
+        self.txns = snap.txns.clone();
+        self.validator.restore_with_skip(&snap.validator, skip);
+        // Transaction ids allocated in the lost dirty window must never be
+        // reused either; jump past anything the window could have minted.
+        self.next_txn = snap.next_txn.saturating_add(skip);
     }
 }
 

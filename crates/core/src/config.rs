@@ -6,6 +6,7 @@
 //! individually; `tpnr-attacks` then demonstrates the matching attack
 //! succeeding against the weakened variant.
 
+use crate::fault::{FaultPlan, RetryPolicy};
 use tpnr_crypto::hash::HashAlg;
 use tpnr_net::time::SimDuration;
 
@@ -56,6 +57,14 @@ pub struct ProtocolConfig {
     /// §4.1: require the evidence signature over the data hash. Off → the
     /// protocol degrades to unauthenticated checksums (repudiation returns).
     pub require_signatures: bool,
+
+    // ---- crash-recovery subsystem ----
+    /// Retry schedule for timeout-driven Abort/Resolve resends. The default
+    /// ([`RetryPolicy::legacy`]) reproduces the fixed `response_timeout`
+    /// behaviour exactly.
+    pub retry: RetryPolicy,
+    /// Deterministic fault-injection schedule. The default is inert.
+    pub faults: FaultPlan,
 }
 
 impl Default for ProtocolConfig {
@@ -70,6 +79,8 @@ impl Default for ProtocolConfig {
             bind_identities: true,
             enforce_time_limits: true,
             require_signatures: true,
+            retry: RetryPolicy::legacy(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -78,6 +89,13 @@ impl ProtocolConfig {
     /// The full protocol exactly as the paper specifies.
     pub fn full() -> Self {
         Self::default()
+    }
+
+    /// Typed builder starting from the fully-defended defaults. Preferred
+    /// over raw struct construction now that the config carries fault and
+    /// retry sub-structures.
+    pub fn builder() -> ProtocolConfigBuilder {
+        ProtocolConfigBuilder { cfg: Self::default() }
     }
 
     /// MD5 evidence hashing, mirroring the 2010 platforms.
@@ -106,6 +124,115 @@ impl ProtocolConfig {
             Ablation::NoSignatures => cfg.require_signatures = false,
         }
         cfg
+    }
+}
+
+/// Typed builder for [`ProtocolConfig`]. Starts from the fully-defended
+/// defaults; every setter is explicit, so call sites no longer juggle five
+/// positional booleans and two durations through struct-update syntax.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfigBuilder {
+    cfg: ProtocolConfig,
+}
+
+impl ProtocolConfigBuilder {
+    /// Hash algorithm for evidence data integrity.
+    pub fn hash_alg(mut self, alg: HashAlg) -> Self {
+        self.cfg.hash_alg = alg;
+        self
+    }
+
+    /// MD5 evidence hashing (the 2010 platforms' choice).
+    pub fn md5(self) -> Self {
+        self.hash_alg(HashAlg::Md5)
+    }
+
+    /// Payload commitment scheme.
+    pub fn commitment(mut self, c: Commitment) -> Self {
+        self.cfg.commitment = c;
+        self
+    }
+
+    /// Merkle-root commitments with the given chunk size.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero, matching
+    /// [`ProtocolConfig::with_merkle`].
+    pub fn merkle(self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.commitment(Commitment::Merkle { chunk_size })
+    }
+
+    /// Abort/Resolve base timeout (the paper's "pre-set time-out limit").
+    pub fn response_timeout(mut self, d: SimDuration) -> Self {
+        self.cfg.response_timeout = d;
+        self
+    }
+
+    /// Per-message validity window.
+    pub fn message_time_limit(mut self, d: SimDuration) -> Self {
+        self.cfg.message_time_limit = d;
+        self
+    }
+
+    /// §5.1 public-key authentication switch.
+    pub fn authenticate_keys(mut self, on: bool) -> Self {
+        self.cfg.authenticate_keys = on;
+        self
+    }
+
+    /// §5.4 sequence-number checking switch.
+    pub fn check_sequence_numbers(mut self, on: bool) -> Self {
+        self.cfg.check_sequence_numbers = on;
+        self
+    }
+
+    /// §5.2/§5.3 identity/direction binding switch.
+    pub fn bind_identities(mut self, on: bool) -> Self {
+        self.cfg.bind_identities = on;
+        self
+    }
+
+    /// §5.5 reception time-limit enforcement switch.
+    pub fn enforce_time_limits(mut self, on: bool) -> Self {
+        self.cfg.enforce_time_limits = on;
+        self
+    }
+
+    /// §4.1 evidence-signature requirement switch.
+    pub fn require_signatures(mut self, on: bool) -> Self {
+        self.cfg.require_signatures = on;
+        self
+    }
+
+    /// Apply a named E3 ablation on top of the current settings.
+    pub fn ablation(mut self, which: Ablation) -> Self {
+        match which {
+            Ablation::None => {}
+            Ablation::NoKeyAuthentication => self.cfg.authenticate_keys = false,
+            Ablation::NoSequenceNumbers => self.cfg.check_sequence_numbers = false,
+            Ablation::NoIdentityBinding => self.cfg.bind_identities = false,
+            Ablation::NoTimeLimits => self.cfg.enforce_time_limits = false,
+            Ablation::NoSignatures => self.cfg.require_signatures = false,
+        }
+        self
+    }
+
+    /// Retry schedule for timeout-driven resends.
+    pub fn retry_policy(mut self, p: RetryPolicy) -> Self {
+        self.cfg.retry = p;
+        self
+    }
+
+    /// Deterministic fault-injection schedule.
+    pub fn fault_plan(mut self, p: FaultPlan) -> Self {
+        self.cfg.faults = p;
+        self
+    }
+
+    /// Finish, yielding the configured [`ProtocolConfig`].
+    pub fn build(self) -> ProtocolConfig {
+        self.cfg
     }
 }
 
@@ -200,6 +327,53 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn merkle_zero_chunk_panics() {
         let _ = ProtocolConfig::full().with_merkle(0);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let b = ProtocolConfig::builder().build();
+        let d = ProtocolConfig::default();
+        assert_eq!(b.hash_alg, d.hash_alg);
+        assert_eq!(b.commitment, d.commitment);
+        assert_eq!(b.response_timeout, d.response_timeout);
+        assert_eq!(b.message_time_limit, d.message_time_limit);
+        assert_eq!(b.retry, d.retry);
+        assert_eq!(b.faults, d.faults);
+        assert!(b.authenticate_keys && b.check_sequence_numbers && b.bind_identities);
+        assert!(b.enforce_time_limits && b.require_signatures);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = ProtocolConfig::builder()
+            .md5()
+            .merkle(4096)
+            .response_timeout(SimDuration::from_secs(5))
+            .message_time_limit(SimDuration::from_secs(10))
+            .require_signatures(false)
+            .retry_policy(RetryPolicy::exponential(3))
+            .fault_plan(FaultPlan::none().with_seed(9))
+            .build();
+        assert_eq!(c.hash_alg, HashAlg::Md5);
+        assert_eq!(c.commitment, Commitment::Merkle { chunk_size: 4096 });
+        assert_eq!(c.response_timeout, SimDuration::from_secs(5));
+        assert_eq!(c.message_time_limit, SimDuration::from_secs(10));
+        assert!(!c.require_signatures);
+        assert_eq!(c.retry.max_attempts, Some(3));
+        assert_eq!(c.faults.seed, 9);
+    }
+
+    #[test]
+    fn builder_ablation_matches_ablated() {
+        for a in Ablation::all() {
+            let via_builder = ProtocolConfig::builder().ablation(a).build();
+            let via_fn = ProtocolConfig::ablated(a);
+            assert_eq!(via_builder.authenticate_keys, via_fn.authenticate_keys, "{a:?}");
+            assert_eq!(via_builder.check_sequence_numbers, via_fn.check_sequence_numbers, "{a:?}");
+            assert_eq!(via_builder.bind_identities, via_fn.bind_identities, "{a:?}");
+            assert_eq!(via_builder.enforce_time_limits, via_fn.enforce_time_limits, "{a:?}");
+            assert_eq!(via_builder.require_signatures, via_fn.require_signatures, "{a:?}");
+        }
     }
 
     #[test]

@@ -29,20 +29,21 @@
 //! * [`archive`] — integrity-protected evidence bundles that survive until
 //!   the dispute.
 //!
+//! * [`fault`] — deterministic fault injection (crash plans, TTP outages,
+//!   write failures), durable snapshots and the retry policy.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use tpnr_core::client::TimeoutStrategy;
-//! use tpnr_core::config::ProtocolConfig;
-//! use tpnr_core::runner::World;
+//! use tpnr_core::prelude::*;
 //!
 //! let mut world = World::new(42, ProtocolConfig::full());
 //! let up = world.upload(b"backup/q3", b"financial data".to_vec(),
 //!                       TimeoutStrategy::AbortFirst);
-//! assert_eq!(up.messages, 2);          // Normal mode: two messages
-//! assert!(!up.ttp_used);               // TTP stays off-line
-//! let (down, data) = world.download(b"backup/q3", TimeoutStrategy::AbortFirst);
-//! assert_eq!(data.unwrap(), b"financial data");
+//! assert_eq!(up.report.messages, 2);   // Normal mode: two messages
+//! assert!(!up.report.ttp_used);        // TTP stays off-line
+//! let down = world.download(b"backup/q3", TimeoutStrategy::AbortFirst);
+//! assert_eq!(down.data.clone().unwrap(), b"financial data");
 //! assert_eq!(
 //!     world.client.verify_download_against_upload(up.txn_id, down.txn_id),
 //!     Some(true),                      // the upload-to-download integrity link
@@ -60,6 +61,7 @@ pub mod chunked;
 pub mod client;
 pub mod config;
 pub mod evidence;
+pub mod fault;
 pub mod message;
 pub mod multi;
 pub mod obs;
@@ -75,11 +77,26 @@ pub use cert::{Certificate, CertificateAuthority};
 pub use client::{Client, TimeoutStrategy};
 pub use config::{Ablation, ProtocolConfig};
 pub use evidence::{EvidencePlaintext, Flag, SealedEvidence, VerifiedEvidence};
+pub use fault::{CrashPoint, Durable, FaultPlan, FaultStats, RetryPolicy};
 pub use message::Message;
 pub use obs::{ActorStats, Event, EventKind, Metrics, Obs, TxnObs};
 pub use principal::{Directory, Principal, PrincipalId};
 pub use provider::Provider;
-pub use runner::{TxnReport, World};
+pub use runner::{TxnReport, TxnRequest, TxnResult, World};
 pub use sched::{Actor, SettleOutcome, SettleReport};
 pub use session::{Outgoing, Payload, TxnState, ValidationError};
 pub use ttp::Ttp;
+
+/// One-stop imports for driving the simulation: runners, strategies,
+/// settle/fault reporting, and the config builder.
+pub mod prelude {
+    pub use crate::client::{Client, TimeoutStrategy};
+    pub use crate::config::{Ablation, Commitment, ProtocolConfig, ProtocolConfigBuilder};
+    pub use crate::fault::{CrashPoint, Durable, FaultPlan, FaultStats, RetryPolicy, RetryStats};
+    pub use crate::multi::{MultiWorld, TxnHandle};
+    pub use crate::provider::Provider;
+    pub use crate::runner::{TxnReport, TxnRequest, TxnResult, World};
+    pub use crate::sched::{SettleOutcome, SettleReport};
+    pub use crate::session::TxnState;
+    pub use crate::ttp::Ttp;
+}

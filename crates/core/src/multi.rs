@@ -8,11 +8,12 @@
 
 use crate::client::{Client, TimeoutStrategy};
 use crate::config::ProtocolConfig;
+use crate::fault::{DeliveryVerdict, Durable, FaultCtl, FaultStats, SyncDecision};
 use crate::message::Message;
 use crate::obs::{Event, EventKind, Obs};
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::provider::Provider;
-use crate::runner::TxnReport;
+use crate::runner::{TxnReport, TxnResult};
 use crate::sched::{self, Actor, EventHub, SettleReport};
 use crate::session::{Outgoing, TxnState, ValidationError};
 use crate::ttp::Ttp;
@@ -21,6 +22,34 @@ use tpnr_crypto::ChaChaRng;
 use tpnr_net::codec::Wire;
 use tpnr_net::sim::{Envelope, LinkConfig, NodeId, SimNet};
 use tpnr_net::time::SimTime;
+
+/// A typed handle to a transaction started on a [`MultiWorld`]: which
+/// client owns it and its id. Replaces the bare `u64` returns of
+/// `start_upload` / `start_download`, so accessors no longer take
+/// easy-to-swap `(usize, u64)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnHandle {
+    /// Index of the owning client in `MultiWorld::clients`.
+    pub client: usize,
+    /// Transaction id (0 is the failed-initiation sentinel; real ids start
+    /// at 1).
+    pub txn_id: u64,
+}
+
+impl TxnHandle {
+    /// False for the failed-initiation sentinel.
+    pub fn is_real(&self) -> bool {
+        self.txn_id != 0
+    }
+}
+
+/// Last synced durable images of every actor (the crash recovery points).
+/// Allocated only when the fault plan can actually inject.
+struct MultiSnapshots {
+    clients: Vec<crate::client::ClientSnapshot>,
+    provider: crate::provider::ProviderSnapshot,
+    ttp: crate::ttp::TtpSnapshot,
+}
 
 /// N clients sharing one provider and one TTP over the simulator.
 pub struct MultiWorld {
@@ -52,6 +81,11 @@ pub struct MultiWorld {
     txn_meta: HashMap<u64, (usize, SimTime)>,
     /// Transactions the TTP has seen a message for.
     ttp_touched: HashSet<u64>,
+    /// The fault injector executing `cfg.faults` (inert and overhead-free
+    /// for the default plan).
+    faults: FaultCtl,
+    /// Last synced snapshots; `None` when the fault plan is inert.
+    snaps: Option<Box<MultiSnapshots>>,
 }
 
 impl MultiWorld {
@@ -98,7 +132,17 @@ impl MultiWorld {
             ttp_p.id(),
             ChaChaRng::seed_from_u64(seed ^ 0xb0b),
         );
+        let faults = FaultCtl::new(&cfg.faults);
         let ttp = Ttp::new(ttp_p.clone(), cfg, dir, ChaChaRng::seed_from_u64(seed ^ 0x777));
+        // Epoch-zero recovery points: a crash before the first sync
+        // restores to the freshly-built actor.
+        let snaps = faults.active().then(|| {
+            Box::new(MultiSnapshots {
+                clients: clients.iter().map(Durable::snapshot).collect(),
+                provider: provider.snapshot(),
+                ttp: ttp.snapshot(),
+            })
+        });
 
         let mut node_of = HashMap::new();
         node_of.insert(bob.id(), bob_node);
@@ -122,6 +166,8 @@ impl MultiWorld {
             max_steps: 100_000,
             txn_meta: HashMap::new(),
             ttp_touched: HashSet::new(),
+            faults,
+            snaps,
         }
     }
 
@@ -145,16 +191,16 @@ impl MultiWorld {
     }
 
     /// Starts an upload from client `idx` without settling (so many
-    /// transactions can be in flight together). Returns the txn id, or the
-    /// sentinel 0 (never a real id) when initiation fails — the failure is
-    /// recorded as a rejection in [`Obs`], never a panic.
+    /// transactions can be in flight together). Returns a typed handle; a
+    /// failed initiation yields the sentinel handle (`txn_id` 0, never a
+    /// real id) and a recorded rejection in [`Obs`], never a panic.
     pub fn start_upload(
         &mut self,
         idx: usize,
         key: &[u8],
         data: impl Into<tpnr_net::Bytes>,
         strategy: TimeoutStrategy,
-    ) -> u64 {
+    ) -> TxnHandle {
         let now = self.net.now();
         let (txn, out) = match self.clients[idx].begin_upload(key, data, now, strategy) {
             Ok(v) => v,
@@ -162,13 +208,20 @@ impl MultiWorld {
         };
         self.txn_meta.insert(txn, (idx, now));
         self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
+        // Write-ahead: the NRO sealed at initiation must survive a crash.
+        self.sync_actor(self.client_nodes[idx], now, true);
         self.dispatch(self.client_nodes[idx], out);
-        txn
+        TxnHandle { client: idx, txn_id: txn }
     }
 
     /// Starts a download from client `idx` without settling. Initiation
     /// failures degrade exactly as in [`MultiWorld::start_upload`].
-    pub fn start_download(&mut self, idx: usize, key: &[u8], strategy: TimeoutStrategy) -> u64 {
+    pub fn start_download(
+        &mut self,
+        idx: usize,
+        key: &[u8],
+        strategy: TimeoutStrategy,
+    ) -> TxnHandle {
         let now = self.net.now();
         let (txn, out) = match self.clients[idx].begin_download(key, now, strategy) {
             Ok(v) => v,
@@ -176,12 +229,14 @@ impl MultiWorld {
         };
         self.txn_meta.insert(txn, (idx, now));
         self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
+        self.sync_actor(self.client_nodes[idx], now, true);
         self.dispatch(self.client_nodes[idx], out);
-        txn
+        TxnHandle { client: idx, txn_id: txn }
     }
 
-    /// Records a client-side initiation failure; returns the sentinel id 0.
-    fn failed_initiation(&mut self, idx: usize, now: SimTime, error: ValidationError) -> u64 {
+    /// Records a client-side initiation failure; returns the sentinel
+    /// handle (`txn_id` 0).
+    fn failed_initiation(&mut self, idx: usize, now: SimTime, error: ValidationError) -> TxnHandle {
         let name = self.net.name(self.client_nodes[idx]).to_string();
         self.obs.record(Event {
             at: now,
@@ -189,7 +244,7 @@ impl MultiWorld {
             actor: name.clone(),
             kind: EventKind::Rejected { from: name, msg: "Transfer".to_string(), error },
         });
-        0
+        TxnHandle { client: idx, txn_id: 0 }
     }
 
     fn client_index(&self, node: NodeId) -> Option<usize> {
@@ -228,12 +283,126 @@ impl MultiWorld {
     /// `max_steps` is hit — check `outcome` on the returned report.
     pub fn settle(&mut self) -> SettleReport {
         let max_steps = self.max_steps;
-        sched::settle(self, max_steps)
+        let report = sched::settle(self, max_steps);
+        // Mirror the cumulative fault counters into the metrics registry.
+        let f = report.faults;
+        self.obs.metrics.crashes = f.crashes;
+        self.obs.metrics.restarts = f.restarts;
+        self.obs.metrics.retries = f.retries;
+        self.obs.metrics.snapshot_bytes = f.snapshot_bytes;
+        report
     }
 
     /// Final state of a client's transaction.
     pub fn state(&self, client: usize, txn: u64) -> Option<TxnState> {
         self.clients[client].txn_state(txn)
+    }
+
+    /// Final state of a handled transaction.
+    pub fn state_of(&self, h: TxnHandle) -> Option<TxnState> {
+        self.clients.get(h.client)?.txn_state(h.txn_id)
+    }
+
+    /// Typed result for a handled transaction: outcome, payload, both
+    /// evidence pieces and the wire-level report — `None` for the sentinel
+    /// handle or unknown ids. Mirrors [`World::run`](crate::runner::World)'s
+    /// return shape.
+    pub fn result(&self, h: TxnHandle) -> Option<TxnResult> {
+        let report = self.report(h.txn_id)?;
+        let c = self.clients.get(h.client)?;
+        let t = c.txn(h.txn_id);
+        Some(TxnResult {
+            txn_id: h.txn_id,
+            outcome: report.state,
+            data: c.download_result(h.txn_id).map(|p| p.data.clone()),
+            nro: t.map(|t| t.nro.clone()),
+            nrr: t.and_then(|t| t.nrr.clone()),
+            report,
+        })
+    }
+
+    /// Cumulative fault counters: the injector's own plus every client's
+    /// retry machinery (which lives outside snapshots so it never resets).
+    pub fn fault_counters(&self) -> FaultStats {
+        let mut f = self.faults.stats;
+        for c in &self.clients {
+            f.retries += c.retry_stats.retries;
+            f.gave_up += c.retry_stats.gave_up;
+        }
+        f
+    }
+
+    /// Marks the actor at `node` crashed and records the event.
+    fn crash_actor(&mut self, node: NodeId, now: SimTime) {
+        let name = self.net.name(node).to_string();
+        self.faults.crash(&name, now);
+        self.obs.record(Event { at: now, txn: None, actor: name, kind: EventKind::Crashed });
+    }
+
+    /// Restores a restarted actor (by display name) from its last synced
+    /// snapshot.
+    fn restore_actor(&mut self, name: &str, now: SimTime) {
+        let Some(snaps) = self.snaps.take() else { return };
+        let bytes = if name == "bob" {
+            self.provider.restore(&snaps.provider);
+            snaps.provider.bytes()
+        } else if name == "ttp" {
+            self.ttp.restore(&snaps.ttp);
+            snaps.ttp.bytes()
+        } else {
+            match self.client_nodes.iter().position(|&n| self.net.name(n) == name) {
+                Some(i) => {
+                    self.clients[i].restore(&snaps.clients[i]);
+                    snaps.clients[i].bytes()
+                }
+                None => {
+                    self.snaps = Some(snaps);
+                    return;
+                }
+            }
+        };
+        self.snaps = Some(snaps);
+        self.obs.record(Event {
+            at: now,
+            txn: None,
+            actor: name.to_string(),
+            kind: EventKind::Restarted { snapshot_bytes: bytes },
+        });
+    }
+
+    /// Durably syncs an actor's state if due (or forced — the write-ahead
+    /// path taken before any produced message reaches the wire).
+    fn sync_actor(&mut self, node: NodeId, now: SimTime, force: bool) {
+        if self.snaps.is_none() {
+            return;
+        }
+        let name = self.net.name(node).to_string();
+        match self.faults.sync_due(&name, now, force) {
+            SyncDecision::Skip | SyncDecision::FailedWrite => {}
+            SyncDecision::Persist => {
+                let Some(snaps) = self.snaps.as_mut() else { return };
+                let bytes = if node == self.bob_node {
+                    let s = self.provider.snapshot();
+                    let b = s.bytes();
+                    snaps.provider = s;
+                    b
+                } else if node == self.ttp_node {
+                    let s = self.ttp.snapshot();
+                    let b = s.bytes();
+                    snaps.ttp = s;
+                    b
+                } else {
+                    let Some(i) = self.client_nodes.iter().position(|&n| n == node) else {
+                        return;
+                    };
+                    let s = self.clients[i].snapshot();
+                    let b = s.bytes();
+                    snaps.clients[i] = s;
+                    b
+                };
+                self.faults.note_snapshot(bytes);
+            }
+        }
     }
 
     /// Exact per-transaction report from the simulator's tagged traffic
@@ -260,12 +429,45 @@ impl EventHub for MultiWorld {
     }
 
     fn next_timer(&self) -> Option<SimTime> {
-        self.actor_nodes().into_iter().filter_map(|n| self.actor(n)?.next_deadline()).min()
+        // A crashed actor's protocol timers are frozen until it restarts;
+        // fault wakeups are timers themselves so downtime advances the
+        // clock instead of stalling the loop.
+        let down = |n: &NodeId| self.faults.active() && self.faults.is_down(self.net.name(*n));
+        let t = self
+            .actor_nodes()
+            .into_iter()
+            .filter(|n| !down(n))
+            .filter_map(|n| self.actor(n)?.next_deadline())
+            .min();
+        match (t, self.faults.next_wakeup()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn fire_timers(&mut self, now: SimTime) -> usize {
+        if self.faults.active() {
+            // Restarts and outage boundaries first: a just-restored actor
+            // ticks in this same round, so an overdue deadline revealed by
+            // the restore produces output immediately (never barren).
+            let ev = self.faults.poll("ttp", now);
+            for name in ev.crashed {
+                self.obs.record(Event {
+                    at: now,
+                    txn: None,
+                    actor: name,
+                    kind: EventKind::Crashed,
+                });
+            }
+            for name in ev.restarted {
+                self.restore_actor(&name, now);
+            }
+        }
         let mut dispatched = 0;
         for node in self.actor_nodes() {
+            if self.faults.active() && self.faults.is_down(self.net.name(node)) {
+                continue;
+            }
             let due = self.actor(node).and_then(|a| a.next_deadline()).is_some_and(|d| d <= now);
             let Some(actor) = self.actor_mut(node) else { continue };
             let out = actor.on_tick(now);
@@ -277,6 +479,11 @@ impl EventHub for MultiWorld {
                     kind: EventKind::TimerFired { messages: out.len() },
                 };
                 self.obs.record(ev);
+            }
+            if !out.is_empty() {
+                // Write-ahead: timer-driven sends persist the state they
+                // acknowledge before hitting the wire.
+                self.sync_actor(node, now, true);
             }
             dispatched += out.len();
             self.dispatch(node, out);
@@ -298,6 +505,12 @@ impl EventHub for MultiWorld {
     fn deliver(&mut self, env: Envelope) {
         let now = self.net.now();
         let from = self.principal_of[&env.src];
+        if self.faults.active() && self.faults.is_down(self.net.name(env.dst)) {
+            // The recipient is crashed: the message evaporates. The
+            // sender's retry machinery is the recovery path.
+            self.faults.note_delivery_lost();
+            return;
+        }
         let msg = match Message::from_wire_bytes(&env.payload) {
             Ok(m) => m,
             Err(_) => {
@@ -321,6 +534,17 @@ impl EventHub for MultiWorld {
         // but decode, so fall back to the protocol header's id.
         let txn = env.txn.or(Some(txn_id));
         let msg_kind = msg.kind().to_string();
+        let verdict = if self.faults.active() {
+            let actor_name = self.net.name(env.dst).to_string();
+            self.faults.delivery_verdict(&actor_name, &msg_kind)
+        } else {
+            DeliveryVerdict::Proceed
+        };
+        if verdict == DeliveryVerdict::CrashBefore {
+            // Crash on receipt: the message is lost before processing.
+            self.crash_actor(env.dst, now);
+            return;
+        }
         let result = match self.actor_mut(env.dst) {
             Some(actor) => actor.on_message(from, &msg, now),
             None => return,
@@ -342,7 +566,15 @@ impl EventHub for MultiWorld {
                         self.obs.note_state(now, self.net.name(env.dst), txn_id, st);
                     }
                 }
-                self.dispatch(env.dst, out);
+                // Write-ahead durable sync before any reply hits the wire.
+                let force = !out.is_empty() || verdict == DeliveryVerdict::CrashAfter;
+                self.sync_actor(env.dst, now, force);
+                if verdict == DeliveryVerdict::CrashAfter {
+                    // State persisted, replies die with the process.
+                    self.crash_actor(env.dst, now);
+                } else {
+                    self.dispatch(env.dst, out);
+                }
             }
             Err(error) => {
                 // Used to be `unwrap_or_default()`: validation rejections
@@ -358,12 +590,19 @@ impl EventHub for MultiWorld {
                     },
                 };
                 self.obs.record(ev);
+                if verdict == DeliveryVerdict::CrashAfter {
+                    self.crash_actor(env.dst, now);
+                }
             }
         }
     }
 
     fn obs_mut(&mut self) -> Option<&mut Obs> {
         Some(&mut self.obs)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.fault_counters()
     }
 }
 
@@ -376,16 +615,18 @@ mod tests {
     #[test]
     fn ten_clients_interleaved_uploads_all_complete() {
         let mut w = MultiWorld::new(1, ProtocolConfig::full(), 10);
-        let txns: Vec<(usize, u64)> = (0..10)
+        let txns: Vec<TxnHandle> = (0..10)
             .map(|i| {
                 let key = format!("user{i}/data").into_bytes();
-                (i, w.start_upload(i, &key, vec![i as u8; 200], TimeoutStrategy::AbortFirst))
+                w.start_upload(i, &key, vec![i as u8; 200], TimeoutStrategy::AbortFirst)
             })
             .collect();
         let s = w.settle();
         assert_eq!(s.outcome, SettleOutcome::Quiescent);
-        for (i, txn) in txns {
-            assert_eq!(w.state(i, txn), Some(TxnState::Completed), "client {i}");
+        for h in txns {
+            assert!(h.is_real());
+            assert_eq!(w.state_of(h), Some(TxnState::Completed), "client {}", h.client);
+            assert!(w.result(h).unwrap().completed());
         }
         assert_eq!(w.provider.txn_count(), 10);
     }
@@ -405,7 +646,7 @@ mod tests {
         let txns: Vec<u64> = (0..10)
             .map(|i| {
                 let key = format!("k{i}").into_bytes();
-                w.start_upload(i, &key, vec![3u8; 64], TimeoutStrategy::ResolveImmediately)
+                w.start_upload(i, &key, vec![3u8; 64], TimeoutStrategy::ResolveImmediately).txn_id
             })
             .collect();
         let s = w.settle();
@@ -443,20 +684,20 @@ mod tests {
             dup_prob: 0.15,
             ..Default::default()
         });
-        let txns: Vec<(usize, u64)> = (0..50)
+        let txns: Vec<TxnHandle> = (0..50)
             .map(|i| {
                 let key = format!("user{i}/obj").into_bytes();
-                (i, w.start_upload(i, &key, vec![i as u8; 48], TimeoutStrategy::ResolveImmediately))
+                w.start_upload(i, &key, vec![i as u8; 48], TimeoutStrategy::ResolveImmediately)
             })
             .collect();
         let s = w.settle();
         assert_eq!(s.outcome, SettleOutcome::Quiescent);
         let mut delivered_sum = 0;
-        for &(i, txn) in &txns {
-            let st = w.state(i, txn).unwrap();
-            assert!(st.is_terminal(), "client {i} stuck in {st:?}");
-            let r = w.report(txn).unwrap();
-            assert!(r.messages >= 2, "client {i} settled in {} messages", r.messages);
+        for &h in &txns {
+            let st = w.state_of(h).unwrap();
+            assert!(st.is_terminal(), "client {} stuck in {st:?}", h.client);
+            let r = w.report(h.txn_id).unwrap();
+            assert!(r.messages >= 2, "client {} settled in {} messages", h.client, r.messages);
             delivered_sum += r.messages;
         }
         assert_eq!(delivered_sum, w.net.stats.delivered, "exact partition of deliveries");
@@ -476,11 +717,11 @@ mod tests {
         w.settle();
         // Client 1 can fetch the object (this model has a flat namespace,
         // like a shared bucket)…
-        assert_eq!(w.state(1, t1), Some(TxnState::Completed));
-        assert_eq!(w.clients[1].download_result(t1).unwrap().data, b"from client 0");
+        assert_eq!(w.state_of(t1), Some(TxnState::Completed));
+        assert_eq!(w.result(t1).unwrap().data.unwrap(), b"from client 0");
         // …but holds only its own transactions' evidence.
-        assert!(w.clients[1].txn(t0).is_none());
-        assert!(w.clients[0].txn(t1).is_none());
+        assert!(w.clients[1].txn(t0.txn_id).is_none());
+        assert!(w.clients[0].txn(t1.txn_id).is_none());
     }
 
     #[test]
@@ -503,17 +744,17 @@ mod tests {
         let mut w = MultiWorld::new(4, ProtocolConfig::full(), 5);
         // A lossy world for everyone.
         w.set_all_links(LinkConfig::lossy(SimDuration::from_millis(15), 0.2));
-        let txns: Vec<(usize, u64)> = (0..5)
+        let txns: Vec<TxnHandle> = (0..5)
             .map(|i| {
                 let key = format!("k{i}").into_bytes();
-                (i, w.start_upload(i, &key, vec![7u8; 64], TimeoutStrategy::ResolveImmediately))
+                w.start_upload(i, &key, vec![7u8; 64], TimeoutStrategy::ResolveImmediately)
             })
             .collect();
         let s = w.settle();
         assert_eq!(s.outcome, SettleOutcome::Quiescent);
-        for (i, txn) in txns {
-            let st = w.state(i, txn).unwrap();
-            assert!(st.is_terminal(), "client {i} stuck in {st:?}");
+        for h in txns {
+            let st = w.state_of(h).unwrap();
+            assert!(st.is_terminal(), "client {} stuck in {st:?}", h.client);
         }
     }
 
@@ -527,14 +768,11 @@ mod tests {
         let mut txns = Vec::new();
         for i in 0..4 {
             let key = format!("k{i}").into_bytes();
-            txns.push((
-                i,
-                w.start_upload(i, &key, vec![1u8; 32], TimeoutStrategy::ResolveImmediately),
-            ));
+            txns.push(w.start_upload(i, &key, vec![1u8; 32], TimeoutStrategy::ResolveImmediately));
         }
         w.settle();
-        for (i, txn) in txns {
-            assert_eq!(w.state(i, txn), Some(TxnState::Completed), "client {i}");
+        for h in txns {
+            assert_eq!(w.state_of(h), Some(TxnState::Completed), "client {}", h.client);
         }
         // Exactly one client needed the TTP.
         assert_eq!(w.ttp.stats.resolves_received, 1);
@@ -557,6 +795,7 @@ mod tests {
             .map(|i| {
                 let key = format!("user{i}/obj").into_bytes();
                 w.start_upload(i, &key, vec![i as u8; 48], TimeoutStrategy::ResolveImmediately)
+                    .txn_id
             })
             .collect();
         let s = w.settle();
@@ -618,7 +857,7 @@ mod tests {
         }));
         let t0 = w.start_upload(0, b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
         w.settle();
-        assert_eq!(w.state(0, t0), Some(TxnState::Completed));
+        assert_eq!(w.state_of(t0), Some(TxnState::Completed));
         w.net.clear_interceptor();
 
         // Undecodable flood towards the provider: visible, unattributed.
@@ -642,7 +881,7 @@ mod tests {
         assert_eq!(w.obs.metrics.rejected_by.get("stale-sequence"), Some(&1));
         let rej =
             w.obs.events().iter().find(|e| matches!(e.kind, EventKind::Rejected { .. })).unwrap();
-        assert_eq!(rej.txn, Some(t0));
+        assert_eq!(rej.txn, Some(t0.txn_id));
         assert_eq!(rej.msg_kind(), Some("Transfer"));
         assert_eq!(w.provider.actor_stats.rejected, 1);
     }
@@ -658,10 +897,10 @@ mod tests {
         let mut mw = MultiWorld::new(21, ProtocolConfig::full(), 1);
         let txn = mw.start_upload(0, b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
         mw.settle();
-        let rm = mw.report(txn).unwrap();
+        let rm = mw.report(txn.txn_id).unwrap();
 
-        assert_eq!(rw.latency.micros(), 50_000, "one RTT on the default 25 ms links");
-        assert_eq!(rm.latency.micros(), rw.latency.micros());
-        assert_eq!(rm.messages, rw.messages);
+        assert_eq!(rw.report.latency.micros(), 50_000, "one RTT on the default 25 ms links");
+        assert_eq!(rm.latency.micros(), rw.report.latency.micros());
+        assert_eq!(rm.messages, rw.report.messages);
     }
 }

@@ -100,6 +100,15 @@ pub enum EventKind {
         /// New state.
         to: TxnState,
     },
+    /// Fault injection crashed this actor; in-flight work is lost until it
+    /// restarts from its durable snapshot.
+    Crashed,
+    /// A crashed actor came back up, restored from its last synced
+    /// snapshot.
+    Restarted {
+        /// Approximate size of the snapshot it restored from.
+        snapshot_bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -113,6 +122,8 @@ impl EventKind {
             EventKind::Duplicated { .. } => "duplicated",
             EventKind::TimerFired { .. } => "timer-fired",
             EventKind::StateTransition { .. } => "state-transition",
+            EventKind::Crashed => "crashed",
+            EventKind::Restarted { .. } => "restarted",
         }
     }
 }
@@ -219,6 +230,16 @@ pub struct Metrics {
     pub state_transitions: u64,
     /// Rejections by [`ValidationError::variant`] label.
     pub rejected_by: BTreeMap<&'static str, u64>,
+    /// Actor crashes injected by the fault plan.
+    pub crashes: u64,
+    /// Restarts from durable snapshots.
+    pub restarts: u64,
+    /// Client resends driven by the retry policy (synced from the clients'
+    /// retry counters by the runners' settle wrappers).
+    pub retries: u64,
+    /// Total bytes written across persisted durable snapshots (synced from
+    /// the fault controller by the runners' settle wrappers).
+    pub snapshot_bytes: u64,
     /// Per-transaction settlement latency in microseconds (recorded when a
     /// transaction first reaches a terminal state).
     pub latency_us: Histogram,
@@ -400,6 +421,8 @@ impl Obs {
             }
             EventKind::TimerFired { .. } => self.metrics.timer_fires += 1,
             EventKind::StateTransition { .. } => self.metrics.state_transitions += 1,
+            EventKind::Crashed => self.metrics.crashes += 1,
+            EventKind::Restarted { .. } => self.metrics.restarts += 1,
         }
         if self.events.len() >= self.capacity {
             self.events.pop_front();

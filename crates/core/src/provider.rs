@@ -84,6 +84,9 @@ pub struct Provider {
     /// Message/tick counters, maintained by the scheduler-facing
     /// [`Actor`](crate::sched::Actor) impl.
     pub actor_stats: crate::obs::ActorStats,
+    /// Crash-recovery epochs survived; scales the sequence skip applied on
+    /// each restore.
+    restarts: u64,
 }
 
 impl Provider {
@@ -109,7 +112,13 @@ impl Provider {
             cache: DigestCache::new(32),
             behavior: ProviderBehavior::default(),
             actor_stats: crate::obs::ActorStats::default(),
+            restarts: 0,
         }
+    }
+
+    /// Crash-recovery epochs this provider has survived.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts
     }
 
     /// This provider's principal id.
@@ -415,6 +424,52 @@ impl Provider {
 }
 
 /// The provider is purely reactive: it answers transfers, aborts and
+/// Durable image of a [`Provider`]: object store, transaction records
+/// (including re-issuable NRR signatures) and validator sequence state.
+#[derive(Debug, Clone)]
+pub struct ProviderSnapshot {
+    storage: HashMap<Vec<u8>, Bytes>,
+    txns: HashMap<u64, ProviderTxn>,
+    validator: crate::session::ValidatorSnapshot,
+    bytes: u64,
+}
+
+impl ProviderSnapshot {
+    /// Approximate serialized size of this snapshot.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl crate::fault::Durable for Provider {
+    type Snapshot = ProviderSnapshot;
+
+    fn snapshot(&self) -> ProviderSnapshot {
+        let mut bytes = self.validator.state_bytes() + 8;
+        for (key, data) in &self.storage {
+            bytes += (key.len() + data.as_ref().len()) as u64;
+        }
+        for t in self.txns.values() {
+            bytes += (t.object.len() + t.nrr_sigs.0.len() + t.nrr_sigs.1.len() + 64) as u64;
+            bytes += crate::fault::evidence_bytes(&t.nro);
+        }
+        ProviderSnapshot {
+            storage: self.storage.clone(),
+            txns: self.txns.clone(),
+            validator: self.validator.snapshot(),
+            bytes,
+        }
+    }
+
+    fn restore(&mut self, snap: &ProviderSnapshot) {
+        self.restarts += 1;
+        let skip = self.restarts.saturating_mul(crate::fault::SEQ_RECOVERY_SKIP);
+        self.storage = snap.storage.clone();
+        self.txns = snap.txns.clone();
+        self.validator.restore_with_skip(&snap.validator, skip);
+    }
+}
+
 /// resolve forwards but owns no timers, so the `Actor` timer hooks keep
 /// their no-op defaults.
 impl crate::sched::Actor for Provider {

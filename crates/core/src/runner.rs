@@ -9,6 +9,8 @@
 
 use crate::client::{Client, TimeoutStrategy};
 use crate::config::ProtocolConfig;
+use crate::evidence::VerifiedEvidence;
+use crate::fault::{DeliveryVerdict, Durable, FaultCtl, FaultStats, SyncDecision};
 use crate::message::Message;
 use crate::obs::{Event, EventKind, Obs};
 use crate::principal::{Directory, Principal, PrincipalId};
@@ -46,6 +48,90 @@ pub struct TxnReport {
     pub ttp_used: bool,
 }
 
+/// A typed transaction request — what to run, not how to plumb it.
+///
+/// Replaces the loose `(key, data, strategy)` argument lists: build one with
+/// [`TxnRequest::upload`] / [`TxnRequest::download`], adjust it with
+/// [`TxnRequest::with_strategy`], and hand it to [`World::run`].
+#[derive(Debug, Clone)]
+pub struct TxnRequest {
+    /// Object key.
+    pub key: Vec<u8>,
+    /// Payload for uploads; `None` makes this a download.
+    pub data: Option<Bytes>,
+    /// Timeout sub-protocol the client arms at initiation.
+    pub strategy: TimeoutStrategy,
+}
+
+impl TxnRequest {
+    /// An upload of `data` under `key` (strategy defaults to
+    /// [`TimeoutStrategy::AbortFirst`]).
+    pub fn upload(key: &[u8], data: impl Into<Bytes>) -> Self {
+        TxnRequest {
+            key: key.to_vec(),
+            data: Some(data.into()),
+            strategy: TimeoutStrategy::AbortFirst,
+        }
+    }
+
+    /// A download of `key` (strategy defaults to
+    /// [`TimeoutStrategy::AbortFirst`]).
+    pub fn download(key: &[u8]) -> Self {
+        TxnRequest { key: key.to_vec(), data: None, strategy: TimeoutStrategy::AbortFirst }
+    }
+
+    /// Overrides the timeout strategy.
+    pub fn with_strategy(mut self, strategy: TimeoutStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// The typed outcome of a settled transaction.
+///
+/// Replaces [`World::download`]'s old `(TxnReport, Option<Bytes>)` tuple and
+/// the report-only return of [`World::upload`]: the terminal state, the
+/// payload (downloads), both evidence pieces as the client holds them, and
+/// the full wire-level [`TxnReport`] in one place.
+#[derive(Debug, Clone)]
+pub struct TxnResult {
+    /// Transaction id (0 is the failed-initiation sentinel; real ids start
+    /// at 1).
+    pub txn_id: u64,
+    /// Final state at the client.
+    pub outcome: TxnState,
+    /// Download payload, if this was a download that completed.
+    pub data: Option<Bytes>,
+    /// The client's own sealed non-repudiation-of-origin evidence.
+    pub nro: Option<VerifiedEvidence>,
+    /// The provider's receipt (NRR) as verified by the client, if received.
+    pub nrr: Option<VerifiedEvidence>,
+    /// Wire-level statistics (messages, bytes, latency, TTP use).
+    pub report: TxnReport,
+}
+
+impl TxnResult {
+    /// True when the exchange completed with the full evidence pair.
+    pub fn completed(&self) -> bool {
+        self.outcome == TxnState::Completed
+    }
+
+    /// True when the transaction is in a state a dispute arbiter can act
+    /// on: a terminal outcome with the client's sealed NRO retained. This
+    /// is the no-evidence-less-limbo property experiment E8 measures.
+    pub fn arbitrable(&self) -> bool {
+        self.outcome.is_terminal() && self.nro.is_some()
+    }
+}
+
+/// Last synced durable images of the three actors (the crash recovery
+/// points). Allocated only when the fault plan can actually inject.
+struct WorldSnapshots {
+    client: crate::client::ClientSnapshot,
+    provider: crate::provider::ProviderSnapshot,
+    ttp: crate::ttp::TtpSnapshot,
+}
+
 /// The assembled world: three actors on a simulated network.
 pub struct World {
     /// The network (exposed so experiments can set links/interceptors).
@@ -79,6 +165,11 @@ pub struct World {
     pub max_steps: usize,
     /// Transactions the TTP has seen a message for.
     ttp_touched: HashSet<u64>,
+    /// The fault injector executing `cfg.faults` (inert and overhead-free
+    /// for the default plan).
+    faults: FaultCtl,
+    /// Last synced snapshots; `None` when the fault plan is inert.
+    snaps: Option<Box<WorldSnapshots>>,
 }
 
 impl World {
@@ -113,7 +204,17 @@ impl World {
             ttp_p.id(),
             ChaChaRng::seed_from_u64(seed ^ 0xb0b),
         );
+        let faults = FaultCtl::new(&cfg.faults);
         let ttp = Ttp::new(ttp_p.clone(), cfg, dir.clone(), ChaChaRng::seed_from_u64(seed ^ 0x777));
+        // Take the epoch-zero recovery points up front: a crash before the
+        // first sync restores to the freshly-built actor, not to garbage.
+        let snaps = faults.active().then(|| {
+            Box::new(WorldSnapshots {
+                client: client.snapshot(),
+                provider: provider.snapshot(),
+                ttp: ttp.snapshot(),
+            })
+        });
 
         let node_of: HashMap<_, _> =
             [(alice.id(), alice_node), (bob.id(), bob_node), (ttp_p.id(), ttp_node)]
@@ -138,6 +239,8 @@ impl World {
             obs: Obs::new(),
             max_steps: 10_000,
             ttp_touched: HashSet::new(),
+            faults,
+            snaps,
         }
     }
 
@@ -193,72 +296,180 @@ impl World {
     /// `max_steps` is hit — check `outcome` on the returned report.
     pub fn settle(&mut self) -> SettleReport {
         let max_steps = self.max_steps;
-        sched::settle(self, max_steps)
+        let report = sched::settle(self, max_steps);
+        // Mirror the cumulative fault counters into the metrics registry so
+        // JSONL/bench output carries them without re-deriving.
+        let f = report.faults;
+        self.obs.metrics.crashes = f.crashes;
+        self.obs.metrics.restarts = f.restarts;
+        self.obs.metrics.retries = f.retries;
+        self.obs.metrics.snapshot_bytes = f.snapshot_bytes;
+        report
     }
 
-    /// Uploads and settles, returning the report.
+    /// Runs one transaction to settlement and returns the typed result.
     ///
     /// A failed initiation (e.g. no provider key) never panics: it is
     /// recorded as a rejection in [`Obs`](crate::obs::Obs) and reported as
     /// a `Failed` transaction with the sentinel id 0 (real ids start at 1).
+    pub fn run(&mut self, req: TxnRequest) -> TxnResult {
+        let started = self.net.now();
+        let begun = match req.data {
+            Some(data) => self.client.begin_upload(&req.key, data, started, req.strategy),
+            None => self.client.begin_download(&req.key, started, req.strategy),
+        };
+        let (txn_id, out) = match begun {
+            Ok(v) => v,
+            Err(e) => return self.failed_initiation(started, "Transfer", e),
+        };
+        self.obs.note_state(started, "alice", txn_id, TxnState::Pending);
+        // Write-ahead: the NRO sealed at initiation must survive a crash
+        // that lands before any reply comes back.
+        self.sync_actor(self.alice_node, started, true);
+        self.send_from_client(out);
+        self.settle();
+        self.result(txn_id, started)
+    }
+
+    /// Uploads and settles ([`TxnRequest::upload`] + [`World::run`]).
     pub fn upload(
         &mut self,
         key: &[u8],
         data: impl Into<Bytes>,
         strategy: TimeoutStrategy,
-    ) -> TxnReport {
-        let started = self.net.now();
-        let (txn_id, out) = match self.client.begin_upload(key, data, started, strategy) {
-            Ok(v) => v,
-            Err(e) => return self.failed_initiation(started, "Transfer", e),
-        };
-        self.obs.note_state(started, "alice", txn_id, TxnState::Pending);
-        self.send_from_client(out);
-        self.settle();
-        self.report(txn_id, started)
+    ) -> TxnResult {
+        self.run(TxnRequest::upload(key, data).with_strategy(strategy))
     }
 
-    /// Downloads and settles, returning the report and the data (a shared
-    /// handle into the received payload — no copy). Failed initiations
-    /// degrade exactly as in [`World::upload`].
-    pub fn download(
-        &mut self,
-        key: &[u8],
-        strategy: TimeoutStrategy,
-    ) -> (TxnReport, Option<Bytes>) {
-        let started = self.net.now();
-        let (txn_id, out) = match self.client.begin_download(key, started, strategy) {
-            Ok(v) => v,
-            Err(e) => return (self.failed_initiation(started, "Transfer", e), None),
-        };
-        self.obs.note_state(started, "alice", txn_id, TxnState::Pending);
-        self.send_from_client(out);
-        self.settle();
-        let data = self.client.download_result(txn_id).map(|p| p.data.clone());
-        (self.report(txn_id, started), data)
+    /// Downloads and settles ([`TxnRequest::download`] + [`World::run`]);
+    /// the payload arrives as `TxnResult::data` (a shared handle into the
+    /// received bytes — no copy).
+    pub fn download(&mut self, key: &[u8], strategy: TimeoutStrategy) -> TxnResult {
+        self.run(TxnRequest::download(key).with_strategy(strategy))
+    }
+
+    /// Assembles the typed result for a settled transaction.
+    pub fn result(&self, txn_id: u64, started: SimTime) -> TxnResult {
+        let report = self.report(txn_id, started);
+        let t = self.client.txn(txn_id);
+        TxnResult {
+            txn_id,
+            outcome: report.state,
+            data: self.client.download_result(txn_id).map(|p| p.data.clone()),
+            nro: t.map(|t| t.nro.clone()),
+            nrr: t.and_then(|t| t.nrr.clone()),
+            report,
+        }
     }
 
     /// Records a client-side initiation failure and builds the degraded
-    /// report (no traffic was ever generated for the transaction).
+    /// result (no traffic was ever generated for the transaction).
     fn failed_initiation(
         &mut self,
         started: SimTime,
         msg: &str,
         error: crate::session::ValidationError,
-    ) -> TxnReport {
+    ) -> TxnResult {
         self.obs.record(Event {
             at: started,
             txn: None,
             actor: "alice".to_string(),
             kind: EventKind::Rejected { from: "alice".to_string(), msg: msg.to_string(), error },
         });
-        TxnReport {
+        TxnResult {
             txn_id: 0,
-            state: TxnState::Failed,
-            messages: 0,
-            bytes: 0,
-            latency: started.since(started),
-            ttp_used: false,
+            outcome: TxnState::Failed,
+            data: None,
+            nro: None,
+            nrr: None,
+            report: TxnReport {
+                txn_id: 0,
+                state: TxnState::Failed,
+                messages: 0,
+                bytes: 0,
+                latency: started.since(started),
+                ttp_used: false,
+            },
+        }
+    }
+
+    /// Cumulative fault counters: the injector's own plus the client's
+    /// retry machinery (which lives outside snapshots so it never resets).
+    pub fn fault_counters(&self) -> FaultStats {
+        let mut f = self.faults.stats;
+        f.retries += self.client.retry_stats.retries;
+        f.gave_up += self.client.retry_stats.gave_up;
+        f
+    }
+
+    /// Marks the actor at `node` crashed and records the event. The restart
+    /// instant becomes a scheduler timer via [`FaultCtl::next_wakeup`].
+    fn crash_actor(&mut self, node: NodeId, now: SimTime) {
+        let name = self.name_of[&node];
+        self.faults.crash(name, now);
+        self.obs.record(Event {
+            at: now,
+            txn: None,
+            actor: name.to_string(),
+            kind: EventKind::Crashed,
+        });
+    }
+
+    /// Restores a restarted actor from its last synced snapshot.
+    fn restore_actor(&mut self, name: &str, now: SimTime) {
+        let Some(snaps) = self.snaps.take() else { return };
+        let bytes = match name {
+            "alice" => {
+                self.client.restore(&snaps.client);
+                snaps.client.bytes()
+            }
+            "bob" => {
+                self.provider.restore(&snaps.provider);
+                snaps.provider.bytes()
+            }
+            _ => {
+                self.ttp.restore(&snaps.ttp);
+                snaps.ttp.bytes()
+            }
+        };
+        self.snaps = Some(snaps);
+        self.obs.record(Event {
+            at: now,
+            txn: None,
+            actor: name.to_string(),
+            kind: EventKind::Restarted { snapshot_bytes: bytes },
+        });
+    }
+
+    /// Durably syncs an actor's state if due (or forced — the write-ahead
+    /// path taken before any produced message reaches the wire).
+    fn sync_actor(&mut self, node: NodeId, now: SimTime, force: bool) {
+        if self.snaps.is_none() {
+            return;
+        }
+        let name = self.name_of[&node];
+        match self.faults.sync_due(name, now, force) {
+            SyncDecision::Skip | SyncDecision::FailedWrite => {}
+            SyncDecision::Persist => {
+                let Some(snaps) = self.snaps.as_mut() else { return };
+                let bytes = if node == self.alice_node {
+                    let s = self.client.snapshot();
+                    let b = s.bytes();
+                    snaps.client = s;
+                    b
+                } else if node == self.bob_node {
+                    let s = self.provider.snapshot();
+                    let b = s.bytes();
+                    snaps.provider = s;
+                    b
+                } else {
+                    let s = self.ttp.snapshot();
+                    let b = s.bytes();
+                    snaps.ttp = s;
+                    b
+                };
+                self.faults.note_snapshot(bytes);
+            }
         }
     }
 
@@ -286,12 +497,45 @@ impl EventHub for World {
     }
 
     fn next_timer(&self) -> Option<SimTime> {
-        self.actor_nodes().into_iter().filter_map(|n| self.actor(n).next_deadline()).min()
+        // A crashed actor's protocol timers are frozen until it restarts;
+        // the fault wakeups (restarts, outage starts) are timers themselves
+        // so downtime advances the clock instead of stalling the loop.
+        let down = |n: &NodeId| self.faults.active() && self.faults.is_down(self.name_of[n]);
+        let t = self
+            .actor_nodes()
+            .into_iter()
+            .filter(|n| !down(n))
+            .filter_map(|n| self.actor(n).next_deadline())
+            .min();
+        match (t, self.faults.next_wakeup()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn fire_timers(&mut self, now: SimTime) -> usize {
+        if self.faults.active() {
+            // Restarts and outage boundaries first: a just-restored actor
+            // ticks in this same round, so an overdue deadline revealed by
+            // the restore produces output immediately (never barren).
+            let ev = self.faults.poll("ttp", now);
+            for name in ev.crashed {
+                self.obs.record(Event {
+                    at: now,
+                    txn: None,
+                    actor: name,
+                    kind: EventKind::Crashed,
+                });
+            }
+            for name in ev.restarted {
+                self.restore_actor(&name, now);
+            }
+        }
         let mut dispatched = 0;
         for node in self.actor_nodes() {
+            if self.faults.active() && self.faults.is_down(self.name_of[&node]) {
+                continue;
+            }
             let due = self.actor(node).next_deadline().is_some_and(|d| d <= now);
             let out = self.actor_mut(node).on_tick(now);
             if due {
@@ -301,6 +545,11 @@ impl EventHub for World {
                     actor: self.name_of[&node].to_string(),
                     kind: EventKind::TimerFired { messages: out.len() },
                 });
+            }
+            if !out.is_empty() {
+                // Write-ahead: timer-driven sends (Abort/Resolve) persist
+                // the state they acknowledge before hitting the wire.
+                self.sync_actor(node, now, true);
             }
             dispatched += out.len();
             self.dispatch_outgoing(node, out);
@@ -320,6 +569,12 @@ impl EventHub for World {
         let from_principal = self.principal_of[&env.src];
         let from = self.name_of[&env.src];
         let actor = self.name_of[&env.dst];
+        if self.faults.active() && self.faults.is_down(actor) {
+            // The recipient is crashed: the message evaporates. The
+            // sender's retry machinery is the recovery path.
+            self.faults.note_delivery_lost();
+            return;
+        }
         let msg = match Message::from_wire_bytes(&env.payload) {
             Ok(m) => m,
             Err(_) => {
@@ -343,6 +598,16 @@ impl EventHub for World {
         // but decode, so fall back to the protocol header's id.
         let txn = env.txn.or(Some(txn_id));
         let msg_kind = msg.kind().to_string();
+        let verdict = if self.faults.active() {
+            self.faults.delivery_verdict(actor, &msg_kind)
+        } else {
+            DeliveryVerdict::Proceed
+        };
+        if verdict == DeliveryVerdict::CrashBefore {
+            // Crash on receipt: the message is lost before processing.
+            self.crash_actor(env.dst, now);
+            return;
+        }
         let result = self.actor_mut(env.dst).on_message(from_principal, &msg, now);
         match result {
             Ok(out) => {
@@ -357,7 +622,17 @@ impl EventHub for World {
                         self.obs.note_state(now, actor, txn_id, st);
                     }
                 }
-                self.dispatch_outgoing(env.dst, out);
+                // Write-ahead durable sync: a reply acknowledges state, so
+                // the state hits the snapshot before the reply hits the
+                // wire. Output-less (passive) steps defer to the interval.
+                let force = !out.is_empty() || verdict == DeliveryVerdict::CrashAfter;
+                self.sync_actor(env.dst, now, force);
+                if verdict == DeliveryVerdict::CrashAfter {
+                    // State persisted, replies die with the process.
+                    self.crash_actor(env.dst, now);
+                } else {
+                    self.dispatch_outgoing(env.dst, out);
+                }
             }
             Err(error) => {
                 self.obs.record(Event {
@@ -366,12 +641,19 @@ impl EventHub for World {
                     actor: actor.to_string(),
                     kind: EventKind::Rejected { from: from.to_string(), msg: msg_kind, error },
                 });
+                if verdict == DeliveryVerdict::CrashAfter {
+                    self.crash_actor(env.dst, now);
+                }
             }
         }
     }
 
     fn obs_mut(&mut self) -> Option<&mut Obs> {
         Some(&mut self.obs)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.fault_counters()
     }
 }
 
@@ -389,9 +671,10 @@ mod tests {
     fn normal_upload_takes_two_messages_no_ttp() {
         let mut w = world();
         let r = w.upload(b"backup/q3", b"financial data".to_vec(), TimeoutStrategy::AbortFirst);
-        assert_eq!(r.state, TxnState::Completed);
-        assert_eq!(r.messages, 2, "paper: Normal mode is a two-step exchange");
-        assert!(!r.ttp_used, "paper: TTP stays off-line in Normal mode");
+        assert_eq!(r.outcome, TxnState::Completed);
+        assert!(r.completed() && r.arbitrable());
+        assert_eq!(r.report.messages, 2, "paper: Normal mode is a two-step exchange");
+        assert!(!r.report.ttp_used, "paper: TTP stays off-line in Normal mode");
         assert_eq!(w.provider.peek_storage(b"backup/q3"), Some(&b"financial data"[..]));
     }
 
@@ -399,10 +682,10 @@ mod tests {
     fn normal_download_roundtrip() {
         let mut w = world();
         w.upload(b"k", b"hello cloud".to_vec(), TimeoutStrategy::AbortFirst);
-        let (r, data) = w.download(b"k", TimeoutStrategy::AbortFirst);
-        assert_eq!(r.state, TxnState::Completed);
-        assert_eq!(r.messages, 2);
-        assert_eq!(data.unwrap(), b"hello cloud");
+        let r = w.download(b"k", TimeoutStrategy::AbortFirst);
+        assert_eq!(r.outcome, TxnState::Completed);
+        assert_eq!(r.report.messages, 2);
+        assert_eq!(r.data.unwrap(), b"hello cloud");
     }
 
     #[test]
@@ -420,9 +703,9 @@ mod tests {
         let mut w = world();
         let up = w.upload(b"k", b"true data".to_vec(), TimeoutStrategy::AbortFirst);
         w.provider.tamper_storage(b"k", b"fake data".to_vec());
-        let (down, data) = w.download(b"k", TimeoutStrategy::AbortFirst);
-        assert_eq!(down.state, TxnState::Completed);
-        assert_eq!(data.unwrap(), b"fake data", "tampered bytes arrive 'validly'");
+        let down = w.download(b"k", TimeoutStrategy::AbortFirst);
+        assert_eq!(down.outcome, TxnState::Completed);
+        assert_eq!(down.data.clone().unwrap(), b"fake data", "tampered bytes arrive 'validly'");
         // The TPNR integrity link catches it where the platforms could not:
         assert_eq!(w.client.verify_download_against_upload(up.txn_id, down.txn_id), Some(false));
     }
@@ -431,7 +714,7 @@ mod tests {
     fn integrity_link_confirms_clean_roundtrip() {
         let mut w = world();
         let up = w.upload(b"k", b"stable".to_vec(), TimeoutStrategy::AbortFirst);
-        let (down, _) = w.download(b"k", TimeoutStrategy::AbortFirst);
+        let down = w.download(b"k", TimeoutStrategy::AbortFirst);
         assert_eq!(w.client.verify_download_against_upload(up.txn_id, down.txn_id), Some(true));
     }
 
@@ -441,8 +724,9 @@ mod tests {
         w.provider.behavior.respond_transfers = false;
         let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
         // Bob ignored the transfer but answered the abort.
-        assert_eq!(r.state, TxnState::Aborted);
-        assert!(!r.ttp_used, "abort is an off-line-TTP sub-protocol");
+        assert_eq!(r.outcome, TxnState::Aborted);
+        assert!(r.arbitrable(), "aborted but the NRO still settles disputes");
+        assert!(!r.report.ttp_used, "abort is an off-line-TTP sub-protocol");
     }
 
     #[test]
@@ -452,8 +736,8 @@ mod tests {
         w.provider.behavior.respond_aborts = false;
         w.provider.behavior.respond_resolves = false;
         let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
-        assert_eq!(r.state, TxnState::Failed);
-        assert!(r.ttp_used);
+        assert_eq!(r.outcome, TxnState::Failed);
+        assert!(r.report.ttp_used);
         assert_eq!(w.ttp.stats.failures_declared, 1);
     }
 
@@ -587,7 +871,7 @@ mod tests {
             let r = w.upload(b"k", b"d".to_vec(), TimeoutStrategy::AbortFirst);
             let kinds: Vec<String> =
                 w.obs.events().iter().filter_map(|e| e.msg_kind().map(str::to_string)).collect();
-            (r.state, kinds)
+            (r.outcome, kinds)
         };
         let (state1, kinds1) = run();
         let (state2, kinds2) = run();
@@ -633,7 +917,7 @@ mod tests {
             vec![(None, TxnState::Pending), (Some(TxnState::Pending), TxnState::Completed)]
         );
         assert_eq!(w.obs.metrics.latency_us.count(), 1);
-        assert_eq!(w.obs.metrics.latency_us.max(), Some(r.latency.micros()));
+        assert_eq!(w.obs.metrics.latency_us.max(), Some(r.report.latency.micros()));
         assert_eq!(w.obs.txn(r.txn_id).inbox_total(), 2);
     }
 
@@ -644,7 +928,7 @@ mod tests {
             let mut w = world();
             w.set_all_links(LinkConfig::ideal(SimDuration::from_millis(rtt_ms / 2)));
             let r = w.upload(b"k", b"d".to_vec(), TimeoutStrategy::AbortFirst);
-            lat.push(r.latency.micros());
+            lat.push(r.report.latency.micros());
         }
         assert_eq!(lat[0], 10_000);
         assert_eq!(lat[1], 100_000);
@@ -674,16 +958,16 @@ mod tests {
         }
         w.net.set_link(a, b, LinkConfig::default());
         let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
-        assert_eq!(r.state, TxnState::Completed);
+        assert_eq!(r.outcome, TxnState::Completed);
         assert!(
             w.net.now().micros() > 60_000_000,
             "the flood should have kept the clock running: {}",
             w.net.now().micros()
         );
         assert!(
-            r.latency.micros() <= 1_000_000,
+            r.report.latency.micros() <= 1_000_000,
             "latency must be txn-scoped, got {} µs",
-            r.latency.micros()
+            r.report.latency.micros()
         );
         // Satellite check: the garbled chatter is visible and attributed to
         // no transaction (it used to claim `txn_id: 0`).

@@ -26,6 +26,7 @@
 //!   happens or the deadline moves), so a wedged actor cannot livelock the
 //!   loop.
 
+use crate::fault::FaultStats;
 use crate::message::Message;
 use crate::obs::{Event, EventKind, Obs};
 use crate::principal::PrincipalId;
@@ -61,6 +62,10 @@ pub trait Actor {
 pub enum SettleOutcome {
     /// Nothing left to do: no deliveries in flight and no live timers.
     Quiescent,
+    /// Drained, but at least one transaction was abandoned by the retry
+    /// policy's give-up bound (`SettleReport::faults.gave_up`). Evidence is
+    /// retained, so disputes stay arbitrable; the run is still quiescent.
+    Degraded,
     /// The step cap was hit with work still pending. The world is *not*
     /// settled; raise `max_steps` or investigate the livelock (see the
     /// README troubleshooting section).
@@ -68,9 +73,15 @@ pub enum SettleOutcome {
 }
 
 impl SettleOutcome {
-    /// True when the run drained every delivery and timer.
+    /// True when the run drained every delivery and timer (including
+    /// degraded runs — degradation is about retry give-up, not residue).
     pub fn is_quiescent(self) -> bool {
-        self == SettleOutcome::Quiescent
+        matches!(self, SettleOutcome::Quiescent | SettleOutcome::Degraded)
+    }
+
+    /// True when the retry policy abandoned at least one transaction.
+    pub fn is_degraded(self) -> bool {
+        self == SettleOutcome::Degraded
     }
 }
 
@@ -83,6 +94,9 @@ pub struct SettleReport {
     pub delivered: usize,
     /// Timer rounds fired.
     pub timer_rounds: usize,
+    /// Fault-injection counters (crashes, restarts, retries, snapshots) as
+    /// of the end of the run; all-zero for hubs without fault machinery.
+    pub faults: FaultStats,
 }
 
 /// What a runner must expose for [`settle`] to drive it. The runner keeps
@@ -104,6 +118,12 @@ pub trait EventHub {
     /// settle-size sample on exit. Headless hubs use the default.
     fn obs_mut(&mut self) -> Option<&mut Obs> {
         None
+    }
+    /// Cumulative fault-injection counters (crash/restart/retry/snapshot),
+    /// copied into `SettleReport::faults` when the run ends. Hubs without
+    /// fault machinery use the all-zero default.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
     }
 }
 
@@ -144,8 +164,12 @@ fn drain_net_events(hub: &mut dyn EventHub) {
 /// Runs the world until quiescence or the step cap: the single settle loop
 /// shared by `World` and `MultiWorld`.
 pub fn settle(hub: &mut dyn EventHub, max_steps: usize) -> SettleReport {
-    let mut report =
-        SettleReport { outcome: SettleOutcome::Quiescent, delivered: 0, timer_rounds: 0 };
+    let mut report = SettleReport {
+        outcome: SettleOutcome::Quiescent,
+        delivered: 0,
+        timer_rounds: 0,
+        faults: FaultStats::default(),
+    };
     let mut barren: Option<SimTime> = None;
     for _ in 0..max_steps {
         drain_net_events(hub);
@@ -170,22 +194,28 @@ pub fn settle(hub: &mut dyn EventHub, max_steps: usize) -> SettleReport {
                 hub.deliver(env);
             }
             (_, None) => {
-                finish(hub, &report);
+                finish(hub, &mut report);
                 return report;
             }
         }
     }
     report.outcome = SettleOutcome::StepCapExceeded;
-    finish(hub, &report);
+    finish(hub, &mut report);
     report
 }
 
-/// End-of-run bookkeeping: drain any events the final step produced and
-/// record the run's size in the settle-step histogram.
-fn finish(hub: &mut dyn EventHub, report: &SettleReport) {
+/// End-of-run bookkeeping: drain any events the final step produced, record
+/// the run's size in the settle-step histogram, and copy the hub's fault
+/// counters into the report (downgrading Quiescent to Degraded when the
+/// retry policy abandoned work).
+fn finish(hub: &mut dyn EventHub, report: &mut SettleReport) {
     drain_net_events(hub);
     if let Some(obs) = hub.obs_mut() {
         obs.note_settle((report.delivered + report.timer_rounds) as u64);
+    }
+    report.faults = hub.fault_stats();
+    if report.outcome == SettleOutcome::Quiescent && report.faults.gave_up > 0 {
+        report.outcome = SettleOutcome::Degraded;
     }
 }
 
@@ -205,6 +235,7 @@ mod tests {
         productive: bool,
         log: Vec<(String, u64)>,
         obs: Option<Obs>,
+        faults: FaultStats,
     }
 
     impl EventHub for ScriptHub {
@@ -229,14 +260,23 @@ mod tests {
         fn deliver(&mut self, env: Envelope) {
             self.log.push(("deliver".into(), env.delivered_at.micros()));
         }
+        fn fault_stats(&self) -> FaultStats {
+            self.faults
+        }
     }
 
     fn hub_with_traffic(n_msgs: u64, spacing_ms: u64) -> (ScriptHub, NodeId, NodeId) {
         let mut net = SimNet::new(42);
         let a = net.register("a");
         let b = net.register("b");
-        let mut hub =
-            ScriptHub { net, deadline: None, productive: true, log: Vec::new(), obs: None };
+        let mut hub = ScriptHub {
+            net,
+            deadline: None,
+            productive: true,
+            log: Vec::new(),
+            obs: None,
+            faults: FaultStats::default(),
+        };
         for i in 0..n_msgs {
             hub.net.set_link(
                 a,
@@ -310,8 +350,14 @@ mod tests {
     fn quiescent_empty_world() {
         let mut net = SimNet::new(1);
         net.register("only");
-        let mut hub =
-            ScriptHub { net, deadline: None, productive: true, log: Vec::new(), obs: None };
+        let mut hub = ScriptHub {
+            net,
+            deadline: None,
+            productive: true,
+            log: Vec::new(),
+            obs: None,
+            faults: FaultStats::default(),
+        };
         let r = settle(&mut hub, 10);
         assert!(r.outcome.is_quiescent());
         assert_eq!(r.delivered, 0);
@@ -330,6 +376,7 @@ mod tests {
             productive: true,
             log: Vec::new(),
             obs: Some(Obs::new()),
+            faults: FaultStats::default(),
         };
         hub.net.send_tagged(a, b, vec![0], Some(4)); // lost on the wire
         hub.net.set_link(a, b, LinkConfig::ideal(SimDuration::from_millis(1)));

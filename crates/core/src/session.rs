@@ -209,12 +209,17 @@ pub struct Validator {
     last_recv: HashMap<(u64, PrincipalId), u64>,
     /// Our own outgoing counter per transaction.
     send_seq: HashMap<u64, u64>,
+    /// Post-restore floor below which no sequence number is ever handed
+    /// out again. Runtime state, deliberately NOT part of the snapshot:
+    /// it encodes how many times this principal has restarted, which the
+    /// crash itself must not be able to erase.
+    seq_floor: u64,
 }
 
 impl Validator {
     /// Fresh validator for a principal.
     pub fn new(me: PrincipalId, ttp: PrincipalId) -> Self {
-        Validator { me, ttp, last_recv: HashMap::new(), send_seq: HashMap::new() }
+        Validator { me, ttp, last_recv: HashMap::new(), send_seq: HashMap::new(), seq_floor: 0 }
     }
 
     /// Validates an incoming plaintext under the active config.
@@ -266,10 +271,48 @@ impl Validator {
     /// the last message valid and makes the exhaustion observable (the
     /// counter stops moving) rather than a silent self-DoS.
     pub fn alloc_seq(&mut self, txn_id: u64) -> u64 {
-        let next = self.send_seq.get(&txn_id).copied().unwrap_or(0).saturating_add(1);
+        let cur = self.send_seq.get(&txn_id).copied().unwrap_or(0).max(self.seq_floor);
+        let next = cur.saturating_add(1);
         self.send_seq.insert(txn_id, next);
         next
     }
+
+    /// Captures the replay-window and send-counter state for a durable
+    /// snapshot (crash-recovery subsystem).
+    pub fn snapshot(&self) -> ValidatorSnapshot {
+        ValidatorSnapshot { last_recv: self.last_recv.clone(), send_seq: self.send_seq.clone() }
+    }
+
+    /// Restores from a snapshot, advancing every send counter by `skip`.
+    ///
+    /// A crash may lose sends made after the snapshot (the dirty window);
+    /// replaying those sequence numbers would be rejected by peers'
+    /// strictly-increasing windows — or worse, collide with evidence already
+    /// sealed under them. Skipping ahead by more than the dirty window could
+    /// have consumed guarantees freshness. Saturating, like `alloc_seq`.
+    pub fn restore_with_skip(&mut self, snap: &ValidatorSnapshot, skip: u64) {
+        self.last_recv = snap.last_recv.clone();
+        self.send_seq =
+            snap.send_seq.iter().map(|(txn, seq)| (*txn, seq.saturating_add(skip))).collect();
+        // Transactions born inside the dirty window have no snapshot entry
+        // at all; the floor keeps their numbering from restarting at 1.
+        self.seq_floor = self.seq_floor.max(skip);
+    }
+
+    /// Approximate serialized size of the validator state, for snapshot
+    /// accounting: key (8 + 32) + value (8) per receive window entry,
+    /// key (8) + value (8) per send counter.
+    pub fn state_bytes(&self) -> u64 {
+        (self.last_recv.len() * 48 + self.send_seq.len() * 16) as u64
+    }
+}
+
+/// Durable image of a [`Validator`]'s sequence state (private fields stay
+/// private; this is the only way to persist/restore them).
+#[derive(Debug, Clone)]
+pub struct ValidatorSnapshot {
+    last_recv: HashMap<(u64, PrincipalId), u64>,
+    send_seq: HashMap<u64, u64>,
 }
 
 #[cfg(test)]
@@ -338,6 +381,35 @@ mod tests {
         v.send_seq.insert(7, u64::MAX - 1);
         assert_eq!(v.alloc_seq(7), u64::MAX);
         assert_eq!(v.alloc_seq(7), u64::MAX, "exhausted counter holds, never wraps");
+        assert_eq!(v.alloc_seq(7), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_restore_skips_send_counters_but_keeps_receive_windows() {
+        let cfg = ProtocolConfig::full();
+        let mut v = validator();
+        assert_eq!(v.alloc_seq(1), 1);
+        assert_eq!(v.alloc_seq(1), 2);
+        v.check(&cfg, &pt(*b"alice\0\0\0", 1, 3, 100), None, SimTime(0)).unwrap();
+        let snap = v.snapshot();
+        // Dirty-window sends lost by the crash.
+        assert_eq!(v.alloc_seq(1), 3);
+        assert_eq!(v.alloc_seq(1), 4);
+        v.restore_with_skip(&snap, 1 << 16);
+        // Receive window survives unchanged; send counter jumps past
+        // anything the dirty window could have used.
+        let mut alice = [0u8; 32];
+        alice[..8].copy_from_slice(b"alice\0\0\0");
+        assert_eq!(v.last_seq(1, PrincipalId(alice)), 3);
+        assert_eq!(v.alloc_seq(1), 2 + (1 << 16) + 1);
+    }
+
+    #[test]
+    fn restore_with_skip_saturates() {
+        let mut v = validator();
+        v.send_seq.insert(7, u64::MAX - 10);
+        let snap = v.snapshot();
+        v.restore_with_skip(&snap, 1 << 16);
         assert_eq!(v.alloc_seq(7), u64::MAX);
     }
 

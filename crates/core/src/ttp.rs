@@ -58,6 +58,9 @@ pub struct Ttp {
     /// Message/tick counters, maintained by the scheduler-facing
     /// [`Actor`](crate::sched::Actor) impl.
     pub actor_stats: crate::obs::ActorStats,
+    /// Crash-recovery epochs survived; scales the sequence skip applied on
+    /// each restore.
+    restarts: u64,
 }
 
 impl Ttp {
@@ -73,7 +76,13 @@ impl Ttp {
             pending: HashMap::new(),
             stats: TtpStats::default(),
             actor_stats: crate::obs::ActorStats::default(),
+            restarts: 0,
         }
+    }
+
+    /// Crash-recovery epochs this TTP has survived.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts
     }
 
     /// This TTP's principal id.
@@ -258,6 +267,41 @@ impl Ttp {
             });
         }
         out
+    }
+}
+
+/// Durable image of a [`Ttp`]: the pending-resolve table and validator
+/// sequence state. Load statistics stay live (monotone telemetry).
+#[derive(Debug, Clone)]
+pub struct TtpSnapshot {
+    pending: HashMap<u64, PendingResolve>,
+    validator: crate::session::ValidatorSnapshot,
+    bytes: u64,
+}
+
+impl TtpSnapshot {
+    /// Approximate serialized size of this snapshot.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl crate::fault::Durable for Ttp {
+    type Snapshot = TtpSnapshot;
+
+    fn snapshot(&self) -> TtpSnapshot {
+        let mut bytes = self.validator.state_bytes() + 8;
+        for p in self.pending.values() {
+            bytes += (p.object.len() + p.data_hash.len() + 80) as u64;
+        }
+        TtpSnapshot { pending: self.pending.clone(), validator: self.validator.snapshot(), bytes }
+    }
+
+    fn restore(&mut self, snap: &TtpSnapshot) {
+        self.restarts += 1;
+        let skip = self.restarts.saturating_mul(crate::fault::SEQ_RECOVERY_SKIP);
+        self.pending = snap.pending.clone();
+        self.validator.restore_with_skip(&snap.validator, skip);
     }
 }
 

@@ -35,11 +35,11 @@ proptest! {
     ) {
         let mut w = World::new(seed, ProtocolConfig::full());
         let up = w.upload(&key, data.clone(), TimeoutStrategy::AbortFirst);
-        prop_assert_eq!(up.state, TxnState::Completed);
-        prop_assert_eq!(up.messages, 2);
-        let (down, got) = w.download(&key, TimeoutStrategy::AbortFirst);
-        prop_assert_eq!(down.state, TxnState::Completed);
-        prop_assert_eq!(got.unwrap(), data);
+        prop_assert_eq!(up.outcome, TxnState::Completed);
+        prop_assert_eq!(up.report.messages, 2);
+        let down = w.download(&key, TimeoutStrategy::AbortFirst);
+        prop_assert_eq!(down.outcome, TxnState::Completed);
+        prop_assert_eq!(down.data.clone().unwrap(), &data[..]);
         prop_assert_eq!(
             w.client.verify_download_against_upload(up.txn_id, down.txn_id),
             Some(true)
@@ -56,7 +56,7 @@ proptest! {
         let mut w = World::new(seed, ProtocolConfig::full());
         let up = w.upload(b"obj", data, TimeoutStrategy::AbortFirst);
         w.provider.tamper_storage(b"obj", tampered);
-        let (down, _) = w.download(b"obj", TimeoutStrategy::AbortFirst);
+        let down = w.download(b"obj", TimeoutStrategy::AbortFirst);
         prop_assert_eq!(
             w.client.verify_download_against_upload(up.txn_id, down.txn_id),
             Some(false)
@@ -77,7 +77,7 @@ proptest! {
         // ProviderAtFault.
         let mut w = World::new(seed, ProtocolConfig::full());
         let up = w.upload(b"obj", data, TimeoutStrategy::AbortFirst);
-        let (down, _) = w.download(b"obj", TimeoutStrategy::AbortFirst);
+        let down = w.download(b"obj", TimeoutStrategy::AbortFirst);
         let mut case = case_for(&w, up.txn_id, down.txn_id);
         match mutation {
             0 => { /* submit honestly */ }
@@ -120,7 +120,7 @@ proptest! {
         tampered.push(0xFF);
         let up = w.upload(b"obj", data, TimeoutStrategy::AbortFirst);
         w.provider.tamper_storage(b"obj", tampered);
-        let (down, _) = w.download(b"obj", TimeoutStrategy::AbortFirst);
+        let down = w.download(b"obj", TimeoutStrategy::AbortFirst);
         let mut case = case_for(&w, up.txn_id, down.txn_id);
         if hide_upload_nro {
             case.upload_nro = None;
@@ -155,9 +155,9 @@ proptest! {
         };
         let r = w.upload(b"obj", vec![7u8; 128], strategy);
         prop_assert!(
-            r.state.is_terminal(),
+            r.outcome.is_terminal(),
             "session stuck in {:?} (drop={drop_prob:.2}, dup={dup_prob:.2})",
-            r.state
+            r.outcome
         );
     }
 
@@ -175,7 +175,7 @@ proptest! {
             ..Default::default()
         });
         let r = w.upload(b"obj", vec![1u8; 64], TimeoutStrategy::AbortFirst);
-        prop_assert!(r.state.is_terminal());
+        prop_assert!(r.outcome.is_terminal());
         prop_assert_eq!(w.provider.txn_count(), 1);
     }
 }

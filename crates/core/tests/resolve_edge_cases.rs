@@ -35,7 +35,7 @@ fn abort_after_completion_is_rejected() {
         },
     ));
     let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
-    assert_eq!(r.state, TxnState::AbortRejected);
+    assert_eq!(r.outcome, TxnState::AbortRejected);
     assert!(w.client.txn(r.txn_id).unwrap().nrr.is_some(), "Bob's abort NRR archived");
     // The data IS stored — Bob completed his side.
     assert_eq!(w.provider.peek_storage(b"k"), Some(&b"data"[..]));
@@ -70,7 +70,7 @@ fn corrupted_abort_gets_error_reply_and_retry_succeeds() {
     ));
     let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
     // After the Error round-trip, the regenerated abort is accepted.
-    assert_eq!(r.state, TxnState::Aborted);
+    assert_eq!(r.outcome, TxnState::Aborted);
     assert!(corrupted_once.get(), "the corruption path actually ran");
     // The event stream shows an extra Abort/AbortReply pair beyond the
     // minimum (the garbled forgery plus the regenerated original).
@@ -84,7 +84,7 @@ fn forged_resolve_rejected_by_ttp() {
     // the TTP re-verifies the attached NRO signature against the directory.
     let mut w = World::new(13, ProtocolConfig::full());
     let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
-    assert_eq!(r.state, TxnState::Completed);
+    assert_eq!(r.outcome, TxnState::Completed);
 
     // Build a resolve whose NRO has a doctored hash.
     let mut nro = w.client.txn(r.txn_id).unwrap().nro.clone();
@@ -147,8 +147,8 @@ fn resolve_completes_then_late_receipt_is_harmless() {
     // Delay bob→alice by 90 seconds — far beyond the resolve settlement.
     w.net.set_link(b, a, LinkConfig::ideal(tpnr_net::time::SimDuration::from_secs(90)));
     let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
-    assert_eq!(r.state, TxnState::Completed);
-    assert!(r.ttp_used);
+    assert_eq!(r.outcome, TxnState::Completed);
+    assert!(r.report.ttp_used);
     // Deliver whatever is still in flight (the slow receipt).
     w.settle();
     assert_eq!(w.client.txn_state(r.txn_id), Some(TxnState::Completed));

@@ -21,6 +21,7 @@ const SCOPE: &[&str] = &[
     "core::evidence",
     "core::runner",
     "core::multi",
+    "core::fault",
     "net::codec",
     "net::secure",
 ];

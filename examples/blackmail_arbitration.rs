@@ -34,10 +34,10 @@ fn main() {
     w.provider.tamper_storage(b"ledger", b"cooked accounts".to_vec());
     println!("Eve quietly rewrites the stored object to 'cooked accounts'.");
 
-    let (down, got) = w.download(b"ledger", TimeoutStrategy::AbortFirst);
+    let down = w.download(b"ledger", TimeoutStrategy::AbortFirst);
     println!(
         "Alice downloads: {:?} — the session itself verifies cleanly!",
-        String::from_utf8_lossy(&got.unwrap())
+        String::from_utf8_lossy(down.data.as_ref().unwrap().as_ref())
     );
     println!(
         "integrity link says: {}",
@@ -59,7 +59,7 @@ fn main() {
     // world's key directory or every signature looks forged.
     let arb = Arbitrator::new(ProtocolConfig::full(), w.dir.clone());
     let up = w.upload(b"ledger", b"true accounts".to_vec(), TimeoutStrategy::AbortFirst);
-    let (down, _) = w.download(b"ledger", TimeoutStrategy::AbortFirst);
+    let down = w.download(b"ledger", TimeoutStrategy::AbortFirst);
     println!("Nothing was tampered, but Alice claims her data was destroyed and demands damages.");
 
     let verdict = arb.judge(&full_case(&w, up.txn_id, down.txn_id));

@@ -51,7 +51,7 @@ fn main() {
         manifest.canonical_bytes(),
         TimeoutStrategy::AbortFirst,
     );
-    let protocol_secs = report.latency.as_secs_f64();
+    let protocol_secs = report.report.latency.as_secs_f64();
     let shipping_secs = Shipment::typical_transit().as_secs_f64();
     println!("TPNR evidence exchange over a 100 ms-RTT WAN: {:.3} s", protocol_secs);
     println!("device in a truck:                            {:.0} s", shipping_secs);

@@ -23,22 +23,23 @@ fn main() {
     world.net.set_link(bob, c3_node, LinkConfig { drop_prob: 1.0, ..Default::default() });
 
     // Everyone uploads concurrently — transfers are all in flight together.
-    let txns: Vec<(usize, u64)> = (0..CLIENTS)
+    let txns: Vec<_> = (0..CLIENTS)
         .map(|i| {
             let key = format!("tenant-{i}/backup").into_bytes();
             let data = vec![i as u8; 512 + i * 100];
-            (i, world.start_upload(i, &key, data, TimeoutStrategy::ResolveImmediately))
+            world.start_upload(i, &key, data, TimeoutStrategy::ResolveImmediately)
         })
         .collect();
     world.settle();
 
-    for (i, txn) in &txns {
-        let state = world.state(*i, *txn).unwrap();
+    for h in &txns {
+        let i = h.client;
+        let state = world.state_of(*h).unwrap();
         println!(
             "client {i}: txn {:>12} -> {:?}{}",
-            txn,
+            h.txn_id,
             state,
-            if *i == unlucky { "   (receipts dropped; rescued via TTP)" } else { "" }
+            if i == unlucky { "   (receipts dropped; rescued via TTP)" } else { "" }
         );
         assert_eq!(state, TxnState::Completed);
     }
@@ -55,16 +56,16 @@ fn main() {
     // bulk data — the TTP never forwards data, per §4.3 — so the download
     // itself is retried over the healed link.)
     world.net.set_link(bob, c3_node, LinkConfig::default());
-    let down: Vec<(usize, u64)> = (0..CLIENTS)
+    let down: Vec<_> = (0..CLIENTS)
         .map(|i| {
             let key = format!("tenant-{i}/backup").into_bytes();
-            (i, world.start_download(i, &key, TimeoutStrategy::AbortFirst))
+            world.start_download(i, &key, TimeoutStrategy::AbortFirst)
         })
         .collect();
     world.settle();
-    for (i, txn) in down {
-        let payload = world.clients[i].download_result(txn).expect("download complete");
-        assert_eq!(payload.data.len(), 512 + i * 100);
+    for h in down {
+        let payload = world.clients[h.client].download_result(h.txn_id).expect("download complete");
+        assert_eq!(payload.data.len(), 512 + h.client * 100);
     }
     println!("all tenants verified their round-trips — evidence archived per tenant.");
 }

@@ -20,10 +20,10 @@ fn main() {
     let up = world.upload(b"backup/q3", data.clone(), TimeoutStrategy::AbortFirst);
     println!(
         "upload:   state={:?}  messages={}  latency={:.1} ms  ttp_used={}",
-        up.state,
-        up.messages,
-        up.latency.as_secs_f64() * 1e3,
-        up.ttp_used
+        up.outcome,
+        up.report.messages,
+        up.report.latency.as_secs_f64() * 1e3,
+        up.report.ttp_used
     );
 
     // Both sides now hold signed evidence.
@@ -39,12 +39,12 @@ fn main() {
     );
 
     // --- Download ---------------------------------------------------------
-    let (down, received) = world.download(b"backup/q3", TimeoutStrategy::AbortFirst);
+    let down = world.download(b"backup/q3", TimeoutStrategy::AbortFirst);
     println!(
         "\ndownload: state={:?}  messages={}  data intact={}",
-        down.state,
-        down.messages,
-        received.as_deref() == Some(&data[..])
+        down.outcome,
+        down.report.messages,
+        down.data.as_ref().map(tpnr_net::Bytes::as_ref) == Some(&data[..])
     );
 
     // --- The integrity link the paper adds --------------------------------

@@ -3,3 +3,4 @@
 #![forbid(unsafe_code)]
 
 pub use tpnr_core as core;
+pub use tpnr_core::prelude;

@@ -27,8 +27,8 @@ fn figure5_story_platforms_fail_tpnr_closes_gap() {
     let mut w = World::new(1, ProtocolConfig::full());
     let up = w.upload(b"k", b"true".to_vec(), TimeoutStrategy::AbortFirst);
     w.provider.tamper_storage(b"k", b"fake".to_vec());
-    let (down, got) = w.download(b"k", TimeoutStrategy::AbortFirst);
-    assert_eq!(got.unwrap(), b"fake");
+    let down = w.download(b"k", TimeoutStrategy::AbortFirst);
+    assert_eq!(down.data.clone().unwrap(), &b"fake"[..]);
     assert_eq!(w.client.verify_download_against_upload(up.txn_id, down.txn_id), Some(false));
 
     let arb = Arbitrator::new(ProtocolConfig::full(), w.dir.clone());
@@ -53,13 +53,13 @@ fn many_objects_many_transactions() {
         let key = format!("backup/file-{i}").into_bytes();
         let data = vec![(i % 256) as u8; 100 + i as usize * 37];
         let r = w.upload(&key, data.clone(), TimeoutStrategy::AbortFirst);
-        assert_eq!(r.state, TxnState::Completed);
-        assert_eq!(r.messages, 2);
+        assert_eq!(r.outcome, TxnState::Completed);
+        assert_eq!(r.report.messages, 2);
         txns.push((key, data, r.txn_id));
     }
     for (key, data, up_txn) in &txns {
-        let (down, got) = w.download(key, TimeoutStrategy::AbortFirst);
-        assert_eq!(got.unwrap(), *data);
+        let down = w.download(key, TimeoutStrategy::AbortFirst);
+        assert_eq!(down.data.clone().unwrap(), &data[..]);
         assert_eq!(w.client.verify_download_against_upload(*up_txn, down.txn_id), Some(true));
     }
     assert_eq!(w.provider.txn_count(), 40);
@@ -70,8 +70,8 @@ fn versioned_overwrites_keep_latest_receipt_chain() {
     let mut w = World::new(3, ProtocolConfig::full());
     let v1 = w.upload(b"doc", b"v1".to_vec(), TimeoutStrategy::AbortFirst);
     let v2 = w.upload(b"doc", b"v2".to_vec(), TimeoutStrategy::AbortFirst);
-    let (down, got) = w.download(b"doc", TimeoutStrategy::AbortFirst);
-    assert_eq!(got.unwrap(), b"v2");
+    let down = w.download(b"doc", TimeoutStrategy::AbortFirst);
+    assert_eq!(down.data.clone().unwrap(), &b"v2"[..]);
     // The download matches the latest upload and (correctly) contradicts v1.
     assert_eq!(w.client.verify_download_against_upload(v2.txn_id, down.txn_id), Some(true));
     assert_eq!(w.client.verify_download_against_upload(v1.txn_id, down.txn_id), Some(false));
@@ -82,9 +82,9 @@ fn download_of_missing_object_is_attested_empty() {
     // Bob signs a receipt for "object k has no bytes" — which protects him
     // from later claims that he lost data that was never there.
     let mut w = World::new(4, ProtocolConfig::full());
-    let (down, got) = w.download(b"never-uploaded", TimeoutStrategy::AbortFirst);
-    assert_eq!(down.state, TxnState::Completed);
-    assert_eq!(got.unwrap(), b"");
+    let down = w.download(b"never-uploaded", TimeoutStrategy::AbortFirst);
+    assert_eq!(down.outcome, TxnState::Completed);
+    assert_eq!(down.data.clone().unwrap(), &b""[..]);
 }
 
 #[test]
@@ -95,8 +95,8 @@ fn loss_sweep_terminates_and_completes_often() {
         let mut w = World::new(100 + seed, ProtocolConfig::full());
         w.set_all_links(LinkConfig::lossy(SimDuration::from_millis(20), 0.25));
         let r = w.upload(b"k", vec![1u8; 64], TimeoutStrategy::ResolveImmediately);
-        assert!(r.state.is_terminal(), "seed {seed}: {:?}", r.state);
-        if r.state == TxnState::Completed {
+        assert!(r.outcome.is_terminal(), "seed {seed}: {:?}", r.outcome);
+        if r.outcome == TxnState::Completed {
             completed += 1;
         }
     }
@@ -112,8 +112,8 @@ fn asymmetric_outage_only_receipts_lost() {
     let (a, b) = (w.alice_node, w.bob_node);
     w.net.set_link(b, a, LinkConfig { drop_prob: 1.0, ..Default::default() });
     let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
-    assert_eq!(r.state, TxnState::Completed);
-    assert!(r.ttp_used);
+    assert_eq!(r.outcome, TxnState::Completed);
+    assert!(r.report.ttp_used);
     assert!(w.client.txn(r.txn_id).unwrap().nrr.is_some());
     assert_eq!(w.provider.peek_storage(b"k"), Some(&b"data"[..]));
 }
@@ -123,7 +123,7 @@ fn abort_settles_when_provider_ignores_transfers() {
     let mut w = World::new(6, ProtocolConfig::full());
     w.provider.behavior.respond_transfers = false;
     let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
-    assert_eq!(r.state, TxnState::Aborted);
+    assert_eq!(r.outcome, TxnState::Aborted);
     // Alice holds Bob's signed abort acknowledgement — her protection.
     assert!(w.client.txn(r.txn_id).unwrap().nrr.is_some());
 }
@@ -134,9 +134,9 @@ fn md5_mode_matches_the_2010_platforms() {
     // platforms under study.
     let mut w = World::new(7, ProtocolConfig::full().with_md5());
     let up = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
-    assert_eq!(up.state, TxnState::Completed);
-    let (down, got) = w.download(b"k", TimeoutStrategy::AbortFirst);
-    assert_eq!(got.unwrap(), b"data");
+    assert_eq!(up.outcome, TxnState::Completed);
+    let down = w.download(b"k", TimeoutStrategy::AbortFirst);
+    assert_eq!(down.data.clone().unwrap(), &b"data"[..]);
     assert_eq!(w.client.verify_download_against_upload(up.txn_id, down.txn_id), Some(true));
     assert_eq!(
         w.client.txn(up.txn_id).unwrap().nrr.as_ref().unwrap().plaintext.data_hash.len(),

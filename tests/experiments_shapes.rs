@@ -27,16 +27,16 @@ fn e2_shape_two_vs_four_steps() {
         let mut w = World::new(rtt_ms, ProtocolConfig::full());
         w.set_all_links(LinkConfig::ideal(one_way));
         let r = w.upload(b"k", vec![0u8; 1024], TimeoutStrategy::AbortFirst);
-        assert_eq!(r.messages, 2);
-        assert!(!r.ttp_used);
+        assert_eq!(r.report.messages, 2);
+        assert!(!r.report.ttp_used);
 
         let b = tpnr::core::baseline::run_exchange(rtt_ms, &[0u8; 1024], one_way).unwrap();
         assert!(b.messages >= 4);
         assert!(b.ttp_used);
         assert!(
-            r.latency.micros() * 2 == b.latency.micros(),
+            r.report.latency.micros() * 2 == b.latency.micros(),
             "TPNR settles in half the wall time ({} vs {})",
-            r.latency.micros(),
+            r.report.latency.micros(),
             b.latency.micros()
         );
     }
@@ -72,8 +72,8 @@ fn e6_shape_ttp_offline_at_zero_faults() {
             vec![0u8; 64],
             TimeoutStrategy::ResolveImmediately,
         );
-        assert_eq!(r.state, TxnState::Completed);
-        assert!(!r.ttp_used, "healthy network must never touch the TTP");
+        assert_eq!(r.outcome, TxnState::Completed);
+        assert!(!r.report.ttp_used, "healthy network must never touch the TTP");
     }
     assert_eq!(w.ttp.stats.resolves_received, 0);
 }
@@ -86,8 +86,8 @@ fn e6_shape_ttp_engaged_under_faults() {
         let (a, b) = (w.alice_node, w.bob_node);
         w.net.set_link(b, a, LinkConfig::lossy(SimDuration::from_millis(25), 0.9));
         let r = w.upload(b"k", vec![0u8; 64], TimeoutStrategy::ResolveImmediately);
-        assert!(r.state.is_terminal());
-        if r.ttp_used {
+        assert!(r.outcome.is_terminal());
+        if r.report.ttp_used {
             engaged += 1;
         }
     }
@@ -132,7 +132,7 @@ fn e5_shape_protocol_negligible_vs_shipping() {
     let mut w = World::new(50, ProtocolConfig::full());
     w.set_all_links(LinkConfig::ideal(SimDuration::from_millis(50)));
     let r = w.upload(b"manifest", vec![0u8; 4096], TimeoutStrategy::AbortFirst);
-    let protocol = r.latency.as_secs_f64();
+    let protocol = r.report.latency.as_secs_f64();
     let shipping = SimDuration::from_hours(72).as_secs_f64();
     assert!(protocol / shipping < 1e-5);
 }
