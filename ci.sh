@@ -62,6 +62,25 @@ if grep -Eq '"(limbo|evidence_loss)":[1-9]' "$bench_e8"; then
 fi
 rm -f "$bench_e8"
 
+# Scale smoke: the E10 sweep must stay machine-readable, the delivery
+# conservation law (delivered + dropped == sent + duplicated) must hold in
+# every lane, and eviction to the archive may never lose evidence —
+# "conservation_violations"/"evidence_loss" must be 0 in every row, and
+# "evicted" must be non-zero (the bounded-memory path actually engaged).
+echo "==> experiments --bench-e10 --quick"
+bench_e10="$(mktemp)"
+cargo run -q -p tpnr-bench --bin experiments -- --bench-e10 "$bench_e10" --quick
+cargo run -q -p tpnr-bench --bin experiments -- --validate-jsonl "$bench_e10"
+if grep -Eq '"(conservation_violations|evidence_loss)":[1-9]' "$bench_e10"; then
+    echo "error: scale sweep broke conservation or lost evidence" >&2
+    exit 1
+fi
+if grep -q '"evicted":0,' "$bench_e10"; then
+    echo "error: scale sweep never evicted — bounded-memory path untested" >&2
+    exit 1
+fi
+rm -f "$bench_e10"
+
 # Allowlist audit: the lint gate above already fails on unallowlisted
 # findings; also fail if the allowlist itself has rotted (stale entries).
 echo "==> tpnr-lint allowlist audit"

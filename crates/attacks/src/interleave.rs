@@ -10,8 +10,7 @@
 //! where that structure is absent.
 
 use crate::harness::{AttackKind, AttackOutcome};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tpnr_core::client::TimeoutStrategy;
 use tpnr_core::config::{Ablation, ProtocolConfig};
 use tpnr_core::message::Message;
@@ -27,14 +26,14 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let mut w = World::new(71, cfg);
 
     // Record bob→alice receipts.
-    let tape: Rc<RefCell<Vec<Bytes>>> = Rc::new(RefCell::new(Vec::new()));
+    let tape: Arc<Mutex<Vec<Bytes>>> = Arc::new(Mutex::new(Vec::new()));
     let tap = tape.clone();
     let bob_node = w.bob_node;
     let alice_node = w.alice_node;
     w.net.set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, payload: &[u8], _t| {
             if src == bob_node && dst == alice_node {
-                tap.borrow_mut().push(Bytes::from(payload.to_vec()));
+                tap.lock().unwrap().push(Bytes::from(payload.to_vec()));
             }
             Action::Deliver
         },
@@ -42,7 +41,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
 
     // Session 1 completes normally; its receipt is on tape.
     let _r1 = w.upload(b"same-object", b"same bytes".to_vec(), TimeoutStrategy::AbortFirst);
-    let session1_receipt = Message::from_wire_bytes(&tape.borrow()[0]).unwrap();
+    let session1_receipt = Message::from_wire_bytes(&tape.lock().unwrap()[0]).unwrap();
 
     // Session 2: identical object and bytes, but a new transaction. The
     // attacker suppresses Bob's real receipt and splices in session 1's.

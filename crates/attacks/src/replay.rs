@@ -8,8 +8,7 @@
 //! it could not read or modify.
 
 use crate::harness::{AttackKind, AttackOutcome};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tpnr_core::client::TimeoutStrategy;
 use tpnr_core::config::{Ablation, ProtocolConfig};
 use tpnr_core::message::Message;
@@ -24,7 +23,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let mut w = World::new(41, cfg);
 
     // A passive wiretap records alice→bob traffic.
-    let tape: Rc<RefCell<Vec<Bytes>>> = Rc::new(RefCell::new(Vec::new()));
+    let tape: Arc<Mutex<Vec<Bytes>>> = Arc::new(Mutex::new(Vec::new()));
     let tap = tape.clone();
     let alice_node = w.alice_node;
     let bob_node = w.bob_node;
@@ -33,7 +32,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
             if src == alice_node && dst == bob_node {
                 // The wiretap's own recording copy; replaying the capture
                 // later decodes it as a shared zero-copy frame.
-                tap.borrow_mut().push(Bytes::from(payload.to_vec()));
+                tap.lock().unwrap().push(Bytes::from(payload.to_vec()));
             }
             Action::Deliver
         },
@@ -45,7 +44,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     assert_eq!(w.provider.peek_storage(b"doc"), Some(&b"version 2"[..]));
 
     // The attacker replays the captured v1 transfer verbatim.
-    let captured = tape.borrow()[0].clone();
+    let captured = tape.lock().unwrap()[0].clone();
     let replayed = Message::from_wire_bytes(&captured).expect("captured frame decodes");
     assert_eq!(replayed.txn_id(), r1.txn_id);
     let alice_id = w.client.id();

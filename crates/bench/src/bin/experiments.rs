@@ -11,6 +11,9 @@
 //! - `--bench-e8 [path|-] [--quick]` emits the E8 crash-recovery chaos
 //!   sweep as JSONL (`BENCH_e8.json`); `--quick` trims probabilities and
 //!   trial counts for the CI smoke step;
+//! - `--bench-e10 [path|-] [--quick]` emits the E10 timer-wheel +
+//!   sharded-state scale sweep as JSONL (`BENCH_e10.json`); `--quick` caps
+//!   the client sweep at 50k for the CI smoke step;
 //! - `--validate-jsonl <file>` syntax-checks such an export (CI uses this
 //!   pair to guard the formats).
 
@@ -92,6 +95,29 @@ fn main() {
                 }
             }
         }
+        Some("--bench-e10") => {
+            let mut path: Option<&str> = None;
+            let mut quick = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    p => path = Some(p),
+                }
+            }
+            let counts: &[usize] =
+                if quick { &[1_000, 10_000, 50_000] } else { &[1_000, 10_000, 100_000, 250_000] };
+            let json = render_bench_e10_json(&e10_scale(counts, 2026));
+            match path {
+                None | Some("-") => print!("{json}"),
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &json) {
+                        eprintln!("error: cannot write {p}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {} JSONL lines to {p}", json.lines().count());
+                }
+            }
+        }
         Some("--validate-jsonl") => {
             let Some(path) = args.get(1) else {
                 eprintln!("usage: experiments --validate-jsonl <file>");
@@ -116,7 +142,7 @@ fn main() {
             eprintln!(
                 "unknown flag {other}; supported: --trace-jsonl [path|-], \
                  --bench-e4 [path|-] [--quick], --bench-e8 [path|-] [--quick], \
-                 --validate-jsonl <file>"
+                 --bench-e10 [path|-] [--quick], --validate-jsonl <file>"
             );
             std::process::exit(2);
         }
@@ -142,4 +168,5 @@ fn print_tables() {
     println!("{}", render_e6(&e6_ttp_load(&[0.0, 0.05, 0.1, 0.2, 0.3, 0.5], 40)));
     println!("{}", render_e7(&e7_bridge_schemes(2026)));
     println!("{}", render_e8(&e8_chaos(&[0, 100, 200, 300], 40)));
+    println!("{}", render_e10(&e10_scale(&[1_000, 5_000], 2026)));
 }

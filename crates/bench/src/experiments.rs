@@ -1,4 +1,4 @@
-//! The E1–E7 experiment implementations (DESIGN.md §5).
+//! The E1–E10 experiment implementations (DESIGN.md §5).
 
 use tpnr_core::bridge::{self, BridgingScheme, DisputeScenario, SchemeKind};
 use tpnr_core::client::TimeoutStrategy;
@@ -484,6 +484,231 @@ pub fn e8_chaos(crash_permilles: &[u32], trials: usize) -> Vec<E8Row> {
                 retries: sum[5],
                 gave_up: sum[6],
                 snapshot_bytes: sum[7],
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- E10 ----
+
+/// One row of the E10 scale sweep: a population of `clients` clients, one
+/// upload each, driven across independent simulation lanes in parallel.
+/// All fields except the host-timing pair (`elapsed_ms`, `txn_per_sec`)
+/// are deterministic in the seed.
+#[derive(Debug, Clone)]
+pub struct E10Row {
+    /// Total simulated clients (= transactions attempted).
+    pub clients: u64,
+    /// Independent simulation lanes the population was split into.
+    pub lanes: u64,
+    /// Transactions completed with full evidence.
+    pub completed: u64,
+    /// Host wall-clock for build + run + verify, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Settled transactions per host-second.
+    pub txn_per_sec: u64,
+    /// Median settle latency (sim-time µs, initiation → last delivery).
+    pub p50_us: u64,
+    /// 99th-percentile settle latency (sim-time µs).
+    pub p99_us: u64,
+    /// Sealed archive-log bytes per client (the at-rest evidence cost).
+    pub bytes_per_client: u64,
+    /// Messages handed to the simulator across all lanes.
+    pub sent: u64,
+    /// Messages delivered to an inbox (duplicates count per copy).
+    pub delivered: u64,
+    /// Messages the network lost.
+    pub dropped: u64,
+    /// Duplicate copies the network injected.
+    pub duplicated: u64,
+    /// Lanes where `delivered + dropped != sent + duplicated` (or that
+    /// failed to reach quiescence). The conservation law must hold: 0.
+    pub conservation_violations: u64,
+    /// Settled txns evicted to sealed archive logs.
+    pub evicted: u64,
+    /// Archived bundles re-hydrated (the verify pass reads every one).
+    pub rehydrated: u64,
+    /// Live per-txn bookkeeping entries left across all lanes at the end —
+    /// the bounded-resident-memory claim.
+    pub resident: u64,
+    /// Total sealed archive-log bytes.
+    pub archive_bytes: u64,
+    /// Arbitrable txns whose evidence did not survive eviction +
+    /// re-hydration (must be 0: eviction moves evidence, never loses it).
+    pub evidence_loss: u64,
+    /// Transactions whose retry budget was exhausted.
+    pub gave_up: u64,
+}
+
+/// Clients per E10 simulation lane (also the shared principal-pool size).
+const E10_LANE: usize = 256;
+
+/// Per-lane driver: start one upload per client, settle, then audit every
+/// evicted transaction's archived evidence. Returns the lane's tallies.
+fn e10_run_lane(w: &mut tpnr_core::multi::MultiWorld) -> E10LaneStats {
+    // Keep the resident settled set small so eviction engages at every
+    // lane size (16 shards × 8 = 128 hot txns per lane).
+    w.set_archive_capacity(8);
+    let n_c = w.clients.len();
+    let mut handles = Vec::with_capacity(n_c);
+    for i in 0..n_c {
+        let key = format!("u{i}").into_bytes();
+        handles.push(w.start_upload(
+            i,
+            &key,
+            vec![(i % 251) as u8; 64],
+            TimeoutStrategy::ResolveImmediately,
+        ));
+    }
+    let s = w.settle();
+    let quiescent = s.outcome == tpnr_core::sched::SettleOutcome::Quiescent;
+
+    let mut completed = 0u64;
+    let mut evidence_loss = 0u64;
+    for &h in &handles {
+        let st = w.state_of(h);
+        if st == Some(TxnState::Completed) {
+            completed += 1;
+        }
+        let arbitrable = st.is_some_and(|st| st.is_terminal());
+        if !arbitrable {
+            continue;
+        }
+        if w.clients[h.client].txn(h.txn_id).is_some() {
+            continue; // still resident; evidence lives in the client record
+        }
+        // Evicted: the archived bundle must re-hydrate with the client's
+        // NRO (and, for completed txns, the NRR receipt) intact.
+        let ok = w.rehydrate_evidence(h.txn_id).is_some_and(|b| {
+            b.structurally_sound()
+                && b.get("client-nro").is_some()
+                && (st != Some(TxnState::Completed) || b.get("client-nrr").is_some())
+        });
+        if !ok {
+            evidence_loss += 1;
+        }
+    }
+
+    let net = &w.net.stats;
+    let conservation_ok = net.delivered + net.dropped == net.sent + net.duplicated;
+    let a = w.archive_stats();
+    E10LaneStats {
+        completed,
+        evidence_loss,
+        violation: u64::from(!conservation_ok || !quiescent),
+        sent: net.sent,
+        delivered: net.delivered,
+        dropped: net.dropped,
+        duplicated: net.duplicated,
+        evicted: a.evicted,
+        rehydrated: a.rehydrated,
+        resident: w.resident_txns() as u64,
+        archive_bytes: a.log_bytes,
+        gave_up: w.fault_counters().gave_up,
+        latency: w.obs.metrics.latency_us.clone(),
+    }
+}
+
+struct E10LaneStats {
+    completed: u64,
+    evidence_loss: u64,
+    violation: u64,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    duplicated: u64,
+    evicted: u64,
+    rehydrated: u64,
+    resident: u64,
+    archive_bytes: u64,
+    gave_up: u64,
+    latency: tpnr_core::obs::Histogram,
+}
+
+/// E10: timer-wheel + sharded-state scale sweep. Each client count is split
+/// into lanes of [`E10_LANE`] clients; lanes are independent `MultiWorld`s
+/// (own simulator, shared principal pool — RSA keygen is the scale wall, so
+/// one pool of keys serves every lane) driven concurrently with
+/// `par_map_mut`, batched so resident memory stays at one batch of lanes.
+/// Reports throughput, settle-latency quantiles, archive behaviour, and
+/// the delivery conservation law.
+pub fn e10_scale(client_counts: &[usize], seed: u64) -> Vec<E10Row> {
+    use tpnr_core::multi::MultiWorld;
+    use tpnr_core::principal::Principal;
+
+    let bob = Principal::test("bob", seed.wrapping_mul(11).wrapping_add(1));
+    let ttp = Principal::test("ttp", seed.wrapping_mul(11).wrapping_add(2));
+    let pool_n = client_counts.iter().copied().max().unwrap_or(0).min(E10_LANE);
+    let pool: Vec<Principal> = crate::par_map_indexed(pool_n, |i| {
+        Principal::test(&format!("client-{i}"), seed.wrapping_mul(11) + 10 + i as u64)
+    });
+
+    client_counts
+        .iter()
+        .map(|&n| {
+            assert!(n > 0);
+            let lanes_n = n.div_ceil(E10_LANE);
+            let batch = std::thread::available_parallelism().map_or(4, |p| p.get());
+            let sw = HostStopwatch::start();
+            let mut sum = [0u64; 12];
+            let mut latency = tpnr_core::obs::Histogram::default();
+            let mut first = 0usize;
+            while first < lanes_n {
+                let count = batch.min(lanes_n - first);
+                let mut lanes: Vec<MultiWorld> = (first..first + count)
+                    .map(|l| {
+                        let c = (n - l * E10_LANE).min(E10_LANE);
+                        MultiWorld::with_principals(
+                            seed.wrapping_add(l as u64),
+                            ProtocolConfig::full(),
+                            &pool[..c],
+                            &bob,
+                            &ttp,
+                        )
+                    })
+                    .collect();
+                for st in crate::par_map_mut(&mut lanes, |_, w| e10_run_lane(w)) {
+                    for (a, v) in sum.iter_mut().zip([
+                        st.completed,
+                        st.evidence_loss,
+                        st.violation,
+                        st.sent,
+                        st.delivered,
+                        st.dropped,
+                        st.duplicated,
+                        st.evicted,
+                        st.rehydrated,
+                        st.resident,
+                        st.archive_bytes,
+                        st.gave_up,
+                    ]) {
+                        *a += v;
+                    }
+                    latency.merge(&st.latency);
+                }
+                first += count;
+            }
+            let elapsed = sw.elapsed_secs_f64();
+            E10Row {
+                clients: n as u64,
+                lanes: lanes_n as u64,
+                completed: sum[0],
+                elapsed_ms: (elapsed * 1000.0) as u64,
+                txn_per_sec: (n as f64 / elapsed.max(1e-9)) as u64,
+                p50_us: latency.quantile(0.5).unwrap_or(0),
+                p99_us: latency.quantile(0.99).unwrap_or(0),
+                bytes_per_client: sum[10] / n as u64,
+                sent: sum[3],
+                delivered: sum[4],
+                dropped: sum[5],
+                duplicated: sum[6],
+                conservation_violations: sum[2],
+                evicted: sum[7],
+                rehydrated: sum[8],
+                resident: sum[9],
+                archive_bytes: sum[10],
+                evidence_loss: sum[1],
+                gave_up: sum[11],
             }
         })
         .collect()

@@ -243,6 +243,70 @@ pub fn render_bench_e8_json(rows: &[E8Row]) -> String {
     out
 }
 
+/// Renders E10 as a table.
+pub fn render_e10(rows: &[E10Row]) -> String {
+    let mut out = String::from(
+        "E10 / §4.12 — timer-wheel + sharded-state scale sweep\n\
+         clients  lanes  txn/s    p50 us  p99 us  B/client  evicted  resident  cons-viol  evid-loss\n\
+         -------  -----  -------  ------  ------  --------  -------  --------  ---------  ---------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>7}  {:>5}  {:>7}  {:>6}  {:>6}  {:>8}  {:>7}  {:>8}  {:>9}  {:>9}\n",
+            r.clients,
+            r.lanes,
+            r.txn_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.bytes_per_client,
+            r.evicted,
+            r.resident,
+            r.conservation_violations,
+            r.evidence_loss,
+        ));
+    }
+    out
+}
+
+/// Renders the E10 scale sweep as machine-readable JSONL (one object per
+/// line, `validate_jsonl`-clean, all-integer fields). Written to
+/// `BENCH_e10.json` by `experiments --bench-e10`. The host-timing pair
+/// (`elapsed_ms`, `txn_per_sec`) is the only non-deterministic content;
+/// everything else is byte-identical across reruns of the same seed.
+pub fn render_bench_e10_json(rows: &[E10Row]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{{\"kind\":\"e10\",\"clients\":{},\"lanes\":{},\"completed\":{},\
+             \"elapsed_ms\":{},\"txn_per_sec\":{},\"p50_us\":{},\"p99_us\":{},\
+             \"bytes_per_client\":{},\"sent\":{},\"delivered\":{},\"dropped\":{},\
+             \"duplicated\":{},\"conservation_violations\":{},\"evicted\":{},\
+             \"rehydrated\":{},\"resident\":{},\"archive_bytes\":{},\
+             \"evidence_loss\":{},\"gave_up\":{}}}\n",
+            r.clients,
+            r.lanes,
+            r.completed,
+            r.elapsed_ms,
+            r.txn_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.bytes_per_client,
+            r.sent,
+            r.delivered,
+            r.dropped,
+            r.duplicated,
+            r.conservation_violations,
+            r.evicted,
+            r.rehydrated,
+            r.resident,
+            r.archive_bytes,
+            r.evidence_loss,
+            r.gave_up,
+        ));
+    }
+    out
+}
+
 // ------------------------------------------------------------- JSONL ----
 
 /// Escapes `s` for inclusion inside a JSON string literal.
@@ -652,6 +716,53 @@ mod tests {
         assert!(jsonl.contains("\"limbo\":0"));
         // The table renderer covers every row too.
         assert_eq!(render_e8(&rows).lines().count(), 3 + rows.len());
+    }
+
+    #[test]
+    fn bench_e10_json_is_valid_jsonl_and_invariants_hold() {
+        // Two counts, one straddling the lane boundary so a ragged final
+        // lane is exercised.
+        let rows = e10_scale(&[40, 300], 7);
+        let jsonl = render_bench_e10_json(&rows);
+        assert_eq!(validate_jsonl(&jsonl), Ok(2));
+        assert!(jsonl.contains("\"kind\":\"e10\""));
+        for r in &rows {
+            assert_eq!(r.completed, r.clients, "fault-free lanes settle every txn");
+            assert_eq!(r.conservation_violations, 0);
+            assert_eq!(r.evidence_loss, 0);
+            assert_eq!(r.gave_up, 0);
+            assert_eq!(r.delivered + r.dropped, r.sent + r.duplicated);
+            assert!(r.p50_us > 0 && r.p99_us >= r.p50_us);
+        }
+        // 300 clients > 16 shards × 8 hot per lane → eviction engaged, the
+        // archive holds bytes, and the resident set is bounded below the
+        // txn count.
+        let big = &rows[1];
+        assert!(big.evicted > 0, "eviction must engage at 300 clients");
+        assert!(big.rehydrated >= big.evicted, "verify pass reads every evicted bundle");
+        assert!(big.archive_bytes > 0 && big.bytes_per_client > 0);
+        assert!(big.resident < big.clients, "resident set bounded: {}", big.resident);
+        assert_eq!(render_e10(&rows).lines().count(), 3 + rows.len());
+    }
+
+    #[test]
+    fn bench_e10_non_timing_fields_are_deterministic() {
+        let strip = |rows: &[E10Row]| {
+            render_bench_e10_json(rows)
+                .lines()
+                .map(|l| {
+                    // Drop the host-timing pair; everything else must be
+                    // byte-identical across reruns.
+                    l.split(',')
+                        .filter(|f| !f.contains("\"elapsed_ms\"") && !f.contains("\"txn_per_sec\""))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = e10_scale(&[200], 11);
+        let b = e10_scale(&[200], 11);
+        assert_eq!(strip(&a), strip(&b));
     }
 
     #[test]

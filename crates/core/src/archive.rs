@@ -11,9 +11,12 @@
 //! cycles.
 
 use crate::evidence::VerifiedEvidence;
+use crate::session::TxnState;
+use std::collections::{BTreeMap, VecDeque};
 use tpnr_crypto::hash::Digest as _;
 use tpnr_crypto::sha2::Sha256;
 use tpnr_net::codec::{CodecError, Reader, Wire, Writer};
+use tpnr_net::time::{SimDuration, SimTime};
 
 /// Bundle format version.
 pub const BUNDLE_VERSION: u16 = 1;
@@ -158,6 +161,207 @@ impl EvidenceBundle {
     }
 }
 
+/// Shard count for the settled-transaction archive. Power of two so the
+/// shard index is a mask of the mixed txn id.
+pub const ARCHIVE_SHARDS: usize = 16;
+
+/// Default number of settled transactions each shard keeps resident ("hot")
+/// before the oldest is sealed into the append-only log. 16 shards × 64 =
+/// 1024 hot settled txns by default, comfortably above every invariant
+/// test's population so eviction only engages at experiment scale (or when
+/// a test lowers the cap on purpose).
+pub const DEFAULT_HOT_CAPACITY: usize = 64;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Compact accounting record kept per archived transaction — everything the
+/// world still needs to answer `report()`/`state_of()` questions after the
+/// live per-txn state has been dropped. The evidence itself lives in the
+/// shard's sealed log; `offset`/`len` locate the bundle for re-hydration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchivedTxn {
+    /// Index of the owning client in its world.
+    pub client: usize,
+    /// When the transaction was started.
+    pub started: SimTime,
+    /// Terminal state at eviction time.
+    pub state: TxnState,
+    /// Messages sent on the wire for this txn (from net accounting).
+    pub messages: u64,
+    /// Payload bytes sent for this txn.
+    pub bytes: u64,
+    /// Start → last delivery latency.
+    pub latency: SimDuration,
+    /// Whether the TTP was involved (Resolve path).
+    pub ttp_used: bool,
+    shard: usize,
+    offset: usize,
+    len: usize,
+}
+
+#[derive(Debug, Default)]
+struct ArchiveShard {
+    /// Settled-but-still-resident txns, oldest first.
+    settled: VecDeque<u64>,
+    /// Append-only sealed-bundle log ([`EvidenceBundle::save`] wire form,
+    /// concatenated).
+    log: Vec<u8>,
+}
+
+/// Counters for the archive's behaviour under load (E10 exhibits).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArchiveStats {
+    /// Settled txns evicted to a sealed log so far.
+    pub evicted: u64,
+    /// Archived txns re-hydrated for arbitration/reporting.
+    pub rehydrated: u64,
+    /// Settled txns still resident (not yet evicted).
+    pub resident_settled: usize,
+    /// Total bytes across all shard logs.
+    pub log_bytes: u64,
+}
+
+/// Bounded-memory store for settled transactions, sharded by txn-id hash.
+///
+/// Live per-txn state (validator windows, client/provider/TTP records,
+/// observability tallies) grows without bound in a long-running world unless
+/// settled transactions are retired. The archive keeps each shard's most
+/// recent `hot_capacity` settled txns resident; older ones are *evicted*:
+/// their evidence is sealed into the shard's append-only log (reusing the
+/// [`EvidenceBundle`] wire form, digest-protected) and only the compact
+/// [`ArchivedTxn`] index record stays in memory. Arbitration and reporting
+/// re-hydrate bundles from the log on demand — evidence is never lost, it
+/// just stops costing live-map memory.
+#[derive(Debug)]
+pub struct TxnArchive {
+    shards: Vec<ArchiveShard>,
+    hot_capacity: usize,
+    index: BTreeMap<u64, ArchivedTxn>,
+    evicted: u64,
+    rehydrated: std::cell::Cell<u64>,
+}
+
+impl Default for TxnArchive {
+    fn default() -> Self {
+        Self::with_hot_capacity(DEFAULT_HOT_CAPACITY)
+    }
+}
+
+impl TxnArchive {
+    /// Archive with the default per-shard hot capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Archive keeping `hot_capacity` settled txns resident per shard
+    /// (minimum 1 — a settled txn is never evicted in the same step it
+    /// settles, so in-flight duplicates still hit the live validator first).
+    pub fn with_hot_capacity(hot_capacity: usize) -> Self {
+        TxnArchive {
+            shards: (0..ARCHIVE_SHARDS).map(|_| ArchiveShard::default()).collect(),
+            hot_capacity: hot_capacity.max(1),
+            index: BTreeMap::new(),
+            evicted: 0,
+            rehydrated: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Changes the per-shard hot capacity. Over-full shards drain one
+    /// eviction per subsequent settle (one-in-one-out beyond the cap).
+    pub fn set_hot_capacity(&mut self, hot_capacity: usize) {
+        self.hot_capacity = hot_capacity.max(1);
+    }
+
+    /// Which shard a transaction belongs to.
+    pub fn shard_of(txn_id: u64) -> usize {
+        (splitmix64(txn_id) & (ARCHIVE_SHARDS as u64 - 1)) as usize
+    }
+
+    /// Records that `txn_id` reached a terminal state. If the shard is now
+    /// over its hot capacity, returns the oldest settled txn in the shard —
+    /// the caller must gather its evidence and [`archive`](Self::archive) it.
+    pub fn note_settled(&mut self, txn_id: u64) -> Option<u64> {
+        let shard = &mut self.shards[Self::shard_of(txn_id)];
+        shard.settled.push_back(txn_id);
+        (shard.settled.len() > self.hot_capacity)
+            .then(|| shard.settled.pop_front().expect("len > cap >= 1"))
+    }
+
+    /// Seals a transaction's evidence into its shard log and records the
+    /// index entry. `record`'s shard/offset/len are filled in here.
+    pub fn archive(&mut self, txn_id: u64, bundle: &EvidenceBundle, mut record: ArchivedTxn) {
+        let shard_ix = Self::shard_of(txn_id);
+        let bytes = bundle.save();
+        let shard = &mut self.shards[shard_ix];
+        record.shard = shard_ix;
+        record.offset = shard.log.len();
+        record.len = bytes.len();
+        shard.log.extend_from_slice(&bytes);
+        self.index.insert(txn_id, record);
+        self.evicted += 1;
+    }
+
+    /// Index record for an archived txn, if it was evicted.
+    pub fn get(&self, txn_id: u64) -> Option<&ArchivedTxn> {
+        self.index.get(&txn_id)
+    }
+
+    /// Re-hydrates an archived txn's evidence bundle from the shard log.
+    /// Returns `None` if the txn was never archived *or* the log bytes fail
+    /// the bundle's integrity check (corruption ⇒ evidence loss, surfaced,
+    /// never silently tolerated).
+    pub fn load_bundle(&self, txn_id: u64) -> Option<EvidenceBundle> {
+        let rec = self.index.get(&txn_id)?;
+        let bytes = self.shards[rec.shard].log.get(rec.offset..rec.offset + rec.len)?;
+        let bundle = EvidenceBundle::load(bytes).ok()?;
+        self.rehydrated.set(self.rehydrated.get() + 1);
+        Some(bundle)
+    }
+
+    /// Archive behaviour counters.
+    pub fn stats(&self) -> ArchiveStats {
+        ArchiveStats {
+            evicted: self.evicted,
+            rehydrated: self.rehydrated.get(),
+            resident_settled: self.shards.iter().map(|s| s.settled.len()).sum(),
+            log_bytes: self.shards.iter().map(|s| s.log.len() as u64).sum(),
+        }
+    }
+}
+
+/// Blank index record for [`TxnArchive::archive`]; location fields are
+/// filled by the archive itself.
+impl ArchivedTxn {
+    /// Builds an index record from final accounting values.
+    pub fn record(
+        client: usize,
+        started: SimTime,
+        state: TxnState,
+        messages: u64,
+        bytes: u64,
+        latency: SimDuration,
+        ttp_used: bool,
+    ) -> Self {
+        ArchivedTxn {
+            client,
+            started,
+            state,
+            messages,
+            bytes,
+            latency,
+            ttp_used,
+            shard: 0,
+            offset: 0,
+            len: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +449,54 @@ mod tests {
             EvidenceBundle::load(&bytes),
             Err(BundleError::BadVersion(99 | ((bytes[4] as u16) << 8)))
         );
+    }
+
+    #[test]
+    fn archive_evicts_oldest_per_shard_and_rehydrates_exactly() {
+        let (w, up, _) = settled_world();
+        let bundle = EvidenceBundle::from_client_txn(&w.client, up).unwrap();
+        let mut arch = TxnArchive::with_hot_capacity(2);
+        let mut evicted = Vec::new();
+        // Drive enough settles through one shard to overflow its capacity.
+        let mut in_shard = Vec::new();
+        let mut txn = 1u64;
+        while in_shard.len() < 4 {
+            if TxnArchive::shard_of(txn) == TxnArchive::shard_of(1) {
+                in_shard.push(txn);
+            }
+            txn += 1;
+        }
+        for &t in &in_shard {
+            if let Some(victim) = arch.note_settled(t) {
+                let rec = ArchivedTxn::record(
+                    0,
+                    SimTime::ZERO,
+                    TxnState::Completed,
+                    7,
+                    128,
+                    SimDuration::from_micros(42),
+                    false,
+                );
+                arch.archive(victim, &bundle, rec);
+                evicted.push(victim);
+            }
+        }
+        // FIFO: the two oldest in the shard were evicted, in order.
+        assert_eq!(evicted, in_shard[..2].to_vec());
+        let stats = arch.stats();
+        assert_eq!(stats.evicted, 2);
+        assert_eq!(stats.resident_settled, 2);
+        assert!(stats.log_bytes > 0);
+        // Re-hydration returns the sealed bundle bit-for-bit.
+        let loaded = arch.load_bundle(evicted[0]).expect("archived bundle loads");
+        assert_eq!(loaded, bundle);
+        assert_eq!(arch.stats().rehydrated, 1);
+        let rec = arch.get(evicted[0]).unwrap();
+        assert_eq!(rec.state, TxnState::Completed);
+        assert_eq!(rec.messages, 7);
+        // Never-archived txns stay invisible.
+        assert!(arch.get(999_999).is_none());
+        assert!(arch.load_bundle(999_999).is_none());
     }
 
     #[test]

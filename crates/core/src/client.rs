@@ -155,6 +155,24 @@ impl Client {
         self.txns.get(&txn_id)?.received.as_ref()
     }
 
+    /// Evicts a settled transaction to the runner's archived-evidence log:
+    /// removes the in-memory record and retires the validator's replay
+    /// window for it (late traffic is then rejected as
+    /// `archived-transaction` instead of being offered a fresh window).
+    /// Returns the record so the caller can seal its evidence into the
+    /// archive; `None` if the transaction is unknown.
+    pub fn evict_txn(&mut self, txn_id: u64) -> Option<ClientTxn> {
+        let record = self.txns.remove(&txn_id)?;
+        self.validator.retire_txn(txn_id);
+        Some(record)
+    }
+
+    /// Transactions retired to archive tombstones by this client's
+    /// validator.
+    pub fn archived_txn_count(&self) -> usize {
+        self.validator.archived_count()
+    }
+
     /// Earliest timeout deadline over all non-terminal transactions (the
     /// scheduler's view of this client's pending timers).
     pub fn next_deadline(&self) -> Option<SimTime> {

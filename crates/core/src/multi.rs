@@ -6,18 +6,20 @@
 //! cannot: per-(transaction, sender) replay windows under concurrency,
 //! cross-client isolation of objects and evidence, and aggregate TTP load.
 
+use crate::archive::{ArchiveStats, ArchivedTxn, EvidenceBundle, TxnArchive};
 use crate::client::{Client, TimeoutStrategy};
 use crate::config::ProtocolConfig;
+use crate::evidence::VerifiedEvidence;
 use crate::fault::{DeliveryVerdict, Durable, FaultCtl, FaultStats, SyncDecision};
 use crate::message::Message;
 use crate::obs::{Event, EventKind, Obs};
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::provider::Provider;
 use crate::runner::{TxnReport, TxnResult};
-use crate::sched::{self, Actor, EventHub, SettleReport};
+use crate::sched::{self, Actor, EventHub, SettleReport, TimerWheel};
 use crate::session::{Outgoing, TxnState, ValidationError};
 use crate::ttp::Ttp;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use tpnr_crypto::ChaChaRng;
 use tpnr_net::codec::Wire;
 use tpnr_net::sim::{Envelope, LinkConfig, NodeId, SimNet};
@@ -41,6 +43,16 @@ impl TxnHandle {
     pub fn is_real(&self) -> bool {
         self.txn_id != 0
     }
+}
+
+/// Per-transaction bookkeeping: owner, start time, and whether the first
+/// terminal transition has been funnelled through the archive's settled
+/// queue yet.
+#[derive(Debug, Clone, Copy)]
+struct TxnMeta {
+    client: usize,
+    started: SimTime,
+    settled: bool,
 }
 
 /// Last synced durable images of every actor (the crash recovery points).
@@ -67,8 +79,11 @@ pub struct MultiWorld {
     pub bob_node: NodeId,
     /// The TTP's simulator node.
     pub ttp_node: NodeId,
-    node_of: HashMap<PrincipalId, NodeId>,
-    principal_of: HashMap<NodeId, PrincipalId>,
+    // Ordered maps: the lint's DET-ORDER rule covers this module, and
+    // iteration over these (dispatch fan-out, diagnostics) must be
+    // deterministic regardless of hash seeding.
+    node_of: BTreeMap<PrincipalId, NodeId>,
+    principal_of: BTreeMap<NodeId, PrincipalId>,
     /// The shared observability sink — same type and semantics as
     /// [`World`](crate::runner::World)'s: every delivery, rejection,
     /// garbled arrival, drop, duplication, timer fire and state transition
@@ -77,19 +92,27 @@ pub struct MultiWorld {
     /// Safety valve against livelock; when hit, settle reports
     /// [`sched::SettleOutcome::StepCapExceeded`].
     pub max_steps: usize,
-    /// (owning client index, start time) per started transaction.
-    txn_meta: HashMap<u64, (usize, SimTime)>,
+    /// Owner/start/settled per started transaction (evicted entries move to
+    /// `archive`).
+    txn_meta: BTreeMap<u64, TxnMeta>,
     /// Transactions the TTP has seen a message for.
-    ttp_touched: HashSet<u64>,
+    ttp_touched: BTreeSet<u64>,
     /// The fault injector executing `cfg.faults` (inert and overhead-free
     /// for the default plan).
     faults: FaultCtl,
     /// Last synced snapshots; `None` when the fault plan is inert.
     snaps: Option<Box<MultiSnapshots>>,
+    /// Scheduler-owned deadline index: actors register/cancel deadlines
+    /// here instead of being polled each step (keys: client `i` → `i`,
+    /// bob → `n`, ttp → `n + 1`, fault wakeup → `n + 2`).
+    wheel: TimerWheel,
+    /// Bounded-memory store for settled transactions (sharded by txn-id
+    /// hash; oldest settled txns evicted to sealed evidence logs).
+    archive: TxnArchive,
 }
 
 impl MultiWorld {
-    /// Builds a world with `n_clients` clients.
+    /// Builds a world with `n_clients` clients (fresh deterministic keys).
     pub fn new(seed: u64, cfg: ProtocolConfig, n_clients: usize) -> Self {
         assert!(n_clients > 0);
         let bob = Principal::test("bob", seed.wrapping_mul(11).wrapping_add(1));
@@ -97,28 +120,48 @@ impl MultiWorld {
         let client_principals: Vec<Principal> = (0..n_clients)
             .map(|i| Principal::test(&format!("client-{i}"), seed.wrapping_mul(11) + 10 + i as u64))
             .collect();
+        Self::with_principals(seed, cfg, &client_principals, &bob, &ttp_p)
+    }
 
+    /// Builds a world from pre-generated principals. Key generation is the
+    /// scale wall at E10 client counts, so sharded runners generate one
+    /// fixed pool of keys and reuse it across lanes instead of paying a
+    /// fresh RSA keypair per simulated client. Each client gets a minimal
+    /// directory ({self, provider, TTP} — all it ever verifies); the
+    /// provider and TTP hold the full population directory.
+    pub fn with_principals(
+        seed: u64,
+        cfg: ProtocolConfig,
+        client_principals: &[Principal],
+        bob: &Principal,
+        ttp_p: &Principal,
+    ) -> Self {
+        assert!(!client_principals.is_empty());
         let mut dir = Directory::new();
-        dir.register(&bob);
-        dir.register(&ttp_p);
-        for c in &client_principals {
+        dir.register(bob);
+        dir.register(ttp_p);
+        for c in client_principals {
             dir.register(c);
         }
 
         let mut net = SimNet::new(seed);
         let client_nodes: Vec<NodeId> =
             client_principals.iter().map(|c| net.register(&c.name)).collect();
-        let bob_node = net.register("bob");
-        let ttp_node = net.register("ttp");
+        let bob_node = net.register(&bob.name);
+        let ttp_node = net.register(&ttp_p.name);
 
         let clients: Vec<Client> = client_principals
             .iter()
             .enumerate()
             .map(|(i, p)| {
+                let mut cdir = Directory::new();
+                cdir.register(bob);
+                cdir.register(ttp_p);
+                cdir.register(p);
                 Client::new(
                     p.clone(),
                     cfg.clone(),
-                    dir.clone(),
+                    cdir,
                     ttp_p.id(),
                     bob.id(),
                     ChaChaRng::seed_from_u64(seed ^ (0xc11e47 + i as u64)),
@@ -144,7 +187,7 @@ impl MultiWorld {
             })
         });
 
-        let mut node_of = HashMap::new();
+        let mut node_of = BTreeMap::new();
         node_of.insert(bob.id(), bob_node);
         node_of.insert(ttp_p.id(), ttp_node);
         for (p, n) in client_principals.iter().zip(&client_nodes) {
@@ -164,16 +207,57 @@ impl MultiWorld {
             principal_of,
             obs: Obs::new(),
             max_steps: 100_000,
-            txn_meta: HashMap::new(),
-            ttp_touched: HashSet::new(),
+            txn_meta: BTreeMap::new(),
+            ttp_touched: BTreeSet::new(),
             faults,
             snaps,
+            wheel: TimerWheel::new(),
+            archive: TxnArchive::new(),
         }
     }
 
     /// Sets one link config everywhere.
     pub fn set_all_links(&mut self, cfg: LinkConfig) {
         self.net.set_default_link(cfg);
+    }
+
+    /// Wheel key for an actor's node. Clients register with the simulator
+    /// first, so `NodeId(i)` *is* client `i`; bob and the TTP follow.
+    fn wheel_key(&self, node: NodeId) -> usize {
+        node.0 as usize
+    }
+
+    /// Wheel key for the fault injector's next wakeup (restart instants and
+    /// outage boundaries are timers like any other).
+    fn fault_wheel_key(&self) -> usize {
+        self.ttp_node.0 as usize + 1
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.actor_nodes().into_iter().find(|&n| self.net.name(n) == name)
+    }
+
+    /// Re-registers one actor's earliest deadline with the wheel (a down
+    /// actor's timers are frozen, so its entry is cancelled instead).
+    fn refresh_wheel(&mut self, node: NodeId) {
+        let down = self.faults.active() && self.faults.is_down(self.net.name(node));
+        let d = if down { None } else { self.actor(node).and_then(|a| a.next_deadline()) };
+        self.wheel.set(self.wheel_key(node), d);
+    }
+
+    fn refresh_fault_wheel(&mut self) {
+        let w = self.faults.next_wakeup();
+        self.wheel.set(self.fault_wheel_key(), w);
+    }
+
+    /// Full wheel resync from actor state. Run at every settle entry so
+    /// deadlines armed or mutated outside the event loop (API calls, test
+    /// and attack harnesses poking actors directly) are picked up.
+    fn resync_wheel(&mut self) {
+        for node in self.actor_nodes() {
+            self.refresh_wheel(node);
+        }
+        self.refresh_fault_wheel();
     }
 
     fn dispatch(&mut self, from_node: NodeId, out: Vec<Outgoing>) {
@@ -206,7 +290,7 @@ impl MultiWorld {
             Ok(v) => v,
             Err(e) => return self.failed_initiation(idx, now, e),
         };
-        self.txn_meta.insert(txn, (idx, now));
+        self.txn_meta.insert(txn, TxnMeta { client: idx, started: now, settled: false });
         self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
         // Write-ahead: the NRO sealed at initiation must survive a crash.
         self.sync_actor(self.client_nodes[idx], now, true);
@@ -227,7 +311,7 @@ impl MultiWorld {
             Ok(v) => v,
             Err(e) => return self.failed_initiation(idx, now, e),
         };
-        self.txn_meta.insert(txn, (idx, now));
+        self.txn_meta.insert(txn, TxnMeta { client: idx, started: now, settled: false });
         self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
         self.sync_actor(self.client_nodes[idx], now, true);
         self.dispatch(self.client_nodes[idx], out);
@@ -282,6 +366,7 @@ impl MultiWorld {
     /// ([`sched::settle`]) until every timer and delivery is drained or
     /// `max_steps` is hit — check `outcome` on the returned report.
     pub fn settle(&mut self) -> SettleReport {
+        self.resync_wheel();
         let max_steps = self.max_steps;
         let report = sched::settle(self, max_steps);
         // Mirror the cumulative fault counters into the metrics registry.
@@ -293,14 +378,17 @@ impl MultiWorld {
         report
     }
 
-    /// Final state of a client's transaction.
+    /// Final state of a client's transaction (live or archived).
     pub fn state(&self, client: usize, txn: u64) -> Option<TxnState> {
-        self.clients[client].txn_state(txn)
+        self.clients[client]
+            .txn_state(txn)
+            .or_else(|| self.archive.get(txn).filter(|r| r.client == client).map(|r| r.state))
     }
 
-    /// Final state of a handled transaction.
+    /// Final state of a handled transaction (live or archived).
     pub fn state_of(&self, h: TxnHandle) -> Option<TxnState> {
-        self.clients.get(h.client)?.txn_state(h.txn_id)
+        self.clients.get(h.client)?;
+        self.state(h.client, h.txn_id)
     }
 
     /// Typed result for a handled transaction: outcome, payload, both
@@ -310,15 +398,51 @@ impl MultiWorld {
     pub fn result(&self, h: TxnHandle) -> Option<TxnResult> {
         let report = self.report(h.txn_id)?;
         let c = self.clients.get(h.client)?;
-        let t = c.txn(h.txn_id);
+        if let Some(t) = c.txn(h.txn_id) {
+            return Some(TxnResult {
+                txn_id: h.txn_id,
+                outcome: report.state,
+                data: c.download_result(h.txn_id).map(|p| p.data.clone()),
+                nro: Some(t.nro.clone()),
+                nrr: t.nrr.clone(),
+                report,
+            });
+        }
+        // Evicted: re-hydrate the sealed evidence from the archive log (the
+        // downloaded payload is gone — the provider's storage holds the
+        // service copy, evidence is what survives for arbitration).
+        let bundle = self.archive.load_bundle(h.txn_id)?;
         Some(TxnResult {
             txn_id: h.txn_id,
             outcome: report.state,
-            data: c.download_result(h.txn_id).map(|p| p.data.clone()),
-            nro: t.map(|t| t.nro.clone()),
-            nrr: t.and_then(|t| t.nrr.clone()),
+            data: None,
+            nro: bundle.get("client-nro").cloned(),
+            nrr: bundle.get("client-nrr").cloned(),
             report,
         })
+    }
+
+    /// Archive behaviour counters (evictions, re-hydrations, resident
+    /// settled txns, sealed log bytes).
+    pub fn archive_stats(&self) -> ArchiveStats {
+        self.archive.stats()
+    }
+
+    /// Live per-transaction bookkeeping entries (the bounded-memory
+    /// regression hook: settled txns leave this map when evicted).
+    pub fn resident_txns(&self) -> usize {
+        self.txn_meta.len()
+    }
+
+    /// Re-hydrates an evicted transaction's archived evidence bundle.
+    pub fn rehydrate_evidence(&self, txn: u64) -> Option<EvidenceBundle> {
+        self.archive.load_bundle(txn)
+    }
+
+    /// Sets the archive's per-shard hot capacity (tests lower it to force
+    /// eviction; experiments tune resident memory).
+    pub fn set_archive_capacity(&mut self, hot_capacity: usize) {
+        self.archive.set_hot_capacity(hot_capacity);
     }
 
     /// Cumulative fault counters: the injector's own plus every client's
@@ -336,7 +460,79 @@ impl MultiWorld {
     fn crash_actor(&mut self, node: NodeId, now: SimTime) {
         let name = self.net.name(node).to_string();
         self.faults.crash(&name, now);
+        // Freeze the crashed actor's armed deadline: its wheel entry dies
+        // with it and is re-registered from the restored snapshot. The
+        // restart instant itself becomes a wheel entry.
+        self.wheel.cancel(self.wheel_key(node));
+        self.refresh_fault_wheel();
         self.obs.record(Event { at: now, txn: None, actor: name, kind: EventKind::Crashed });
+    }
+
+    /// Records a client-side state transition and, on the first terminal
+    /// transition, funnels the txn through the archive's settled queue —
+    /// possibly evicting the shard's oldest settled txn to the sealed log.
+    fn note_txn_state(&mut self, now: SimTime, idx: usize, txn: u64, st: TxnState) {
+        self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, st);
+        let newly_settled = st.is_terminal()
+            && match self.txn_meta.get_mut(&txn) {
+                Some(meta) if !meta.settled => {
+                    meta.settled = true;
+                    true
+                }
+                _ => false,
+            };
+        if newly_settled {
+            if let Some(victim) = self.archive.note_settled(txn) {
+                self.evict_txn(victim);
+            }
+        }
+    }
+
+    /// Evicts a settled transaction: every layer's live per-txn state
+    /// (client record, provider session record, TTP pending entry, all
+    /// validator replay windows, obs tallies, tagged net counters,
+    /// `txn_meta`) is dropped; the evidence is sealed into the archive's
+    /// shard log and a compact index record keeps `report`/`state`/`result`
+    /// answerable. Validators keep a tombstone, so late replays for the
+    /// txn are refused instead of being handed a fresh window.
+    fn evict_txn(&mut self, txn: u64) {
+        let Some(meta) = self.txn_meta.remove(&txn) else { return };
+        let idx = meta.client;
+        let state = self.clients[idx].txn_state(txn).unwrap_or(TxnState::Failed);
+        let client_rec = self.clients[idx].evict_txn(txn);
+        let provider_rec = self.provider.evict_txn(txn);
+        self.ttp.evict_txn(txn);
+        let net = self.net.retire_txn(txn);
+        self.obs.retire_txn(txn);
+        let ttp_used = self.ttp_touched.remove(&txn);
+        let mut bundle = EvidenceBundle::new();
+        if let Some(c) = &client_rec {
+            bundle.push("client-nro", c.nro.clone());
+            if let Some(nrr) = &c.nrr {
+                bundle.push("client-nrr", nrr.clone());
+            }
+        }
+        if let Some(p) = &provider_rec {
+            bundle.push("provider-nro", p.nro.clone());
+            bundle.push(
+                "provider-nrr",
+                VerifiedEvidence::from_stored_parts(
+                    p.nrr_plaintext.clone(),
+                    p.nrr_sigs.0.clone(),
+                    p.nrr_sigs.1.clone(),
+                ),
+            );
+        }
+        let rec = ArchivedTxn::record(
+            idx,
+            meta.started,
+            state,
+            net.delivered,
+            net.bytes_sent,
+            net.last_delivered_at.since(meta.started),
+            ttp_used,
+        );
+        self.archive.archive(txn, &bundle, rec);
     }
 
     /// Restores a restarted actor (by display name) from its last synced
@@ -410,15 +606,26 @@ impl MultiWorld {
     /// initiation to the transaction's own last delivery (other sessions
     /// may keep the shared clock running long after this one settled).
     pub fn report(&self, txn: u64) -> Option<TxnReport> {
-        let &(idx, started) = self.txn_meta.get(&txn)?;
-        let t = self.net.txn_stats(txn);
+        if let Some(meta) = self.txn_meta.get(&txn) {
+            let t = self.net.txn_stats(txn);
+            return Some(TxnReport {
+                txn_id: txn,
+                state: self.clients[meta.client].txn_state(txn)?,
+                messages: t.delivered,
+                bytes: t.bytes_sent,
+                latency: t.last_delivered_at.since(meta.started),
+                ttp_used: self.ttp_touched.contains(&txn),
+            });
+        }
+        // Evicted: the index record froze the final accounting.
+        let rec = self.archive.get(txn)?;
         Some(TxnReport {
             txn_id: txn,
-            state: self.clients[idx].txn_state(txn)?,
-            messages: t.delivered,
-            bytes: t.bytes_sent,
-            latency: t.last_delivered_at.since(started),
-            ttp_used: self.ttp_touched.contains(&txn),
+            state: rec.state,
+            messages: rec.messages,
+            bytes: rec.bytes,
+            latency: rec.latency,
+            ttp_used: rec.ttp_used,
         })
     }
 }
@@ -429,29 +636,29 @@ impl EventHub for MultiWorld {
     }
 
     fn next_timer(&self) -> Option<SimTime> {
-        // A crashed actor's protocol timers are frozen until it restarts;
-        // fault wakeups are timers themselves so downtime advances the
-        // clock instead of stalling the loop.
-        let down = |n: &NodeId| self.faults.active() && self.faults.is_down(self.net.name(*n));
-        let t = self
-            .actor_nodes()
-            .into_iter()
-            .filter(|n| !down(n))
-            .filter_map(|n| self.actor(n)?.next_deadline())
-            .min();
-        match (t, self.faults.next_wakeup()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        // The wheel is the deadline index: actor deadlines and the fault
+        // injector's wakeups (restarts, outage starts) are all entries, so
+        // no actor is polled per step and downtime advances the clock
+        // instead of stalling the loop. A crashed actor's entry is
+        // cancelled with it, freezing its protocol timers until restart.
+        self.wheel.peek()
     }
 
     fn fire_timers(&mut self, now: SimTime) -> usize {
+        // Client indices whose transactions may have moved this round —
+        // the state diff below is restricted to them instead of walking
+        // every started txn in the world (the O(total-txns)-per-round scan
+        // this wheel refactor retires).
+        let mut touched: Vec<usize> = Vec::new();
         if self.faults.active() {
             // Restarts and outage boundaries first: a just-restored actor
             // ticks in this same round, so an overdue deadline revealed by
             // the restore produces output immediately (never barren).
             let ev = self.faults.poll("ttp", now);
             for name in ev.crashed {
+                if let Some(node) = self.node_by_name(&name) {
+                    self.wheel.cancel(self.wheel_key(node));
+                }
                 self.obs.record(Event {
                     at: now,
                     txn: None,
@@ -461,25 +668,38 @@ impl EventHub for MultiWorld {
             }
             for name in ev.restarted {
                 self.restore_actor(&name, now);
+                // Re-arm from the restored state (the stale pre-crash entry
+                // was cancelled at crash time and can never fire); a
+                // restore can also revert transaction states, so the diff
+                // must cover the restored client.
+                if let Some(node) = self.node_by_name(&name) {
+                    self.refresh_wheel(node);
+                    if let Some(i) = self.client_index(node) {
+                        touched.push(i);
+                    }
+                }
             }
+            self.refresh_fault_wheel();
         }
         let mut dispatched = 0;
-        for node in self.actor_nodes() {
+        let nodes = self.actor_nodes();
+        let fault_key = self.fault_wheel_key();
+        for key in self.wheel.advance(now) {
+            if key == fault_key {
+                continue; // consumed by faults.poll above
+            }
+            let node = nodes[key];
             if self.faults.active() && self.faults.is_down(self.net.name(node)) {
                 continue;
             }
-            let due = self.actor(node).and_then(|a| a.next_deadline()).is_some_and(|d| d <= now);
             let Some(actor) = self.actor_mut(node) else { continue };
             let out = actor.on_tick(now);
-            if due {
-                let ev = Event {
-                    at: now,
-                    txn: None,
-                    actor: self.net.name(node).to_string(),
-                    kind: EventKind::TimerFired { messages: out.len() },
-                };
-                self.obs.record(ev);
-            }
+            self.obs.record(Event {
+                at: now,
+                txn: None,
+                actor: self.net.name(node).to_string(),
+                kind: EventKind::TimerFired { messages: out.len() },
+            });
             if !out.is_empty() {
                 // Write-ahead: timer-driven sends persist the state they
                 // acknowledge before hitting the wire.
@@ -487,16 +707,31 @@ impl EventHub for MultiWorld {
             }
             dispatched += out.len();
             self.dispatch(node, out);
+            // The tick moved or kept this actor's deadline; re-register it
+            // (a kept overdue deadline re-files as overdue, preserving the
+            // scheduler's barren-masking comparison).
+            self.refresh_wheel(node);
+            if let Some(i) = self.client_index(node) {
+                touched.push(i);
+            }
+        }
+        if self.faults.active() {
+            self.refresh_fault_wheel();
         }
         // Timer rounds move client-visible states (abort/resolve
-        // initiation, failure declarations); diff every started txn, in
-        // txn order so same-instant transitions land deterministically.
-        let mut metas: Vec<(u64, usize)> =
-            self.txn_meta.iter().map(|(&t, &(i, _))| (t, i)).collect();
-        metas.sort_unstable();
-        for (txn, idx) in metas {
+        // initiation, failure declarations); diff the touched clients'
+        // txns in txn order so same-instant transitions land
+        // deterministically.
+        touched.sort_unstable();
+        touched.dedup();
+        let mut moved: Vec<(u64, usize)> = Vec::new();
+        for &i in &touched {
+            moved.extend(self.clients[i].txn_ids().into_iter().map(|t| (t, i)));
+        }
+        moved.sort_unstable();
+        for (txn, idx) in moved {
             if let Some(st) = self.clients[idx].txn_state(txn) {
-                self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, st);
+                self.note_txn_state(now, idx, txn, st);
             }
         }
         dispatched
@@ -563,7 +798,7 @@ impl EventHub for MultiWorld {
                 self.obs.record(ev);
                 if let Some(idx) = self.client_index(env.dst) {
                     if let Some(st) = self.clients[idx].txn_state(txn_id) {
-                        self.obs.note_state(now, self.net.name(env.dst), txn_id, st);
+                        self.note_txn_state(now, idx, txn_id, st);
                     }
                 }
                 // Write-ahead durable sync before any reply hits the wire.
@@ -595,6 +830,11 @@ impl EventHub for MultiWorld {
                 }
             }
         }
+        // The message may have armed, moved, or cleared the recipient's
+        // earliest deadline; keep the wheel authoritative. (Crash paths
+        // already cancelled the entry; refresh on a down actor is a no-op
+        // cancellation.)
+        self.refresh_wheel(env.dst);
     }
 
     fn obs_mut(&mut self) -> Option<&mut Obs> {
@@ -840,18 +1080,17 @@ mod tests {
     fn garbled_and_rejected_arrivals_are_recorded_not_discarded() {
         // Regression: `MultiWorld::deliver` used to `return` on undecodable
         // payloads and `unwrap_or_default()` validation errors away.
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
         use tpnr_net::sim::Action;
 
         let mut w = MultiWorld::new(8, ProtocolConfig::full(), 2);
         let (c0, bob) = (w.client_nodes[0], w.bob_node);
         // Wiretap client 0's traffic so we can replay a real capture.
-        let tape: Rc<RefCell<Vec<Vec<u8>>>> = Rc::default();
+        let tape: Arc<Mutex<Vec<Vec<u8>>>> = Arc::default();
         let tap = tape.clone();
         w.net.set_interceptor(Box::new(move |src, dst, payload: &[u8], _t| {
             if src == c0 && dst == bob {
-                tap.borrow_mut().push(payload.to_vec());
+                tap.lock().unwrap().push(payload.to_vec());
             }
             Action::Deliver
         }));
@@ -874,7 +1113,7 @@ mod tests {
         // A replayed capture decodes but fails validation: recorded with
         // its variant and attributed to the session it replays into, even
         // though the replay itself is untagged on the wire.
-        let replay = tape.borrow()[0].clone();
+        let replay = tape.lock().unwrap()[0].clone();
         w.net.send(c0, bob, replay);
         w.settle();
         assert_eq!(w.obs.metrics.rejected, 1);
@@ -902,5 +1141,120 @@ mod tests {
         assert_eq!(rw.report.latency.micros(), 50_000, "one RTT on the default 25 ms links");
         assert_eq!(rm.latency.micros(), rw.report.latency.micros());
         assert_eq!(rm.messages, rw.report.messages);
+    }
+
+    #[test]
+    fn settled_txns_are_evicted_memory_stays_bounded_and_evidence_survives() {
+        // Regression (latent scale bug): `txn_meta`, the per-client txn
+        // records, the validator replay windows and the obs/net per-txn
+        // tallies all grew without bound per settled transaction. With a
+        // small archive capacity, N settled txns must leave only a bounded
+        // resident set — and every evicted txn must stay fully answerable
+        // (report/state/result) with its evidence re-hydratable.
+        let mut w = MultiWorld::new(9, ProtocolConfig::full(), 4);
+        w.set_archive_capacity(1); // 16 shards × 1 = at most 16 resident settled
+        let mut handles = Vec::new();
+        for round in 0..10 {
+            for i in 0..4 {
+                let key = format!("c{i}/r{round}").into_bytes();
+                handles.push(w.start_upload(
+                    i,
+                    &key,
+                    vec![round as u8; 32],
+                    TimeoutStrategy::AbortFirst,
+                ));
+            }
+            let s = w.settle();
+            assert_eq!(s.outcome, crate::sched::SettleOutcome::Quiescent);
+        }
+        let stats = w.archive_stats();
+        assert!(stats.evicted > 0, "eviction must have engaged: {stats:?}");
+        assert!(stats.log_bytes > 0);
+        // Bounded memory: resident bookkeeping ≤ hot capacity across all
+        // shards (16) plus the in-flight slack of the final round.
+        assert_eq!(w.resident_txns() as u64 + stats.evicted, 40);
+        assert!(
+            w.resident_txns() <= 16 + 4,
+            "resident txn_meta must stay bounded, got {}",
+            w.resident_txns()
+        );
+        // Validator replay windows for evicted txns are gone; tombstones
+        // remain so late replays are refused, not re-windowed.
+        assert!(w.clients.iter().map(|c| c.archived_txn_count()).sum::<usize>() > 0);
+        // Every txn — live or archived — still answers queries, and the
+        // evicted ones re-hydrate their full evidence from the sealed log.
+        let mut rehydrated = 0;
+        for &h in &handles {
+            assert_eq!(w.state_of(h), Some(TxnState::Completed), "client {}", h.client);
+            let r = w.report(h.txn_id).unwrap();
+            assert!(r.messages >= 2);
+            let res = w.result(h).unwrap();
+            assert!(res.nro.is_some(), "NRO must survive eviction");
+            assert!(res.nrr.is_some(), "NRR must survive eviction");
+            if w.clients[h.client].txn(h.txn_id).is_none() {
+                let bundle = w.rehydrate_evidence(h.txn_id).expect("archived bundle loads");
+                assert!(bundle.structurally_sound());
+                assert!(bundle.get("client-nro").is_some());
+                assert!(bundle.get("client-nrr").is_some());
+                assert!(bundle.get("provider-nro").is_some());
+                assert!(bundle.get("provider-nrr").is_some());
+                rehydrated += 1;
+            }
+        }
+        assert_eq!(rehydrated as u64, stats.evicted);
+        assert!(w.archive_stats().rehydrated >= stats.evicted);
+    }
+
+    #[test]
+    fn crash_between_timer_arm_and_fire_cancels_the_stale_wheel_entry() {
+        // Regression (satellite audit): a crashed actor's armed deadline
+        // must die with it — the wheel entry is cancelled at crash time and
+        // re-registered only from the restored snapshot, so a stale timer
+        // can never fire while the actor is down.
+        let mut cfg = ProtocolConfig::full();
+        // Non-inert plan (so the injector runs) that never crashes a real
+        // actor on its own — the crash below is injected by hand.
+        cfg.faults = cfg.faults.clone().with_chaos(&["absent-actor"], 1, 1);
+        let mut w = MultiWorld::new(10, ProtocolConfig::full(), 2);
+        w.faults = FaultCtl::new(&cfg.faults);
+        w.snaps = None; // re-arm snapshots below, post-initiation
+                        // Break bob → client-0 so client 0's response timer must fire.
+        let (c0, bob) = (w.client_nodes[0], w.bob_node);
+        w.net.set_link(bob, c0, LinkConfig { drop_prob: 1.0, ..Default::default() });
+        let h0 = w.start_upload(0, b"k0", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
+        let h1 = w.start_upload(1, b"k1", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+        // Recovery points carry the armed transactions.
+        w.snaps = Some(Box::new(MultiSnapshots {
+            clients: w.clients.iter().map(Durable::snapshot).collect(),
+            provider: w.provider.snapshot(),
+            ttp: w.ttp.snapshot(),
+        }));
+        // Crash client 0 *between* timer-arm and fire.
+        let now = w.net.now();
+        w.crash_actor(c0, now);
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::Quiescent);
+        // No timer fired for client-0 while it was down: every TimerFired
+        // for it must come at/after the restart instant.
+        let events = w.obs.events();
+        let restarted_at = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Restarted { .. }) && e.actor == "client-0")
+            .map(|e| e.at)
+            .expect("client-0 restarts");
+        for e in events.iter() {
+            if e.actor == "client-0" && matches!(e.kind, EventKind::TimerFired { .. }) {
+                assert!(
+                    e.at >= restarted_at,
+                    "stale timer fired at {:?} while client-0 was down (restart {:?})",
+                    e.at,
+                    restarted_at
+                );
+            }
+        }
+        // Both transactions still settle: the restored client re-arms from
+        // its snapshot and drives its session to a terminal state.
+        assert!(w.state_of(h0).unwrap().is_terminal());
+        assert_eq!(w.state_of(h1), Some(TxnState::Completed));
     }
 }

@@ -192,6 +192,19 @@ impl Histogram {
         }
     }
 
+    /// Merges another histogram into this one: bucket-wise addition with
+    /// exact count/sum/min/max. Lets sharded runners combine per-lane
+    /// latency distributions into one global quantile surface.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Upper bound of the bucket containing the q-quantile (q in 0..=1),
     /// clamped to the exact max. `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
@@ -462,6 +475,18 @@ impl Obs {
     pub fn note_settle(&mut self, steps: u64) {
         self.metrics.settle_steps.record(steps);
     }
+
+    /// Drops a settled transaction's per-txn tracking state, returning the
+    /// final tallies so the caller can fold them into its archive index.
+    /// Global counters and histograms are untouched — they were already
+    /// updated when the events happened.
+    pub fn retire_txn(&mut self, txn: u64) -> (TxnObs, Option<TxnState>, Option<SimTime>) {
+        (
+            self.per_txn.remove(&txn).unwrap_or_default(),
+            self.last_state.remove(&txn),
+            self.started.remove(&txn),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -576,6 +601,25 @@ mod tests {
         assert!((2..=3).contains(&p50), "median bucket covers 2..=3, got {p50}");
         h.record(u64::MAX);
         assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge_combines_lanes_exactly() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, 1_000_000] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge equals recording everything in one histogram");
+        a.merge(&Histogram::default());
+        assert_eq!(a, whole, "merging an empty histogram is the identity");
     }
 
     #[test]

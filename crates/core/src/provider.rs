@@ -177,6 +177,15 @@ impl Provider {
         self.txns.len()
     }
 
+    /// Evicts a settled transaction's session record (the stored object
+    /// itself stays — it is the service, not session state) and retires its
+    /// validator window. Returns the record for the caller's archive.
+    pub fn evict_txn(&mut self, txn_id: u64) -> Option<ProviderTxn> {
+        let record = self.txns.remove(&txn_id)?;
+        self.validator.retire_txn(txn_id);
+        Some(record)
+    }
+
     /// Handles one incoming protocol message; returns outgoing messages.
     ///
     /// Invalid messages are dropped with the error surfaced to the caller

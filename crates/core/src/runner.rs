@@ -15,7 +15,7 @@ use crate::message::Message;
 use crate::obs::{Event, EventKind, Obs};
 use crate::principal::{Directory, Principal, PrincipalId};
 use crate::provider::Provider;
-use crate::sched::{self, Actor, EventHub, SettleReport};
+use crate::sched::{self, Actor, EventHub, SettleReport, TimerWheel};
 use crate::session::{Outgoing, TxnState};
 use crate::ttp::Ttp;
 use std::collections::{HashMap, HashSet};
@@ -170,6 +170,10 @@ pub struct World {
     faults: FaultCtl,
     /// Last synced snapshots; `None` when the fault plan is inert.
     snaps: Option<Box<WorldSnapshots>>,
+    /// Scheduler-owned deadline index: actors register/cancel deadlines
+    /// here instead of being polled each step (keys: alice 0, bob 1,
+    /// ttp 2, fault wakeup [`World::FAULT_WHEEL_KEY`]).
+    wheel: TimerWheel,
 }
 
 impl World {
@@ -241,7 +245,53 @@ impl World {
             ttp_touched: HashSet::new(),
             faults,
             snaps,
+            wheel: TimerWheel::new(),
         }
+    }
+
+    /// Wheel key for the fault injector's next wakeup (restart instants and
+    /// outage boundaries are timers like any other).
+    const FAULT_WHEEL_KEY: usize = 3;
+
+    fn wheel_key(&self, node: NodeId) -> usize {
+        if node == self.alice_node {
+            0
+        } else if node == self.bob_node {
+            1
+        } else {
+            2
+        }
+    }
+
+    fn node_by_name(&self, name: &str) -> NodeId {
+        match name {
+            "alice" => self.alice_node,
+            "bob" => self.bob_node,
+            _ => self.ttp_node,
+        }
+    }
+
+    /// Re-registers one actor's earliest deadline with the wheel (a down
+    /// actor's timers are frozen, so its entry is cancelled instead).
+    fn refresh_wheel(&mut self, node: NodeId) {
+        let down = self.faults.active() && self.faults.is_down(self.name_of[&node]);
+        let d = if down { None } else { self.actor(node).next_deadline() };
+        self.wheel.set(self.wheel_key(node), d);
+    }
+
+    fn refresh_fault_wheel(&mut self) {
+        let w = self.faults.next_wakeup();
+        self.wheel.set(Self::FAULT_WHEEL_KEY, w);
+    }
+
+    /// Full wheel resync from actor state. Run at every settle entry so
+    /// deadlines armed or mutated outside the event loop (API calls, test
+    /// and attack harnesses poking actors directly) are picked up.
+    fn resync_wheel(&mut self) {
+        for node in self.actor_nodes() {
+            self.refresh_wheel(node);
+        }
+        self.refresh_fault_wheel();
     }
 
     /// Configures every link with the same parameters (RTT sweeps).
@@ -295,6 +345,7 @@ impl World {
     /// ([`sched::settle`]) until every timer and delivery is drained or
     /// `max_steps` is hit — check `outcome` on the returned report.
     pub fn settle(&mut self) -> SettleReport {
+        self.resync_wheel();
         let max_steps = self.max_steps;
         let report = sched::settle(self, max_steps);
         // Mirror the cumulative fault counters into the metrics registry so
@@ -407,6 +458,11 @@ impl World {
     fn crash_actor(&mut self, node: NodeId, now: SimTime) {
         let name = self.name_of[&node];
         self.faults.crash(name, now);
+        // Freeze the crashed actor's armed deadline: its wheel entry dies
+        // with it and is re-registered from the restored snapshot. The
+        // restart instant itself becomes a wheel entry.
+        self.wheel.cancel(self.wheel_key(node));
+        self.refresh_fault_wheel();
         self.obs.record(Event {
             at: now,
             txn: None,
@@ -497,20 +553,12 @@ impl EventHub for World {
     }
 
     fn next_timer(&self) -> Option<SimTime> {
-        // A crashed actor's protocol timers are frozen until it restarts;
-        // the fault wakeups (restarts, outage starts) are timers themselves
-        // so downtime advances the clock instead of stalling the loop.
-        let down = |n: &NodeId| self.faults.active() && self.faults.is_down(self.name_of[n]);
-        let t = self
-            .actor_nodes()
-            .into_iter()
-            .filter(|n| !down(n))
-            .filter_map(|n| self.actor(n).next_deadline())
-            .min();
-        match (t, self.faults.next_wakeup()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        // The wheel is the deadline index: actor deadlines and the fault
+        // injector's wakeups (restarts, outage starts) are all entries, so
+        // downtime advances the clock instead of stalling the loop and no
+        // actor is polled. A crashed actor's entry is cancelled with it,
+        // freezing its protocol timers until restart.
+        self.wheel.peek()
     }
 
     fn fire_timers(&mut self, now: SimTime) -> usize {
@@ -520,6 +568,8 @@ impl EventHub for World {
             // the restore produces output immediately (never barren).
             let ev = self.faults.poll("ttp", now);
             for name in ev.crashed {
+                let node = self.node_by_name(&name);
+                self.wheel.cancel(self.wheel_key(node));
                 self.obs.record(Event {
                     at: now,
                     txn: None,
@@ -529,23 +579,29 @@ impl EventHub for World {
             }
             for name in ev.restarted {
                 self.restore_actor(&name, now);
+                // Re-arm from the restored state (the stale pre-crash entry
+                // was cancelled at crash time and can never fire).
+                let node = self.node_by_name(&name);
+                self.refresh_wheel(node);
             }
+            self.refresh_fault_wheel();
         }
         let mut dispatched = 0;
-        for node in self.actor_nodes() {
+        for key in self.wheel.advance(now) {
+            if key == Self::FAULT_WHEEL_KEY {
+                continue; // consumed by faults.poll above
+            }
+            let node = self.actor_nodes()[key];
             if self.faults.active() && self.faults.is_down(self.name_of[&node]) {
                 continue;
             }
-            let due = self.actor(node).next_deadline().is_some_and(|d| d <= now);
             let out = self.actor_mut(node).on_tick(now);
-            if due {
-                self.obs.record(Event {
-                    at: now,
-                    txn: None,
-                    actor: self.name_of[&node].to_string(),
-                    kind: EventKind::TimerFired { messages: out.len() },
-                });
-            }
+            self.obs.record(Event {
+                at: now,
+                txn: None,
+                actor: self.name_of[&node].to_string(),
+                kind: EventKind::TimerFired { messages: out.len() },
+            });
             if !out.is_empty() {
                 // Write-ahead: timer-driven sends (Abort/Resolve) persist
                 // the state they acknowledge before hitting the wire.
@@ -553,6 +609,13 @@ impl EventHub for World {
             }
             dispatched += out.len();
             self.dispatch_outgoing(node, out);
+            // The tick moved or kept this actor's deadline; re-register it
+            // (a kept overdue deadline re-files as overdue, preserving the
+            // scheduler's barren-masking comparison).
+            self.refresh_wheel(node);
+        }
+        if self.faults.active() {
+            self.refresh_fault_wheel();
         }
         // Timers move client-visible transaction states (abort/resolve
         // initiation, local failure declarations); diff them all.
@@ -646,6 +709,11 @@ impl EventHub for World {
                 }
             }
         }
+        // The message may have armed, moved, or cleared the recipient's
+        // earliest deadline; keep the wheel authoritative. (Crash paths
+        // already cancelled the entry; refresh on a down actor is a no-op
+        // cancellation.)
+        self.refresh_wheel(env.dst);
     }
 
     fn obs_mut(&mut self) -> Option<&mut Obs> {

@@ -9,7 +9,7 @@
 use crate::config::ProtocolConfig;
 use crate::evidence::{EvidencePlaintext, Flag};
 use crate::principal::PrincipalId;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use tpnr_crypto::hash::DigestCache;
 use tpnr_net::codec::{CodecError, Reader, Wire, Writer};
 use tpnr_net::time::SimTime;
@@ -152,6 +152,9 @@ pub enum ValidationError {
     UnknownTxn(u64),
     /// Signer's public key unavailable/unauthenticated.
     NoKey(PrincipalId),
+    /// Transaction settled and evicted to the archived-evidence log; live
+    /// protocol traffic for it is refused (arbitration reads the archive).
+    ArchivedTransaction(u64),
 }
 
 impl std::fmt::Display for ValidationError {
@@ -169,6 +172,9 @@ impl std::fmt::Display for ValidationError {
             ValidationError::Evidence(e) => write!(f, "evidence error: {e}"),
             ValidationError::UnknownTxn(id) => write!(f, "unknown transaction {id}"),
             ValidationError::NoKey(id) => write!(f, "no authenticated key for {}", id.short_hex()),
+            ValidationError::ArchivedTransaction(id) => {
+                write!(f, "transaction {id} is settled and archived")
+            }
         }
     }
 }
@@ -188,6 +194,7 @@ impl ValidationError {
             ValidationError::Evidence(_) => "evidence",
             ValidationError::UnknownTxn(_) => "unknown-txn",
             ValidationError::NoKey(_) => "no-key",
+            ValidationError::ArchivedTransaction(_) => "archived-transaction",
         }
     }
 }
@@ -214,12 +221,24 @@ pub struct Validator {
     /// it encodes how many times this principal has restarted, which the
     /// crash itself must not be able to erase.
     seq_floor: u64,
+    /// Transactions retired to the archived-evidence log. Their per-sender
+    /// windows and send counters are gone (that is the point of eviction),
+    /// so live traffic for them is refused outright instead of falling back
+    /// to a fresh — and therefore replayable — window.
+    archived: BTreeSet<u64>,
 }
 
 impl Validator {
     /// Fresh validator for a principal.
     pub fn new(me: PrincipalId, ttp: PrincipalId) -> Self {
-        Validator { me, ttp, last_recv: HashMap::new(), send_seq: HashMap::new(), seq_floor: 0 }
+        Validator {
+            me,
+            ttp,
+            last_recv: HashMap::new(),
+            send_seq: HashMap::new(),
+            seq_floor: 0,
+            archived: BTreeSet::new(),
+        }
     }
 
     /// Validates an incoming plaintext under the active config.
@@ -245,6 +264,9 @@ impl Validator {
         }
         if cfg.enforce_time_limits && now > pt.time_limit {
             return Err(ValidationError::Expired { limit: pt.time_limit, now });
+        }
+        if self.archived.contains(&pt.txn_id) {
+            return Err(ValidationError::ArchivedTransaction(pt.txn_id));
         }
         if cfg.check_sequence_numbers {
             let key = (pt.txn_id, pt.sender);
@@ -277,10 +299,30 @@ impl Validator {
         next
     }
 
+    /// Drops a settled transaction's replay window and send counter,
+    /// remembering only its id in the compact archived set. Live traffic
+    /// for the transaction is rejected from then on
+    /// ([`ValidationError::ArchivedTransaction`]) — without the tombstone a
+    /// late replay would be greeted by a fresh window and accepted.
+    pub fn retire_txn(&mut self, txn_id: u64) {
+        self.last_recv.retain(|&(txn, _), _| txn != txn_id);
+        self.send_seq.remove(&txn_id);
+        self.archived.insert(txn_id);
+    }
+
+    /// Transactions retired so far.
+    pub fn archived_count(&self) -> usize {
+        self.archived.len()
+    }
+
     /// Captures the replay-window and send-counter state for a durable
     /// snapshot (crash-recovery subsystem).
     pub fn snapshot(&self) -> ValidatorSnapshot {
-        ValidatorSnapshot { last_recv: self.last_recv.clone(), send_seq: self.send_seq.clone() }
+        ValidatorSnapshot {
+            last_recv: self.last_recv.clone(),
+            send_seq: self.send_seq.clone(),
+            archived: self.archived.clone(),
+        }
     }
 
     /// Restores from a snapshot, advancing every send counter by `skip`.
@@ -294,6 +336,7 @@ impl Validator {
         self.last_recv = snap.last_recv.clone();
         self.send_seq =
             snap.send_seq.iter().map(|(txn, seq)| (*txn, seq.saturating_add(skip))).collect();
+        self.archived = snap.archived.clone();
         // Transactions born inside the dirty window have no snapshot entry
         // at all; the floor keeps their numbering from restarting at 1.
         self.seq_floor = self.seq_floor.max(skip);
@@ -301,9 +344,9 @@ impl Validator {
 
     /// Approximate serialized size of the validator state, for snapshot
     /// accounting: key (8 + 32) + value (8) per receive window entry,
-    /// key (8) + value (8) per send counter.
+    /// key (8) + value (8) per send counter, 8 per archived tombstone.
     pub fn state_bytes(&self) -> u64 {
-        (self.last_recv.len() * 48 + self.send_seq.len() * 16) as u64
+        (self.last_recv.len() * 48 + self.send_seq.len() * 16 + self.archived.len() * 8) as u64
     }
 }
 
@@ -313,6 +356,7 @@ impl Validator {
 pub struct ValidatorSnapshot {
     last_recv: HashMap<(u64, PrincipalId), u64>,
     send_seq: HashMap<u64, u64>,
+    archived: BTreeSet<u64>,
 }
 
 #[cfg(test)]
@@ -490,6 +534,32 @@ mod tests {
         v.check(&cfg, &pt(*b"alice\0\0\0", 1, 5, 100), None, SimTime(0)).unwrap();
         // Different transaction starts its own window.
         v.check(&cfg, &pt(*b"alice\0\0\0", 2, 1, 100), None, SimTime(0)).unwrap();
+    }
+
+    #[test]
+    fn retired_txn_rejects_live_traffic_and_frees_window_state() {
+        let cfg = ProtocolConfig::full();
+        let mut v = validator();
+        v.check(&cfg, &pt(*b"alice\0\0\0", 1, 1, 100), None, SimTime(0)).unwrap();
+        v.alloc_seq(1);
+        let before = v.state_bytes();
+        v.retire_txn(1);
+        assert!(v.state_bytes() < before, "tombstone is smaller than the window it replaces");
+        assert_eq!(v.archived_count(), 1);
+        let err = v.check(&cfg, &pt(*b"alice\0\0\0", 1, 2, 100), None, SimTime(0)).unwrap_err();
+        assert_eq!(err, ValidationError::ArchivedTransaction(1));
+        assert_eq!(err.variant(), "archived-transaction");
+        // Other transactions are untouched.
+        v.check(&cfg, &pt(*b"alice\0\0\0", 2, 1, 100), None, SimTime(0)).unwrap();
+        // The tombstone survives crash recovery: without it, a restored
+        // actor would hand a late replay a fresh window.
+        let snap = v.snapshot();
+        let mut restored = validator();
+        restored.restore_with_skip(&snap, 1 << 16);
+        assert_eq!(
+            restored.check(&cfg, &pt(*b"alice\0\0\0", 1, 5, 100), None, SimTime(0)),
+            Err(ValidationError::ArchivedTransaction(1))
+        );
     }
 
     #[test]

@@ -95,6 +95,14 @@ impl Ttp {
         self.pending.len()
     }
 
+    /// Evicts a settled transaction: drops any (stale) pending-resolve
+    /// entry and retires the validator window, so late Resolve replays for
+    /// it are refused instead of opening a fresh window.
+    pub fn evict_txn(&mut self, txn_id: u64) {
+        self.pending.remove(&txn_id);
+        self.validator.retire_txn(txn_id);
+    }
+
     /// Earliest respondent deadline among pending resolves (the scheduler's
     /// view of this TTP's pending timers). Replaces the old runners' blind
     /// one-hour clock jumps whenever `pending_count() > 0`.

@@ -2,8 +2,8 @@
 //! error-and-regenerate abort handling, abort-after-completion rejection,
 //! forged resolve requests at the TTP, and resolve replay safety.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use tpnr_core::client::TimeoutStrategy;
 use tpnr_core::config::ProtocolConfig;
 use tpnr_core::evidence::{Flag, SealedEvidence};
@@ -22,12 +22,12 @@ fn abort_after_completion_is_rejected() {
     let mut w = World::new(11, ProtocolConfig::full());
     let (a, b) = (w.alice_node, w.bob_node);
     // Drop only the first bob→alice message (the receipt); let later ones by.
-    let dropped = Rc::new(Cell::new(false));
+    let dropped = Arc::new(AtomicBool::new(false));
     let flag = dropped.clone();
     w.net.set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, _p: &[u8], _t| {
-            if src == b && dst == a && !flag.get() {
-                flag.set(true);
+            if src == b && dst == a && !flag.load(Ordering::Relaxed) {
+                flag.store(true, Ordering::Relaxed);
                 Action::Drop
             } else {
                 Action::Deliver
@@ -49,15 +49,15 @@ fn corrupted_abort_gets_error_reply_and_retry_succeeds() {
     let mut w = World::new(12, ProtocolConfig::full());
     w.provider.behavior.respond_transfers = false; // force the abort path
     let (a, b) = (w.alice_node, w.bob_node);
-    let corrupted_once = Rc::new(Cell::new(false));
+    let corrupted_once = Arc::new(AtomicBool::new(false));
     let flag = corrupted_once.clone();
     w.net.set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, payload: &[u8], _t| {
-            if src == a && dst == b && !flag.get() {
+            if src == a && dst == b && !flag.load(Ordering::Relaxed) {
                 if let Ok(Message::Abort { plaintext, .. }) = Message::from_wire(payload) {
                     // Corrupt the sealed evidence: Bob can't verify it and
                     // must answer Error.
-                    flag.set(true);
+                    flag.store(true, Ordering::Relaxed);
                     let forged = Message::Abort {
                         plaintext,
                         evidence: SealedEvidence { sealed: vec![0xde, 0xad, 0xbe, 0xef] },
@@ -71,7 +71,7 @@ fn corrupted_abort_gets_error_reply_and_retry_succeeds() {
     let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::AbortFirst);
     // After the Error round-trip, the regenerated abort is accepted.
     assert_eq!(r.outcome, TxnState::Aborted);
-    assert!(corrupted_once.get(), "the corruption path actually ran");
+    assert!(corrupted_once.load(Ordering::Relaxed), "the corruption path actually ran");
     // The event stream shows an extra Abort/AbortReply pair beyond the
     // minimum (the garbled forgery plus the regenerated original).
     let aborts = w.obs.events().iter().filter(|e| e.msg_kind() == Some("Abort")).count();

@@ -1,10 +1,14 @@
 //! **DET-ORDER** — `HashMap` / `HashSet` forbidden in modules that render
-//! traces, reports, or serialized evidence (`obs`, `report`, `codec`).
+//! traces, reports, or serialized evidence, and in the scheduler/runner
+//! layer (`obs`, `report`, `codec`, `multi`, `sched`).
 //!
 //! PR 2's JSONL trace validator checks output the paper's auditor is
 //! supposed to replay; hash-map iteration order is randomized per process,
 //! so any hash container feeding serialized output makes traces
 //! non-reproducible. `BTreeMap` / `BTreeSet` give deterministic order.
+//! `multi` and `sched` are in scope since the timer-wheel refactor: the
+//! event loop's dispatch and state-diff order feeds the observability
+//! stream directly, so iteration there must be deterministic too.
 //! The rule applies to the whole file, tests included — deterministic
 //! fixtures keep golden tests stable.
 
@@ -13,7 +17,7 @@ use crate::{FileCtx, Finding};
 pub const ID: &str = "DET-ORDER";
 
 /// Module leaf names whose output must be deterministic.
-const SCOPE_LEAVES: &[&str] = &["obs", "report", "codec"];
+const SCOPE_LEAVES: &[&str] = &["obs", "report", "codec", "multi", "sched"];
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
     if !SCOPE_LEAVES.contains(&ctx.module_leaf()) {
@@ -73,6 +77,22 @@ mod tests {
             "use std::collections::BTreeMap;\nstruct Obs { per_txn: BTreeMap<u64, TxnObs> }",
         );
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn fires_on_hashmap_in_multi_and_sched() {
+        let hits = run_rule(
+            check,
+            "crates/core/src/multi.rs",
+            "use std::collections::HashMap;\nstruct W { txn_meta: HashMap<u64, M> }",
+        );
+        assert_eq!(hits.len(), 2);
+        let hits = run_rule(
+            check,
+            "crates/core/src/sched.rs",
+            "fn f() { let m: HashSet<usize> = HashSet::new(); }",
+        );
+        assert_eq!(hits.len(), 2);
     }
 
     #[test]

@@ -121,7 +121,12 @@ pub enum Action {
 }
 
 /// Wire-level adversary hook. Sees every message at send time.
-pub trait Interceptor {
+///
+/// `Send` so a whole `SimNet` (and the worlds built on it) can be moved
+/// across the scoped-thread boundary `tpnr-par` uses to drive sharded
+/// lanes concurrently; interceptors capturing shared tape use
+/// `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>`.
+pub trait Interceptor: Send {
     /// Chooses the fate of an in-flight message.
     fn intercept(&mut self, src: NodeId, dst: NodeId, payload: &[u8], now: SimTime) -> Action;
 }
@@ -129,7 +134,7 @@ pub trait Interceptor {
 /// Blanket impl so plain closures can serve as interceptors.
 impl<F> Interceptor for F
 where
-    F: FnMut(NodeId, NodeId, &[u8], SimTime) -> Action,
+    F: FnMut(NodeId, NodeId, &[u8], SimTime) -> Action + Send,
 {
     fn intercept(&mut self, src: NodeId, dst: NodeId, payload: &[u8], now: SimTime) -> Action {
         self(src, dst, payload, now)
@@ -517,6 +522,14 @@ impl SimNet {
         let mut ids: Vec<u64> = self.txn_stats.keys().copied().collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// Drops one transaction's traffic counters, returning the final
+    /// values for the caller's archive index. Global [`NetStats`] — and
+    /// with them the conservation law — are unaffected. Late tagged
+    /// traffic for the transaction would simply open a fresh entry.
+    pub fn retire_txn(&mut self, txn: u64) -> TxnNetStats {
+        self.txn_stats.remove(&txn).unwrap_or_default()
     }
 
     /// Advances the clock to `t` *without* delivering anything, for firing

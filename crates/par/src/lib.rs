@@ -43,6 +43,44 @@ where
     out.into_iter().map(|v| v.expect("worker filled every slot")).collect()
 }
 
+/// Runs `f` over every item of `items` in place, in parallel, and returns
+/// the per-item results in index order. The sharded-world settle fan-out
+/// uses this: each lane is mutated by exactly one worker (contiguous
+/// `chunks_mut` split, no aliasing), so no locks are needed and the output
+/// is what the serial `for` loop would have produced.
+///
+/// `f` receives the item's index and a mutable reference to it. Worker
+/// count and chunking follow [`par_map_indexed`].
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for ((w, item_chunk), slot_chunk) in
+            items.chunks_mut(chunk).enumerate().zip(out.chunks_mut(chunk))
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, (item, slot)) in
+                    item_chunk.iter_mut().zip(slot_chunk.iter_mut()).enumerate()
+                {
+                    *slot = Some(f(w * chunk + i, item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("worker filled every slot")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +138,30 @@ mod tests {
         let serial: Vec<u64> = (0..1000).map(|i| (i as u64).wrapping_mul(0x9e3779b9)).collect();
         let parallel = par_map_indexed(1000, |i| (i as u64).wrapping_mul(0x9e3779b9));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_item_once_and_joins_in_order() {
+        let mut items: Vec<u64> = (0..97).collect();
+        let results = par_map_mut(&mut items, |i, v| {
+            *v += 1_000;
+            (i, *v)
+        });
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1_000, "item {i} mutated exactly once");
+        }
+        for (idx, (i, v)) in results.iter().enumerate() {
+            assert_eq!(idx, *i);
+            assert_eq!(*v, idx as u64 + 1_000);
+        }
+    }
+
+    #[test]
+    fn par_map_mut_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = par_map_mut(&mut empty, |_, v| *v);
+        assert!(out.is_empty());
+        let mut one = vec![7u32];
+        assert_eq!(par_map_mut(&mut one, |_, v| *v * 6), vec![42]);
     }
 }
