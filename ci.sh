@@ -81,6 +81,31 @@ if grep -q '"evicted":0,' "$bench_e10"; then
 fi
 rm -f "$bench_e10"
 
+# RSA-kernel smoke: the E12 sweep must stay machine-readable, batch
+# verification must not be slower than serial at n=64, signing must stay
+# under the recorded per-width floors (both booleans are computed by the
+# measurement code itself), and a tampered batch member must be attributed.
+echo "==> experiments --bench-e12 --quick"
+bench_e12="$(mktemp)"
+cargo run -q -p tpnr-bench --bin experiments -- --bench-e12 "$bench_e12" --quick
+cargo run -q -p tpnr-bench --bin experiments -- --validate-jsonl "$bench_e12"
+if grep -Eq '"(batch_not_slower|sign_floor_ok|tampered_attributed)":false' "$bench_e12"; then
+    echo "error: E12 kernel sweep failed a perf/soundness gate" >&2
+    grep -E '"(batch_not_slower|sign_floor_ok|tampered_attributed)":false' "$bench_e12" >&2
+    exit 1
+fi
+rm -f "$bench_e12"
+
+# The fixed-limb hot path must stay heap-free: the whole point of the
+# stack-allocated kernel layer is zero allocations per modular multiply,
+# so no Vec construction may creep into crates/crypto/src/limbs.rs
+# (BigUint interop lives behind from_biguint/to_biguint at the boundary).
+echo "==> fixed-limb no-allocation grep gate"
+if grep -nE 'Vec::|vec!|to_vec' crates/crypto/src/limbs.rs; then
+    echo "error: heap allocation in the fixed-limb kernel hot path" >&2
+    exit 1
+fi
+
 # Allowlist audit: the lint gate above already fails on unallowlisted
 # findings; also fail if the allowlist itself has rotted (stale entries).
 echo "==> tpnr-lint allowlist audit"

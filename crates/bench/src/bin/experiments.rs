@@ -14,6 +14,10 @@
 //! - `--bench-e10 [path|-] [--quick]` emits the E10 timer-wheel +
 //!   sharded-state scale sweep as JSONL (`BENCH_e10.json`); `--quick` caps
 //!   the client sweep at 50k for the CI smoke step;
+//! - `--bench-e12 [path|-] [--quick]` emits the E12 fixed-limb RSA kernel
+//!   sweep (sign/verify by key size × alg, batch-vs-serial verification,
+//!   allocations per sign) as JSONL (`BENCH_e12.json`); `--quick` restricts
+//!   to 512-bit keys with fewer timing rounds for the CI smoke step;
 //! - `--validate-jsonl <file>` syntax-checks such an export (CI uses this
 //!   pair to guard the formats).
 
@@ -118,6 +122,29 @@ fn main() {
                 }
             }
         }
+        Some("--bench-e12") => {
+            let mut path: Option<&str> = None;
+            let mut quick = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    p => path = Some(p),
+                }
+            }
+            let bit_sizes: &[usize] = if quick { &[512] } else { &[512, 1024, 2048] };
+            let (rows, batches) = e12_rsa_kernels(bit_sizes, quick);
+            let json = render_bench_e12_json(&rows, &batches);
+            match path {
+                None | Some("-") => print!("{json}"),
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &json) {
+                        eprintln!("error: cannot write {p}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {} JSONL lines to {p}", json.lines().count());
+                }
+            }
+        }
         Some("--validate-jsonl") => {
             let Some(path) = args.get(1) else {
                 eprintln!("usage: experiments --validate-jsonl <file>");
@@ -142,7 +169,8 @@ fn main() {
             eprintln!(
                 "unknown flag {other}; supported: --trace-jsonl [path|-], \
                  --bench-e4 [path|-] [--quick], --bench-e8 [path|-] [--quick], \
-                 --bench-e10 [path|-] [--quick], --validate-jsonl <file>"
+                 --bench-e10 [path|-] [--quick], --bench-e12 [path|-] [--quick], \
+                 --validate-jsonl <file>"
             );
             std::process::exit(2);
         }
@@ -169,4 +197,6 @@ fn print_tables() {
     println!("{}", render_e7(&e7_bridge_schemes(2026)));
     println!("{}", render_e8(&e8_chaos(&[0, 100, 200, 300], 40)));
     println!("{}", render_e10(&e10_scale(&[1_000, 5_000], 2026)));
+    let (rows, batches) = e12_rsa_kernels(&[512, 1024], false);
+    println!("{}", render_e12(&rows, &batches));
 }

@@ -714,6 +714,213 @@ pub fn e10_scale(client_counts: &[usize], seed: u64) -> Vec<E10Row> {
         .collect()
 }
 
+// --------------------------------------------------------------- E12 ----
+
+/// One row of the E12 RSA-kernel sweep: sign/verify microseconds for one
+/// key size × hash algorithm, measured on the fixed-limb windowed path and
+/// on the retained pre-optimization classic path **interleaved in one run**
+/// (so the ratio survives host noise even on a loaded single-core VM), plus
+/// heap-allocation tallies per signing operation on each path.
+#[derive(Debug, Clone)]
+pub struct E12Row {
+    /// RSA modulus width in bits.
+    pub bits: u64,
+    /// Digest algorithm of the signed prehash.
+    pub alg: &'static str,
+    /// Mean classic-path (square-and-multiply, Vec-backed) sign time, µs.
+    pub sign_classic_us: u64,
+    /// Mean fixed-limb windowed sign time, µs.
+    pub sign_fast_us: u64,
+    /// `sign_classic_us / sign_fast_us`, ×100 (integer-JSON friendly).
+    pub sign_speedup_x100: u64,
+    /// Mean classic-path verify time, µs.
+    pub verify_classic_us: u64,
+    /// Mean fixed-limb verify time, µs.
+    pub verify_fast_us: u64,
+    /// `BigUint` limb-vector allocations per classic sign.
+    pub allocs_per_sign_classic: u64,
+    /// `BigUint` limb-vector allocations per fixed-limb sign (the modular
+    /// exponentiation core allocates nothing; what remains is EMSA padding
+    /// and the CRT recombination glue).
+    pub allocs_per_sign_fast: u64,
+    /// Fast sign under the recorded per-width floor (noise-margined): the
+    /// CI regression gate.
+    pub sign_floor_ok: bool,
+}
+
+/// The E12 batch-verification amortization row: `n` (digest, signature)
+/// pairs under one key, one randomized-linear-combination pass vs `n`
+/// serial verifications.
+#[derive(Debug, Clone)]
+pub struct E12Batch {
+    /// RSA modulus width in bits.
+    pub bits: u64,
+    /// Batch size.
+    pub n: u64,
+    /// Total serial verification time for the batch, µs.
+    pub serial_us: u64,
+    /// One `verify_batch` call over the same items, µs.
+    pub batch_us: u64,
+    /// `serial_us / batch_us`, ×100.
+    pub amortization_x100: u64,
+    /// Batch no slower than serial: the CI gate.
+    pub batch_not_slower: bool,
+    /// A tampered signature hidden in the batch was caught and attributed
+    /// to the right index (soundness spot-check inside the bench run).
+    pub tampered_attributed: bool,
+}
+
+/// Recorded fast-path signing floors (µs) per modulus width, with ~3×
+/// headroom over the 2026-08 measurement on the reference 1-core 2.1 GHz
+/// KVM host (see EXPERIMENTS.md E12). CI fails the smoke run if a signing
+/// regression blows through the margin.
+const E12_SIGN_FLOOR_US: &[(u64, u64)] = &[(512, 700), (1024, 3600), (2048, 22000)];
+
+fn e12_sign_floor(bits: u64) -> u64 {
+    E12_SIGN_FLOOR_US.iter().find(|(b, _)| *b == bits).map(|(_, f)| *f).unwrap_or(u64::MAX)
+}
+
+/// Per-(key size × alg) kernel comparison. `iters` timing rounds per path,
+/// interleaved classic/fast within each round.
+fn e12_kernel_row(kp: &tpnr_crypto::RsaKeyPair, bits: u64, alg: HashAlg, iters: usize) -> E12Row {
+    use tpnr_crypto::bigint::limb_allocs;
+
+    let alg_name = match alg {
+        HashAlg::Md5 => "md5",
+        HashAlg::Sha1 => "sha1",
+        HashAlg::Sha256 => "sha256",
+        HashAlg::Sha512 => "sha512",
+    };
+    let digests: Vec<Vec<u8>> =
+        (0..iters as u64).map(|i| alg.hash(&(i ^ bits).to_be_bytes())).collect();
+
+    let (mut t_sc, mut t_sf, mut t_vc, mut t_vf) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for d in &digests {
+        // Interleave the two paths inside each round: CPU-frequency drift
+        // and scheduler noise then hit both paths alike, keeping the ratio
+        // meaningful even when absolute numbers wobble.
+        let sw = HostStopwatch::start();
+        let sig_c = kp.private.sign_prehashed_reference(alg, d).expect("sign");
+        t_sc += sw.elapsed_secs_f64();
+        let sw = HostStopwatch::start();
+        let sig_f = kp.private.sign_prehashed(alg, d).expect("sign");
+        t_sf += sw.elapsed_secs_f64();
+        assert_eq!(sig_c, sig_f, "kernel divergence: signatures must be byte-identical");
+        let sw = HostStopwatch::start();
+        kp.public.verify_prehashed_reference(alg, d, &sig_c).expect("verify");
+        t_vc += sw.elapsed_secs_f64();
+        let sw = HostStopwatch::start();
+        kp.public.verify_prehashed(alg, d, &sig_f).expect("verify");
+        t_vf += sw.elapsed_secs_f64();
+    }
+    let us = |total: f64| (total / iters as f64 * 1e6) as u64;
+
+    // Allocation tallies: one sign per path under the thread-local counter.
+    let d0 = &digests[0];
+    limb_allocs::reset();
+    let _ = kp.private.sign_prehashed_reference(alg, d0);
+    let allocs_classic = limb_allocs::count();
+    limb_allocs::reset();
+    let _ = kp.private.sign_prehashed(alg, d0);
+    let allocs_fast = limb_allocs::count();
+
+    let sign_fast_us = us(t_sf).max(1);
+    E12Row {
+        bits,
+        alg: alg_name,
+        sign_classic_us: us(t_sc),
+        sign_fast_us,
+        sign_speedup_x100: (t_sc / t_sf * 100.0) as u64,
+        verify_classic_us: us(t_vc),
+        verify_fast_us: us(t_vf),
+        allocs_per_sign_classic: allocs_classic,
+        allocs_per_sign_fast: allocs_fast,
+        sign_floor_ok: sign_fast_us <= e12_sign_floor(bits),
+    }
+}
+
+/// Batch-vs-serial verification amortization at one key size.
+fn e12_batch_row(kp: &tpnr_crypto::RsaKeyPair, bits: u64, n: usize, rounds: usize) -> E12Batch {
+    use tpnr_crypto::rsa::BatchItem;
+
+    let alg = HashAlg::Sha256;
+    let digests: Vec<Vec<u8>> = (0..n as u64).map(|i| alg.hash(&i.to_be_bytes())).collect();
+    let sigs: Vec<Vec<u8>> =
+        digests.iter().map(|d| kp.private.sign_prehashed(alg, d).expect("sign")).collect();
+    let items: Vec<BatchItem<'_>> = digests
+        .iter()
+        .zip(&sigs)
+        .map(|(d, s)| BatchItem { alg, digest: d, signature: s })
+        .collect();
+
+    let mut rng = tpnr_crypto::ChaChaRng::seed_from_u64(0xe12);
+    let (mut t_serial, mut t_batch) = (0.0f64, 0.0f64);
+    for _ in 0..rounds {
+        let sw = HostStopwatch::start();
+        for (d, s) in digests.iter().zip(&sigs) {
+            kp.public.verify_prehashed(alg, d, s).expect("verify");
+        }
+        t_serial += sw.elapsed_secs_f64();
+        let sw = HostStopwatch::start();
+        kp.public.verify_batch(&items, &mut rng).expect("batch verify");
+        t_batch += sw.elapsed_secs_f64();
+    }
+
+    // Soundness spot-check inside the bench: a tampered member is caught
+    // and attributed.
+    let tamper_at = n / 2;
+    let mut bad_sigs = sigs.clone();
+    bad_sigs[tamper_at][5] ^= 1;
+    let bad_items: Vec<BatchItem<'_>> = digests
+        .iter()
+        .zip(&bad_sigs)
+        .map(|(d, s)| BatchItem { alg, digest: d, signature: s })
+        .collect();
+    let tampered_attributed =
+        kp.public.verify_batch(&bad_items, &mut rng).err().is_some_and(|e| e.index == tamper_at);
+
+    let us = |total: f64| (total / rounds as f64 * 1e6) as u64;
+    let batch_us = us(t_batch).max(1);
+    E12Batch {
+        bits,
+        n: n as u64,
+        serial_us: us(t_serial),
+        batch_us,
+        amortization_x100: (t_serial / t_batch * 100.0) as u64,
+        batch_not_slower: t_batch <= t_serial,
+        tampered_attributed,
+    }
+}
+
+/// E12: hardware-speed RSA sweep. For each modulus width, generates one
+/// keypair and reports (a) sign/verify µs per hash algorithm on the
+/// fixed-limb windowed kernels vs the retained classic path, measured
+/// interleaved; (b) allocations per sign on both paths; (c) batch-vs-serial
+/// verification amortization at `n = 64` under one key. Deterministic in
+/// everything but the host timings.
+pub fn e12_rsa_kernels(bit_sizes: &[usize], quick: bool) -> (Vec<E12Row>, Vec<E12Batch>) {
+    let mut rows = Vec::new();
+    let mut batches = Vec::new();
+    for &bits in bit_sizes {
+        let mut rng = tpnr_crypto::ChaChaRng::seed_from_u64(0x5250_4b45 ^ bits as u64);
+        let kp = tpnr_crypto::RsaKeyPair::generate(bits, &mut rng);
+        // Enough rounds that the per-op mean is stable, scaled down for the
+        // slower widths and for the CI smoke run.
+        let iters = match (bits, quick) {
+            (_, true) => 6,
+            (512, _) => 48,
+            (1024, _) => 20,
+            _ => 8,
+        };
+        for alg in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256] {
+            rows.push(e12_kernel_row(&kp, bits as u64, alg, iters));
+        }
+        let rounds = if quick { 2 } else { 8 };
+        batches.push(e12_batch_row(&kp, bits as u64, 64, rounds));
+    }
+    (rows, batches)
+}
+
 // ------------------------------------------------------------- trace ----
 
 /// Runs a small faulted multi-client scenario and exports its complete

@@ -307,6 +307,90 @@ pub fn render_bench_e10_json(rows: &[E10Row]) -> String {
     out
 }
 
+/// Renders E12 as tables (kernel sweep + batch amortization).
+pub fn render_e12(rows: &[E12Row], batches: &[E12Batch]) -> String {
+    let mut out = String::from(
+        "E12 / §4.13 — fixed-limb RSA kernels: sign/verify by key size × alg\n\
+         bits  alg     sign-classic us  sign-fast us  speedup  verify-c us  verify-f us  allocs c→f\n\
+         ----  ------  ---------------  ------------  -------  -----------  -----------  ----------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4}  {:<6}  {:>15}  {:>12}  {:>6}.{:02}x  {:>11}  {:>11}  {:>4}→{}\n",
+            r.bits,
+            r.alg,
+            r.sign_classic_us,
+            r.sign_fast_us,
+            r.sign_speedup_x100 / 100,
+            r.sign_speedup_x100 % 100,
+            r.verify_classic_us,
+            r.verify_fast_us,
+            r.allocs_per_sign_classic,
+            r.allocs_per_sign_fast,
+        ));
+    }
+    out.push_str(
+        "\nbatch verification, n pairs under one key\n\
+         bits   n  serial us  batch us  amortization  attributed\n\
+         ----  --  ---------  --------  ------------  ----------\n",
+    );
+    for b in batches {
+        out.push_str(&format!(
+            "{:>4}  {:>2}  {:>9}  {:>8}  {:>10}.{:02}x  {:>10}\n",
+            b.bits,
+            b.n,
+            b.serial_us,
+            b.batch_us,
+            b.amortization_x100 / 100,
+            b.amortization_x100 % 100,
+            if b.tampered_attributed { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+/// Renders the E12 RSA-kernel sweep as machine-readable JSONL. Written to
+/// `BENCH_e12.json` by `experiments --bench-e12`. The boolean gate fields
+/// (`sign_floor_ok`, `batch_not_slower`, `tampered_attributed`) are emitted
+/// by the measurement code itself so the CI smoke step can grep for them
+/// instead of re-deriving thresholds in shell.
+pub fn render_bench_e12_json(rows: &[E12Row], batches: &[E12Batch]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{{\"kind\":\"e12\",\"bits\":{},\"alg\":\"{}\",\"sign_classic_us\":{},\
+             \"sign_fast_us\":{},\"sign_speedup_x100\":{},\"verify_classic_us\":{},\
+             \"verify_fast_us\":{},\"allocs_per_sign_classic\":{},\
+             \"allocs_per_sign_fast\":{},\"sign_floor_ok\":{}}}\n",
+            r.bits,
+            json_escape(r.alg),
+            r.sign_classic_us,
+            r.sign_fast_us,
+            r.sign_speedup_x100,
+            r.verify_classic_us,
+            r.verify_fast_us,
+            r.allocs_per_sign_classic,
+            r.allocs_per_sign_fast,
+            r.sign_floor_ok,
+        ));
+    }
+    for b in batches {
+        out.push_str(&format!(
+            "{{\"kind\":\"e12_batch\",\"bits\":{},\"n\":{},\"serial_us\":{},\
+             \"batch_us\":{},\"amortization_x100\":{},\"batch_not_slower\":{},\
+             \"tampered_attributed\":{}}}\n",
+            b.bits,
+            b.n,
+            b.serial_us,
+            b.batch_us,
+            b.amortization_x100,
+            b.batch_not_slower,
+            b.tampered_attributed,
+        ));
+    }
+    out
+}
+
 // ------------------------------------------------------------- JSONL ----
 
 /// Escapes `s` for inclusion inside a JSON string literal.
@@ -743,6 +827,33 @@ mod tests {
         assert!(big.archive_bytes > 0 && big.bytes_per_client > 0);
         assert!(big.resident < big.clients, "resident set bounded: {}", big.resident);
         assert_eq!(render_e10(&rows).lines().count(), 3 + rows.len());
+    }
+
+    #[test]
+    fn bench_e12_json_is_valid_jsonl_and_gates_hold() {
+        // 512-bit quick run: 3 alg rows + 1 batch row.
+        let (rows, batches) = e12_rsa_kernels(&[512], true);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(batches.len(), 1);
+        let jsonl = render_bench_e12_json(&rows, &batches);
+        assert_eq!(validate_jsonl(&jsonl), Ok(4));
+        assert!(jsonl.contains("\"kind\":\"e12\""));
+        assert!(jsonl.contains("\"kind\":\"e12_batch\""));
+        for r in &rows {
+            assert!(r.sign_fast_us > 0 && r.sign_classic_us > 0);
+            assert!(
+                r.allocs_per_sign_fast < r.allocs_per_sign_classic,
+                "fixed-limb path must allocate less: {} vs {}",
+                r.allocs_per_sign_fast,
+                r.allocs_per_sign_classic
+            );
+        }
+        let b = &batches[0];
+        assert_eq!(b.n, 64);
+        assert!(b.tampered_attributed, "tampered batch member must be attributed");
+        // Table renderer covers every row (3 header lines per section + blank).
+        let table = render_e12(&rows, &batches);
+        assert_eq!(table.lines().count(), 3 + rows.len() + 4 + batches.len());
     }
 
     #[test]

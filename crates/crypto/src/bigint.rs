@@ -13,6 +13,36 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+/// Thread-local tally of limb-buffer (`Vec<u64>`) allocations made by
+/// `BigUint` / [`MontgomeryCtx`] operations.
+///
+/// The fixed-limb kernels in [`crate::limbs`] exist to drive this number to
+/// zero on the exponentiation hot path; experiment E12 reports
+/// allocations-per-sign before/after through this counter. Instrumentation
+/// is a `Cell` bump per buffer — cheap enough to stay always-on, and
+/// deterministic (it counts logical buffer creations, not allocator calls).
+pub mod limb_allocs {
+    use std::cell::Cell;
+
+    thread_local! {
+        static TALLY: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn bump() {
+        TALLY.with(|t| t.set(t.get() + 1));
+    }
+
+    /// Resets the current thread's tally to zero.
+    pub fn reset() {
+        TALLY.with(|t| t.set(0));
+    }
+
+    /// Limb buffers allocated on this thread since the last [`reset`].
+    pub fn count() -> u64 {
+        TALLY.with(|t| t.get())
+    }
+}
+
 /// An arbitrary-precision unsigned integer.
 ///
 /// Invariant: `limbs` never has trailing zeros (`limbs.last() != Some(&0)`);
@@ -56,8 +86,24 @@ impl BigUint {
         BigUint { limbs }
     }
 
+    /// Builds from a borrowed little-endian limb slice.
+    ///
+    /// This is the heap boundary for [`crate::limbs::FixedUint`]: the fixed
+    /// kernels hand their stack arrays here, so the allocation (and the
+    /// [`limb_allocs`] tally bump) happens on the `bigint` side and the hot
+    /// path stays textually `Vec`-free.
+    pub fn from_limb_slice(limbs: &[u64]) -> Self {
+        limb_allocs::bump();
+        let mut end = limbs.len();
+        while end > 0 && limbs.get(end - 1) == Some(&0) {
+            end -= 1;
+        }
+        BigUint { limbs: limbs[..end].to_vec() }
+    }
+
     /// Parses a big-endian byte string (the natural wire format for RSA).
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        limb_allocs::bump();
         let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
         let mut iter = bytes.rchunks(8);
         for chunk in &mut iter {
@@ -167,6 +213,7 @@ impl BigUint {
 
     /// `self + other`.
     pub fn add(&self, other: &Self) -> Self {
+        limb_allocs::bump();
         let (big, small) =
             if self.limbs.len() >= other.limbs.len() { (self, other) } else { (other, self) };
         let mut out = Vec::with_capacity(big.limbs.len() + 1);
@@ -187,6 +234,7 @@ impl BigUint {
     /// `self - other`. Panics if `other > self` (callers uphold ordering).
     pub fn sub(&self, other: &Self) -> Self {
         assert!(self.cmp_big(other) != Ordering::Less, "BigUint::sub underflow");
+        limb_allocs::bump();
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0u64;
         for i in 0..self.limbs.len() {
@@ -208,6 +256,7 @@ impl BigUint {
         if self.is_zero() || other.is_zero() {
             return Self::zero();
         }
+        limb_allocs::bump();
         let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
         for (i, &a) in self.limbs.iter().enumerate() {
             let mut carry = 0u128;
@@ -232,6 +281,7 @@ impl BigUint {
         if self.is_zero() {
             return Self::zero();
         }
+        limb_allocs::bump();
         let (limb_shift, bit_shift) = (bits / 64, bits % 64);
         let mut out = vec![0u64; limb_shift];
         if bit_shift == 0 {
@@ -256,6 +306,7 @@ impl BigUint {
             return Self::zero();
         }
         let src = &self.limbs[limb_shift..];
+        limb_allocs::bump();
         let mut out = Vec::with_capacity(src.len());
         if bit_shift == 0 {
             out.extend_from_slice(src);
@@ -277,12 +328,13 @@ impl BigUint {
             Ordering::Greater => {}
         }
         if divisor.limbs.len() == 1 {
-            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            let (q, r) = self.div_rem_u64(divisor.low_u64());
             return (q, Self::from_u64(r));
         }
 
         // Normalise so that the divisor's top limb has its high bit set.
-        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let shift = divisor.limbs.last().map_or(0, |l| l.leading_zeros()) as usize;
+        limb_allocs::bump();
         let u = self.shl(shift);
         let v = divisor.shl(shift);
         let n = v.limbs.len();
@@ -344,6 +396,7 @@ impl BigUint {
     /// Division by a single limb.
     pub fn div_rem_u64(&self, d: u64) -> (Self, u64) {
         assert!(d != 0, "BigUint division by zero");
+        limb_allocs::bump();
         let mut out = vec![0u64; self.limbs.len()];
         let mut rem = 0u128;
         for i in (0..self.limbs.len()).rev() {
@@ -385,10 +438,45 @@ impl BigUint {
 
     /// Modular exponentiation `self^exp mod modulus`.
     ///
-    /// Uses Montgomery ladder-free square-and-multiply on a Montgomery
-    /// representation when the modulus is odd (the RSA case); falls back to
-    /// plain square-and-multiply with division otherwise.
+    /// Dispatches odd moduli of up to 32 limbs (2048-bit — every RSA modulus
+    /// and CRT half this workspace produces) onto the stack-allocated
+    /// fixed-limb CIOS kernels of [`crate::limbs`], which are heap-free per
+    /// multiply and use sliding-window exponentiation. Wider odd moduli fall
+    /// back to the `Vec`-backed Montgomery context (also windowed); even
+    /// moduli use plain square-and-multiply with division. All paths return
+    /// bit-identical results (see the differential proptests).
     pub fn mod_pow(&self, exp: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "mod_pow modulus is zero");
+        if modulus.is_one() {
+            return Self::zero();
+        }
+        if exp.is_zero() {
+            return Self::one();
+        }
+        if modulus.is_even() {
+            return self.mod_pow_generic(exp, modulus);
+        }
+        use crate::limbs::mod_pow_fixed;
+        let fixed = match modulus.limbs.len() {
+            0..=4 => mod_pow_fixed::<4>(self, exp, modulus),
+            5..=8 => mod_pow_fixed::<8>(self, exp, modulus),
+            9..=16 => mod_pow_fixed::<16>(self, exp, modulus),
+            17..=32 => mod_pow_fixed::<32>(self, exp, modulus),
+            _ => None,
+        };
+        if let Some(r) = fixed {
+            return r;
+        }
+        self.mod_pow_vec_window(exp, modulus)
+    }
+
+    /// The pre-fixed-limb exponentiation path: per-bit square-and-multiply
+    /// over the `Vec`-backed [`MontgomeryCtx`].
+    ///
+    /// Retained verbatim as the differential-testing and benchmarking
+    /// reference — E12 measures the fixed kernels against this, and the
+    /// proptests require bit-identical outputs from both.
+    pub fn mod_pow_classic(&self, exp: &Self, modulus: &Self) -> Self {
         assert!(!modulus.is_zero(), "mod_pow modulus is zero");
         if modulus.is_one() {
             return Self::zero();
@@ -407,6 +495,52 @@ impl BigUint {
             if exp.bit(i) {
                 acc = ctx.mul(&acc, &base);
             }
+        }
+        ctx.from_mont(&acc)
+    }
+
+    /// Sliding-window exponentiation over the `Vec`-backed Montgomery
+    /// context — the fallback for odd moduli wider than the fixed kernels.
+    ///
+    /// Same window schedule as the fixed path ([`crate::limbs::window_bits`]
+    /// of the exponent's bit length), so results and operation ordering are
+    /// identical modulo the buffer representation.
+    fn mod_pow_vec_window(&self, exp: &Self, modulus: &Self) -> Self {
+        let ctx = MontgomeryCtx::new(modulus);
+        let base = ctx.to_mont(&self.rem(modulus));
+        let bits = exp.bit_len();
+        let w = crate::limbs::window_bits(bits);
+        // table[i] = base^(2i+1) in Montgomery form.
+        let sq = ctx.mul(&base, &base);
+        let mut table = Vec::with_capacity(1 << (w - 1));
+        table.push(base);
+        for i in 1..1usize << (w - 1) {
+            let next = ctx.mul(&table[i - 1], &sq);
+            table.push(next);
+        }
+        let mut acc = ctx.one();
+        let mut i = bits;
+        while i > 0 {
+            if !exp.bit(i - 1) {
+                acc = ctx.mul(&acc, &acc);
+                i -= 1;
+                continue;
+            }
+            let mut j = i.saturating_sub(w);
+            while !exp.bit(j) {
+                j += 1;
+            }
+            let mut val = 0usize;
+            for b in (j..i).rev() {
+                val = (val << 1) | exp.bit(b) as usize;
+            }
+            for _ in 0..i - j {
+                acc = ctx.mul(&acc, &acc);
+            }
+            if let Some(odd_power) = table.get((val - 1) / 2) {
+                acc = ctx.mul(&acc, odd_power);
+            }
+            i = j;
         }
         ctx.from_mont(&acc)
     }
@@ -534,8 +668,13 @@ impl SignedBig {
 }
 
 /// Montgomery multiplication context for an odd modulus (CIOS form).
+///
+/// This is the `Vec`-backed fallback for moduli wider than the fixed-limb
+/// kernels of [`crate::limbs`]; each multiply allocates its scratch buffer.
 pub struct MontgomeryCtx {
     n: Vec<u64>,
+    /// Low limb of the modulus, hoisted out of the reduction loop.
+    n0: u64,
     /// `-n^{-1} mod 2^64`
     n_prime: u64,
     /// `R^2 mod n` where `R = 2^(64·len)`
@@ -547,7 +686,7 @@ impl MontgomeryCtx {
     /// Builds a context; `modulus` must be odd and > 1.
     pub fn new(modulus: &BigUint) -> Self {
         assert!(!modulus.is_even() && !modulus.is_one() && !modulus.is_zero());
-        let n0 = modulus.limbs[0];
+        let n0 = modulus.low_u64();
         // Newton iteration for the inverse of n0 mod 2^64.
         let mut inv = 1u64;
         for _ in 0..6 {
@@ -557,12 +696,13 @@ impl MontgomeryCtx {
         let k = modulus.limbs.len();
         // R^2 mod n computed by shifting; done once per exponentiation.
         let r2 = BigUint::one().shl(64 * k * 2).rem(modulus);
-        MontgomeryCtx { n: modulus.limbs.clone(), n_prime, r2, modulus: modulus.clone() }
+        MontgomeryCtx { n: modulus.limbs.clone(), n0, n_prime, r2, modulus: modulus.clone() }
     }
 
     /// Montgomery product `a·b·R^-1 mod n` (inputs in Montgomery form).
     pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
         let k = self.n.len();
+        limb_allocs::bump();
         let mut t = vec![0u64; k + 2];
         let a_limbs = &a.limbs;
         let b_limbs = &b.limbs;
@@ -581,8 +721,9 @@ impl MontgomeryCtx {
             t[k + 1] = (s >> 64) as u64;
 
             // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
-            let m = t[0].wrapping_mul(self.n_prime);
-            let s = t[0] as u128 + (m as u128) * (self.n[0] as u128);
+            let t0 = t.first().copied().unwrap_or(0);
+            let m = t0.wrapping_mul(self.n_prime);
+            let s = t0 as u128 + (m as u128) * (self.n0 as u128);
             let mut carry = s >> 64;
             for j in 1..k {
                 let s = t[j] as u128 + (m as u128) * (self.n[j] as u128) + carry;
@@ -773,6 +914,46 @@ mod tests {
         let a = b(999999);
         let e = b(65537);
         assert_eq!(a.mod_pow(&e, &m), a.mod_pow_generic(&e, &m));
+    }
+
+    #[test]
+    fn dispatch_matches_classic_across_widths() {
+        // Odd moduli at 1, 5, 9 and 17 limbs hit all four fixed kernels.
+        for limb_count in [1usize, 5, 9, 17] {
+            let m = BigUint::one().shl(64 * limb_count - 1).add(&b(12345)); // odd
+            let base = BigUint::one().shl(64 * limb_count - 7).add(&b(999));
+            let e = b(0x1_0001);
+            assert_eq!(
+                base.mod_pow(&e, &m),
+                base.mod_pow_classic(&e, &m),
+                "limb_count={limb_count}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_modulus_falls_back_to_vec_window() {
+        // 33 limbs: beyond every fixed kernel, still odd — exercises the
+        // windowed Vec path against the classic per-bit loop.
+        let m = BigUint::one().shl(64 * 33).add(&b(7)); // odd
+        let base = BigUint::one().shl(2000).add(&b(3));
+        let e = b(65537);
+        assert_eq!(base.mod_pow(&e, &m), base.mod_pow_classic(&e, &m));
+    }
+
+    #[test]
+    fn limb_alloc_tally_counts_vec_path_only() {
+        let m = BigUint::one().shl(511).add(&b(0x4f)); // odd 8-limb modulus
+        let base = b(0xdead_beef);
+        let e = BigUint::one().shl(255).add(&b(1));
+        limb_allocs::reset();
+        let _ = base.mod_pow_classic(&e, &m);
+        let classic = limb_allocs::count();
+        limb_allocs::reset();
+        let _ = base.mod_pow(&e, &m);
+        let fixed = limb_allocs::count();
+        assert!(classic > 300, "per-bit Vec path allocates every round: {classic}");
+        assert!(fixed < 20, "fixed path only allocates at the boundary: {fixed}");
     }
 
     #[test]

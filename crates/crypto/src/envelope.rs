@@ -72,7 +72,10 @@ pub fn open(recipient: &RsaPrivateKey, envelope: &[u8]) -> Result<Vec<u8>, Crypt
     if envelope.len() < 2 + NONCE_LEN + TAG_LEN {
         return Err(CryptoError::Malformed("envelope"));
     }
-    let klen = u16::from_be_bytes([envelope[0], envelope[1]]) as usize;
+    let klen = match envelope {
+        [k0, k1, ..] => u16::from_be_bytes([*k0, *k1]) as usize,
+        _ => return Err(CryptoError::Malformed("envelope")),
+    };
     let body_len = envelope.len() - TAG_LEN;
     if 2 + klen + NONCE_LEN > body_len {
         return Err(CryptoError::Malformed("envelope"));

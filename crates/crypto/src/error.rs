@@ -23,6 +23,10 @@ pub enum CryptoError {
     BadShares,
     /// Malformed serialized object.
     Malformed(&'static str),
+    /// Internal arithmetic invariant violated (library bug, not caller
+    /// error) — surfaced as an error instead of a panic so protocol actors
+    /// can degrade gracefully.
+    Internal(&'static str),
 }
 
 impl fmt::Display for CryptoError {
@@ -37,6 +41,7 @@ impl fmt::Display for CryptoError {
             CryptoError::InvalidShareParams => write!(f, "invalid secret sharing parameters"),
             CryptoError::BadShares => write!(f, "insufficient or inconsistent shares"),
             CryptoError::Malformed(what) => write!(f, "malformed {what}"),
+            CryptoError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

@@ -11,6 +11,9 @@
 //!
 //! * [`bigint`] — arbitrary-precision arithmetic with Montgomery
 //!   exponentiation (the RSA substrate);
+//! * [`limbs`] — stack-allocated fixed-width kernels (CIOS Montgomery,
+//!   sliding-window exponentiation) that `bigint` auto-selects for RSA-sized
+//!   odd moduli;
 //! * [`md5`], [`sha1`], [`sha2`] — the 2010-era hash suite (MD5 is what the
 //!   platforms under study used for content integrity; SHA-256 is the
 //!   library default);
@@ -42,6 +45,7 @@ pub mod envelope;
 pub mod error;
 pub mod hash;
 pub mod hmac;
+pub mod limbs;
 pub mod md5;
 pub mod merkle;
 pub mod prime;

@@ -19,7 +19,11 @@ pub const MR_ROUNDS: usize = 40;
 /// Miller–Rabin probabilistic primality test.
 ///
 /// Returns `true` if `n` is probably prime after `rounds` random witnesses.
+/// `rounds` is clamped to at least 1: a zero-round test would vacuously
+/// accept every odd composite that survives trial division, so there is no
+/// legitimate use for it (regression: `zero_rounds_cannot_accept_composites`).
 pub fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut ChaChaRng) -> bool {
+    let rounds = rounds.max(1);
     if n.is_zero() || n.is_one() {
         return false;
     }
@@ -49,12 +53,25 @@ pub fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut ChaChaRng) -> boo
         r += 1;
     }
 
-    let n_bytes = n.bit_len().div_ceil(8);
+    let bits = n.bit_len();
+    let n_bytes = bits.div_ceil(8);
+    let excess = n_bytes * 8 - bits;
     'witness: for _ in 0..rounds {
-        // Random witness a in [2, n-2].
+        // Random witness a uniform over [2, n-2]: draw `bits` random bits
+        // and rejection-sample. The old `rem(n)` fold had modulo bias —
+        // witnesses below 2^(8·n_bytes) mod n were twice as likely — which
+        // skews the sampled witness set exactly where adversarial
+        // pseudoprimes concentrate their non-witnesses.
         let a = loop {
-            let cand = BigUint::from_bytes_be(&rng.gen_bytes(n_bytes)).rem(n);
-            if !cand.is_zero() && !cand.is_one() && cand != n_minus_1 {
+            let mut raw = rng.gen_bytes(n_bytes);
+            if let Some(first) = raw.first_mut() {
+                *first &= 0xffu8 >> excess;
+            }
+            let cand = BigUint::from_bytes_be(&raw);
+            if !cand.is_zero()
+                && !cand.is_one()
+                && cand.cmp_big(&n_minus_1) == std::cmp::Ordering::Less
+            {
                 break cand;
             }
         };
@@ -84,7 +101,9 @@ pub fn gen_prime(bits: usize, rng: &mut ChaChaRng) -> BigUint {
         let mut raw = rng.gen_bytes(bytes);
         // Trim to exactly `bits` bits.
         let excess = bytes * 8 - bits;
-        raw[0] &= 0xffu8 >> excess;
+        if let Some(first) = raw.first_mut() {
+            *first &= 0xffu8 >> excess;
+        }
         let mut cand = BigUint::from_bytes_be(&raw);
         cand.set_bit(bits - 1);
         cand.set_bit(bits - 2);
@@ -147,6 +166,26 @@ mod tests {
             assert!(!p.is_even());
             assert!(p.bit(bits - 2), "second-highest bit forced for RSA width");
         }
+    }
+
+    #[test]
+    fn zero_rounds_cannot_accept_composites() {
+        // Regression: rounds == 0 used to skip the witness loop entirely and
+        // return true for any odd composite that survives trial division.
+        let mut r = rng();
+        // 290 101 = 521 · 557: odd, no factor ≤ 211.
+        let c = BigUint::from_u64(521 * 557);
+        assert!(!is_probable_prime(&c, 0, &mut r));
+        // And a prime still passes with rounds == 0 (clamped to 1).
+        assert!(is_probable_prime(&BigUint::from_u64((1u64 << 61) - 1), 0, &mut r));
+    }
+
+    #[test]
+    fn strong_pseudoprime_to_base_2_rejected() {
+        // 2047 = 23 · 89 is a strong pseudoprime to base 2; unbiased random
+        // witnesses across several rounds must still reject it.
+        let mut r = rng();
+        assert!(!is_probable_prime(&BigUint::from_u64(2047), 8, &mut r));
     }
 
     #[test]

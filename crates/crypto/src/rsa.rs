@@ -15,6 +15,7 @@
 use crate::bigint::BigUint;
 use crate::error::CryptoError;
 use crate::hash::HashAlg;
+use crate::limbs::{FixedMontgomeryCtx, FixedUint};
 use crate::prime::gen_prime;
 use crate::rng::ChaChaRng;
 
@@ -154,7 +155,7 @@ impl RsaPublicKey {
         em.push(0x02);
         for _ in 0..k - msg.len() - 3 {
             loop {
-                let b = rng.gen_bytes(1)[0];
+                let b = rng.gen_bytes(1).first().copied().unwrap_or(0);
                 if b != 0 {
                     em.push(b);
                     break;
@@ -165,9 +166,208 @@ impl RsaPublicKey {
         em.extend_from_slice(msg);
         let m = BigUint::from_bytes_be(&em);
         let c = self.raw_encrypt(&m);
-        Ok(c.to_bytes_be_padded(k).expect("ciphertext fits modulus"))
+        // c < n < 2^(8k) by construction; a failure here is a library bug,
+        // surfaced as a typed error rather than a panic (NO-PANIC-PATH).
+        c.to_bytes_be_padded(k).ok_or(CryptoError::Internal("ciphertext exceeds modulus width"))
+    }
+
+    /// Verification through the pre-fixed-limb `Vec`-backed per-bit
+    /// Montgomery path. Kept as the differential-testing and benchmarking
+    /// baseline (experiment E12); byte-for-byte the same accept/reject
+    /// behaviour as [`RsaPublicKey::verify_prehashed`], only slower.
+    pub fn verify_prehashed_reference(
+        &self,
+        alg: HashAlg,
+        digest: &[u8],
+        signature: &[u8],
+    ) -> Result<(), CryptoError> {
+        let k = self.size();
+        if signature.len() != k {
+            return Err(CryptoError::InvalidLength);
+        }
+        if digest.len() != alg.output_len() {
+            return Err(CryptoError::InvalidLength);
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s.cmp_big(&self.n) != std::cmp::Ordering::Less {
+            return Err(CryptoError::BadSignature);
+        }
+        let em = s.mod_pow_classic(&self.e, &self.n);
+        let em_bytes = em.to_bytes_be_padded(k).ok_or(CryptoError::BadSignature)?;
+        let expected = emsa_pkcs1_v15(alg, digest, k)?;
+        if crate::ct::eq(&em_bytes, &expected) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// Verifies `items.len()` (digest, signature) pairs under this key in
+    /// one randomized-linear-combination pass.
+    ///
+    /// Instead of `n` independent exponentiations the batch draws sparse
+    /// random exponents `r_i` (4 set bits out of 32, ≈15 bits of entropy
+    /// each) from `rng` and checks
+    ///
+    /// ```text
+    ///   (Π s_i^{r_i})^e  ==  Π em_i^{r_i}   (mod n)
+    /// ```
+    ///
+    /// with both products sharing one interleaved (Straus) squaring chain,
+    /// so the amortized cost per item is a handful of Montgomery multiplies
+    /// instead of a full `s^e`. If every signature is valid the identity
+    /// holds exactly; a batch containing any forgery fails with probability
+    /// ≥ 1 − 2⁻¹⁵ per draw, and on failure the batch **falls back to the
+    /// serial per-item verify**, so the attributed index and error are
+    /// exactly what a serial loop would have produced. Structural defects
+    /// (bad lengths, out-of-range signatures) skip the aggregate pass and go
+    /// straight to the serial loop for the same reason.
+    ///
+    /// The exponents must be unpredictable to whoever produced the
+    /// signatures: callers pass their own seeded [`ChaChaRng`] (in the
+    /// deterministic simulation, the verifying actor's RNG — replays stay
+    /// bit-identical). See DESIGN.md §4.13 for the soundness argument and
+    /// the `s → n−s` caveat inherited from small-exponent batch tests.
+    pub fn verify_batch(
+        &self,
+        items: &[BatchItem<'_>],
+        rng: &mut ChaChaRng,
+    ) -> Result<(), BatchVerifyError> {
+        if items.len() < BATCH_MIN {
+            return self.verify_all_serial(items);
+        }
+        let k = self.size();
+        let mut sigs = Vec::with_capacity(items.len());
+        let mut ems = Vec::with_capacity(items.len());
+        for it in items {
+            if it.signature.len() != k || it.digest.len() != it.alg.output_len() {
+                return self.verify_all_serial(items);
+            }
+            let s = BigUint::from_bytes_be(it.signature);
+            if s.cmp_big(&self.n) != std::cmp::Ordering::Less {
+                return self.verify_all_serial(items);
+            }
+            let Ok(em) = emsa_pkcs1_v15(it.alg, it.digest, k) else {
+                return self.verify_all_serial(items);
+            };
+            sigs.push(s);
+            ems.push(BigUint::from_bytes_be(&em));
+        }
+        let rs: Vec<u32> = items.iter().map(|_| sparse_exponent(rng)).collect();
+        let agg = match self.n.limbs().len() {
+            0..=4 => self.batch_check_fixed::<4>(&sigs, &ems, &rs),
+            5..=8 => self.batch_check_fixed::<8>(&sigs, &ems, &rs),
+            9..=16 => self.batch_check_fixed::<16>(&sigs, &ems, &rs),
+            17..=32 => self.batch_check_fixed::<32>(&sigs, &ems, &rs),
+            _ => None,
+        };
+        match agg {
+            Some(true) => Ok(()),
+            // Aggregate failed (some item is bad) or the modulus does not
+            // fit a fixed kernel: serial attribution either way.
+            Some(false) | None => self.verify_all_serial(items),
+        }
+    }
+
+    /// The serial fallback: per-item [`Self::verify_prehashed`] in batch
+    /// order, attributing the first failure.
+    fn verify_all_serial(&self, items: &[BatchItem<'_>]) -> Result<(), BatchVerifyError> {
+        for (index, it) in items.iter().enumerate() {
+            if let Err(error) = self.verify_prehashed(it.alg, it.digest, it.signature) {
+                return Err(BatchVerifyError { index, error });
+            }
+        }
+        Ok(())
+    }
+
+    /// One randomized aggregate check through the `N`-limb fixed kernel.
+    /// `None` when the modulus does not qualify for width `N`.
+    fn batch_check_fixed<const N: usize>(
+        &self,
+        sigs: &[BigUint],
+        ems: &[BigUint],
+        rs: &[u32],
+    ) -> Option<bool> {
+        let ctx = FixedMontgomeryCtx::<N>::new(&self.n)?;
+        let mut sig_m = Vec::with_capacity(sigs.len());
+        for s in sigs {
+            sig_m.push(ctx.to_mont(&FixedUint::from_biguint(s)?));
+        }
+        let mut em_m = Vec::with_capacity(ems.len());
+        for em in ems {
+            em_m.push(ctx.to_mont(&FixedUint::from_biguint(em)?));
+        }
+        // Straus interleaving: one shared 32-step squaring chain drives both
+        // products; each item contributes at the 4 set bits of its exponent.
+        let mut acc_a = ctx.one();
+        let mut acc_b = ctx.one();
+        for bit in (0..SPARSE_EXP_BITS).rev() {
+            acc_a = ctx.mul(&acc_a, &acc_a);
+            acc_b = ctx.mul(&acc_b, &acc_b);
+            for (i, &r) in rs.iter().enumerate() {
+                if r & (1u32 << bit) != 0 {
+                    acc_a = ctx.mul(&acc_a, &sig_m[i]);
+                    acc_b = ctx.mul(&acc_b, &em_m[i]);
+                }
+            }
+        }
+        // Montgomery forms are canonical (< n), so comparing them directly
+        // is comparing the underlying values.
+        let lhs = ctx.pow_mont(&acc_a, &self.e);
+        Some(lhs == acc_b)
     }
 }
+
+/// Minimum batch size below which [`RsaPublicKey::verify_batch`] just runs
+/// the serial loop (the aggregate's fixed costs dominate tiny batches).
+const BATCH_MIN: usize = 4;
+
+/// Bit width of the sparse batch exponents.
+const SPARSE_EXP_BITS: u32 = 32;
+
+/// Set bits per sparse batch exponent (entropy ≈ log₂ C(32,4) ≈ 15.1 bits).
+const SPARSE_EXP_WEIGHT: u32 = 4;
+
+/// Draws a sparse random exponent: exactly [`SPARSE_EXP_WEIGHT`] distinct
+/// set bits among [`SPARSE_EXP_BITS`] positions. 256 is a multiple of 32,
+/// so the byte-modulo position draw is exactly uniform.
+fn sparse_exponent(rng: &mut ChaChaRng) -> u32 {
+    let mut r = 0u32;
+    while r.count_ones() < SPARSE_EXP_WEIGHT {
+        let pos = u32::from(rng.gen_bytes(1).first().copied().unwrap_or(0)) % SPARSE_EXP_BITS;
+        r |= 1u32 << pos;
+    }
+    r
+}
+
+/// One (digest, signature) pair for [`RsaPublicKey::verify_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchItem<'a> {
+    /// Hash algorithm the digest was produced with.
+    pub alg: HashAlg,
+    /// The already-computed message digest.
+    pub digest: &'a [u8],
+    /// The PKCS#1 v1.5 signature to check.
+    pub signature: &'a [u8],
+}
+
+/// A batch verification failure attributed to one item, with the exact
+/// error the serial per-item verify produced for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchVerifyError {
+    /// Index of the first failing item in batch order.
+    pub index: usize,
+    /// That item's serial verification error.
+    pub error: CryptoError,
+}
+
+impl std::fmt::Display for BatchVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch item {} failed: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchVerifyError {}
 
 impl RsaPrivateKey {
     /// The matching public key.
@@ -204,7 +404,33 @@ impl RsaPrivateKey {
         let em = emsa_pkcs1_v15(alg, digest, k)?;
         let m = BigUint::from_bytes_be(&em);
         let s = self.raw_decrypt(&m);
-        Ok(s.to_bytes_be_padded(k).expect("signature fits modulus"))
+        // s < n < 2^(8k) by construction; a failure here is a library bug,
+        // surfaced as a typed error rather than a panic (NO-PANIC-PATH).
+        s.to_bytes_be_padded(k).ok_or(CryptoError::Internal("signature exceeds modulus width"))
+    }
+
+    /// Signing through the pre-fixed-limb `Vec`-backed per-bit Montgomery
+    /// path. Kept as the differential-testing and benchmarking baseline
+    /// (experiment E12): the proptests assert it produces **byte-identical**
+    /// signatures to [`Self::sign_prehashed`].
+    pub fn sign_prehashed_reference(
+        &self,
+        alg: HashAlg,
+        digest: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if digest.len() != alg.output_len() {
+            return Err(CryptoError::InvalidLength);
+        }
+        let k = self.public.size();
+        let em = emsa_pkcs1_v15(alg, digest, k)?;
+        let m = BigUint::from_bytes_be(&em);
+        // CRT recombination identical to raw_decrypt, with both halves on
+        // the classic per-bit Vec path.
+        let m1 = m.rem(&self.p).mod_pow_classic(&self.dp, &self.p);
+        let m2 = m.rem(&self.q).mod_pow_classic(&self.dq, &self.q);
+        let h = m1.sub_mod(&m2.rem(&self.p), &self.p).mul_mod(&self.qinv, &self.p);
+        let s = m2.add(&h.mul(&self.q));
+        s.to_bytes_be_padded(k).ok_or(CryptoError::Internal("signature exceeds modulus width"))
     }
 
     /// PKCS#1 v1.5 (type 2) decryption.
@@ -220,14 +446,14 @@ impl RsaPrivateKey {
         let m = self.raw_decrypt(&c);
         let em = m.to_bytes_be_padded(k).ok_or(CryptoError::InvalidPadding)?;
         // EM = 0x00 || 0x02 || PS || 0x00 || M with |PS| >= 8.
-        if em[0] != 0x00 || em[1] != 0x02 {
+        let [0x00, 0x02, body @ ..] = em.as_slice() else {
             return Err(CryptoError::InvalidPadding);
-        }
-        let sep = em[2..].iter().position(|&b| b == 0).ok_or(CryptoError::InvalidPadding)?;
+        };
+        let sep = body.iter().position(|&b| b == 0).ok_or(CryptoError::InvalidPadding)?;
         if sep < 8 {
             return Err(CryptoError::InvalidPadding);
         }
-        Ok(em[2 + sep + 1..].to_vec())
+        Ok(body[sep + 1..].to_vec())
     }
 }
 
@@ -459,6 +685,122 @@ mod tests {
         for v in [2u64, 12345, 0xffff_ffff] {
             let c = BigUint::from_u64(v);
             assert_eq!(kp.private.raw_decrypt(&c), kp.private.raw_decrypt_no_crt(&c));
+        }
+    }
+
+    #[test]
+    fn reference_paths_match_fast_paths() {
+        let kp = test_key();
+        let digest = HashAlg::Sha256.hash(b"differential");
+        let fast = kp.private.sign_prehashed(HashAlg::Sha256, &digest).unwrap();
+        let slow = kp.private.sign_prehashed_reference(HashAlg::Sha256, &digest).unwrap();
+        assert_eq!(fast, slow, "old and new exponentiation paths must agree byte-for-byte");
+        kp.public.verify_prehashed_reference(HashAlg::Sha256, &digest, &fast).unwrap();
+        let mut bad = fast.clone();
+        bad[7] ^= 1;
+        assert_eq!(
+            kp.public.verify_prehashed_reference(HashAlg::Sha256, &digest, &bad),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    fn batch_of(kp: &RsaKeyPair, msgs: &[Vec<u8>]) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let digests: Vec<Vec<u8>> = msgs.iter().map(|m| HashAlg::Sha256.hash(m)).collect();
+        let sigs: Vec<Vec<u8>> = digests
+            .iter()
+            .map(|d| kp.private.sign_prehashed(HashAlg::Sha256, d).unwrap())
+            .collect();
+        (digests, sigs)
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_batch() {
+        let kp = test_key();
+        let msgs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 20]).collect();
+        let (digests, sigs) = batch_of(&kp, &msgs);
+        let items: Vec<BatchItem<'_>> = digests
+            .iter()
+            .zip(&sigs)
+            .map(|(d, s)| BatchItem { alg: HashAlg::Sha256, digest: d, signature: s })
+            .collect();
+        let mut rng = ChaChaRng::seed_from_u64(42);
+        kp.public.verify_batch(&items, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn batch_verify_attributes_tampered_signature() {
+        let kp = test_key();
+        let msgs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 20]).collect();
+        let (digests, mut sigs) = batch_of(&kp, &msgs);
+        sigs[11][5] ^= 0x20;
+        let items: Vec<BatchItem<'_>> = digests
+            .iter()
+            .zip(&sigs)
+            .map(|(d, s)| BatchItem { alg: HashAlg::Sha256, digest: d, signature: s })
+            .collect();
+        let mut rng = ChaChaRng::seed_from_u64(43);
+        let err = kp.public.verify_batch(&items, &mut rng).unwrap_err();
+        assert_eq!(err.index, 11);
+        assert_eq!(err.error, CryptoError::BadSignature);
+    }
+
+    #[test]
+    fn batch_verify_structural_defect_matches_serial_order() {
+        // Item 2 is a semantic forgery, item 5 has a bad length. A serial
+        // loop reports item 2 first; the batch must do the same.
+        let kp = test_key();
+        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 9]).collect();
+        let (digests, mut sigs) = batch_of(&kp, &msgs);
+        sigs[2][0] ^= 1;
+        sigs[5].pop();
+        let items: Vec<BatchItem<'_>> = digests
+            .iter()
+            .zip(&sigs)
+            .map(|(d, s)| BatchItem { alg: HashAlg::Sha256, digest: d, signature: s })
+            .collect();
+        let mut rng = ChaChaRng::seed_from_u64(44);
+        let err = kp.public.verify_batch(&items, &mut rng).unwrap_err();
+        assert_eq!(err.index, 2);
+    }
+
+    #[test]
+    fn batch_verify_small_batches_and_empty() {
+        let kp = test_key();
+        let mut rng = ChaChaRng::seed_from_u64(45);
+        kp.public.verify_batch(&[], &mut rng).unwrap();
+        let digest = HashAlg::Sha256.hash(b"solo");
+        let sig = kp.private.sign_prehashed(HashAlg::Sha256, &digest).unwrap();
+        let item = BatchItem { alg: HashAlg::Sha256, digest: &digest, signature: &sig };
+        kp.public.verify_batch(&[item], &mut rng).unwrap();
+        let bad = BatchItem { alg: HashAlg::Md5, digest: &digest, signature: &sig };
+        assert!(kp.public.verify_batch(&[bad], &mut rng).is_err());
+    }
+
+    #[test]
+    fn batch_verify_mixed_algs() {
+        let kp = test_key();
+        let mut items_data: Vec<(HashAlg, Vec<u8>, Vec<u8>)> = Vec::new();
+        for (i, alg) in
+            [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256].iter().cycle().take(12).enumerate()
+        {
+            let digest = alg.hash(&[i as u8; 33]);
+            let sig = kp.private.sign_prehashed(*alg, &digest).unwrap();
+            items_data.push((*alg, digest, sig));
+        }
+        let items: Vec<BatchItem<'_>> = items_data
+            .iter()
+            .map(|(alg, d, s)| BatchItem { alg: *alg, digest: d, signature: s })
+            .collect();
+        let mut rng = ChaChaRng::seed_from_u64(46);
+        kp.public.verify_batch(&items, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn sparse_exponents_have_fixed_weight() {
+        let mut rng = ChaChaRng::seed_from_u64(47);
+        for _ in 0..200 {
+            let r = sparse_exponent(&mut rng);
+            assert_eq!(r.count_ones(), SPARSE_EXP_WEIGHT);
         }
     }
 

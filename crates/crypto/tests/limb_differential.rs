@@ -1,0 +1,246 @@
+//! Differential tests for the fixed-limb bigint layer: every `FixedUint` /
+//! `FixedMontgomeryCtx` operation is checked against the heap-backed
+//! `BigUint` reference on random operands, the new windowed/fixed-limb
+//! signing and verification paths are checked byte-identical against the
+//! retained pre-optimization classic paths, primality is cross-checked
+//! against trial division, and batch verification is attacked with a
+//! tampered signature at an arbitrary position in a 64-item batch.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tpnr_crypto::bigint::BigUint;
+use tpnr_crypto::hash::HashAlg;
+use tpnr_crypto::limbs::{mod_pow_fixed, FixedMontgomeryCtx, FixedUint};
+use tpnr_crypto::rsa::{BatchItem, RsaKeyPair};
+use tpnr_crypto::ChaChaRng;
+
+fn big(bytes: &[u8]) -> BigUint {
+    BigUint::from_bytes_be(bytes)
+}
+
+/// Forces the top byte non-zero and the low bit set: an odd modulus of full
+/// width, as every RSA modulus is.
+fn odd_modulus(mut bytes: Vec<u8>) -> BigUint {
+    if let Some(first) = bytes.first_mut() {
+        *first |= 0x80;
+    }
+    if let Some(last) = bytes.last_mut() {
+        *last |= 1;
+    }
+    big(&bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------- FixedUint vs BigUint
+
+    #[test]
+    fn fixed_add_matches_biguint(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                 b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let (x, y) = (big(&a), big(&b));
+        let (fx, fy) = (
+            FixedUint::<8>::from_biguint(&x).unwrap(),
+            FixedUint::<8>::from_biguint(&y).unwrap(),
+        );
+        let (sum, carry) = fx.add_carry(&fy);
+        // The 8-limb adder result plus its carry limb is the full sum.
+        let full = sum.to_biguint().add(&BigUint::from_u64(carry).shl(512));
+        prop_assert_eq!(full, x.add(&y));
+    }
+
+    #[test]
+    fn fixed_sub_matches_biguint(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                 b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let (x, y) = (big(&a), big(&b));
+        let (hi, lo) = if x.cmp_big(&y) == std::cmp::Ordering::Less { (y, x) } else { (x, y) };
+        let (fh, fl) = (
+            FixedUint::<8>::from_biguint(&hi).unwrap(),
+            FixedUint::<8>::from_biguint(&lo).unwrap(),
+        );
+        let (diff, borrow) = fh.sub_borrow(&fl);
+        prop_assert_eq!(borrow, 0);
+        prop_assert_eq!(diff.to_biguint(), hi.sub(&lo));
+        // And the reverse direction borrows iff the operands differ.
+        let (_, borrow) = fl.sub_borrow(&fh);
+        prop_assert_eq!(borrow != 0, hi != lo);
+    }
+
+    #[test]
+    fn fixed_mul_matches_biguint(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                 b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let (x, y) = (big(&a), big(&b));
+        let (fx, fy) = (
+            FixedUint::<8>::from_biguint(&x).unwrap(),
+            FixedUint::<8>::from_biguint(&y).unwrap(),
+        );
+        let (lo, hi) = fx.mul_wide(&fy);
+        let full = lo.to_biguint().add(&hi.to_biguint().shl(512));
+        prop_assert_eq!(full, x.mul(&y));
+    }
+
+    #[test]
+    fn fixed_montgomery_mul_matches_mul_mod(
+        a in proptest::collection::vec(any::<u8>(), 1..32),
+        b in proptest::collection::vec(any::<u8>(), 1..32),
+        m in proptest::collection::vec(any::<u8>(), 16..32),
+    ) {
+        let n = odd_modulus(m);
+        let (x, y) = (big(&a).rem(&n), big(&b).rem(&n));
+        let ctx = FixedMontgomeryCtx::<4>::new(&n).unwrap();
+        let (fx, fy) = (
+            FixedUint::from_biguint(&x).unwrap(),
+            FixedUint::from_biguint(&y).unwrap(),
+        );
+        let prod = ctx.from_mont(&ctx.mul(&ctx.to_mont(&fx), &ctx.to_mont(&fy)));
+        prop_assert_eq!(prod.to_biguint(), x.mul_mod(&y, &n));
+    }
+
+    #[test]
+    fn fixed_mod_pow_matches_classic(
+        base in proptest::collection::vec(any::<u8>(), 1..48),
+        exp in proptest::collection::vec(any::<u8>(), 1..24),
+        m in proptest::collection::vec(any::<u8>(), 24..48),
+    ) {
+        let n = odd_modulus(m);
+        let (b, e) = (big(&base), big(&exp));
+        // The public dispatcher (fixed-limb for these widths)…
+        let fast = b.mod_pow(&e, &n);
+        // …the retained square-and-multiply reference…
+        let classic = b.mod_pow_classic(&e, &n);
+        prop_assert_eq!(&fast, &classic);
+        // …and the explicitly-instantiated fixed kernel all agree.
+        let direct = mod_pow_fixed::<8>(&b, &e, &n).unwrap();
+        prop_assert_eq!(&direct, &classic);
+    }
+
+    #[test]
+    fn fixed_pow_handles_edge_exponents(m in proptest::collection::vec(any::<u8>(), 16..32),
+                                        base in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let n = odd_modulus(m);
+        let b = big(&base).rem(&n);
+        // exp = 0 → 1, exp = 1 → b, both through the windowed kernel.
+        prop_assert_eq!(b.mod_pow(&BigUint::zero(), &n), BigUint::one().rem(&n));
+        prop_assert_eq!(b.mod_pow(&BigUint::one(), &n), b.clone());
+    }
+}
+
+proptest! {
+    // RSA operations are expensive; fewer cases, same adversarial value.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // ------------------------------------- signing path byte-compatibility
+
+    #[test]
+    fn signatures_byte_identical_old_vs_new(digest_seed in any::<u64>(), key_id in 0u64..3) {
+        let kp = test_key(key_id);
+        let digest = HashAlg::Sha256.hash(&digest_seed.to_be_bytes());
+        // New path: fixed-limb CRT halves with sliding-window exponentiation.
+        let fast = kp.private.sign_prehashed(HashAlg::Sha256, &digest).unwrap();
+        // Reference path: the retained classic square-and-multiply CRT.
+        let classic = kp.private.sign_prehashed_reference(HashAlg::Sha256, &digest).unwrap();
+        prop_assert_eq!(&fast, &classic, "CRT signing must be byte-identical across kernels");
+        // Both verification paths accept it; both reject a flipped bit.
+        prop_assert!(kp.public.verify_prehashed(HashAlg::Sha256, &digest, &fast).is_ok());
+        prop_assert!(kp.public.verify_prehashed_reference(HashAlg::Sha256, &digest, &fast).is_ok());
+        let mut bad = fast.clone();
+        let pos = (digest_seed % 64) as usize % bad.len();
+        bad[pos] ^= 1;
+        prop_assert!(kp.public.verify_prehashed(HashAlg::Sha256, &digest, &bad).is_err());
+        prop_assert!(kp.public.verify_prehashed_reference(HashAlg::Sha256, &digest, &bad).is_err());
+    }
+
+    #[test]
+    fn crt_roundtrip_encrypt_decrypt(msg in proptest::collection::vec(any::<u8>(), 1..32),
+                                     rng_seed in any::<u64>()) {
+        // Encrypt (public, fixed-limb mod_pow) then decrypt (private, CRT):
+        // a full round-trip through both new kernels.
+        let kp = test_key(rng_seed % 3);
+        let mut rng = ChaChaRng::seed_from_u64(rng_seed);
+        let ct = kp.public.encrypt(&mut rng, &msg).unwrap();
+        prop_assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
+    }
+
+    // -------------------------------------------------- batch adversarial
+
+    #[test]
+    fn tampered_signature_in_batch_of_64_attributed(tamper_at in 0usize..64,
+                                                    flip_bit in 0u8..8,
+                                                    rng_seed in any::<u64>()) {
+        let (kp, digests, sigs) = batch_fixture();
+        let mut bad_sigs = sigs.clone();
+        let byte = tamper_at % bad_sigs[tamper_at].len();
+        bad_sigs[tamper_at][byte] ^= 1 << flip_bit;
+        let items: Vec<BatchItem<'_>> = digests
+            .iter()
+            .zip(&bad_sigs)
+            .map(|(d, s)| BatchItem { alg: HashAlg::Sha256, digest: d, signature: s })
+            .collect();
+        let mut rng = ChaChaRng::seed_from_u64(rng_seed);
+        let err = kp.public.verify_batch(&items, &mut rng).unwrap_err();
+        prop_assert_eq!(err.index, tamper_at, "culprit must be attributed exactly");
+        // The untampered batch still verifies with the same rng stream.
+        let items: Vec<BatchItem<'_>> = digests
+            .iter()
+            .zip(sigs)
+            .map(|(d, s)| BatchItem { alg: HashAlg::Sha256, digest: d, signature: s })
+            .collect();
+        prop_assert!(kp.public.verify_batch(&items, &mut rng).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ----------------------------------------------- primality vs division
+
+    #[test]
+    fn primality_matches_trial_division_below_2_16(n in 0u64..(1 << 16), seed in any::<u64>()) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let probabilistic =
+            tpnr_crypto::prime::is_probable_prime(&BigUint::from_u64(n), 16, &mut rng);
+        let exact = trial_division_is_prime(n);
+        prop_assert_eq!(probabilistic, exact, "n = {}", n);
+    }
+}
+
+/// Ground truth for small n.
+fn trial_division_is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Deterministic test keys, generated once per process (keygen is the
+/// expensive part; the properties under test don't depend on which key).
+fn test_key(id: u64) -> &'static RsaKeyPair {
+    static KEYS: OnceLock<Vec<RsaKeyPair>> = OnceLock::new();
+    let keys = KEYS.get_or_init(|| (0..3).map(RsaKeyPair::insecure_test_key).collect());
+    &keys[(id % 3) as usize]
+}
+
+/// One key + 64 signed digests, shared across the adversarial batch cases.
+type DigestsAndSigs = (Vec<Vec<u8>>, Vec<Vec<u8>>);
+
+fn batch_fixture() -> (&'static RsaKeyPair, &'static Vec<Vec<u8>>, &'static Vec<Vec<u8>>) {
+    static FIXTURE: OnceLock<DigestsAndSigs> = OnceLock::new();
+    let kp = test_key(0);
+    let (digests, sigs) = FIXTURE.get_or_init(|| {
+        let digests: Vec<Vec<u8>> =
+            (0..64u64).map(|i| HashAlg::Sha256.hash(&i.to_be_bytes())).collect();
+        let sigs = digests
+            .iter()
+            .map(|d| kp.private.sign_prehashed(HashAlg::Sha256, d).unwrap())
+            .collect();
+        (digests, sigs)
+    });
+    (kp, digests, sigs)
+}

@@ -13,6 +13,13 @@ use crate::{FileCtx, Finding};
 pub const ID: &str = "NO-PANIC-PATH";
 
 /// Modules whose non-test code must be panic-free.
+///
+/// The `crypto::*` entries are the protocol-reachable crypto surface: the
+/// sign/verify/encrypt chain evidence handling drives (`rsa`, its arithmetic
+/// substrate `bigint`/`limbs`, the evidence envelope, digest dispatch and
+/// keygen primality). Block primitives fed only fixed-size internal state
+/// (`md5`/`sha1`/`sha2`/`chacha20`) stay out of scope: their indexing is on
+/// compile-time-sized buffers, never on attacker-supplied input.
 const SCOPE: &[&str] = &[
     "core::client",
     "core::provider",
@@ -24,6 +31,12 @@ const SCOPE: &[&str] = &[
     "core::fault",
     "net::codec",
     "net::secure",
+    "crypto::rsa",
+    "crypto::bigint",
+    "crypto::limbs",
+    "crypto::prime",
+    "crypto::hash",
+    "crypto::envelope",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
@@ -143,9 +156,29 @@ mod tests {
 
     #[test]
     fn silent_outside_scope() {
-        let hits =
-            run_rule(check, "crates/crypto/src/rsa.rs", "fn f() { x.unwrap(); panic!(\"boom\"); }");
+        // Fixed-block primitives stay out of scope (compile-time-sized
+        // buffers only); the protocol-reachable crypto modules do not.
+        let hits = run_rule(
+            check,
+            "crates/crypto/src/sha2.rs",
+            "fn f() { x.unwrap(); panic!(\"boom\"); }",
+        );
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn fires_in_protocol_reachable_crypto() {
+        for path in [
+            "crates/crypto/src/rsa.rs",
+            "crates/crypto/src/bigint.rs",
+            "crates/crypto/src/limbs.rs",
+            "crates/crypto/src/prime.rs",
+            "crates/crypto/src/hash.rs",
+            "crates/crypto/src/envelope.rs",
+        ] {
+            let hits = run_rule(check, path, "fn f() { x.unwrap(); }");
+            assert_eq!(hits.len(), 1, "{path} must be in NO-PANIC-PATH scope");
+        }
     }
 
     #[test]
