@@ -18,12 +18,23 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Protocol-invariant lint (crates/lint): constant-time comparisons, no wall
-# clock outside net::time, no panics on protocol paths, deterministic
-# iteration, evidence-constructor discipline, no unsafe. Exits nonzero on
-# any finding not justified in lint-allow.toml.
-echo "==> tpnr-lint"
-cargo run -q -p tpnr-lint
+# Protocol-invariant lint (crates/lint): the per-file textual rules plus
+# the call-graph semantic passes — PANIC-REACH (no panic reachable from a
+# protocol entry point), SECRET-FLOW (key material never reaches a
+# formatting/observability sink), ALLOC-HOT (allocation discipline on the
+# fixed-limb kernel path and the evidence hot loop; subsumes the old
+# limbs.rs allocation grep and the E4 deep-copy grep). The binary exits
+# nonzero on any finding not justified in lint-allow.toml AND on stale
+# allowlist entries, so no wrapper grep is needed. Full mode also writes
+# the SARIF artifact code-scanning UIs ingest.
+echo "==> tpnr-lint (rules + semantic passes)"
+if [ "$quick" -eq 0 ]; then
+    mkdir -p target/artifacts
+    cargo run -q -p tpnr-lint -- --sarif target/artifacts/lint.sarif
+    echo "    sarif: target/artifacts/lint.sarif"
+else
+    cargo run -q -p tpnr-lint
+fi
 
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo build --release"
@@ -44,10 +55,6 @@ echo "==> experiments --bench-e4 --quick"
 bench_e4="$(mktemp)"
 cargo run -q -p tpnr-bench --bin experiments -- --bench-e4 "$bench_e4" --quick
 cargo run -q -p tpnr-bench --bin experiments -- --validate-jsonl "$bench_e4"
-if grep -q '"upload_deep_copies":[1-9]' "$bench_e4"; then
-    echo "error: transport probe reported deep payload copies" >&2
-    exit 1
-fi
 rm -f "$bench_e4"
 
 # Chaos smoke: the E8 sweep must stay machine-readable, and no crashed run
@@ -95,24 +102,6 @@ if grep -Eq '"(batch_not_slower|sign_floor_ok|tampered_attributed)":false' "$ben
     exit 1
 fi
 rm -f "$bench_e12"
-
-# The fixed-limb hot path must stay heap-free: the whole point of the
-# stack-allocated kernel layer is zero allocations per modular multiply,
-# so no Vec construction may creep into crates/crypto/src/limbs.rs
-# (BigUint interop lives behind from_biguint/to_biguint at the boundary).
-echo "==> fixed-limb no-allocation grep gate"
-if grep -nE 'Vec::|vec!|to_vec' crates/crypto/src/limbs.rs; then
-    echo "error: heap allocation in the fixed-limb kernel hot path" >&2
-    exit 1
-fi
-
-# Allowlist audit: the lint gate above already fails on unallowlisted
-# findings; also fail if the allowlist itself has rotted (stale entries).
-echo "==> tpnr-lint allowlist audit"
-if cargo run -q -p tpnr-lint 2>&1 | grep -q 'unused allowlist entry'; then
-    echo "error: lint-allow.toml has stale entries" >&2
-    exit 1
-fi
 
 if [ "$quick" -eq 0 ]; then
     # The observability export must stay machine-readable: produce a trace

@@ -288,8 +288,7 @@ impl TxnArchive {
     pub fn note_settled(&mut self, txn_id: u64) -> Option<u64> {
         let shard = &mut self.shards[Self::shard_of(txn_id)];
         shard.settled.push_back(txn_id);
-        (shard.settled.len() > self.hot_capacity)
-            .then(|| shard.settled.pop_front().expect("len > cap >= 1"))
+        (shard.settled.len() > self.hot_capacity).then(|| shard.settled.pop_front()).flatten()
     }
 
     /// Seals a transaction's evidence into its shard log and records the

@@ -49,7 +49,7 @@ impl Md5 {
     fn compress(state: &mut [u32; 4], block: &[u8; 64]) {
         let mut m = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            m[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         let (mut a, mut b, mut c, mut d) = (state[0], state[1], state[2], state[3]);
         for i in 0..64 {
@@ -99,7 +99,11 @@ impl Digest for Md5 {
         }
         let mut chunks = data.chunks_exact(64);
         for block in &mut chunks {
-            Self::compress(&mut self.state, block.try_into().unwrap());
+            // `chunks_exact` guarantees the length, so the conversion
+            // cannot fail; the `if let` keeps the hot loop panic-free.
+            if let Ok(block) = block.try_into() {
+                Self::compress(&mut self.state, block);
+            }
         }
         let rest = chunks.remainder();
         self.buf[..rest.len()].copy_from_slice(rest);

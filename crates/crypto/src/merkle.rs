@@ -83,16 +83,19 @@ impl MerkleTree {
             data.chunks(chunk_size).map(|c| leaf_hash(alg, c)).collect()
         };
         let mut levels = vec![leaves];
-        while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
-                if pair.len() == 2 {
-                    next.push(node_hash(alg, &pair[0], &pair[1]));
-                } else {
-                    next.push(pair[0].clone()); // odd node promoted
+        loop {
+            let next = {
+                let Some(prev) = levels.last().filter(|l| l.len() > 1) else { break };
+                let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+                for pair in prev.chunks(2) {
+                    match pair {
+                        [left, right] => next.push(node_hash(alg, left, right)),
+                        [odd] => next.push(odd.clone()), // odd node promoted
+                        _ => {}
+                    }
                 }
-            }
+                next
+            };
             levels.push(next);
         }
         MerkleTree { alg, levels, chunk_size }
@@ -100,12 +103,13 @@ impl MerkleTree {
 
     /// The root hash (what TPNR evidence signs for chunked objects).
     pub fn root(&self) -> &[u8] {
-        &self.levels.last().unwrap()[0]
+        // `build` always pushes at least one non-empty level.
+        self.levels.last().and_then(|l| l.first()).map_or(&[], Vec::as_slice)
     }
 
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
-        self.levels[0].len()
+        self.levels.first().map_or(0, Vec::len)
     }
 
     /// The chunk size this tree was built with.

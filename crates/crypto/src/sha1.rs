@@ -30,7 +30,7 @@ impl Sha1 {
     fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
         let mut w = [0u32; 80];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for i in 16..80 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
@@ -84,7 +84,11 @@ impl Digest for Sha1 {
         }
         let mut chunks = data.chunks_exact(64);
         for block in &mut chunks {
-            Self::compress(&mut self.state, block.try_into().unwrap());
+            // `chunks_exact` guarantees the length, so the conversion
+            // cannot fail; the `if let` keeps the hot loop panic-free.
+            if let Ok(block) = block.try_into() {
+                Self::compress(&mut self.state, block);
+            }
         }
         let rest = chunks.remainder();
         self.buf[..rest.len()].copy_from_slice(rest);

@@ -126,7 +126,7 @@ impl Sha256 {
     fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
@@ -181,7 +181,11 @@ impl Digest for Sha256 {
         }
         let mut chunks = data.chunks_exact(64);
         for block in &mut chunks {
-            Self::compress(&mut self.state, block.try_into().unwrap());
+            // `chunks_exact` guarantees the length, so the conversion
+            // cannot fail; the `if let` keeps the hot loop panic-free.
+            if let Ok(block) = block.try_into() {
+                Self::compress(&mut self.state, block);
+            }
         }
         let rest = chunks.remainder();
         self.buf[..rest.len()].copy_from_slice(rest);
@@ -234,7 +238,9 @@ impl Sha512 {
     fn compress(state: &mut [u64; 8], block: &[u8; 128]) {
         let mut w = [0u64; 80];
         for (i, chunk) in block.chunks_exact(8).enumerate() {
-            w[i] = u64::from_be_bytes(chunk.try_into().unwrap());
+            w[i] = u64::from_be_bytes([
+                chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+            ]);
         }
         for i in 16..80 {
             let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
@@ -289,7 +295,11 @@ impl Digest for Sha512 {
         }
         let mut chunks = data.chunks_exact(128);
         for block in &mut chunks {
-            Self::compress(&mut self.state, block.try_into().unwrap());
+            // `chunks_exact` guarantees the length, so the conversion
+            // cannot fail; the `if let` keeps the hot loop panic-free.
+            if let Ok(block) = block.try_into() {
+                Self::compress(&mut self.state, block);
+            }
         }
         let rest = chunks.remainder();
         self.buf[..rest.len()].copy_from_slice(rest);

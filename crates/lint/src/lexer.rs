@@ -481,6 +481,40 @@ mod tests {
     }
 
     #[test]
+    fn byte_string_spans_stay_aligned() {
+        // Every escaped byte inside `b"…"` must advance the column so
+        // tokens *after* the literal carry accurate positions — findings
+        // are keyed by (line, col), so a drift here misplaces them all.
+        let toks = lex("let a = b\"un\\\"safe\"; z");
+        let lit = toks.iter().find(|t| t.kind == TokKind::Lit).expect("literal token");
+        assert_eq!((lit.line, lit.col), (1, 9));
+        let z = toks.iter().find(|t| t.is_ident("z")).expect("trailing ident");
+        assert_eq!((z.line, z.col), (1, 22));
+    }
+
+    #[test]
+    fn raw_byte_string_spans_across_newlines() {
+        // `br#"…"#` may span lines: the line counter must advance and the
+        // column must reset inside the literal.
+        let toks = lex("let x = br#\"a\nbb\"# + y;");
+        let lit = toks.iter().find(|t| t.kind == TokKind::Lit).expect("literal token");
+        assert_eq!((lit.line, lit.col), (1, 9));
+        let y = toks.iter().find(|t| t.is_ident("y")).expect("trailing ident");
+        assert_eq!((y.line, y.col), (2, 8));
+    }
+
+    #[test]
+    fn raw_byte_string_multi_hash_terminator() {
+        // `br##"…"##` only closes on a matching hash count: the inner
+        // `"#` must not end the literal early.
+        let toks = lex("let z = br##\"q\"# w\"##; k");
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 1, "inner \"# closed the literal early");
+        let k = toks.iter().find(|t| t.is_ident("k")).expect("trailing ident");
+        assert_eq!((k.line, k.col), (1, 24));
+    }
+
+    #[test]
     fn char_literal_with_quote() {
         // A char literal containing `"` must not open a string.
         let src = "let q = '\"'; let after = 1;";

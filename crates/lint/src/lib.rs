@@ -15,9 +15,13 @@
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod callgraph;
 pub mod jsonout;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod rules;
+pub mod sarif;
 
 use lexer::Token;
 
@@ -101,22 +105,79 @@ pub fn module_of(path: &str) -> (Option<String>, bool) {
     (Some(module), false)
 }
 
-/// Run every rule over every file and return findings sorted by
-/// (file, line, col, rule). `allowed` flags are applied from `allow`.
+/// One lexed-and-parsed workspace file, shared by the per-file rules
+/// and the interprocedural passes.
+#[derive(Debug, Clone)]
+pub struct WsFile {
+    pub path: String,
+    pub module: Option<String>,
+    pub is_test_file: bool,
+    pub tokens: Vec<Token>,
+    pub in_test: Vec<bool>,
+    pub parsed: parser::ParsedFile,
+}
+
+/// The whole workspace in one structure: input to the call graph.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    pub files: Vec<WsFile>,
+}
+
+impl Workspace {
+    /// Lex and parse every input file.
+    pub fn build(files: &[FileInput]) -> Workspace {
+        let mut out = Workspace::default();
+        for f in files {
+            let tokens = lexer::lex(&f.source);
+            let in_test = lexer::test_region_flags(&tokens);
+            let (module, is_test_file) = module_of(&f.path);
+            let parsed = parser::parse_file(
+                module.as_deref().unwrap_or(""),
+                is_test_file,
+                &tokens,
+                &in_test,
+            );
+            out.files.push(WsFile {
+                path: f.path.clone(),
+                module,
+                is_test_file,
+                tokens,
+                in_test,
+                parsed,
+            });
+        }
+        out
+    }
+}
+
+/// Run every per-file rule and every interprocedural pass over the
+/// workspace; findings come back sorted by (file, line, col, rule) with
+/// `allowed` flags applied from `allow`.
 pub fn lint_files(files: &[FileInput], allow: &allow::Allowlist) -> Vec<Finding> {
+    let ws = Workspace::build(files);
     let mut findings = Vec::new();
-    for f in files {
-        let tokens = lexer::lex(&f.source);
-        let in_test = lexer::test_region_flags(&tokens);
-        let (module, is_test_file) = module_of(&f.path);
-        let ctx =
-            FileCtx { path: &f.path, module, is_test_file, tokens: &tokens, in_test: &in_test };
+    for f in &ws.files {
+        let ctx = FileCtx {
+            path: &f.path,
+            module: f.module.clone(),
+            is_test_file: f.is_test_file,
+            tokens: &f.tokens,
+            in_test: &f.in_test,
+        };
         for rule in rules::ALL {
             (rule.check)(&ctx, &mut findings);
         }
     }
+    let graph = callgraph::Graph::build(&ws);
+    let pctx = passes::PassCtx { ws: &ws, graph: &graph };
+    for pass in passes::ALL {
+        (pass.run)(&pctx, &mut findings);
+    }
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    findings.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.col == b.col && a.rule == b.rule
     });
     for finding in &mut findings {
         if allow.permits(&finding.file, finding.rule) {
@@ -139,7 +200,7 @@ impl Summary {
     pub fn of(files: &[FileInput], findings: &[Finding]) -> Summary {
         Summary {
             files: files.len(),
-            rules: rules::ALL.len(),
+            rules: rules::ALL.len() + passes::ALL.len(),
             findings: findings.len(),
             allowlisted: findings.iter().filter(|f| f.allowed).count(),
         }

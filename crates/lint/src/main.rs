@@ -1,21 +1,24 @@
 //! `tpnr-lint` binary: walk every `.rs` file in the workspace, run the
-//! rule set, honor `lint-allow.toml`, and report.
+//! rule set and the interprocedural passes, honor `lint-allow.toml`,
+//! and report.
 //!
-//! Exit codes: 0 = clean (all findings allowlisted), 1 = unallowlisted
-//! findings, 2 = usage or I/O error.
+//! Exit codes: 0 = clean (all findings allowlisted, no stale allowlist
+//! entries), 1 = unallowlisted findings or stale allowlist entries,
+//! 2 = usage or I/O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use tpnr_lint::{allow::Allowlist, jsonout, lint_files, FileInput, Summary};
+use tpnr_lint::{allow::Allowlist, jsonout, lint_files, sarif, FileInput, Summary};
 
-const USAGE: &str = "usage: tpnr-lint [--root DIR] [--json] [--allowlist FILE]";
+const USAGE: &str = "usage: tpnr-lint [--root DIR] [--json] [--sarif FILE] [--allowlist FILE]";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut allow_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -27,6 +30,10 @@ fn main() -> ExitCode {
             "--allowlist" => match args.next() {
                 Some(f) => allow_path = Some(PathBuf::from(f)),
                 None => return usage_error("--allowlist needs a file"),
+            },
+            "--sarif" => match args.next() {
+                Some(f) => sarif_path = Some(PathBuf::from(f)),
+                None => return usage_error("--sarif needs an output file (`-` for stdout)"),
             },
             "--json" => json = true,
             "--help" | "-h" => {
@@ -84,16 +91,29 @@ fn main() -> ExitCode {
             }
         }
     }
-    for stale in allow.unused(&findings) {
+    if let Some(p) = sarif_path {
+        let rendered = sarif::render(&findings);
+        if p.as_os_str() == "-" {
+            print!("{rendered}");
+        } else if let Err(e) = std::fs::write(&p, rendered) {
+            eprintln!("tpnr-lint: writing {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    // A stale allowlist entry is a hard failure: it means a finding was
+    // fixed (or a path moved) and the justification now suppresses
+    // nothing — left alone it would silently mask the next regression.
+    let stale = allow.unused(&findings);
+    for s in &stale {
         eprintln!(
-            "tpnr-lint: warning: unused allowlist entry {} @ {} ({})",
-            stale.rule, stale.path, stale.justification
+            "tpnr-lint: error: unused allowlist entry {} @ {} ({})",
+            s.rule, s.path, s.justification
         );
     }
     // The one-line coverage summary CI logs grep for.
     println!("{}", summary.line());
 
-    if summary.findings > summary.allowlisted {
+    if summary.findings > summary.allowlisted || !stale.is_empty() {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
@@ -139,7 +159,9 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<FileInput>) -> std::i
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            // `fixtures` holds the lint's own test corpus: deliberately
+            // broken code that must not be linted as workspace source.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             collect_rs_files(root, &path, out)?;

@@ -1,0 +1,59 @@
+//! Interprocedural passes over the workspace call graph.
+//!
+//! Unlike the per-file rules in [`crate::rules`], these analyses need
+//! the whole workspace at once: a panic three crates away is still a
+//! protocol-path panic if a `Client` method can reach it, and a secret
+//! leaks whether or not the `format!` happens in the file that owns the
+//! key. Each pass gets the lexed/parsed [`Workspace`] plus the resolved
+//! [`Graph`] and reports findings at the *site* of the defect (the seed
+//! panic, the leaking sink, the allocation) with the reaching chain in
+//! the message — so allowlist entries, which match (rule, file), stay
+//! local to the file that owns the offending code.
+
+pub mod alloc_hot;
+pub mod panic_reach;
+pub mod secret_flow;
+
+use crate::callgraph::Graph;
+use crate::{Finding, Workspace};
+
+/// Shared input handed to every pass.
+pub struct PassCtx<'a> {
+    pub ws: &'a Workspace,
+    pub graph: &'a Graph,
+}
+
+/// A registered pass: stable id plus its entry point.
+pub struct Pass {
+    pub id: &'static str,
+    pub run: fn(&PassCtx, &mut Vec<Finding>),
+}
+
+/// Every pass, in the order they run after the per-file rules.
+pub const ALL: &[Pass] = &[
+    Pass { id: panic_reach::ID, run: panic_reach::run },
+    Pass { id: secret_flow::ID, run: secret_flow::run },
+    Pass { id: alloc_hot::ID, run: alloc_hot::run },
+];
+
+/// Test helper shared by the pass modules: build a mini workspace from
+/// in-memory files, run one pass, return sorted findings.
+#[cfg(test)]
+pub(crate) fn run_pass(
+    run: fn(&PassCtx, &mut Vec<Finding>),
+    files: &[(&str, &str)],
+) -> Vec<Finding> {
+    let inputs: Vec<crate::FileInput> = files
+        .iter()
+        .map(|(p, s)| crate::FileInput { path: p.to_string(), source: s.to_string() })
+        .collect();
+    let ws = Workspace::build(&inputs);
+    let graph = Graph::build(&ws);
+    let ctx = PassCtx { ws: &ws, graph: &graph };
+    let mut out = Vec::new();
+    run(&ctx, &mut out);
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    out
+}

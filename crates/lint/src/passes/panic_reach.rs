@@ -1,0 +1,316 @@
+//! **PANIC-REACH** — transitive panic reachability from protocol entry
+//! points.
+//!
+//! Paper §4–5: a protocol actor that aborts mid-session hands the
+//! adversary the exact failure the non-repudiation argument forbids —
+//! the crashed party drops its half of the evidence trail. The old
+//! NO-PANIC-PATH rule approximated this per file with a module scope
+//! list; this pass replaces it with the real property: seed every
+//! potential panic site (`unwrap`/`expect`, `panic!`-family macros,
+//! indexing by integer literal, unchecked `/`/`%` in the bignum
+//! substrate), then walk the workspace call graph from every protocol
+//! entry point and report each seed a protocol call chain can reach.
+//!
+//! Findings land at the *seed* site with the entry→seed chain in the
+//! message, so an allowlist entry covers one file's seeds without
+//! silencing unrelated entry points.
+
+use crate::callgraph::Reach;
+use crate::lexer::{TokKind, Token};
+use crate::passes::PassCtx;
+use crate::Finding;
+
+pub const ID: &str = "PANIC-REACH";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Protocol-actor types whose public methods are entry points.
+const ENTRY_OWNERS: &[&str] = &["Client", "Provider", "Ttp", "Validator", "Arbitrator"];
+
+/// Block primitives whose indexing is on compile-time-sized internal
+/// state, never attacker-supplied input: exempt from the literal-index
+/// seed (panic macros and `unwrap` still seed there).
+const FIXED_BLOCK_MODULES: &[&str] =
+    &["crypto::md5", "crypto::sha1", "crypto::sha2", "crypto::chacha20"];
+
+/// One potential panic site inside a function body.
+pub(crate) struct Seed {
+    pub line: u32,
+    pub col: u32,
+    pub what: String,
+}
+
+/// Is node `i` a protocol entry point?
+fn is_entry(ctx: &PassCtx, i: usize) -> bool {
+    let it = &ctx.graph.fns[i].item;
+    if it.is_test {
+        return false;
+    }
+    let crate_root = it.module.split("::").next().unwrap_or("");
+    // Public methods on the five protocol actors in the core crate.
+    if it.is_pub
+        && crate_root == "core"
+        && it.owner.as_deref().is_some_and(|o| ENTRY_OWNERS.contains(&o))
+    {
+        return true;
+    }
+    // Wire decoding: every `impl Wire for T { fn decode … }` plus the
+    // codec crate's public free decode surface.
+    if it.trait_name.as_deref() == Some("Wire") && it.name == "decode" {
+        return true;
+    }
+    if it.module == "net::codec"
+        && it.owner.is_none()
+        && it.is_pub
+        && (it.name.starts_with("decode") || it.name == "from_wire_bytes")
+    {
+        return true;
+    }
+    // The scheduler's settle loop drives every actor.
+    it.qname == "core::sched::settle"
+}
+
+/// Scan one function body for panic seeds. `in_test` masks tokens in
+/// `#[cfg(test)]` regions nested inside the body.
+pub(crate) fn seeds_in(
+    toks: &[Token],
+    in_test: &[bool],
+    body: (usize, usize),
+    module: &str,
+) -> Vec<Seed> {
+    let mut out = Vec::new();
+    let literal_index_exempt = FIXED_BLOCK_MODULES.contains(&module);
+    let crypto_substrate = module.starts_with("crypto");
+    let (start, end) = body;
+    for i in start..end {
+        if in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        if let Some(name) = t.ident() {
+            if (name == "unwrap" || name == "expect")
+                && i > start
+                && toks[i - 1].is_punct(".")
+                && i + 1 < end
+                && toks[i + 1].is_punct("(")
+            {
+                out.push(Seed { line: t.line, col: t.col, what: format!(".{name}()") });
+                continue;
+            }
+            if PANIC_MACROS.contains(&name) && i + 1 < end && toks[i + 1].is_punct("!") {
+                out.push(Seed { line: t.line, col: t.col, what: format!("{name}!") });
+                continue;
+            }
+        }
+        // Indexing by integer literal: `buf[0]` panics on short input.
+        if !literal_index_exempt
+            && t.is_punct("[")
+            && i > start
+            && i + 2 < end
+            && toks[i + 1].kind == TokKind::Int
+            && toks[i + 2].is_punct("]")
+        {
+            let indexable = matches!(
+                &toks[i - 1].kind,
+                TokKind::Ident(_) | TokKind::Punct(")") | TokKind::Punct("]") | TokKind::Punct("?")
+            );
+            if indexable {
+                out.push(Seed { line: t.line, col: t.col, what: "indexing by literal".into() });
+            }
+        }
+        // Unchecked integer `/` / `%` by a runtime value, in the bignum
+        // substrate only (where division by a computed limb count or
+        // modulus is the realistic div-by-zero risk; elsewhere the
+        // token-level heuristic cannot tell floats from ints).
+        if crypto_substrate && (t.is_punct("/") || t.is_punct("%")) {
+            if let Some(rhs) = toks.get(i + 1).and_then(|t| t.ident()) {
+                let lowercase = rhs.chars().next().is_some_and(|c| c.is_ascii_lowercase());
+                let is_path = toks.get(i + 2).is_some_and(|t| t.is_punct("::"));
+                if lowercase && !is_path {
+                    let op = if t.is_punct("/") { "/" } else { "%" };
+                    out.push(Seed {
+                        line: t.line,
+                        col: t.col,
+                        what: format!("unchecked `{op} {rhs}`"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+pub fn run(ctx: &PassCtx, out: &mut Vec<Finding>) {
+    let g = ctx.graph;
+    let roots: Vec<usize> = (0..g.fns.len()).filter(|&i| is_entry(ctx, i)).collect();
+    let reach: Reach = g.reach_from(&roots);
+    for i in 0..g.fns.len() {
+        if !reach.reached[i] || g.fns[i].item.is_test {
+            continue;
+        }
+        let meta = &g.fns[i];
+        let file = &ctx.ws.files[meta.file];
+        let entry = reach.root[i].map(|r| g.fns[r].item.qname.clone()).unwrap_or_default();
+        let chain = g.chain(&reach, i);
+        for seed in seeds_in(&file.tokens, &file.in_test, meta.item.body, &meta.item.module) {
+            out.push(Finding {
+                file: file.path.clone(),
+                line: seed.line,
+                col: seed.col,
+                rule: ID,
+                message: format!(
+                    "`{}` can panic and is reachable from protocol entry `{}` ({}); degrade into ValidationError instead",
+                    seed.what, entry, chain
+                ),
+                allowed: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::run_pass;
+
+    #[test]
+    fn cross_crate_unwrap_is_caught() {
+        // The old per-file NO-PANIC-PATH rule had `storage::*` outside
+        // its SCOPE list and could never see this: a Client entry point
+        // in core reaching an unwrap two hops away in the storage crate.
+        let hits = run_pass(
+            run,
+            &[
+                (
+                    "crates/core/src/client.rs",
+                    "use tpnr_storage::chunkmap;\nstruct Client;\nimpl Client {\n\
+                     pub fn upload(&self) { chunkmap::stash_chunk(); }\n}",
+                ),
+                (
+                    "crates/storage/src/chunkmap.rs",
+                    "pub fn stash_chunk() { inner_lookup(); }\n\
+                     fn inner_lookup() { let x = MAP.get(&0).unwrap(); }",
+                ),
+            ],
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, ID);
+        assert_eq!(hits[0].file, "crates/storage/src/chunkmap.rs");
+        assert!(hits[0].message.contains("core::client::Client::upload"));
+        assert!(hits[0].message.contains("storage::chunkmap::inner_lookup"));
+    }
+
+    #[test]
+    fn unreachable_seed_is_not_reported() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/core/src/client.rs",
+                "struct Client;\nimpl Client { pub fn upload(&self) { safe(); } }\n\
+                 fn safe() {}\nfn orphan() { x.unwrap(); }",
+            )],
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_only_panic_is_not_reported() {
+        // False-positive guard: the panic is only reachable from test
+        // code, so no protocol chain exists.
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/core/src/client.rs",
+                "struct Client;\nimpl Client { pub fn upload(&self) {} }\n\
+                 fn prod_helper() {}\n\
+                 #[cfg(test)]\nmod tests {\n  fn t_helper() { super::panicky(); }\n}\n\
+                 fn panicky() { y.unwrap(); }",
+            )],
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn wire_decode_is_an_entry_point() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/net/src/codec.rs",
+                "pub struct Frame;\nimpl Wire for Frame {\n\
+                 fn decode(r: &mut Reader) -> Frame { hdr_byte(r) }\n}\n\
+                 fn hdr_byte(r: &mut Reader) -> Frame { let b = r.buf[0]; Frame }",
+            )],
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("indexing by literal"));
+    }
+
+    #[test]
+    fn panic_macro_and_settle_entry() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/core/src/sched.rs",
+                "pub fn settle() { step(); }\nfn step() { unreachable!(); }",
+            )],
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("unreachable!"));
+        assert!(hits[0].message.contains("core::sched::settle"));
+    }
+
+    #[test]
+    fn fixed_block_primitive_index_exempt_but_unwrap_seeds() {
+        let hits = run_pass(
+            run,
+            &[
+                (
+                    "crates/core/src/client.rs",
+                    "use tpnr_crypto::sha2;\nstruct Client;\nimpl Client {\n\
+                     pub fn upload(&self) { sha2::compress(); }\n}",
+                ),
+                (
+                    "crates/crypto/src/sha2.rs",
+                    "pub fn compress() { let w = state[0]; opt.unwrap(); }",
+                ),
+            ],
+        );
+        assert_eq!(hits.len(), 1, "literal index exempt, unwrap still seeds");
+        assert!(hits[0].message.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn unchecked_division_seeds_in_crypto_substrate_only() {
+        let hits = run_pass(
+            run,
+            &[
+                (
+                    "crates/core/src/client.rs",
+                    "use tpnr_crypto::bigint;\nstruct Client;\nimpl Client {\n\
+                     pub fn upload(&self) { bigint::divmod(); helper(); } }\n\
+                     fn helper() { let avg = total / count; }",
+                ),
+                ("crates/crypto/src/bigint.rs", "pub fn divmod() { let q = acc / limb; }"),
+            ],
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].file, "crates/crypto/src/bigint.rs");
+        assert!(hits[0].message.contains("unchecked `/ limb`"));
+    }
+
+    #[test]
+    fn constant_divisor_is_not_a_seed() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/crypto/src/limbs.rs",
+                "pub struct FixedUint;\nimpl FixedUint {\n\
+                 pub fn from_biguint(&self) { let hi = x / LIMB_BITS; let lo = y / 64; } }\n\
+                 struct Client;",
+            )],
+        );
+        // Not an entry point anyway, but also: uppercase consts and
+        // literals never seed.
+        assert!(hits.is_empty());
+    }
+}

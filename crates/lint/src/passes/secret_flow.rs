@@ -1,0 +1,647 @@
+//! **SECRET-FLOW** — taint tracking from key material to observable
+//! sinks.
+//!
+//! The protocol's non-repudiation argument assumes signing keys stay
+//! secret; the system's own observability machinery is the most likely
+//! leak. Sources: RSA private keys and CRT halves (`d`/`p`/`q`/`dp`/
+//! `dq`/`qinv` in `crypto::rsa`, anything named `*priv*`/`*secret*`/
+//! `sk`), rng state, and pre-seal payload plaintext. Sinks: `Debug`/
+//! `Display` formatting macros, `obs` events and metric labels, JSONL
+//! export, and `ValidationError`/`CryptoError` message payloads.
+//!
+//! Propagation is two-level: inside a function, `let` bindings whose
+//! initializer mentions a tainted name become tainted; across
+//! functions, a fixpoint computes per-parameter leak summaries (does
+//! `f` pass its i-th parameter into a sink, directly or transitively?)
+//! so passing a secret to a leaky helper is reported at the call site.
+//! Cryptographic *outputs* (signatures, ciphertexts) are deliberately
+//! not tainted by their inputs — a signature derived from `d` is
+//! public by design, so call results never carry taint (declassification
+//! at every call boundary; DESIGN.md §4.14 spells out the limits).
+
+use crate::callgraph::Graph;
+use crate::lexer::Token;
+use crate::passes::PassCtx;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+pub const ID: &str = "SECRET-FLOW";
+
+/// Formatting macros that render values into observable text. The
+/// panic family is included: panic messages reach stderr and crash
+/// reports, which is still exfiltration.
+const FMT_MACROS: &[&str] = &[
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Error types whose constructor payloads become user-visible messages.
+const ERROR_TYPES: &[&str] = &["ValidationError", "CryptoError"];
+
+/// Callee names that persist or export their arguments (obs events,
+/// metric labels, JSONL export). Any callee whose name contains
+/// `jsonl` or `json` is also a sink.
+const SINK_FNS: &[&str] = &["note_event", "record", "emit", "observe", "label", "set_label"];
+
+/// CRT half / exponent names — secret only inside `crypto::rsa`, where
+/// the paper's key material actually lives; a loop index `q` in the
+/// scheduler is not a key.
+const RSA_CRT_NAMES: &[&str] = &["d", "p", "q", "dp", "dq", "qinv"];
+
+/// Methods whose result is the same value in another shape: taint
+/// survives them. Every *other* call result is declassified — a
+/// signature computed from `d` is public by design — so `.clone()` of
+/// a key is still the key, but `.sign_prehashed(…)` of one is not.
+const PRESERVING_METHODS: &[&str] = &[
+    "clone",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "to_bytes",
+    "to_bytes_be",
+    "to_bytes_le",
+    "to_bytes_be_padded",
+    "as_ref",
+    "as_slice",
+    "as_bytes",
+    "as_str",
+    "as_mut",
+    "borrow",
+    "expect",
+    "unwrap",
+    "unwrap_or",
+    "iter",
+    "into",
+];
+
+/// Is `name` secret in `module`?
+pub(crate) fn is_secret_name(name: &str, module: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    if lower.contains("priv") || lower.contains("secret") || lower.contains("plaintext") {
+        return true;
+    }
+    if lower == "sk" || lower.contains("rng_state") {
+        return true;
+    }
+    if module == "crypto::rsa" && RSA_CRT_NAMES.contains(&name) {
+        return true;
+    }
+    // The rng module's internal state words are seed-derived secrets.
+    module == "crypto::rng" && (lower == "state" || lower == "s")
+}
+
+/// One sink occurrence.
+struct SinkHit {
+    line: u32,
+    col: u32,
+    desc: String,
+}
+
+/// Expand a seed taint set over a function body's `let` bindings (a
+/// binding whose initializer mentions a tainted name is tainted).
+/// When `intrinsic`, every identifier matching [`is_secret_name`] is a
+/// source as well.
+fn local_taint(
+    toks: &[Token],
+    body: (usize, usize),
+    module: &str,
+    seed: &BTreeSet<String>,
+    intrinsic: bool,
+) -> BTreeSet<String> {
+    let (start, end) = body;
+    let mut taint = seed.clone();
+    if intrinsic {
+        for t in &toks[start..end] {
+            if let Some(n) = t.ident() {
+                if is_secret_name(n, module) {
+                    taint.insert(n.to_string());
+                }
+            }
+        }
+    }
+    // `let` propagation to fixpoint (bounded: binding chains are short).
+    for _ in 0..3 {
+        let mut changed = false;
+        let mut i = start;
+        while i < end {
+            if !toks[i].is_ident("let") {
+                i += 1;
+                continue;
+            }
+            // Pattern idents up to the first top-level `:` or `=`.
+            let mut j = i + 1;
+            let mut pat = Vec::new();
+            while j < end {
+                let t = &toks[j];
+                if t.is_punct("=") || t.is_punct(":") || t.is_punct(";") || t.is_punct("{") {
+                    break;
+                }
+                if let Some(n) = t.ident() {
+                    if n != "mut" && n != "ref" && n != "_" {
+                        pat.push(n.to_string());
+                    }
+                }
+                j += 1;
+            }
+            // Skip a type ascription to the `=`.
+            let mut depth = 0usize;
+            while j < end && !(toks[j].is_punct("=") && depth == 0) {
+                if toks[j].is_punct(";") && depth == 0 {
+                    break;
+                }
+                match () {
+                    _ if toks[j].is_punct("(")
+                        || toks[j].is_punct("[")
+                        || toks[j].is_punct("{") =>
+                    {
+                        depth += 1
+                    }
+                    _ if toks[j].is_punct(")")
+                        || toks[j].is_punct("]")
+                        || toks[j].is_punct("}") =>
+                    {
+                        depth = depth.saturating_sub(1)
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j >= end || !toks[j].is_punct("=") {
+                i = j.max(i + 1);
+                continue;
+            }
+            // RHS until `;` (or the `{` of an `if let` block) at depth 0.
+            let mut k = j + 1;
+            let mut depth = 0usize;
+            while k < end {
+                let t = &toks[k];
+                if depth == 0 && (t.is_punct(";") || t.is_punct("{")) {
+                    break;
+                }
+                match () {
+                    _ if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") => depth += 1,
+                    _ if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") => {
+                        depth = depth.saturating_sub(1)
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            // Same declassification rules as sink scanning: a binding of
+            // a call *result* (`let sig = key.sign(…)`) is public; a
+            // binding that merely reshapes the value (`.clone()`,
+            // `.to_bytes()`, a field access) stays tainted.
+            if range_tainted(toks, (j + 1, k), &taint).is_some() {
+                for p in &pat {
+                    changed |= taint.insert(p.clone());
+                }
+            }
+            i = k.max(i + 1);
+        }
+        if !changed {
+            break;
+        }
+    }
+    taint
+}
+
+/// Find the matching close paren from an open-paren index.
+fn close_paren(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        if toks[j].is_punct("(") {
+            depth += 1;
+        } else if toks[j].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Does any *taint-carrying* identifier occur in `range`? Implements
+/// declassification at call boundaries, consistent with the
+/// interprocedural model:
+///
+/// - `f(secret)` — the group after a call name is skipped: the call's
+///   *result* is public, and a leaky `f` is reported separately via
+///   the per-parameter summaries at its own call site.
+/// - `secret.method(…)` — declassified unless `method` is in
+///   [`PRESERVING_METHODS`] (the chain keeps being followed through
+///   preserving links and plain field accesses).
+/// - A bare tainted identifier, field access, or macro argument
+///   (`format!(…)` — the `(` follows `!`, not an ident) is a hit.
+fn range_tainted<'a>(
+    toks: &'a [Token],
+    range: (usize, usize),
+    taint: &BTreeSet<String>,
+) -> Option<&'a str> {
+    let (lo, hi) = (range.0, range.1.min(toks.len()));
+    let mut i = lo;
+    'outer: while i < hi {
+        if let Some(n) = toks[i].ident() {
+            // Call name: skip it and its argument group wholesale.
+            if toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+                i = close_paren(toks, i + 1, hi) + 1;
+                continue;
+            }
+            if taint.contains(n) {
+                // Walk the access chain to decide preserve vs declassify.
+                let mut j = i;
+                loop {
+                    let dot = toks.get(j + 1).is_some_and(|t| t.is_punct("."));
+                    let link = if dot { toks.get(j + 2).and_then(|t| t.ident()) } else { None };
+                    match link {
+                        Some(m) if toks.get(j + 3).is_some_and(|t| t.is_punct("(")) => {
+                            let close = close_paren(toks, j + 3, hi);
+                            if PRESERVING_METHODS.contains(&m) {
+                                j = close; // value-preserving: keep walking
+                            } else {
+                                i = close + 1; // declassified call result
+                                continue 'outer;
+                            }
+                        }
+                        Some(_) => j += 2, // field access keeps the taint
+                        None => return Some(n),
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the first top-level `,` in `range`, if any.
+fn first_top_comma(toks: &[Token], range: (usize, usize)) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().take(range.1.min(toks.len())).skip(range.0) {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(",") && depth == 0 {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Split a call's argument token range at top-level commas.
+fn arg_slots(toks: &[Token], range: (usize, usize)) -> Vec<(usize, usize)> {
+    let (start, end) = range;
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = start;
+    for (i, t) in toks.iter().enumerate().take(end.min(toks.len())).skip(start) {
+        match () {
+            _ if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") => depth += 1,
+            _ if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") => {
+                depth = depth.saturating_sub(1)
+            }
+            _ if t.is_punct(",") && depth == 0 => {
+                out.push((cur, i));
+                cur = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if cur < end {
+        out.push((cur, end));
+    }
+    out
+}
+
+/// Scan one function for sinks fed by `taint`. `leaks` are the current
+/// per-parameter summaries; `node` indexes the graph's call-site table.
+fn find_sinks(
+    g: &Graph,
+    node: usize,
+    toks: &[Token],
+    taint: &BTreeSet<String>,
+    leaks: &[Vec<bool>],
+) -> Vec<SinkHit> {
+    if taint.is_empty() {
+        return Vec::new();
+    }
+    let (start, end) = g.fns[node].item.body;
+    let mut hits: Vec<SinkHit> = Vec::new();
+    // Macro sinks: `name!(…)` / `write!(f, …)`.
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if let Some(name) = t.ident() {
+            if FMT_MACROS.contains(&name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+            {
+                let close = close_paren(toks, i + 2, end);
+                // `assert!(cond, args…)` never formats its condition —
+                // only the trailing format arguments render values. The
+                // `_eq`/`_ne` forms Debug-format both operands, and the
+                // rest format everything, so they scan from the start.
+                let scan_from = if name == "assert" || name == "debug_assert" {
+                    first_top_comma(toks, (i + 3, close)).map(|c| c + 1)
+                } else {
+                    Some(i + 3)
+                };
+                if let Some(n) = scan_from.and_then(|lo| range_tainted(toks, (lo, close), taint)) {
+                    hits.push(SinkHit {
+                        line: t.line,
+                        col: t.col,
+                        desc: format!("secret `{n}` formatted by `{name}!`"),
+                    });
+                }
+                i = close.max(i + 1);
+                continue;
+            }
+            // `ValidationError::Variant(…)` / `CryptoError::Variant(…)`.
+            if ERROR_TYPES.contains(&name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+            {
+                let close = close_paren(toks, i + 3, end);
+                if let Some(n) = range_tainted(toks, (i + 4, close), taint) {
+                    hits.push(SinkHit {
+                        line: t.line,
+                        col: t.col,
+                        desc: format!("secret `{n}` embedded in `{name}` message payload"),
+                    });
+                }
+                i = close.max(i + 1);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Call sinks: export/obs callees and leaky-summary callees.
+    for site in &g.calls[node] {
+        let lower = site.name.to_ascii_lowercase();
+        if SINK_FNS.contains(&site.name.as_str())
+            || lower.contains("jsonl")
+            || lower.contains("json")
+        {
+            if let Some(n) = range_tainted(toks, site.args, taint) {
+                hits.push(SinkHit {
+                    line: site.line,
+                    col: site.col,
+                    desc: format!(
+                        "secret `{n}` passed to export/observability sink `{}`",
+                        site.name
+                    ),
+                });
+                continue;
+            }
+        }
+        let slots = arg_slots(toks, site.args);
+        for &t_idx in &site.targets {
+            if g.fns[t_idx].item.is_test {
+                continue;
+            }
+            for (slot, leaked) in slots.iter().zip(leaks[t_idx].iter()) {
+                if !*leaked {
+                    continue;
+                }
+                if let Some(n) = range_tainted(toks, *slot, taint) {
+                    hits.push(SinkHit {
+                        line: site.line,
+                        col: site.col,
+                        desc: format!(
+                            "secret `{n}` passed to `{}`, which leaks that parameter into a sink",
+                            g.fns[t_idx].item.qname
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    hits.sort_by_key(|h| (h.line, h.col));
+    hits.dedup_by(|a, b| a.line == b.line && a.col == b.col);
+    hits
+}
+
+pub fn run(ctx: &PassCtx, out: &mut Vec<Finding>) {
+    let g = ctx.graph;
+    let n = g.fns.len();
+    // Fixpoint: does fn `i` leak its j-th parameter into a sink?
+    let mut leaks: Vec<Vec<bool>> =
+        g.fns.iter().map(|m| vec![false; m.item.params.len()]).collect();
+    for _ in 0..8 {
+        let mut changed = false;
+        for i in 0..n {
+            let meta = &g.fns[i];
+            if meta.item.is_test {
+                continue;
+            }
+            let toks = &ctx.ws.files[meta.file].tokens;
+            for p in 0..meta.item.params.len() {
+                if leaks[i][p] {
+                    continue;
+                }
+                let mut seed = BTreeSet::new();
+                seed.insert(meta.item.params[p].clone());
+                let taint = local_taint(toks, meta.item.body, &meta.item.module, &seed, false);
+                if !find_sinks(g, i, toks, &taint, &leaks).is_empty() {
+                    leaks[i][p] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Report: intrinsic sources flowing into sinks, per function.
+    for i in 0..n {
+        let meta = &g.fns[i];
+        if meta.item.is_test {
+            continue;
+        }
+        let file = &ctx.ws.files[meta.file];
+        let taint =
+            local_taint(&file.tokens, meta.item.body, &meta.item.module, &BTreeSet::new(), true);
+        for hit in find_sinks(g, i, &file.tokens, &taint, &leaks) {
+            out.push(Finding {
+                file: file.path.clone(),
+                line: hit.line,
+                col: hit.col,
+                rule: ID,
+                message: format!("{} (in `{}`)", hit.desc, meta.item.qname),
+                allowed: false,
+            });
+        }
+    }
+    // Structural sink: #[derive(Debug)] on a type holding a secret field
+    // prints the field on any `{:?}` of the container.
+    for file in &ctx.ws.files {
+        if file.is_test_file {
+            continue;
+        }
+        let module = file.module.as_deref().unwrap_or("");
+        for s in &file.parsed.structs {
+            if !s.derives_debug {
+                continue;
+            }
+            if let Some(f) = s.fields.iter().find(|f| is_secret_name(f, module)) {
+                out.push(Finding {
+                    file: file.path.clone(),
+                    line: s.line,
+                    col: s.col,
+                    rule: ID,
+                    message: format!(
+                        "#[derive(Debug)] on `{}` exposes secret field `{f}`; write a redacting Debug impl",
+                        s.name
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::run_pass;
+
+    #[test]
+    fn direct_format_of_secret_field() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/crypto/src/rsa.rs",
+                "struct K;\nimpl K { fn dump(&self) { let s = format!(\"{:?}\", self.private); } }",
+            )],
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`private` formatted by `format!`"));
+    }
+
+    #[test]
+    fn taint_flows_through_let_binding() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/crypto/src/rsa.rs",
+                "fn f() { let exported = d.to_bytes(); println!(\"{:?}\", exported); }",
+            )],
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("println"));
+    }
+
+    #[test]
+    fn leak_through_helper_is_reported_at_call_site() {
+        let hits = run_pass(
+            run,
+            &[
+                (
+                    "crates/crypto/src/rsa.rs",
+                    "use tpnr_core::obs;\npub fn keygen() { let dp = derive(); obs::debug_dump(dp); }",
+                ),
+                ("crates/core/src/obs.rs", "pub fn debug_dump(v: u64) { println!(\"{}\", v); }"),
+            ],
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].file, "crates/crypto/src/rsa.rs");
+        assert!(hits[0].message.contains("core::obs::debug_dump"));
+        assert!(hits[0].message.contains("leaks that parameter"));
+    }
+
+    #[test]
+    fn error_ctor_payload_is_a_sink() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/net/src/secure.rs",
+                "fn seal(plaintext: &[u8]) -> Result<(), E> {\n\
+                 Err(ValidationError::Rejected(plaintext.to_vec()))\n}",
+            )],
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("ValidationError"));
+    }
+
+    #[test]
+    fn signature_output_is_declassified() {
+        // A signature computed FROM the private exponent is public: call
+        // results do not carry taint, so formatting the signature is fine.
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/crypto/src/rsa.rs",
+                "fn sign_and_log(&self) { let sig = self.sign_with(); println!(\"{:?}\", sig); }\n\
+                 impl K { fn sign_with(&self) -> u64 { self.d.pow_mod() } }",
+            )],
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn derive_debug_on_secret_struct() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/crypto/src/rsa.rs",
+                "#[derive(Debug, Clone)]\npub struct KeyPair { pub public: u64, private: u64 }\n\
+                 pub struct Redacted { private: u64 }",
+            )],
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("KeyPair"));
+        assert!(hits[0].message.contains("`private`"));
+    }
+
+    #[test]
+    fn jsonl_export_is_a_sink() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/core/src/obs.rs",
+                "fn export(seed_secret: u64) { jsonl_line(seed_secret); }\nfn jsonl_line(v: u64) {}",
+            )],
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("jsonl_line"));
+    }
+
+    #[test]
+    fn crt_names_are_scoped_to_rsa_module() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/core/src/sched.rs",
+                "fn f() { let d = 5; let q = 2; println!(\"{} {}\", d, q); }",
+            )],
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let hits = run_pass(
+            run,
+            &[(
+                "crates/crypto/src/rsa.rs",
+                "#[cfg(test)]\nmod tests { #[test]\nfn t() { println!(\"{}\", d); } }",
+            )],
+        );
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! `--sarif` output: SARIF 2.1.0, the interchange format code-scanning
+//! UIs ingest. One run, one driver, one result per finding. Rendered
+//! as a single line with fixed key order so the golden test can assert
+//! byte-for-byte equality, mirroring the JSONL golden test.
+//!
+//! Allowlisted findings are emitted with `"level":"note"` and a
+//! `suppressions` entry (kind `external`: the suppression lives in
+//! `lint-allow.toml`, not in source); everything else is `"error"`.
+
+use crate::jsonout::escape;
+use crate::{passes, rules, Finding};
+
+/// Stable tool metadata.
+const TOOL_NAME: &str = "tpnr-lint";
+const SARIF_VERSION: &str = "2.1.0";
+const SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Render every finding as one SARIF line.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"$schema\":{},\"version\":{},\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":{},\"rules\":[",
+        escape(SCHEMA),
+        escape(SARIF_VERSION),
+        escape(TOOL_NAME)
+    ));
+    let mut first = true;
+    for id in rule_ids() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{{\"id\":{}}}", escape(id)));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = if f.allowed { "note" } else { "error" };
+        out.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]",
+            escape(f.rule),
+            escape(level),
+            escape(&f.message),
+            escape(&f.file),
+            f.line,
+            f.col
+        ));
+        if f.allowed {
+            out.push_str(
+                ",\"suppressions\":[{\"kind\":\"external\",\"justification\":\"lint-allow.toml\"}]",
+            );
+        }
+        out.push('}');
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+/// Every registered rule and pass id, in registry order.
+fn rule_ids() -> Vec<&'static str> {
+    rules::ALL.iter().map(|r| r.id).chain(passes::ALL.iter().map(|p| p.id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(allowed: bool) -> Finding {
+        Finding {
+            file: "crates/core/src/client.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "PANIC-REACH",
+            message: "`.unwrap()` can panic".into(),
+            allowed,
+        }
+    }
+
+    #[test]
+    fn renders_minimal_sarif() {
+        let got = render(&[finding(false)]);
+        assert!(got.starts_with("{\"$schema\":"));
+        assert!(got.contains("\"name\":\"tpnr-lint\""));
+        assert!(got.contains("\"ruleId\":\"PANIC-REACH\""));
+        assert!(got.contains("\"level\":\"error\""));
+        assert!(got.contains("\"startLine\":3,\"startColumn\":7"));
+        assert!(got.ends_with("]}]}\n"));
+        assert!(!got.contains("suppressions"));
+    }
+
+    #[test]
+    fn allowlisted_findings_are_notes_with_suppressions() {
+        let got = render(&[finding(true)]);
+        assert!(got.contains("\"level\":\"note\""));
+        assert!(got.contains("\"suppressions\":[{\"kind\":\"external\""));
+    }
+
+    #[test]
+    fn every_rule_and_pass_is_declared() {
+        let got = render(&[]);
+        for id in [
+            "CT-CMP",
+            "NO-WALLCLOCK",
+            "DET-ORDER",
+            "EVIDENCE-CTOR",
+            "UNSAFE",
+            "PANIC-REACH",
+            "SECRET-FLOW",
+            "ALLOC-HOT",
+        ] {
+            assert!(got.contains(&format!("{{\"id\":\"{id}\"}}")), "missing rule {id}");
+        }
+    }
+
+    #[test]
+    fn single_line_output() {
+        let got = render(&[finding(false), finding(true)]);
+        assert_eq!(got.matches('\n').count(), 1);
+        assert!(got.ends_with('\n'));
+    }
+}

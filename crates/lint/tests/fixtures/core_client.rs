@@ -1,0 +1,12 @@
+//! Fixture: a protocol entry point whose call chain crosses crates.
+
+use tpnr_storage::blob;
+
+pub struct Client;
+
+impl Client {
+    /// Protocol entry point: any panic reachable from here is a finding.
+    pub fn handle(&self) -> u32 {
+        blob::fetch_latest()
+    }
+}

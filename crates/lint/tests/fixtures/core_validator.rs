@@ -1,0 +1,20 @@
+//! Fixture: panics confined to `#[cfg(test)]` code. `Validator` is an
+//! entry-point owner, so a pass that fails to mask test regions would
+//! report these.
+
+pub struct Validator;
+
+impl Validator {
+    pub fn check(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exercises_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

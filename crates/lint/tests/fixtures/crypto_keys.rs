@@ -1,0 +1,16 @@
+//! Fixture: key material flowing through a helper into a format sink.
+
+pub struct KeyPair {
+    pub public: u64,
+    private_exp: u64,
+}
+
+impl KeyPair {
+    pub fn audit(&self) {
+        log_value(self.private_exp);
+    }
+}
+
+fn log_value(v: u64) {
+    println!("key material: {}", v);
+}

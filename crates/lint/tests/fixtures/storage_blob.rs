@@ -1,0 +1,12 @@
+//! Fixture: a helper crate the old per-file NO-PANIC-PATH rule never
+//! scanned. The seeded `.unwrap()` is only a bug because a protocol
+//! entry point in *another crate* can reach it — exactly the edge the
+//! call graph adds.
+
+pub fn fetch_latest() -> u32 {
+    parse_head().unwrap()
+}
+
+fn parse_head() -> Option<u32> {
+    None
+}

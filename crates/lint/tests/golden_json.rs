@@ -4,19 +4,31 @@
 
 use tpnr_lint::{allow::Allowlist, jsonout, lint_files, FileInput, Summary};
 
+/// A four-file mini-workspace that lights up a textual rule, an
+/// allowlisted rule, and an interprocedural pass (the PANIC-REACH
+/// finding only exists because `core::client` reaches `storage::blob`
+/// through a `use`-resolved cross-crate call edge).
 fn fixture() -> Vec<FileInput> {
     vec![
         FileInput {
+            path: "crates/bench/src/lib.rs".into(),
+            source: "fn t0() { let _ = std::time::Instant::now(); }\n".into(),
+        },
+        FileInput {
             path: "crates/core/src/client.rs".into(),
-            source: "fn f() { let x = self.txns.get(&id).unwrap(); }\n".into(),
+            source: "use tpnr_storage::blob;\npub struct Client;\nimpl Client {\n    \
+                     pub fn handle(&self) -> u32 { blob::fetch_latest() }\n}\n"
+                .into(),
         },
         FileInput {
             path: "crates/core/src/obs.rs".into(),
             source: "use std::collections::HashMap;\n".into(),
         },
         FileInput {
-            path: "crates/bench/src/lib.rs".into(),
-            source: "fn t0() { let _ = std::time::Instant::now(); }\n".into(),
+            path: "crates/storage/src/blob.rs".into(),
+            source: "pub fn fetch_latest() -> u32 { head().unwrap() }\n\
+                     fn head() -> Option<u32> { None }\n"
+                .into(),
         },
     ]
 }
@@ -37,13 +49,15 @@ fn json_output_is_stable() {
         "\"rule\":\"NO-WALLCLOCK\",\"message\":\"`Instant` outside net::time; protocol time ",
         "must come from the sim clock (use Clock / tpnr_net::time::HostStopwatch)\",",
         "\"allowed\":true}\n",
-        "{\"kind\":\"finding\",\"file\":\"crates/core/src/client.rs\",\"line\":1,\"col\":37,",
-        "\"rule\":\"NO-PANIC-PATH\",\"message\":\"`.unwrap()` in protocol path; degrade into ",
-        "ValidationError instead of panicking\",\"allowed\":false}\n",
         "{\"kind\":\"finding\",\"file\":\"crates/core/src/obs.rs\",\"line\":1,\"col\":23,",
         "\"rule\":\"DET-ORDER\",\"message\":\"`HashMap` in a deterministic-output module; ",
         "iteration order is randomized — use BTreeMap\",\"allowed\":false}\n",
-        "{\"kind\":\"summary\",\"files\":3,\"rules\":6,\"findings\":3,\"allowlisted\":1}\n",
+        "{\"kind\":\"finding\",\"file\":\"crates/storage/src/blob.rs\",\"line\":1,\"col\":39,",
+        "\"rule\":\"PANIC-REACH\",\"message\":\"`.unwrap()` can panic and is reachable from ",
+        "protocol entry `core::client::Client::handle` (core::client::Client::handle -> ",
+        "storage::blob::fetch_latest); degrade into ValidationError instead\",",
+        "\"allowed\":false}\n",
+        "{\"kind\":\"summary\",\"files\":4,\"rules\":8,\"findings\":3,\"allowlisted\":1}\n",
     );
     assert_eq!(got, want);
 }

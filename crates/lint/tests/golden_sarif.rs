@@ -1,0 +1,69 @@
+//! Golden test: `--sarif` output is byte-stable for a fixed input set.
+//! CI uploads this artifact, and code-scanning UIs key results by rule
+//! id + location, so any change to the rendering must be deliberate —
+//! this test makes it a reviewed diff.
+
+use tpnr_lint::{allow::Allowlist, lint_files, sarif, FileInput};
+
+/// Same shape as `golden_json.rs`: an allowlisted textual finding (to
+/// pin the `suppressions` rendering) plus a cross-crate PANIC-REACH
+/// finding from the semantic passes.
+fn fixture() -> Vec<FileInput> {
+    vec![
+        FileInput {
+            path: "crates/bench/src/lib.rs".into(),
+            source: "fn t0() { let _ = std::time::Instant::now(); }\n".into(),
+        },
+        FileInput {
+            path: "crates/core/src/client.rs".into(),
+            source: "use tpnr_storage::blob;\npub struct Client;\nimpl Client {\n    \
+                     pub fn handle(&self) -> u32 { blob::fetch_latest() }\n}\n"
+                .into(),
+        },
+        FileInput {
+            path: "crates/storage/src/blob.rs".into(),
+            source: "pub fn fetch_latest() -> u32 { head().unwrap() }\n\
+                     fn head() -> Option<u32> { None }\n"
+                .into(),
+        },
+    ]
+}
+
+#[test]
+fn sarif_output_is_stable() {
+    let allow = Allowlist::parse(
+        "[[allow]]\nrule = \"NO-WALLCLOCK\"\npath = \"crates/bench/src/lib.rs\"\n\
+         justification = \"fixture: host-facing measurement\"\n",
+    )
+    .unwrap();
+    let findings = lint_files(&fixture(), &allow);
+    let got = sarif::render(&findings);
+    let want = concat!(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",",
+        "\"runs\":[{\"tool\":{\"driver\":{\"name\":\"tpnr-lint\",\"rules\":[{\"id\":\"CT-CMP\"},",
+        "{\"id\":\"NO-WALLCLOCK\"},{\"id\":\"DET-ORDER\"},{\"id\":\"EVIDENCE-CTOR\"},",
+        "{\"id\":\"UNSAFE\"},{\"id\":\"PANIC-REACH\"},{\"id\":\"SECRET-FLOW\"},",
+        "{\"id\":\"ALLOC-HOT\"}]}},\"results\":[",
+        "{\"ruleId\":\"NO-WALLCLOCK\",\"level\":\"note\",\"message\":{\"text\":\"`Instant` ",
+        "outside net::time; protocol time must come from the sim clock (use Clock / ",
+        "tpnr_net::time::HostStopwatch)\"},\"locations\":[{\"physicalLocation\":",
+        "{\"artifactLocation\":{\"uri\":\"crates/bench/src/lib.rs\"},\"region\":",
+        "{\"startLine\":1,\"startColumn\":30}}}],\"suppressions\":[{\"kind\":\"external\",",
+        "\"justification\":\"lint-allow.toml\"}]},",
+        "{\"ruleId\":\"PANIC-REACH\",\"level\":\"error\",\"message\":{\"text\":\"`.unwrap()` ",
+        "can panic and is reachable from protocol entry `core::client::Client::handle` ",
+        "(core::client::Client::handle -> storage::blob::fetch_latest); degrade into ",
+        "ValidationError instead\"},\"locations\":[{\"physicalLocation\":",
+        "{\"artifactLocation\":{\"uri\":\"crates/storage/src/blob.rs\"},\"region\":",
+        "{\"startLine\":1,\"startColumn\":39}}}]}",
+        "]}]}\n",
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn sarif_is_one_line() {
+    let got = sarif::render(&lint_files(&fixture(), &Allowlist::empty()));
+    assert_eq!(got.matches('\n').count(), 1);
+    assert!(got.ends_with('\n'));
+}

@@ -120,14 +120,14 @@ impl SimClock {
 
     /// Advances the clock by `d`.
     pub fn advance(&self, d: SimDuration) {
-        let mut now = self.now.lock().expect("clock mutex poisoned");
+        let mut now = self.now.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         *now = now.after(d);
     }
 
     /// Jumps the clock to `t`; panics if `t` is in the past (discrete-event
     /// simulation time must be monotone).
     pub fn set(&self, t: SimTime) {
-        let mut now = self.now.lock().expect("clock mutex poisoned");
+        let mut now = self.now.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         assert!(t >= *now, "simulation clock may not go backwards");
         *now = t;
     }
@@ -135,7 +135,7 @@ impl SimClock {
 
 impl Clock for SimClock {
     fn now(&self) -> SimTime {
-        *self.now.lock().expect("clock mutex poisoned")
+        *self.now.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
