@@ -103,6 +103,27 @@ if grep -Eq '"(batch_not_slower|sign_floor_ok|tampered_attributed)":false' "$ben
 fi
 rm -f "$bench_e12"
 
+# Work-stealing smoke: the E13 worker sweep must stay machine-readable,
+# every worker count must reproduce the serial run byte-for-byte in the
+# non-timing fields ("deterministic_vs_serial"), meet its honest
+# core-scaled speedup floor ("scaling_ok" — both booleans are computed by
+# the measurement code itself), and the usual E10 conservation/evidence
+# laws must hold in every row.
+echo "==> experiments --bench-e13 --quick"
+bench_e13="$(mktemp)"
+cargo run -q -p tpnr-bench --bin experiments -- --bench-e13 "$bench_e13" --quick
+cargo run -q -p tpnr-bench --bin experiments -- --validate-jsonl "$bench_e13"
+if grep -Eq '"(scaling_ok|deterministic_vs_serial)":false' "$bench_e13"; then
+    echo "error: E13 worker sweep failed a scaling/determinism gate" >&2
+    grep -E '"(scaling_ok|deterministic_vs_serial)":false' "$bench_e13" >&2
+    exit 1
+fi
+if grep -Eq '"(conservation_violations|evidence_loss)":[1-9]' "$bench_e13"; then
+    echo "error: E13 worker sweep broke conservation or lost evidence" >&2
+    exit 1
+fi
+rm -f "$bench_e13"
+
 if [ "$quick" -eq 0 ]; then
     # The observability export must stay machine-readable: produce a trace
     # and re-validate it with the binary's own JSONL checker.

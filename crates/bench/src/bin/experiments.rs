@@ -18,6 +18,10 @@
 //!   sweep (sign/verify by key size × alg, batch-vs-serial verification,
 //!   allocations per sign) as JSONL (`BENCH_e12.json`); `--quick` restricts
 //!   to 512-bit keys with fewer timing rounds for the CI smoke step;
+//! - `--bench-e13 [path|-] [--quick]` emits the E13 work-stealing scaling
+//!   sweep (E10 scenario at fixed load across pool worker counts, with
+//!   speedup/efficiency/steal counters and the determinism gate) as JSONL
+//!   (`BENCH_e13.json`); `--quick` shrinks the client load for CI;
 //! - `--validate-jsonl <file>` syntax-checks such an export (CI uses this
 //!   pair to guard the formats).
 
@@ -108,9 +112,34 @@ fn main() {
                     p => path = Some(p),
                 }
             }
-            let counts: &[usize] =
-                if quick { &[1_000, 10_000, 50_000] } else { &[1_000, 10_000, 100_000, 250_000] };
+            let counts: &[usize] = if quick {
+                &[1_000, 10_000, 50_000]
+            } else {
+                &[1_000, 10_000, 100_000, 250_000, 1_000_000]
+            };
             let json = render_bench_e10_json(&e10_scale(counts, 2026));
+            match path {
+                None | Some("-") => print!("{json}"),
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &json) {
+                        eprintln!("error: cannot write {p}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {} JSONL lines to {p}", json.lines().count());
+                }
+            }
+        }
+        Some("--bench-e13") => {
+            let mut path: Option<&str> = None;
+            let mut quick = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    p => path = Some(p),
+                }
+            }
+            let clients = if quick { 2_048 } else { 20_480 };
+            let json = render_bench_e13_json(&e13_worker_sweep(clients, 2026));
             match path {
                 None | Some("-") => print!("{json}"),
                 Some(p) => {
@@ -170,7 +199,7 @@ fn main() {
                 "unknown flag {other}; supported: --trace-jsonl [path|-], \
                  --bench-e4 [path|-] [--quick], --bench-e8 [path|-] [--quick], \
                  --bench-e10 [path|-] [--quick], --bench-e12 [path|-] [--quick], \
-                 --validate-jsonl <file>"
+                 --bench-e13 [path|-] [--quick], --validate-jsonl <file>"
             );
             std::process::exit(2);
         }
@@ -199,4 +228,5 @@ fn print_tables() {
     println!("{}", render_e10(&e10_scale(&[1_000, 5_000], 2026)));
     let (rows, batches) = e12_rsa_kernels(&[512, 1024], false);
     println!("{}", render_e12(&rows, &batches));
+    println!("{}", render_e13(&e13_worker_sweep(2_048, 2026)));
 }

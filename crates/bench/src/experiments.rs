@@ -538,6 +538,16 @@ pub struct E10Row {
     pub evidence_loss: u64,
     /// Transactions whose retry budget was exhausted.
     pub gave_up: u64,
+    /// Workers in the pool that drove the lanes (calling thread included).
+    pub workers: u64,
+    /// The host's advertised core count — recorded so bench trajectories
+    /// stay comparable across machines.
+    pub available_parallelism: u64,
+    /// Steal operations during the lane fan-out (timing-dependent).
+    pub steals: u64,
+    /// Stealable tasks the lane range was split into (deterministic for a
+    /// given worker count).
+    pub tasks: u64,
 }
 
 /// Clients per E10 simulation lane (also the shared principal-pool size).
@@ -625,68 +635,99 @@ struct E10LaneStats {
     latency: tpnr_core::obs::Histogram,
 }
 
+/// Deterministic 64-bit mixer (splitmix64 finalizer) for per-client
+/// latency jitter: pure in its input, so the drawn latencies depend only
+/// on `(seed, global client index)` — never on lane scheduling.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Gives every client in a lane a distinct deterministic one-way latency
+/// to the provider (5–45 ms, drawn from the seed and the client's *global*
+/// index). Without this every E10 settle latency was the same constant
+/// default-link round trip and p50 == p99 degenerately.
+fn e10_apply_latency_jitter(w: &mut tpnr_core::multi::MultiWorld, seed: u64, first_global: usize) {
+    for i in 0..w.clients.len() {
+        let r = splitmix64(seed ^ 0xE10_1A7E ^ (first_global + i) as u64);
+        let one_way = SimDuration::from_micros(5_000 + r % 40_001);
+        w.set_client_provider_link(i, LinkConfig::ideal(one_way));
+    }
+}
+
+/// E10 on the process-wide work-stealing pool ([`tpnr_par::Pool::global`]).
+pub fn e10_scale(client_counts: &[usize], seed: u64) -> Vec<E10Row> {
+    e10_scale_on(tpnr_par::Pool::global(), client_counts, seed)
+}
+
 /// E10: timer-wheel + sharded-state scale sweep. Each client count is split
 /// into lanes of [`E10_LANE`] clients; lanes are independent `MultiWorld`s
 /// (own simulator, shared principal pool — RSA keygen is the scale wall, so
-/// one pool of keys serves every lane) driven concurrently with
-/// `par_map_mut`, batched so resident memory stays at one batch of lanes.
-/// Reports throughput, settle-latency quantiles, archive behaviour, and
-/// the delivery conservation law.
-pub fn e10_scale(client_counts: &[usize], seed: u64) -> Vec<E10Row> {
+/// one pool of keys serves every lane). The lane range is one work-stealing
+/// fan-out on `pool`: lanes are built, run, and dropped *inside* their
+/// task, so resident memory stays at one world per active worker, a slow
+/// lane strands only its own worker, and the pool's persistent threads are
+/// reused across rows (no spawn/join per batch). Reports throughput,
+/// settle-latency quantiles, archive behaviour, the delivery conservation
+/// law, and the fan-out's steal/task counters. E13 sweeps worker counts by
+/// calling this with differently sized pools.
+pub fn e10_scale_on(pool: &tpnr_par::Pool, client_counts: &[usize], seed: u64) -> Vec<E10Row> {
+    use std::sync::Arc;
     use tpnr_core::multi::MultiWorld;
     use tpnr_core::principal::Principal;
 
-    let bob = Principal::test("bob", seed.wrapping_mul(11).wrapping_add(1));
-    let ttp = Principal::test("ttp", seed.wrapping_mul(11).wrapping_add(2));
+    let bob = Arc::new(Principal::test("bob", seed.wrapping_mul(11).wrapping_add(1)));
+    let ttp = Arc::new(Principal::test("ttp", seed.wrapping_mul(11).wrapping_add(2)));
     let pool_n = client_counts.iter().copied().max().unwrap_or(0).min(E10_LANE);
-    let pool: Vec<Principal> = crate::par_map_indexed(pool_n, |i| {
+    let principals: Arc<Vec<Principal>> = Arc::new(pool.scoped_indexed(pool_n, |i| {
         Principal::test(&format!("client-{i}"), seed.wrapping_mul(11) + 10 + i as u64)
-    });
+    }));
 
     client_counts
         .iter()
         .map(|&n| {
             assert!(n > 0);
             let lanes_n = n.div_ceil(E10_LANE);
-            let batch = std::thread::available_parallelism().map_or(4, |p| p.get());
             let sw = HostStopwatch::start();
+            let (stats, fan) = {
+                let principals = Arc::clone(&principals);
+                let bob = Arc::clone(&bob);
+                let ttp = Arc::clone(&ttp);
+                pool.run_indexed_stats(lanes_n, move |l| {
+                    let c = (n - l * E10_LANE).min(E10_LANE);
+                    let mut w = MultiWorld::with_principals(
+                        seed.wrapping_add(l as u64),
+                        ProtocolConfig::full(),
+                        &principals[..c],
+                        &bob,
+                        &ttp,
+                    );
+                    e10_apply_latency_jitter(&mut w, seed, l * E10_LANE);
+                    e10_run_lane(&mut w)
+                })
+            };
             let mut sum = [0u64; 12];
             let mut latency = tpnr_core::obs::Histogram::default();
-            let mut first = 0usize;
-            while first < lanes_n {
-                let count = batch.min(lanes_n - first);
-                let mut lanes: Vec<MultiWorld> = (first..first + count)
-                    .map(|l| {
-                        let c = (n - l * E10_LANE).min(E10_LANE);
-                        MultiWorld::with_principals(
-                            seed.wrapping_add(l as u64),
-                            ProtocolConfig::full(),
-                            &pool[..c],
-                            &bob,
-                            &ttp,
-                        )
-                    })
-                    .collect();
-                for st in crate::par_map_mut(&mut lanes, |_, w| e10_run_lane(w)) {
-                    for (a, v) in sum.iter_mut().zip([
-                        st.completed,
-                        st.evidence_loss,
-                        st.violation,
-                        st.sent,
-                        st.delivered,
-                        st.dropped,
-                        st.duplicated,
-                        st.evicted,
-                        st.rehydrated,
-                        st.resident,
-                        st.archive_bytes,
-                        st.gave_up,
-                    ]) {
-                        *a += v;
-                    }
-                    latency.merge(&st.latency);
+            for st in &stats {
+                for (a, v) in sum.iter_mut().zip([
+                    st.completed,
+                    st.evidence_loss,
+                    st.violation,
+                    st.sent,
+                    st.delivered,
+                    st.dropped,
+                    st.duplicated,
+                    st.evicted,
+                    st.rehydrated,
+                    st.resident,
+                    st.archive_bytes,
+                    st.gave_up,
+                ]) {
+                    *a += v;
                 }
-                first += count;
+                latency.merge(&st.latency);
             }
             let elapsed = sw.elapsed_secs_f64();
             E10Row {
@@ -709,6 +750,10 @@ pub fn e10_scale(client_counts: &[usize], seed: u64) -> Vec<E10Row> {
                 archive_bytes: sum[10],
                 evidence_loss: sum[1],
                 gave_up: sum[11],
+                workers: pool.workers() as u64,
+                available_parallelism: tpnr_par::available_parallelism() as u64,
+                steals: fan.steals,
+                tasks: fan.tasks,
             }
         })
         .collect()
@@ -921,6 +966,153 @@ pub fn e12_rsa_kernels(bit_sizes: &[usize], quick: bool) -> (Vec<E12Row>, Vec<E1
     (rows, batches)
 }
 
+// --------------------------------------------------------------- E13 ----
+
+/// One row of the E13 worker-count sweep: the E10 scenario at a fixed
+/// client load, driven by a [`tpnr_par::Pool`] of `workers` workers. The
+/// perf gates (`scaling_ok`) and the scheduling-invariance gate
+/// (`deterministic_vs_serial`) are computed by the measurement code
+/// itself, E12-style, so CI greps for `false`.
+#[derive(Debug, Clone)]
+pub struct E13Row {
+    /// Simulated clients (identical in every row of a sweep).
+    pub clients: u64,
+    /// Simulation lanes the load was split into.
+    pub lanes: u64,
+    /// Configured pool workers for this row.
+    pub workers: u64,
+    /// The host's advertised core count. Speedup expectations scale with
+    /// `min(workers, available_parallelism)`, so rows stay honest on
+    /// small hosts (a 1-core box cannot show parallel speedup, only
+    /// bounded overhead).
+    pub available_parallelism: u64,
+    /// Transactions completed with full evidence.
+    pub completed: u64,
+    /// Host wall-clock, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Settled transactions per host-second.
+    pub txn_per_sec: u64,
+    /// Throughput relative to this sweep's `workers == 1` row, ×100.
+    pub speedup_x100: u64,
+    /// Parallel efficiency: speedup ÷ effective cores, ×100.
+    pub efficiency_x100: u64,
+    /// The floor `speedup_x100` must clear for this row's effective core
+    /// count (recorded so the gate is auditable from the JSONL alone).
+    pub required_speedup_x100: u64,
+    /// `speedup_x100 >= required_speedup_x100`.
+    pub scaling_ok: bool,
+    /// Steal operations during the lane fan-out (timing-dependent).
+    pub steals: u64,
+    /// Stealable tasks the lane range was split into.
+    pub tasks: u64,
+    /// Median settle latency (sim-time µs).
+    pub p50_us: u64,
+    /// 99th-percentile settle latency (sim-time µs).
+    pub p99_us: u64,
+    /// Lanes violating the delivery conservation law (must be 0).
+    pub conservation_violations: u64,
+    /// Evidence lost across eviction + re-hydration (must be 0).
+    pub evidence_loss: u64,
+    /// Non-timing output byte-identical to the `workers == 1` row — the
+    /// work-stealing determinism claim, checked on every row.
+    pub deterministic_vs_serial: bool,
+}
+
+/// The E10 fields that must be byte-identical however the fan-out is
+/// scheduled: everything except host timing (`elapsed_ms`, `txn_per_sec`)
+/// and the scheduler counters (`workers`, `steals`, `tasks`).
+fn e10_non_timing_fingerprint(r: &E10Row) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        r.clients,
+        r.lanes,
+        r.completed,
+        r.p50_us,
+        r.p99_us,
+        r.bytes_per_client,
+        r.sent,
+        r.delivered,
+        r.dropped,
+        r.duplicated,
+        r.conservation_violations,
+        r.evicted,
+        r.rehydrated,
+        r.resident,
+        r.archive_bytes,
+        r.evidence_loss,
+        r.gave_up,
+    )
+}
+
+/// Speedup floor (×100) by effective core count. One effective core can
+/// only bound scheduling overhead (≥ 0.6× serial); real cores must show
+/// real speedup, up to the tentpole's ≥ 3× target at 8+ cores. The floors
+/// are deliberately below ideal scaling — they fail on regressions, not on
+/// scheduler noise.
+fn e13_required_speedup_x100(effective_cores: u64) -> u64 {
+    match effective_cores {
+        0 | 1 => 60,
+        2 => 140,
+        3..=4 => 200,
+        _ => 300,
+    }
+}
+
+/// E13: work-stealing scaling sweep. Runs the E10 scenario at one fixed
+/// client load on pools of 1, 2, 4, 8 (and the host's core count, when
+/// that differs) workers, and reports throughput, speedup over the
+/// serial row, parallel efficiency, steal counts, latency percentiles —
+/// and whether the non-timing output stayed byte-identical to serial
+/// (the determinism argument for the stealing scheduler).
+pub fn e13_worker_sweep(clients: usize, seed: u64) -> Vec<E13Row> {
+    let host = tpnr_par::available_parallelism();
+    let mut ladder: Vec<usize> = vec![1, 2, 4, 8];
+    if !ladder.contains(&host) {
+        ladder.push(host);
+    }
+    ladder.sort_unstable();
+
+    let mut out = Vec::with_capacity(ladder.len());
+    let mut baseline: Option<(u64, String)> = None; // workers == 1 row
+    for &wk in &ladder {
+        let pool = tpnr_par::Pool::new(wk);
+        let rows = e10_scale_on(&pool, &[clients], seed);
+        let r = &rows[0];
+        let fp = e10_non_timing_fingerprint(r);
+        let (base_tps, base_fp) = match &baseline {
+            Some((t, f)) => (*t, f.clone()),
+            None => {
+                baseline = Some((r.txn_per_sec, fp.clone()));
+                (r.txn_per_sec, fp.clone())
+            }
+        };
+        let speedup_x100 = r.txn_per_sec.saturating_mul(100) / base_tps.max(1);
+        let effective = (wk.min(host)) as u64;
+        let required = e13_required_speedup_x100(effective);
+        out.push(E13Row {
+            clients: r.clients,
+            lanes: r.lanes,
+            workers: wk as u64,
+            available_parallelism: host as u64,
+            completed: r.completed,
+            elapsed_ms: r.elapsed_ms,
+            txn_per_sec: r.txn_per_sec,
+            speedup_x100,
+            efficiency_x100: speedup_x100 / effective.max(1),
+            required_speedup_x100: required,
+            scaling_ok: speedup_x100 >= required,
+            steals: r.steals,
+            tasks: r.tasks,
+            p50_us: r.p50_us,
+            p99_us: r.p99_us,
+            conservation_violations: r.conservation_violations,
+            evidence_loss: r.evidence_loss,
+            deterministic_vs_serial: fp == base_fp,
+        });
+    }
+    out
+}
+
 // ------------------------------------------------------------- trace ----
 
 /// Runs a small faulted multi-client scenario and exports its complete
@@ -971,6 +1163,53 @@ mod tests {
         let a = e8_chaos(&[200], 6);
         let b = e8_chaos(&[200], 6);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn e10_output_is_worker_count_invariant() {
+        // The work-stealing determinism claim, end to end: the same load
+        // on a 1-worker pool and a 4-worker pool (forced steal pressure on
+        // any host) must produce byte-identical non-timing output. 520
+        // clients → 3 lanes, one ragged.
+        let serial = e10_scale_on(&tpnr_par::Pool::new(1), &[520], 7);
+        let stolen = e10_scale_on(&tpnr_par::Pool::new(4), &[520], 7);
+        assert_eq!(e10_non_timing_fingerprint(&serial[0]), e10_non_timing_fingerprint(&stolen[0]),);
+        assert_eq!(serial[0].workers, 1);
+        assert_eq!(stolen[0].workers, 4);
+    }
+
+    #[test]
+    fn e10_latency_percentiles_are_not_degenerate() {
+        // Per-client link jitter must spread the settle-latency
+        // distribution: the old constant-link scenario had p50 == p99 ==
+        // 50000 in every row.
+        let rows = e10_scale(&[300], 7);
+        let r = &rows[0];
+        assert!(r.p50_us > 0 && r.p99_us > r.p50_us, "p50={} p99={}", r.p50_us, r.p99_us);
+        assert_eq!(r.completed, r.clients, "jittered links still settle every txn");
+        assert_eq!(r.conservation_violations, 0);
+        assert_eq!(r.evidence_loss, 0);
+    }
+
+    #[test]
+    fn e13_rows_are_deterministic_and_conservative() {
+        let rows = e13_worker_sweep(300, 7);
+        assert!(rows.len() >= 4, "ladder covers 1, 2, 4, 8 workers");
+        assert_eq!(rows[0].workers, 1);
+        assert_eq!(rows[0].speedup_x100, 100, "serial row is its own baseline");
+        for r in &rows {
+            assert_eq!(r.clients, 300);
+            assert!(r.deterministic_vs_serial, "workers={}: output drifted", r.workers);
+            assert_eq!(r.conservation_violations, 0);
+            assert_eq!(r.evidence_loss, 0);
+            assert!(r.tasks > 0);
+            assert!(r.p99_us >= r.p50_us);
+        }
+        let ws: Vec<u64> = rows.iter().map(|r| r.workers).collect();
+        let mut sorted = ws.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ws, sorted, "ladder ascends without duplicates");
     }
 
     #[test]

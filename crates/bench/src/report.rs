@@ -247,14 +247,15 @@ pub fn render_bench_e8_json(rows: &[E8Row]) -> String {
 pub fn render_e10(rows: &[E10Row]) -> String {
     let mut out = String::from(
         "E10 / §4.12 — timer-wheel + sharded-state scale sweep\n\
-         clients  lanes  txn/s    p50 us  p99 us  B/client  evicted  resident  cons-viol  evid-loss\n\
-         -------  -----  -------  ------  ------  --------  -------  --------  ---------  ---------\n",
+         clients  lanes  wrk  txn/s    p50 us  p99 us  B/client  evicted  resident  cons-viol  evid-loss\n\
+         -------  -----  ---  -------  ------  ------  --------  -------  --------  ---------  ---------\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>7}  {:>5}  {:>7}  {:>6}  {:>6}  {:>8}  {:>7}  {:>8}  {:>9}  {:>9}\n",
+            "{:>7}  {:>5}  {:>3}  {:>7}  {:>6}  {:>6}  {:>8}  {:>7}  {:>8}  {:>9}  {:>9}\n",
             r.clients,
             r.lanes,
+            r.workers,
             r.txn_per_sec,
             r.p50_us,
             r.p99_us,
@@ -271,8 +272,9 @@ pub fn render_e10(rows: &[E10Row]) -> String {
 /// Renders the E10 scale sweep as machine-readable JSONL (one object per
 /// line, `validate_jsonl`-clean, all-integer fields). Written to
 /// `BENCH_e10.json` by `experiments --bench-e10`. The host-timing pair
-/// (`elapsed_ms`, `txn_per_sec`) is the only non-deterministic content;
-/// everything else is byte-identical across reruns of the same seed.
+/// (`elapsed_ms`, `txn_per_sec`) and the `steals` counter are the only
+/// non-deterministic content; everything else is byte-identical across
+/// reruns of the same seed, whatever the worker count.
 pub fn render_bench_e10_json(rows: &[E10Row]) -> String {
     let mut out = String::new();
     for r in rows {
@@ -282,7 +284,8 @@ pub fn render_bench_e10_json(rows: &[E10Row]) -> String {
              \"bytes_per_client\":{},\"sent\":{},\"delivered\":{},\"dropped\":{},\
              \"duplicated\":{},\"conservation_violations\":{},\"evicted\":{},\
              \"rehydrated\":{},\"resident\":{},\"archive_bytes\":{},\
-             \"evidence_loss\":{},\"gave_up\":{}}}\n",
+             \"evidence_loss\":{},\"gave_up\":{},\"workers\":{},\
+             \"available_parallelism\":{},\"steals\":{},\"tasks\":{}}}\n",
             r.clients,
             r.lanes,
             r.completed,
@@ -302,6 +305,76 @@ pub fn render_bench_e10_json(rows: &[E10Row]) -> String {
             r.archive_bytes,
             r.evidence_loss,
             r.gave_up,
+            r.workers,
+            r.available_parallelism,
+            r.steals,
+            r.tasks,
+        ));
+    }
+    out
+}
+
+/// Renders E13 as a table.
+pub fn render_e13(rows: &[E13Row]) -> String {
+    let mut out = String::from(
+        "E13 / work-stealing settle: worker sweep at fixed load\n\
+         workers  cores  txn/s    speedup  effic  steals  tasks  p50 us  p99 us  det  ok\n\
+         -------  -----  -------  -------  -----  ------  -----  ------  ------  ---  --\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>7}  {:>5}  {:>7}  {:>4}.{:02}x  {:>2}.{:02}  {:>6}  {:>5}  {:>6}  {:>6}  {:>3}  {}\n",
+            r.workers,
+            r.available_parallelism,
+            r.txn_per_sec,
+            r.speedup_x100 / 100,
+            r.speedup_x100 % 100,
+            r.efficiency_x100 / 100,
+            r.efficiency_x100 % 100,
+            r.steals,
+            r.tasks,
+            r.p50_us,
+            r.p99_us,
+            if r.deterministic_vs_serial { "yes" } else { "NO" },
+            if r.scaling_ok { "ok" } else { "FAIL" },
+        ));
+    }
+    out
+}
+
+/// Renders the E13 worker sweep as machine-readable JSONL. Written to
+/// `BENCH_e13.json` by `experiments --bench-e13`. The gate booleans
+/// (`scaling_ok`, `deterministic_vs_serial`) are computed by the
+/// measurement code itself — CI greps this export for `false`.
+pub fn render_bench_e13_json(rows: &[E13Row]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{{\"kind\":\"e13\",\"clients\":{},\"lanes\":{},\"workers\":{},\
+             \"available_parallelism\":{},\"completed\":{},\"elapsed_ms\":{},\
+             \"txn_per_sec\":{},\"speedup_x100\":{},\"efficiency_x100\":{},\
+             \"required_speedup_x100\":{},\"scaling_ok\":{},\"steals\":{},\
+             \"tasks\":{},\"p50_us\":{},\"p99_us\":{},\
+             \"conservation_violations\":{},\"evidence_loss\":{},\
+             \"deterministic_vs_serial\":{}}}\n",
+            r.clients,
+            r.lanes,
+            r.workers,
+            r.available_parallelism,
+            r.completed,
+            r.elapsed_ms,
+            r.txn_per_sec,
+            r.speedup_x100,
+            r.efficiency_x100,
+            r.required_speedup_x100,
+            r.scaling_ok,
+            r.steals,
+            r.tasks,
+            r.p50_us,
+            r.p99_us,
+            r.conservation_violations,
+            r.evidence_loss,
+            r.deterministic_vs_serial,
         ));
     }
     out
@@ -827,6 +900,25 @@ mod tests {
         assert!(big.archive_bytes > 0 && big.bytes_per_client > 0);
         assert!(big.resident < big.clients, "resident set bounded: {}", big.resident);
         assert_eq!(render_e10(&rows).lines().count(), 3 + rows.len());
+        // The scheduler provenance fields are present in every row.
+        assert!(jsonl.contains("\"workers\":"));
+        assert!(jsonl.contains("\"available_parallelism\":"));
+        assert!(jsonl.contains("\"tasks\":"));
+    }
+
+    #[test]
+    fn bench_e13_json_is_valid_jsonl_and_gates_hold() {
+        let rows = e13_worker_sweep(300, 7);
+        let jsonl = render_bench_e13_json(&rows);
+        assert_eq!(validate_jsonl(&jsonl), Ok(rows.len()));
+        assert!(jsonl.contains("\"kind\":\"e13\""));
+        for r in &rows {
+            assert!(r.deterministic_vs_serial, "workers={}", r.workers);
+            assert_eq!(r.conservation_violations, 0);
+            assert_eq!(r.evidence_loss, 0);
+        }
+        assert!(!jsonl.contains("\"deterministic_vs_serial\":false"));
+        assert_eq!(render_e13(&rows).lines().count(), 3 + rows.len());
     }
 
     #[test]
@@ -862,10 +954,15 @@ mod tests {
             render_bench_e10_json(rows)
                 .lines()
                 .map(|l| {
-                    // Drop the host-timing pair; everything else must be
-                    // byte-identical across reruns.
+                    // Drop the host-timing pair and the steal counter
+                    // (which worker went idle first is scheduling noise);
+                    // everything else must be byte-identical across reruns.
                     l.split(',')
-                        .filter(|f| !f.contains("\"elapsed_ms\"") && !f.contains("\"txn_per_sec\""))
+                        .filter(|f| {
+                            !f.contains("\"elapsed_ms\"")
+                                && !f.contains("\"txn_per_sec\"")
+                                && !f.contains("\"steals\"")
+                        })
                         .collect::<Vec<_>>()
                         .join(",")
                 })

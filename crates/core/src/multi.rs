@@ -221,6 +221,14 @@ impl MultiWorld {
         self.net.set_default_link(cfg);
     }
 
+    /// Overrides the bidirectional client ⇄ provider link for client
+    /// `idx`. E10 gives every client a distinct deterministic latency
+    /// through this, so settle-latency percentiles measure a real
+    /// distribution instead of the constant default-link round trip.
+    pub fn set_client_provider_link(&mut self, idx: usize, cfg: LinkConfig) {
+        self.net.set_link_bidi(self.client_nodes[idx], self.bob_node, cfg);
+    }
+
     /// Wheel key for an actor's node. Clients register with the simulator
     /// first, so `NodeId(i)` *is* client `i`; bob and the TTP follow.
     fn wheel_key(&self, node: NodeId) -> usize {
@@ -869,6 +877,29 @@ mod tests {
             assert!(w.result(h).unwrap().completed());
         }
         assert_eq!(w.provider.txn_count(), 10);
+    }
+
+    #[test]
+    fn per_client_links_spread_settle_latency() {
+        // Distinct client ⇄ provider latencies must surface as a spread in
+        // the settle-latency histogram (the E10 percentile exhibit relies
+        // on this; with one shared link p50 == p99 degenerately).
+        let mut w = MultiWorld::new(5, ProtocolConfig::full(), 4);
+        for i in 0..4 {
+            let one_way = SimDuration::from_micros(5_000 + i as u64 * 10_000);
+            w.set_client_provider_link(i, LinkConfig::ideal(one_way));
+        }
+        for i in 0..4 {
+            let key = format!("k{i}").into_bytes();
+            w.start_upload(i, &key, vec![1; 16], TimeoutStrategy::ResolveImmediately);
+        }
+        let s = w.settle();
+        assert_eq!(s.outcome, SettleOutcome::Quiescent);
+        let h = &w.obs.metrics.latency_us;
+        assert_eq!(h.count(), 4);
+        assert!(h.min().unwrap() < h.max().unwrap(), "distinct links, distinct latencies");
+        let (p50, p99) = (h.quantile(0.5).unwrap(), h.quantile(0.99).unwrap());
+        assert!(p50 < p99, "percentiles must separate: p50={p50} p99={p99}");
     }
 
     #[test]

@@ -139,12 +139,24 @@ impl Event {
     }
 }
 
-/// Fixed-bucket log2 histogram (bucket `i` holds values with
-/// `ilog2(value) == i`, bucket 0 holds 0 and 1). No allocation, O(1)
-/// record, exact count/sum/min/max alongside the bucketed shape.
+/// Values below this are bucketed exactly (one bucket per value).
+const HIST_EXACT: usize = 32;
+/// Sub-buckets per power of two above the exact region (log-linear).
+const HIST_SUB: usize = 16;
+/// 32 exact buckets + 16 sub-buckets for each exponent 5..=63.
+const HIST_BUCKETS: usize = HIST_EXACT + (64 - 5) * HIST_SUB;
+
+/// Fixed-bucket **log-linear** histogram: values below 32 get one bucket
+/// each (exact), larger values get 16 sub-buckets per power of two — the
+/// bucket of `v` is keyed by `(ilog2(v), top 4 bits after the leading 1)`,
+/// so quantiles resolve to ≈6% relative error instead of the 2× error a
+/// pure log2 scheme gives. (The old log2 buckets made the E10 latency
+/// exhibit degenerate: every settle latency landed in one bucket and
+/// p50 == p99.) No allocation, O(1) record, exact count/sum/min/max
+/// alongside the bucketed shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: [u64; 64],
+    buckets: [u64; HIST_BUCKETS],
     count: u64,
     sum: u128,
     min: u64,
@@ -153,15 +165,37 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 }
 
 impl Histogram {
+    /// Bucket index of `value` in the log-linear layout.
+    fn bucket_index(value: u64) -> usize {
+        if value < HIST_EXACT as u64 {
+            value as usize
+        } else {
+            let e = value.ilog2() as usize; // ≥ 5 here
+            let sub = ((value >> (e - 4)) & 0xF) as usize;
+            HIST_EXACT + (e - 5) * HIST_SUB + sub
+        }
+    }
+
+    /// Largest value bucket `i` can hold (inverse of [`Self::bucket_index`]).
+    fn bucket_upper(i: usize) -> u64 {
+        if i < HIST_EXACT {
+            i as u64
+        } else {
+            let e = 5 + (i - HIST_EXACT) / HIST_SUB;
+            let sub = ((i - HIST_EXACT) % HIST_SUB) as u64;
+            let width = 1u64 << (e - 4);
+            (HIST_SUB as u64 + sub) * width + (width - 1)
+        }
+    }
+
     /// Records one value.
     pub fn record(&mut self, value: u64) {
-        let idx = if value < 2 { 0 } else { value.ilog2() as usize };
-        self.buckets[idx] += 1;
+        self.buckets[Self::bucket_index(value)] += 1;
         self.count += 1;
         self.sum += u128::from(value);
         self.min = self.min.min(value);
@@ -216,8 +250,7 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
-                return Some(upper.min(self.max));
+                return Some(Self::bucket_upper(i).min(self.max));
             }
         }
         Some(self.max)
@@ -595,12 +628,37 @@ mod tests {
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(1_000_000));
         assert!((h.mean() - (1_000_106.0 / 6.0)).abs() < 1e-9);
-        assert_eq!(h.quantile(0.0), Some(1), "first bucket upper bound");
+        assert_eq!(h.quantile(0.0), Some(0), "values below 32 bucket exactly");
         assert_eq!(h.quantile(1.0), Some(1_000_000), "clamped to exact max");
-        let p50 = h.quantile(0.5).unwrap();
-        assert!((2..=3).contains(&p50), "median bucket covers 2..=3, got {p50}");
+        assert_eq!(h.quantile(0.5), Some(2), "median is exact in the low region");
         h.record(u64::MAX);
         assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_log_linear_resolution() {
+        // Above the exact region quantiles resolve to the 16-sub-bucket
+        // grid: relative error stays under 1/16 ≈ 6.25%, where the old
+        // log2 buckets could be off by nearly 2×.
+        for v in [40u64, 1_000, 50_000, 123_456, 7_000_000] {
+            let mut h = Histogram::default();
+            h.record(v);
+            let q = h.quantile(0.5).expect("non-empty");
+            assert!(q >= v, "bucket upper bound is an upper bound: {q} < {v}");
+            assert!(
+                (q - v) as f64 <= v as f64 / 16.0 + 1.0,
+                "resolution worse than a sub-bucket: v={v} q={q}"
+            );
+        }
+        // Distinct latencies land in distinct buckets (the degenerate E10
+        // exhibit regression: p50 must be able to differ from p99).
+        let mut h = Histogram::default();
+        for v in [25_000u64, 25_000, 25_000, 45_000] {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).expect("non-empty");
+        let p99 = h.quantile(0.99).expect("non-empty");
+        assert!(p50 < p99, "p50 {p50} must separate from p99 {p99}");
     }
 
     #[test]

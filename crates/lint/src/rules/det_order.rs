@@ -8,7 +8,10 @@
 //! non-reproducible. `BTreeMap` / `BTreeSet` give deterministic order.
 //! `multi` and `sched` are in scope since the timer-wheel refactor: the
 //! event loop's dispatch and state-diff order feeds the observability
-//! stream directly, so iteration there must be deterministic too.
+//! stream directly, so iteration there must be deterministic too. `par`
+//! joined with the work-stealing pool: its index-ordered join is the
+//! determinism anchor for every parallel fan-out in the workspace, so no
+//! hash container may sit anywhere near that scheduling/result path.
 //! The rule applies to the whole file, tests included — deterministic
 //! fixtures keep golden tests stable.
 
@@ -17,7 +20,7 @@ use crate::{FileCtx, Finding};
 pub const ID: &str = "DET-ORDER";
 
 /// Module leaf names whose output must be deterministic.
-const SCOPE_LEAVES: &[&str] = &["obs", "report", "codec", "multi", "sched"];
+const SCOPE_LEAVES: &[&str] = &["obs", "report", "codec", "multi", "sched", "par"];
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
     if !SCOPE_LEAVES.contains(&ctx.module_leaf()) {
@@ -91,6 +94,19 @@ mod tests {
             check,
             "crates/core/src/sched.rs",
             "fn f() { let m: HashSet<usize> = HashSet::new(); }",
+        );
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn fires_on_hashmap_in_par() {
+        // The work-stealing pool's result join must stay deterministic;
+        // a hash container in its scheduling path would leak iteration
+        // order into fan-out behaviour.
+        let hits = run_rule(
+            check,
+            "crates/par/src/lib.rs",
+            "use std::collections::HashMap;\nstruct S { m: HashMap<usize, u64> }",
         );
         assert_eq!(hits.len(), 2);
     }
