@@ -124,6 +124,31 @@ if grep -Eq '"(conservation_violations|evidence_loss)":[1-9]' "$bench_e13"; then
 fi
 rm -f "$bench_e13"
 
+# Transport smoke: the E14 backend comparison must stay machine-readable,
+# and the same protocol code must hold the delivery conservation law, lose
+# no evidence, and reject all five §5 attacks on every backend that ran
+# ("attacks_ok" is computed by the measurement code; the tcp row may be
+# "skipped" on hosts that refuse the loopback bind, but the simulator and
+# the in-process channel wire must always run).
+echo "==> experiments --bench-e14 --quick"
+bench_e14="$(mktemp)"
+cargo run -q -p tpnr-bench --bin experiments -- --bench-e14 "$bench_e14" --quick
+cargo run -q -p tpnr-bench --bin experiments -- --validate-jsonl "$bench_e14"
+if grep -Eq '"(conservation_violations|evidence_loss)":[1-9]' "$bench_e14"; then
+    echo "error: E14 transport comparison broke conservation or lost evidence" >&2
+    exit 1
+fi
+if grep -q '"attacks_ok":false' "$bench_e14"; then
+    echo "error: E14 transport comparison let a §5 attack through" >&2
+    grep '"attacks_ok":false' "$bench_e14" >&2
+    exit 1
+fi
+if grep -Eq '"backend":"(simnet|channel)"[^\n]*"skipped":true' "$bench_e14"; then
+    echo "error: an in-process E14 backend was skipped" >&2
+    exit 1
+fi
+rm -f "$bench_e14"
+
 if [ "$quick" -eq 0 ]; then
     # The observability export must stay machine-readable: produce a trace
     # and re-validate it with the binary's own JSONL checker.

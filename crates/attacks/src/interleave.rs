@@ -30,7 +30,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let tap = tape.clone();
     let bob_node = w.bob_node;
     let alice_node = w.alice_node;
-    w.net.set_interceptor(Box::new(
+    w.net_mut().set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, payload: &[u8], _t| {
             if src == bob_node && dst == alice_node {
                 tap.lock().unwrap().push(Bytes::from(payload.to_vec()));
@@ -45,8 +45,8 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
 
     // Session 2: identical object and bytes, but a new transaction. The
     // attacker suppresses Bob's real receipt and splices in session 1's.
-    w.net.clear_interceptor();
-    w.net.set_interceptor(Box::new(
+    w.net_mut().clear_interceptor();
+    w.net_mut().set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, _payload: &[u8], _t| {
             if src == bob_node && dst == alice_node {
                 Action::Drop
@@ -55,17 +55,19 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
             }
         },
     ));
-    let now = w.net.now();
+    let now = w.net().now();
     let (txn2, out) = w
         .client
         .begin_upload(b"same-object", b"same bytes".to_vec(), now, TimeoutStrategy::AbortFirst)
         .expect("initiation");
     w.send_from_client(out);
-    while w.net.step().is_some() { /* deliver transfer; receipt is dropped */ }
+    while w.net().in_flight() {
+        w.net_mut().step(); // deliver transfer; receipt is dropped
+    }
 
     // The splice: deliver session 1's receipt as if it answered session 2.
     let bob_id = w.provider.id();
-    let now = w.net.now();
+    let now = w.net().now();
     let result = w.client.handle(bob_id, &session1_receipt, now);
     let completed = w.client.txn_state(txn2) == Some(TxnState::Completed);
     let succeeded = result.is_ok() && completed;

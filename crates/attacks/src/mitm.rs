@@ -26,7 +26,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let alice_id = w.client.id();
     let bob_id = w.provider.id();
     let ttp_id = w.ttp.id();
-    let now = w.net.now();
+    let now = w.net().now();
 
     let mallory = Principal::test("mallory", 0xbad);
     let mut rng = ChaChaRng::seed_from_u64(0xbad_0bad);

@@ -22,7 +22,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let mut w = World::new(61, cfg);
     let alice_id = w.client.id();
     let bob_id = w.provider.id();
-    let now = w.net.now();
+    let now = w.net().now();
 
     // Capture Alice's outbound transfer…
     let (txn_id, out) = w

@@ -27,7 +27,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let tap = tape.clone();
     let alice_node = w.alice_node;
     let bob_node = w.bob_node;
-    w.net.set_interceptor(Box::new(
+    w.net_mut().set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, payload: &[u8], _t| {
             if src == alice_node && dst == bob_node {
                 // The wiretap's own recording copy; replaying the capture
@@ -48,7 +48,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let replayed = Message::from_wire_bytes(&captured).expect("captured frame decodes");
     assert_eq!(replayed.txn_id(), r1.txn_id);
     let alice_id = w.client.id();
-    let now = w.net.now();
+    let now = w.net().now();
     let result = w.provider.handle(alice_id, &replayed, now);
 
     let rolled_back = w.provider.peek_storage(b"doc") == Some(&b"version 1"[..]);

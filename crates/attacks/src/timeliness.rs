@@ -26,7 +26,7 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
         .begin_upload(
             b"prices",
             b"prices as of day 0".to_vec(),
-            w.net.now(),
+            w.net().now(),
             TimeoutStrategy::AbortFirst,
         )
         .expect("initiation");
@@ -34,9 +34,9 @@ pub fn run(ablation: Ablation) -> AttackOutcome {
     let held = out[0].msg.to_wire_bytes();
 
     // …but the attacker sits on it for ten days before delivery.
-    w.net.advance(SimDuration::from_hours(10 * 24));
+    w.net_mut().advance(SimDuration::from_hours(10 * 24));
     let late = Message::from_wire_bytes(&held).unwrap();
-    let now = w.net.now();
+    let now = w.net().now();
     let result = w.provider.handle(alice_id, &late, now);
 
     let installed = w.provider.peek_storage(b"prices").is_some();

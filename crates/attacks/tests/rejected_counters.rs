@@ -16,7 +16,7 @@ fn injected_replays_show_up_in_rejected_counters() {
     // The adversary replays every alice→bob frame verbatim. Injections are
     // untagged on the wire, so attribution must come from the decoded
     // protocol header.
-    w.net.set_interceptor(Box::new(move |src, dst, payload: &[u8], _t| {
+    w.net_mut().set_interceptor(Box::new(move |src, dst, payload: &[u8], _t| {
         if src == alice && dst == bob {
             Action::InjectAfter(vec![(src, dst, payload.to_vec())])
         } else {
@@ -30,7 +30,7 @@ fn injected_replays_show_up_in_rejected_counters() {
 
     // One Transfer per upload was replayed; both replays were refused as
     // stale and both refusals are on the record.
-    assert_eq!(w.net.stats.injected, 2);
+    assert_eq!(w.net().stats.injected, 2);
     let m = &w.obs.metrics;
     assert_eq!(m.rejected, 2);
     assert_eq!(m.rejected_by.get("stale-sequence"), Some(&2));

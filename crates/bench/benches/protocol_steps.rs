@@ -51,7 +51,7 @@ fn bench_sub_protocols(c: &mut Criterion) {
             let mut w = World::new(seed, ProtocolConfig::full());
             // Receipts lost: resolve via the TTP recovers the NRR.
             let (alice, bob) = (w.alice_node, w.bob_node);
-            w.net.set_link(
+            w.net_mut().set_link(
                 bob,
                 alice,
                 tpnr_net::LinkConfig { drop_prob: 1.0, ..Default::default() },

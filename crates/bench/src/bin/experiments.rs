@@ -22,6 +22,11 @@
 //!   sweep (E10 scenario at fixed load across pool worker counts, with
 //!   speedup/efficiency/steal counters and the determinism gate) as JSONL
 //!   (`BENCH_e13.json`); `--quick` shrinks the client load for CI;
+//! - `--bench-e14 [path|-] [--quick]` emits the E14 transport comparison
+//!   (the same protocol workload on the deterministic simulator, the
+//!   in-process channel wire and real loopback TCP, with throughput,
+//!   conservation, evidence-loss and §5 attack-rejection gates) as JSONL
+//!   (`BENCH_e14.json`); `--quick` shrinks the transaction count for CI;
 //! - `--validate-jsonl <file>` syntax-checks such an export (CI uses this
 //!   pair to guard the formats).
 
@@ -151,6 +156,27 @@ fn main() {
                 }
             }
         }
+        Some("--bench-e14") => {
+            let mut path: Option<&str> = None;
+            let mut quick = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    p => path = Some(p),
+                }
+            }
+            let json = render_bench_e14_json(&e14_backend_comparison(2026, quick));
+            match path {
+                None | Some("-") => print!("{json}"),
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &json) {
+                        eprintln!("error: cannot write {p}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {} JSONL lines to {p}", json.lines().count());
+                }
+            }
+        }
         Some("--bench-e12") => {
             let mut path: Option<&str> = None;
             let mut quick = false;
@@ -199,7 +225,8 @@ fn main() {
                 "unknown flag {other}; supported: --trace-jsonl [path|-], \
                  --bench-e4 [path|-] [--quick], --bench-e8 [path|-] [--quick], \
                  --bench-e10 [path|-] [--quick], --bench-e12 [path|-] [--quick], \
-                 --bench-e13 [path|-] [--quick], --validate-jsonl <file>"
+                 --bench-e13 [path|-] [--quick], --bench-e14 [path|-] [--quick], \
+                 --validate-jsonl <file>"
             );
             std::process::exit(2);
         }
@@ -229,4 +256,5 @@ fn print_tables() {
     let (rows, batches) = e12_rsa_kernels(&[512, 1024], false);
     println!("{}", render_e12(&rows, &batches));
     println!("{}", render_e13(&e13_worker_sweep(2_048, 2026)));
+    println!("{}", render_e14(&e14_backend_comparison(2026, true)));
 }

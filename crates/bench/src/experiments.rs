@@ -1,15 +1,21 @@
 //! The E1–E10 experiment implementations (DESIGN.md §5).
 
+use std::sync::{Arc, Mutex};
 use tpnr_core::bridge::{self, BridgingScheme, DisputeScenario, SchemeKind};
 use tpnr_core::client::TimeoutStrategy;
 use tpnr_core::config::ProtocolConfig;
-use tpnr_core::runner::World;
+use tpnr_core::message::Message;
+use tpnr_core::runner::{GenericWorld, World};
 use tpnr_core::session::TxnState;
 use tpnr_crypto::hash::HashAlg;
-use tpnr_net::sim::LinkConfig;
+use tpnr_net::codec::Wire;
+use tpnr_net::sim::{Action, LinkConfig, SimNet};
+use tpnr_net::tcp::{ChannelNet, TcpNet};
 use tpnr_net::time::HostStopwatch;
 use tpnr_net::time::SimDuration;
 use tpnr_net::time::SimTime;
+use tpnr_net::transport::Transport;
+use tpnr_net::Bytes;
 use tpnr_storage::object::Tamper;
 use tpnr_storage::platform::{all_platforms, ClientVerdict};
 
@@ -338,7 +344,7 @@ pub fn e6_ttp_load(fault_rates: &[f64], trials: usize) -> Vec<E6Row> {
                 // Receipts (bob→alice) are lost with probability p.
                 let (a, b) = (w.alice_node, w.bob_node);
                 let _ = a;
-                w.net.set_link(b, a, LinkConfig::lossy(SimDuration::from_millis(25), p));
+                w.net_mut().set_link(b, a, LinkConfig::lossy(SimDuration::from_millis(25), p));
                 let r = w.upload(b"obj", vec![1u8; 256], TimeoutStrategy::ResolveImmediately);
                 (u64::from(r.report.ttp_used), u64::from(r.outcome == TxnState::Completed))
             })
@@ -599,7 +605,7 @@ fn e10_run_lane(w: &mut tpnr_core::multi::MultiWorld) -> E10LaneStats {
         }
     }
 
-    let net = &w.net.stats;
+    let net = &w.net().stats;
     let conservation_ok = net.delivered + net.dropped == net.sent + net.duplicated;
     let a = w.archive_stats();
     E10LaneStats {
@@ -1111,6 +1117,332 @@ pub fn e13_worker_sweep(clients: usize, seed: u64) -> Vec<E13Row> {
         });
     }
     out
+}
+
+// --------------------------------------------------------------- E14 ----
+
+/// One row of the E14 transport comparison: the same protocol workload —
+/// a sustained run of evidence transactions plus the five §5 attack
+/// probes — executed on one [`Transport`] backend. The gates
+/// (`conservation_violations`, `evidence_loss`, `attacks_ok`) are
+/// computed by the measurement code itself, E12/E13-style, so CI greps
+/// the JSONL export directly.
+#[derive(Debug, Clone)]
+pub struct E14Row {
+    /// Backend name: "simnet", "channel" or "tcp".
+    pub backend: &'static str,
+    /// Evidence transactions attempted in the throughput lane.
+    pub txns: u64,
+    /// Transactions that completed in Normal mode.
+    pub completed: u64,
+    /// Host wall-clock for the throughput lane, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Wire messages delivered per host-second.
+    pub msgs_per_sec: u64,
+    /// Evidence transactions settled per host-second.
+    pub txn_per_sec: u64,
+    /// `txn_per_sec` normalised by the host's advertised core count. The
+    /// lane itself is single-threaded; the normalisation only makes rows
+    /// from different hosts comparable.
+    pub txn_per_sec_per_core: u64,
+    /// The host's advertised core count.
+    pub available_parallelism: u64,
+    /// Backend counter: message copies sent.
+    pub sent: u64,
+    /// Backend counter: copies delivered.
+    pub delivered: u64,
+    /// Backend counter: copies dropped (counted, never vanished).
+    pub dropped: u64,
+    /// Backend counter: copies duplicated on the wire.
+    pub duplicated: u64,
+    /// Rows violating `delivered + dropped == sent + duplicated`
+    /// (must be 0).
+    pub conservation_violations: u64,
+    /// Transactions that finished without both NRO and NRR (must be 0 on
+    /// a healthy wire).
+    pub evidence_loss: u64,
+    /// §5 attack probes the backend rejected.
+    pub attacks_rejected: u64,
+    /// §5 attack probes run (5: MITM, reflection, interleaving, replay,
+    /// timeliness).
+    pub attacks_expected: u64,
+    /// `attacks_rejected == attacks_expected`.
+    pub attacks_ok: bool,
+    /// True when the backend could not be brought up (e.g. loopback bind
+    /// refused in a sandbox) and the row carries no measurements.
+    pub skipped: bool,
+}
+
+/// Protocol timers short enough for real-wire runs: on a live socket the
+/// scheduler actually waits out timer deadlines in host time, so the
+/// default 30 s response timeout would cost 30 wall-seconds per faulted
+/// probe. 400 ms is still orders of magnitude above loopback RTT.
+fn e14_cfg() -> ProtocolConfig {
+    ProtocolConfig::builder().response_timeout(SimDuration::from_millis(400)).build()
+}
+
+/// §5.1 MITM probe: flip a byte of the first client→provider transfer in
+/// flight. Blocked when the session cannot complete on the tampered
+/// message (the provider refuses the broken signature and the client's
+/// abort sub-protocol settles the session instead).
+fn e14_attack_mitm_tamper<T: Transport>(net: T, seed: u64) -> bool {
+    let mut w = GenericWorld::with_transport(net, seed, e14_cfg());
+    let (a, b) = (w.alice_node, w.bob_node);
+    let mut tampered = false;
+    w.net_mut().set_interceptor(Box::new(move |src, dst, payload: &[u8], _t| {
+        if !tampered && src == a && dst == b {
+            tampered = true;
+            let mut p = payload.to_vec();
+            if let Some(last) = p.last_mut() {
+                *last ^= 0xff;
+            }
+            return Action::Modify(p);
+        }
+        Action::Deliver
+    }));
+    let r = w.upload(b"e14/mitm", b"true data".to_vec(), TimeoutStrategy::AbortFirst);
+    !r.completed()
+}
+
+/// §5.2 reflection probe: wiretap the client's own signed transfer, then
+/// bounce it straight back at her as if the provider had sent it. Blocked
+/// when the client refuses the echo (wrong direction, wrong signer role)
+/// rather than treating it as a receipt.
+fn e14_attack_reflection<T: Transport>(net: T, seed: u64) -> bool {
+    let mut w = GenericWorld::with_transport(net, seed, e14_cfg());
+    let (a, b) = (w.alice_node, w.bob_node);
+    let tape: Arc<Mutex<Vec<Vec<u8>>>> = Arc::default();
+    let tap = tape.clone();
+    w.net_mut().set_interceptor(Box::new(move |src, dst, payload: &[u8], _t| {
+        if src == a && dst == b {
+            tap.lock().unwrap().push(payload.to_vec());
+        }
+        Action::Deliver
+    }));
+    let r = w.upload(b"e14/reflect", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+    if !r.completed() {
+        return false; // clean run must succeed before the echo means anything
+    }
+    w.net_mut().clear_interceptor();
+    let captured = tape.lock().unwrap()[0].clone();
+    let before = w.obs.metrics.rejected + w.obs.metrics.garbled;
+    w.net_mut().send_tagged(b, a, Bytes::from(captured), None);
+    w.settle();
+    w.obs.metrics.rejected + w.obs.metrics.garbled > before
+}
+
+/// §5.3 interleaving probe: run two sessions over the same object, cut
+/// the provider→client path in session 2 and splice in session 1's
+/// captured receipt. Blocked when the splice cannot complete session 2
+/// (the signed plaintext binds the transaction id).
+fn e14_attack_interleave<T: Transport>(net: T, seed: u64) -> bool {
+    let mut w = GenericWorld::with_transport(net, seed, e14_cfg());
+    let (a, b) = (w.alice_node, w.bob_node);
+    let tape: Arc<Mutex<Vec<Vec<u8>>>> = Arc::default();
+    let tap = tape.clone();
+    w.net_mut().set_interceptor(Box::new(move |src, dst, payload: &[u8], _t| {
+        if src == b && dst == a {
+            tap.lock().unwrap().push(payload.to_vec());
+        }
+        Action::Deliver
+    }));
+    let r1 = w.upload(b"same-object", b"same bytes".to_vec(), TimeoutStrategy::AbortFirst);
+    if !r1.completed() {
+        return false;
+    }
+    let receipt1 = match Message::from_wire_bytes(&Bytes::from(tape.lock().unwrap()[0].clone())) {
+        Ok(m) => m,
+        Err(_) => return false,
+    };
+    // Session 2: identical object and bytes, new transaction. The
+    // attacker suppresses Bob's real receipt and answers with session 1's.
+    w.net_mut().clear_interceptor();
+    w.net_mut().set_interceptor(Box::new(move |src, dst, _payload: &[u8], _t| {
+        if src == b && dst == a {
+            Action::Drop
+        } else {
+            Action::Deliver
+        }
+    }));
+    let now = w.net().now();
+    let Ok((txn2, out)) = w.client.begin_upload(
+        b"same-object",
+        b"same bytes".to_vec(),
+        now,
+        TimeoutStrategy::AbortFirst,
+    ) else {
+        return false;
+    };
+    w.send_from_client(out);
+    let bob_id = w.provider.id();
+    let splice = w.client.handle(bob_id, &receipt1, now);
+    let spliced_in = splice.is_ok() && w.client.txn_state(txn2) == Some(TxnState::Completed);
+    w.settle(); // drain session 2 to a terminal state over the cut wire
+    !spliced_in
+}
+
+/// §5.4 replay probe: capture the client's transfer, let the session
+/// complete, then resend the identical bytes. Blocked when the
+/// per-(txn, sender) replay window refuses the stale sequence number.
+fn e14_attack_replay<T: Transport>(net: T, seed: u64) -> bool {
+    let mut w = GenericWorld::with_transport(net, seed, e14_cfg());
+    let (a, b) = (w.alice_node, w.bob_node);
+    let tape: Arc<Mutex<Vec<Vec<u8>>>> = Arc::default();
+    let tap = tape.clone();
+    w.net_mut().set_interceptor(Box::new(move |src, dst, payload: &[u8], _t| {
+        if src == a && dst == b {
+            tap.lock().unwrap().push(payload.to_vec());
+        }
+        Action::Deliver
+    }));
+    let r = w.upload(b"e14/replay", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+    if !r.completed() {
+        return false;
+    }
+    w.net_mut().clear_interceptor();
+    let replay = tape.lock().unwrap()[0].clone();
+    w.net_mut().send_tagged(a, b, Bytes::from(replay), None);
+    w.settle();
+    w.obs.metrics.rejected_by.get("stale-sequence").copied().unwrap_or(0) >= 1
+}
+
+/// §5.5 timeliness probe: hold the provider's receipt on the wire past
+/// the evidence time limit. Blocked when the stale receipt is refused as
+/// expired and the session settles through the abort path instead of
+/// completing on out-of-date evidence.
+fn e14_attack_timeliness<T: Transport>(net: T, seed: u64) -> bool {
+    let cfg = ProtocolConfig::builder()
+        .response_timeout(SimDuration::from_millis(500))
+        .message_time_limit(SimDuration::from_millis(150))
+        .build();
+    let mut w = GenericWorld::with_transport(net, seed, cfg);
+    let (a, b) = (w.alice_node, w.bob_node);
+    let mut delayed = false;
+    w.net_mut().set_interceptor(Box::new(move |src, dst, _payload: &[u8], _t| {
+        if !delayed && src == b && dst == a {
+            delayed = true;
+            return Action::Delay(SimDuration::from_millis(300));
+        }
+        Action::Deliver
+    }));
+    let r = w.upload(b"e14/late", b"data".to_vec(), TimeoutStrategy::AbortFirst);
+    let expired = w.obs.metrics.rejected_by.get("expired").copied().unwrap_or(0);
+    !r.completed() && expired >= 1
+}
+
+/// A row for a backend that could not be brought up.
+fn e14_skipped(backend: &'static str, host: u64) -> E14Row {
+    E14Row {
+        backend,
+        txns: 0,
+        completed: 0,
+        elapsed_ms: 0,
+        msgs_per_sec: 0,
+        txn_per_sec: 0,
+        txn_per_sec_per_core: 0,
+        available_parallelism: host,
+        sent: 0,
+        delivered: 0,
+        dropped: 0,
+        duplicated: 0,
+        conservation_violations: 0,
+        evidence_loss: 0,
+        attacks_rejected: 0,
+        attacks_expected: 0,
+        attacks_ok: true,
+        skipped: true,
+    }
+}
+
+/// Runs the full E14 workload — throughput lane plus §5 gauntlet — on one
+/// backend. `mk` constructs a fresh wire of that backend for the lane and
+/// for every probe (returning `None` marks the row skipped, e.g. when the
+/// loopback bind is refused).
+fn e14_run_backend<T: Transport>(
+    backend: &'static str,
+    txns: usize,
+    seed: u64,
+    mk: &mut dyn FnMut() -> Option<T>,
+) -> E14Row {
+    let host = tpnr_par::available_parallelism() as u64;
+    let Some(net) = mk() else {
+        return e14_skipped(backend, host);
+    };
+
+    // Throughput lane: sequential evidence transactions on a healthy wire.
+    let mut w = GenericWorld::with_transport(net, seed, e14_cfg());
+    let payload = vec![0x5a_u8; 256];
+    let sw = HostStopwatch::start();
+    let mut completed = 0u64;
+    let mut evidence_loss = 0u64;
+    for i in 0..txns {
+        let key = format!("e14/{i}");
+        let r = w.upload(key.as_bytes(), payload.clone(), TimeoutStrategy::AbortFirst);
+        if r.completed() {
+            completed += 1;
+        }
+        if r.nro.is_none() || r.nrr.is_none() {
+            evidence_loss += 1;
+        }
+    }
+    let elapsed = sw.elapsed_secs_f64().max(1e-9);
+    let s = w.net().stats();
+    let conservation_violations = u64::from(s.delivered + s.dropped != s.sent + s.duplicated);
+
+    // §5 gauntlet, each probe on a fresh wire of the same backend.
+    let probes: [fn(T, u64) -> bool; 5] = [
+        e14_attack_mitm_tamper::<T>,
+        e14_attack_reflection::<T>,
+        e14_attack_interleave::<T>,
+        e14_attack_replay::<T>,
+        e14_attack_timeliness::<T>,
+    ];
+    let attacks_expected = probes.len() as u64;
+    let mut attacks_rejected = 0u64;
+    for probe in probes {
+        if let Some(net) = mk() {
+            if probe(net, seed) {
+                attacks_rejected += 1;
+            }
+        }
+    }
+
+    let txn_per_sec = (completed as f64 / elapsed) as u64;
+    E14Row {
+        backend,
+        txns: txns as u64,
+        completed,
+        elapsed_ms: (elapsed * 1000.0) as u64,
+        msgs_per_sec: (s.delivered as f64 / elapsed) as u64,
+        txn_per_sec,
+        txn_per_sec_per_core: txn_per_sec / host.max(1),
+        available_parallelism: host,
+        sent: s.sent,
+        delivered: s.delivered,
+        dropped: s.dropped,
+        duplicated: s.duplicated,
+        conservation_violations,
+        evidence_loss,
+        attacks_rejected,
+        attacks_expected,
+        attacks_ok: attacks_rejected == attacks_expected,
+        skipped: false,
+    }
+}
+
+/// E14: the same protocol code on every transport backend. Runs the
+/// throughput lane and the five §5 attack probes on the deterministic
+/// simulator, the in-process channel wire and real loopback TCP sockets,
+/// at matched load, with zero per-backend protocol code. The TCP row is
+/// marked `skipped` (rather than failing the experiment) when the host
+/// refuses the loopback bind.
+pub fn e14_backend_comparison(seed: u64, quick: bool) -> Vec<E14Row> {
+    let txns = if quick { 40 } else { 400 };
+    vec![
+        e14_run_backend("simnet", txns, seed, &mut || Some(SimNet::new(seed))),
+        e14_run_backend("channel", txns, seed, &mut || Some(ChannelNet::new())),
+        e14_run_backend("tcp", txns, seed, &mut || TcpNet::new().ok()),
+    ]
 }
 
 // ------------------------------------------------------------- trace ----

@@ -380,6 +380,82 @@ pub fn render_bench_e13_json(rows: &[E13Row]) -> String {
     out
 }
 
+/// Renders E14 as a table.
+pub fn render_e14(rows: &[E14Row]) -> String {
+    let mut out = String::from(
+        "E14 / transport comparison: same protocol code on every backend\n\
+         backend  txns  completed  elapsed ms  msg/s    txn/s   txn/s/core  attacks  loss  ok\n\
+         -------  ----  ---------  ----------  -------  ------  ----------  -------  ----  --\n",
+    );
+    for r in rows {
+        if r.skipped {
+            out.push_str(&format!(
+                "{:<7}  (skipped: backend unavailable on this host)\n",
+                r.backend
+            ));
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<7}  {:>4}  {:>9}  {:>10}  {:>7}  {:>6}  {:>10}  {:>4}/{}  {:>4}  {}\n",
+            r.backend,
+            r.txns,
+            r.completed,
+            r.elapsed_ms,
+            r.msgs_per_sec,
+            r.txn_per_sec,
+            r.txn_per_sec_per_core,
+            r.attacks_rejected,
+            r.attacks_expected,
+            r.evidence_loss,
+            if r.attacks_ok && r.conservation_violations == 0 && r.evidence_loss == 0 {
+                "ok"
+            } else {
+                "FAIL"
+            },
+        ));
+    }
+    out
+}
+
+/// Renders the E14 backend comparison as machine-readable JSONL (one
+/// object per line, `validate_jsonl`-clean). Written to `BENCH_e14.json`
+/// by `experiments --bench-e14`. The gates (`conservation_violations`,
+/// `evidence_loss`, `attacks_ok`) are computed by the measurement code —
+/// CI greps this export directly.
+pub fn render_bench_e14_json(rows: &[E14Row]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{{\"kind\":\"e14\",\"backend\":\"{}\",\"txns\":{},\"completed\":{},\
+             \"elapsed_ms\":{},\"msgs_per_sec\":{},\"txn_per_sec\":{},\
+             \"txn_per_sec_per_core\":{},\"available_parallelism\":{},\
+             \"sent\":{},\"delivered\":{},\"dropped\":{},\"duplicated\":{},\
+             \"conservation_violations\":{},\"evidence_loss\":{},\
+             \"attacks_rejected\":{},\"attacks_expected\":{},\
+             \"attacks_ok\":{},\"skipped\":{}}}\n",
+            r.backend,
+            r.txns,
+            r.completed,
+            r.elapsed_ms,
+            r.msgs_per_sec,
+            r.txn_per_sec,
+            r.txn_per_sec_per_core,
+            r.available_parallelism,
+            r.sent,
+            r.delivered,
+            r.dropped,
+            r.duplicated,
+            r.conservation_violations,
+            r.evidence_loss,
+            r.attacks_rejected,
+            r.attacks_expected,
+            r.attacks_ok,
+            r.skipped,
+        ));
+    }
+    out
+}
+
 /// Renders E12 as tables (kernel sweep + batch amortization).
 pub fn render_e12(rows: &[E12Row], batches: &[E12Batch]) -> String {
     let mut out = String::from(
@@ -919,6 +995,36 @@ mod tests {
         }
         assert!(!jsonl.contains("\"deterministic_vs_serial\":false"));
         assert_eq!(render_e13(&rows).lines().count(), 3 + rows.len());
+    }
+
+    #[test]
+    fn bench_e14_json_is_valid_jsonl_and_gates_hold() {
+        let rows = e14_backend_comparison(7, true);
+        assert_eq!(rows.len(), 3, "simnet, channel and tcp rows");
+        let jsonl = render_bench_e14_json(&rows);
+        assert_eq!(validate_jsonl(&jsonl), Ok(rows.len()));
+        assert!(jsonl.contains("\"kind\":\"e14\""));
+        assert!(jsonl.contains("\"backend\":\"simnet\""));
+        assert!(jsonl.contains("\"backend\":\"channel\""));
+        // The two in-process backends must always run; the tcp row may
+        // legitimately be skipped on hosts that refuse the loopback bind.
+        for r in &rows {
+            if r.skipped {
+                assert_eq!(r.backend, "tcp", "only tcp may be skipped");
+                continue;
+            }
+            assert_eq!(r.completed, r.txns, "healthy wire settles every txn: {}", r.backend);
+            assert_eq!(r.conservation_violations, 0, "{}", r.backend);
+            assert_eq!(r.evidence_loss, 0, "{}", r.backend);
+            assert!(
+                r.attacks_ok,
+                "{}: {}/{} §5 attacks rejected",
+                r.backend, r.attacks_rejected, r.attacks_expected
+            );
+            assert_eq!(r.delivered + r.dropped, r.sent + r.duplicated, "{}", r.backend);
+        }
+        // The table renders one line per row plus the 3-line header.
+        assert_eq!(render_e14(&rows).lines().count(), 3 + rows.len());
     }
 
     #[test]

@@ -79,24 +79,28 @@ pub use config::{Ablation, ProtocolConfig};
 pub use evidence::{EvidencePlaintext, Flag, SealedEvidence, VerifiedEvidence};
 pub use fault::{CrashPoint, Durable, FaultPlan, FaultStats, RetryPolicy};
 pub use message::Message;
+pub use multi::{GenericMultiWorld, MultiWorld, TxnHandle};
 pub use obs::{ActorStats, Event, EventKind, Metrics, Obs, TxnObs};
 pub use principal::{Directory, Principal, PrincipalId};
 pub use provider::Provider;
-pub use runner::{TxnReport, TxnRequest, TxnResult, World};
+pub use runner::{GenericWorld, TxnReport, TxnRequest, TxnResult, World};
 pub use sched::{Actor, SettleOutcome, SettleReport};
 pub use session::{Outgoing, Payload, TxnState, ValidationError};
 pub use ttp::Ttp;
 
-/// One-stop imports for driving the simulation: runners, strategies,
-/// settle/fault reporting, and the config builder.
+/// One-stop imports for driving the simulation: runners (simulator-backed
+/// and transport-generic), strategies, settle/fault reporting, the
+/// [`Transport`](tpnr_net::transport::Transport) contract, and the config
+/// builder.
 pub mod prelude {
     pub use crate::client::{Client, TimeoutStrategy};
     pub use crate::config::{Ablation, Commitment, ProtocolConfig, ProtocolConfigBuilder};
     pub use crate::fault::{CrashPoint, Durable, FaultPlan, FaultStats, RetryPolicy, RetryStats};
-    pub use crate::multi::{MultiWorld, TxnHandle};
+    pub use crate::multi::{GenericMultiWorld, MultiWorld, TxnHandle};
     pub use crate::provider::Provider;
-    pub use crate::runner::{TxnReport, TxnRequest, TxnResult, World};
-    pub use crate::sched::{SettleOutcome, SettleReport};
+    pub use crate::runner::{GenericWorld, TxnReport, TxnRequest, TxnResult, World};
+    pub use crate::sched::{Actor, SettleOutcome, SettleReport};
     pub use crate::session::TxnState;
     pub use crate::ttp::Ttp;
+    pub use tpnr_net::transport::Transport;
 }

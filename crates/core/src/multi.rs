@@ -24,6 +24,7 @@ use tpnr_crypto::ChaChaRng;
 use tpnr_net::codec::Wire;
 use tpnr_net::sim::{Envelope, LinkConfig, NodeId, SimNet};
 use tpnr_net::time::SimTime;
+use tpnr_net::transport::Transport;
 
 /// A typed handle to a transaction started on a [`MultiWorld`]: which
 /// client owns it and its id. Replaces the bare `u64` returns of
@@ -63,10 +64,15 @@ struct MultiSnapshots {
     ttp: crate::ttp::TtpSnapshot,
 }
 
-/// N clients sharing one provider and one TTP over the simulator.
-pub struct MultiWorld {
-    /// The network.
-    pub net: SimNet,
+/// N clients sharing one provider and one TTP over a [`Transport`].
+///
+/// `T` defaults to the deterministic simulator; [`MultiWorld`] is the
+/// `GenericMultiWorld<SimNet>` alias almost all code uses.
+pub struct GenericMultiWorld<T: Transport = SimNet> {
+    /// The wire. Private since the transport redesign: use the typed
+    /// accessors [`GenericMultiWorld::net`] /
+    /// [`GenericMultiWorld::net_mut`].
+    net: T,
     /// The clients.
     pub clients: Vec<Client>,
     /// The shared provider.
@@ -111,6 +117,10 @@ pub struct MultiWorld {
     archive: TxnArchive,
 }
 
+/// The classic deterministic multi-client world: [`GenericMultiWorld`]
+/// over [`SimNet`].
+pub type MultiWorld = GenericMultiWorld<SimNet>;
+
 impl MultiWorld {
     /// Builds a world with `n_clients` clients (fresh deterministic keys).
     pub fn new(seed: u64, cfg: ProtocolConfig, n_clients: usize) -> Self {
@@ -136,6 +146,36 @@ impl MultiWorld {
         bob: &Principal,
         ttp_p: &Principal,
     ) -> Self {
+        Self::with_principals_on(SimNet::new(seed), seed, cfg, client_principals, bob, ttp_p)
+    }
+
+    /// Sets one link config everywhere.
+    pub fn set_all_links(&mut self, cfg: LinkConfig) {
+        self.net.set_default_link(cfg);
+    }
+
+    /// Overrides the bidirectional client ⇄ provider link for client
+    /// `idx`. E10 gives every client a distinct deterministic latency
+    /// through this, so settle-latency percentiles measure a real
+    /// distribution instead of the constant default-link round trip.
+    pub fn set_client_provider_link(&mut self, idx: usize, cfg: LinkConfig) {
+        self.net.set_link_bidi(self.client_nodes[idx], self.bob_node, cfg);
+    }
+}
+
+impl<T: Transport> GenericMultiWorld<T> {
+    /// Builds a world from pre-generated principals over an arbitrary
+    /// [`Transport`] backend ([`MultiWorld::with_principals`] is the
+    /// simulator shorthand). `seed` derives each actor's RNG exactly as on
+    /// the simulator, so backends host byte-identical actor populations.
+    pub fn with_principals_on(
+        mut net: T,
+        seed: u64,
+        cfg: ProtocolConfig,
+        client_principals: &[Principal],
+        bob: &Principal,
+        ttp_p: &Principal,
+    ) -> Self {
         assert!(!client_principals.is_empty());
         let mut dir = Directory::new();
         dir.register(bob);
@@ -144,7 +184,6 @@ impl MultiWorld {
             dir.register(c);
         }
 
-        let mut net = SimNet::new(seed);
         let client_nodes: Vec<NodeId> =
             client_principals.iter().map(|c| net.register(&c.name)).collect();
         let bob_node = net.register(&bob.name);
@@ -195,7 +234,7 @@ impl MultiWorld {
         }
         let principal_of = node_of.iter().map(|(p, n)| (*n, *p)).collect();
 
-        MultiWorld {
+        GenericMultiWorld {
             net,
             clients,
             provider,
@@ -216,17 +255,16 @@ impl MultiWorld {
         }
     }
 
-    /// Sets one link config everywhere.
-    pub fn set_all_links(&mut self, cfg: LinkConfig) {
-        self.net.set_default_link(cfg);
+    /// Borrows the transport backend (typed, so the backend's inherent
+    /// API — link knobs, [`SimNet::stats`] — stays reachable).
+    pub fn net(&self) -> &T {
+        &self.net
     }
 
-    /// Overrides the bidirectional client ⇄ provider link for client
-    /// `idx`. E10 gives every client a distinct deterministic latency
-    /// through this, so settle-latency percentiles measure a real
-    /// distribution instead of the constant default-link round trip.
-    pub fn set_client_provider_link(&mut self, idx: usize, cfg: LinkConfig) {
-        self.net.set_link_bidi(self.client_nodes[idx], self.bob_node, cfg);
+    /// Mutably borrows the transport backend (links, interceptors,
+    /// manual sends in attack and test harnesses).
+    pub fn net_mut(&mut self) -> &mut T {
+        &mut self.net
     }
 
     /// Wheel key for an actor's node. Clients register with the simulator
@@ -242,13 +280,14 @@ impl MultiWorld {
     }
 
     fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.actor_nodes().into_iter().find(|&n| self.net.name(n) == name)
+        self.actor_nodes().into_iter().find(|&n| self.net.node_name(n) == Some(name))
     }
 
     /// Re-registers one actor's earliest deadline with the wheel (a down
     /// actor's timers are frozen, so its entry is cancelled instead).
     fn refresh_wheel(&mut self, node: NodeId) {
-        let down = self.faults.active() && self.faults.is_down(self.net.name(node));
+        let down =
+            self.faults.active() && self.faults.is_down(self.net.node_name(node).unwrap_or("?"));
         let d = if down { None } else { self.actor(node).and_then(|a| a.next_deadline()) };
         self.wheel.set(self.wheel_key(node), d);
     }
@@ -299,7 +338,12 @@ impl MultiWorld {
             Err(e) => return self.failed_initiation(idx, now, e),
         };
         self.txn_meta.insert(txn, TxnMeta { client: idx, started: now, settled: false });
-        self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
+        self.obs.note_state(
+            now,
+            self.net.node_name(self.client_nodes[idx]).unwrap_or("?"),
+            txn,
+            TxnState::Pending,
+        );
         // Write-ahead: the NRO sealed at initiation must survive a crash.
         self.sync_actor(self.client_nodes[idx], now, true);
         self.dispatch(self.client_nodes[idx], out);
@@ -320,7 +364,12 @@ impl MultiWorld {
             Err(e) => return self.failed_initiation(idx, now, e),
         };
         self.txn_meta.insert(txn, TxnMeta { client: idx, started: now, settled: false });
-        self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, TxnState::Pending);
+        self.obs.note_state(
+            now,
+            self.net.node_name(self.client_nodes[idx]).unwrap_or("?"),
+            txn,
+            TxnState::Pending,
+        );
         self.sync_actor(self.client_nodes[idx], now, true);
         self.dispatch(self.client_nodes[idx], out);
         TxnHandle { client: idx, txn_id: txn }
@@ -329,7 +378,7 @@ impl MultiWorld {
     /// Records a client-side initiation failure; returns the sentinel
     /// handle (`txn_id` 0).
     fn failed_initiation(&mut self, idx: usize, now: SimTime, error: ValidationError) -> TxnHandle {
-        let name = self.net.name(self.client_nodes[idx]).to_string();
+        let name = self.net.node_name(self.client_nodes[idx]).unwrap_or("?").to_string();
         self.obs.record(Event {
             at: now,
             txn: None,
@@ -466,8 +515,11 @@ impl MultiWorld {
 
     /// Marks the actor at `node` crashed and records the event.
     fn crash_actor(&mut self, node: NodeId, now: SimTime) {
-        let name = self.net.name(node).to_string();
+        let name = self.net.node_name(node).unwrap_or("?").to_string();
         self.faults.crash(&name, now);
+        // The outage is a transport fact: queued copies addressed to the
+        // node drop (and are counted) at their delivery instant.
+        self.net.set_node_down(node, true);
         // Freeze the crashed actor's armed deadline: its wheel entry dies
         // with it and is re-registered from the restored snapshot. The
         // restart instant itself becomes a wheel entry.
@@ -480,7 +532,12 @@ impl MultiWorld {
     /// transition, funnels the txn through the archive's settled queue —
     /// possibly evicting the shard's oldest settled txn to the sealed log.
     fn note_txn_state(&mut self, now: SimTime, idx: usize, txn: u64, st: TxnState) {
-        self.obs.note_state(now, self.net.name(self.client_nodes[idx]), txn, st);
+        self.obs.note_state(
+            now,
+            self.net.node_name(self.client_nodes[idx]).unwrap_or("?"),
+            txn,
+            st,
+        );
         let newly_settled = st.is_terminal()
             && match self.txn_meta.get_mut(&txn) {
                 Some(meta) if !meta.settled => {
@@ -554,7 +611,7 @@ impl MultiWorld {
             self.ttp.restore(&snaps.ttp);
             snaps.ttp.bytes()
         } else {
-            match self.client_nodes.iter().position(|&n| self.net.name(n) == name) {
+            match self.client_nodes.iter().position(|&n| self.net.node_name(n) == Some(name)) {
                 Some(i) => {
                     self.clients[i].restore(&snaps.clients[i]);
                     snaps.clients[i].bytes()
@@ -580,7 +637,7 @@ impl MultiWorld {
         if self.snaps.is_none() {
             return;
         }
-        let name = self.net.name(node).to_string();
+        let name = self.net.node_name(node).unwrap_or("?").to_string();
         match self.faults.sync_due(&name, now, force) {
             SyncDecision::Skip | SyncDecision::FailedWrite => {}
             SyncDecision::Persist => {
@@ -638,8 +695,8 @@ impl MultiWorld {
     }
 }
 
-impl EventHub for MultiWorld {
-    fn net_mut(&mut self) -> &mut SimNet {
+impl<T: Transport> EventHub for GenericMultiWorld<T> {
+    fn transport(&mut self) -> &mut dyn Transport {
         &mut self.net
     }
 
@@ -665,6 +722,7 @@ impl EventHub for MultiWorld {
             let ev = self.faults.poll("ttp", now);
             for name in ev.crashed {
                 if let Some(node) = self.node_by_name(&name) {
+                    self.net.set_node_down(node, true);
                     self.wheel.cancel(self.wheel_key(node));
                 }
                 self.obs.record(Event {
@@ -681,6 +739,7 @@ impl EventHub for MultiWorld {
                 // restore can also revert transaction states, so the diff
                 // must cover the restored client.
                 if let Some(node) = self.node_by_name(&name) {
+                    self.net.set_node_down(node, false);
                     self.refresh_wheel(node);
                     if let Some(i) = self.client_index(node) {
                         touched.push(i);
@@ -697,7 +756,8 @@ impl EventHub for MultiWorld {
                 continue; // consumed by faults.poll above
             }
             let node = nodes[key];
-            if self.faults.active() && self.faults.is_down(self.net.name(node)) {
+            if self.faults.active() && self.faults.is_down(self.net.node_name(node).unwrap_or("?"))
+            {
                 continue;
             }
             let Some(actor) = self.actor_mut(node) else { continue };
@@ -705,7 +765,7 @@ impl EventHub for MultiWorld {
             self.obs.record(Event {
                 at: now,
                 txn: None,
-                actor: self.net.name(node).to_string(),
+                actor: self.net.node_name(node).unwrap_or("?").to_string(),
                 kind: EventKind::TimerFired { messages: out.len() },
             });
             if !out.is_empty() {
@@ -748,7 +808,7 @@ impl EventHub for MultiWorld {
     fn deliver(&mut self, env: Envelope) {
         let now = self.net.now();
         let from = self.principal_of[&env.src];
-        if self.faults.active() && self.faults.is_down(self.net.name(env.dst)) {
+        if self.faults.active() && self.faults.is_down(self.net.node_name(env.dst).unwrap_or("?")) {
             // The recipient is crashed: the message evaporates. The
             // sender's retry machinery is the recovery path.
             self.faults.note_delivery_lost();
@@ -762,8 +822,10 @@ impl EventHub for MultiWorld {
                 let ev = Event {
                     at: now,
                     txn: env.txn,
-                    actor: self.net.name(env.dst).to_string(),
-                    kind: EventKind::Garbled { from: self.net.name(env.src).to_string() },
+                    actor: self.net.node_name(env.dst).unwrap_or("?").to_string(),
+                    kind: EventKind::Garbled {
+                        from: self.net.node_name(env.src).unwrap_or("?").to_string(),
+                    },
                 };
                 self.obs.record(ev);
                 return;
@@ -778,7 +840,7 @@ impl EventHub for MultiWorld {
         let txn = env.txn.or(Some(txn_id));
         let msg_kind = msg.kind().to_string();
         let verdict = if self.faults.active() {
-            let actor_name = self.net.name(env.dst).to_string();
+            let actor_name = self.net.node_name(env.dst).unwrap_or("?").to_string();
             self.faults.delivery_verdict(&actor_name, &msg_kind)
         } else {
             DeliveryVerdict::Proceed
@@ -797,9 +859,9 @@ impl EventHub for MultiWorld {
                 let ev = Event {
                     at: now,
                     txn,
-                    actor: self.net.name(env.dst).to_string(),
+                    actor: self.net.node_name(env.dst).unwrap_or("?").to_string(),
                     kind: EventKind::Delivered {
-                        from: self.net.name(env.src).to_string(),
+                        from: self.net.node_name(env.src).unwrap_or("?").to_string(),
                         msg: msg_kind,
                     },
                 };
@@ -825,9 +887,9 @@ impl EventHub for MultiWorld {
                 let ev = Event {
                     at: now,
                     txn,
-                    actor: self.net.name(env.dst).to_string(),
+                    actor: self.net.node_name(env.dst).unwrap_or("?").to_string(),
                     kind: EventKind::Rejected {
-                        from: self.net.name(env.src).to_string(),
+                        from: self.net.node_name(env.src).unwrap_or("?").to_string(),
                         msg: msg_kind,
                         error,
                     },

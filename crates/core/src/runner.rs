@@ -1,11 +1,16 @@
-//! Orchestration: TPNR actors over the discrete-event network.
+//! Orchestration: TPNR actors over a [`Transport`].
 //!
-//! [`World`] owns one client, one provider, one TTP and the simulator,
+//! [`GenericWorld`] owns one client, one provider, one TTP and the wire,
 //! encodes every protocol message to canonical bytes on the wire (so
 //! adversaries manipulate real traffic), drives deliveries and timeout
 //! polls, and reports per-transaction statistics — message counts, wall
 //! latency, and whether the TTP was touched (the measurements behind
 //! experiments E2 and E6).
+//!
+//! The world is generic over its [`Transport`] backend — the same
+//! protocol code runs on the deterministic simulator ([`World`] =
+//! `GenericWorld<SimNet>`), the in-process channel, and loopback TCP
+//! (experiment E14) with zero per-backend branches.
 
 use crate::client::{Client, TimeoutStrategy};
 use crate::config::ProtocolConfig;
@@ -23,6 +28,7 @@ use tpnr_crypto::ChaChaRng;
 use tpnr_net::codec::Wire;
 use tpnr_net::sim::{Envelope, LinkConfig, NodeId, SimNet};
 use tpnr_net::time::SimTime;
+use tpnr_net::transport::Transport;
 use tpnr_net::Bytes;
 
 /// Per-transaction outcome report.
@@ -132,10 +138,19 @@ struct WorldSnapshots {
     ttp: crate::ttp::TtpSnapshot,
 }
 
-/// The assembled world: three actors on a simulated network.
-pub struct World {
-    /// The network (exposed so experiments can set links/interceptors).
-    pub net: SimNet,
+/// The assembled world: three actors on a [`Transport`] backend.
+///
+/// `T` defaults to the deterministic simulator; [`World`] is the
+/// `GenericWorld<SimNet>` alias almost all code uses. Every protocol
+/// decision below is written against the [`Transport`] trait, so swapping
+/// `T` for [`tpnr_net::ChannelNet`] or [`tpnr_net::TcpNet`] changes the
+/// wire, never the protocol.
+pub struct GenericWorld<T: Transport = SimNet> {
+    /// The wire. Private since the transport redesign: use the typed
+    /// accessors [`GenericWorld::net`] / [`GenericWorld::net_mut`], which
+    /// keep the backend's full inherent API (links, interceptors)
+    /// reachable without freezing the field layout into the public API.
+    net: T,
     /// Alice.
     pub client: Client,
     /// Bob.
@@ -172,14 +187,32 @@ pub struct World {
     snaps: Option<Box<WorldSnapshots>>,
     /// Scheduler-owned deadline index: actors register/cancel deadlines
     /// here instead of being polled each step (keys: alice 0, bob 1,
-    /// ttp 2, fault wakeup [`World::FAULT_WHEEL_KEY`]).
+    /// ttp 2, fault wakeup [`GenericWorld::FAULT_WHEEL_KEY`]).
     wheel: TimerWheel,
 }
 
+/// The classic deterministic world: [`GenericWorld`] over [`SimNet`].
+pub type World = GenericWorld<SimNet>;
+
 impl World {
-    /// Builds a world with fresh (deterministic) principals and the given
-    /// protocol configuration.
+    /// Builds a world on the deterministic simulator with fresh
+    /// (deterministic) principals and the given protocol configuration.
     pub fn new(seed: u64, cfg: ProtocolConfig) -> Self {
+        Self::with_transport(SimNet::new(seed), seed, cfg)
+    }
+
+    /// Configures every link with the same parameters (RTT sweeps).
+    pub fn set_all_links(&mut self, cfg: LinkConfig) {
+        self.net.set_default_link(cfg);
+    }
+}
+
+impl<T: Transport> GenericWorld<T> {
+    /// Builds a world over an arbitrary [`Transport`] backend. `seed`
+    /// derives the principals' keys and each actor's RNG exactly as
+    /// [`World::new`] does, so two backends given the same seed host
+    /// byte-identical principals.
+    pub fn with_transport(mut net: T, seed: u64, cfg: ProtocolConfig) -> Self {
         let alice = Principal::test("alice", seed.wrapping_mul(3).wrapping_add(1));
         let bob = Principal::test("bob", seed.wrapping_mul(3).wrapping_add(2));
         let ttp_p = Principal::test("ttp", seed.wrapping_mul(3).wrapping_add(3));
@@ -188,7 +221,6 @@ impl World {
         dir.register(&bob);
         dir.register(&ttp_p);
 
-        let mut net = SimNet::new(seed);
         let alice_node = net.register("alice");
         let bob_node = net.register("bob");
         let ttp_node = net.register("ttp");
@@ -228,7 +260,7 @@ impl World {
         let name_of: HashMap<NodeId, &'static str> =
             [(alice_node, "alice"), (bob_node, "bob"), (ttp_node, "ttp")].into_iter().collect();
 
-        World {
+        GenericWorld {
             net,
             client,
             provider,
@@ -294,9 +326,16 @@ impl World {
         self.refresh_fault_wheel();
     }
 
-    /// Configures every link with the same parameters (RTT sweeps).
-    pub fn set_all_links(&mut self, cfg: LinkConfig) {
-        self.net.set_default_link(cfg);
+    /// Borrows the transport backend (typed, so the backend's inherent
+    /// API — [`SimNet::stats`], link knobs — stays reachable).
+    pub fn net(&self) -> &T {
+        &self.net
+    }
+
+    /// Mutably borrows the transport backend (links, interceptors,
+    /// manual sends in attack and test harnesses).
+    pub fn net_mut(&mut self) -> &mut T {
+        &mut self.net
     }
 
     fn dispatch_outgoing(&mut self, from_node: NodeId, out: Vec<Outgoing>) {
@@ -458,6 +497,10 @@ impl World {
     fn crash_actor(&mut self, node: NodeId, now: SimTime) {
         let name = self.name_of[&node];
         self.faults.crash(name, now);
+        // The outage is a transport fact: queued copies addressed to the
+        // node drop (and are counted) at their delivery instant instead of
+        // silently evaporating in the runner.
+        self.net.set_node_down(node, true);
         // Freeze the crashed actor's armed deadline: its wheel entry dies
         // with it and is re-registered from the restored snapshot. The
         // restart instant itself becomes a wheel entry.
@@ -547,8 +590,8 @@ impl World {
     }
 }
 
-impl EventHub for World {
-    fn net_mut(&mut self) -> &mut SimNet {
+impl<T: Transport> EventHub for GenericWorld<T> {
+    fn transport(&mut self) -> &mut dyn Transport {
         &mut self.net
     }
 
@@ -569,6 +612,7 @@ impl EventHub for World {
             let ev = self.faults.poll("ttp", now);
             for name in ev.crashed {
                 let node = self.node_by_name(&name);
+                self.net.set_node_down(node, true);
                 self.wheel.cancel(self.wheel_key(node));
                 self.obs.record(Event {
                     at: now,
@@ -582,6 +626,7 @@ impl EventHub for World {
                 // Re-arm from the restored state (the stale pre-crash entry
                 // was cancelled at crash time and can never fire).
                 let node = self.node_by_name(&name);
+                self.net.set_node_down(node, false);
                 self.refresh_wheel(node);
             }
             self.refresh_fault_wheel();
@@ -633,8 +678,10 @@ impl EventHub for World {
         let from = self.name_of[&env.src];
         let actor = self.name_of[&env.dst];
         if self.faults.active() && self.faults.is_down(actor) {
-            // The recipient is crashed: the message evaporates. The
-            // sender's retry machinery is the recovery path.
+            // Same-instant defense in depth: the transport drops queued
+            // copies for a down node at their delivery instant, but a crash
+            // fired in this very settle round can race an already-polled
+            // envelope. The sender's retry machinery is the recovery path.
             self.faults.note_delivery_lost();
             return;
         }

@@ -31,8 +31,10 @@ use crate::message::Message;
 use crate::obs::{Event, EventKind, Obs};
 use crate::principal::PrincipalId;
 use crate::session::{Outgoing, ValidationError};
-use tpnr_net::sim::{Envelope, NetEventKind, SimNet};
+use std::collections::VecDeque;
+use tpnr_net::sim::{Envelope, NetEventKind};
 use tpnr_net::time::SimTime;
+use tpnr_net::transport::Transport;
 
 /// A protocol participant the scheduler can drive: it receives messages and
 /// owns zero or more pending timers.
@@ -103,8 +105,11 @@ pub struct SettleReport {
 /// ownership of the actors and the routing tables; the scheduler only sees
 /// deadlines, deliveries, and opaque dispatch.
 pub trait EventHub {
-    /// The simulated network.
-    fn net_mut(&mut self) -> &mut SimNet;
+    /// The wire the runner is driving — any [`Transport`] backend: the
+    /// deterministic simulator, the in-process channel, or loopback TCP.
+    /// The settle loop is written against this seam only, so it carries
+    /// zero per-backend code.
+    fn transport(&mut self) -> &mut dyn Transport;
     /// Earliest pending timer across every actor.
     fn next_timer(&self) -> Option<SimTime>;
     /// Fires all timers due at `now` on every actor and dispatches whatever
@@ -130,30 +135,30 @@ pub trait EventHub {
 /// Moves pending network events (drops, duplications) into the hub's
 /// observability sink, translating node ids to display names. Without a
 /// sink the pending buffer is still drained so it cannot accumulate.
+///
+/// One pass over one transport borrow: the drain and the id → name
+/// translation share the same access (via [`Transport::node_name`]), where
+/// the old seam re-borrowed the concrete network once per translated id.
 fn drain_net_events(hub: &mut dyn EventHub) {
-    let pending = hub.net_mut().take_events();
-    if pending.is_empty() {
-        return;
-    }
     let events: Vec<Event> = {
-        let net = hub.net_mut();
-        pending
+        let net = hub.transport();
+        let name = |net: &dyn Transport, n| net.node_name(n).unwrap_or("?").to_string();
+        net.take_events()
             .into_iter()
             .map(|e| Event {
                 at: e.at,
                 txn: e.txn,
-                actor: net.name(e.dst).to_string(),
+                actor: name(net, e.dst),
                 kind: match e.kind {
-                    NetEventKind::Dropped => {
-                        EventKind::Dropped { from: net.name(e.src).to_string() }
-                    }
-                    NetEventKind::Duplicated => {
-                        EventKind::Duplicated { from: net.name(e.src).to_string() }
-                    }
+                    NetEventKind::Dropped => EventKind::Dropped { from: name(net, e.src) },
+                    NetEventKind::Duplicated => EventKind::Duplicated { from: name(net, e.src) },
                 },
             })
             .collect()
     };
+    if events.is_empty() {
+        return;
+    }
     if let Some(obs) = hub.obs_mut() {
         for ev in events {
             obs.record(ev);
@@ -171,15 +176,28 @@ pub fn settle(hub: &mut dyn EventHub, max_steps: usize) -> SettleReport {
         faults: FaultStats::default(),
     };
     let mut barren: Option<SimTime> = None;
+    // Envelopes polled off the transport but not yet routed. Deliveries
+    // are handed out one per step with the timer tie-break re-checked in
+    // between, so batching the poll preserves the old per-step ordering.
+    let mut pending: VecDeque<Envelope> = VecDeque::new();
     for _ in 0..max_steps {
         drain_net_events(hub);
         let timer = hub.next_timer().filter(|t| barren != Some(*t));
-        let delivery = hub.net_mut().next_event_at();
+        let delivery = pending
+            .front()
+            .map(|e| e.delivered_at)
+            .or_else(|| hub.transport().next_deliverable_at());
         match (timer, delivery) {
             // Timer first, including on ties (t == at).
             (Some(t), at) if at.is_none_or(|at| t <= at) => {
-                let now = hub.net_mut().now().max(t);
-                hub.net_mut().advance_clock_to(now);
+                // Real backends block here until host time reaches `t` or
+                // a frame lands first; simulated backends are omniscient
+                // about their queue and decline immediately.
+                if hub.transport().wait_for_activity(Some(t)) {
+                    continue;
+                }
+                let now = hub.transport().now().max(t);
+                hub.transport().advance_clock_to(now);
                 let produced = hub.fire_timers(now);
                 report.timer_rounds += 1;
                 // A fire that neither produced output nor moved the
@@ -187,16 +205,31 @@ pub fn settle(hub: &mut dyn EventHub, max_steps: usize) -> SettleReport {
                 // else changes the world.
                 barren = (produced == 0 && hub.next_timer() == Some(t)).then_some(t);
             }
-            (_, Some(_)) => {
-                // The match arm peeked a pending delivery; if the net has
-                // raced to empty anyway, skip the tick instead of panicking.
-                if let Some(env) = hub.net_mut().step() {
+            (_, Some(at)) => {
+                if pending.is_empty() {
+                    let now = hub.transport().now().max(at);
+                    hub.transport().advance_clock_to(now);
+                    pending.extend(hub.transport().poll_deliverable(now));
+                }
+                // The poll can come back empty (every due copy was dropped
+                // — down node, link loss); the step is then consumed
+                // without a delivery, exactly as the old loop tolerated a
+                // raced-empty queue.
+                if let Some(env) = pending.pop_front() {
                     report.delivered += 1;
                     barren = None;
                     hub.deliver(env);
                 }
             }
+            // Only reachable with no timer (a pending timer and no delivery
+            // is the first arm); kept non-literal for exhaustiveness.
             (_, None) => {
+                // A real wire may still have frames in sockets that no
+                // queue reflects yet; give the transport a chance to
+                // surface them before declaring quiescence.
+                if hub.transport().wait_for_activity(None) {
+                    continue;
+                }
                 finish(hub, &mut report);
                 return report;
             }
@@ -496,7 +529,7 @@ impl TimerWheel {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use tpnr_net::sim::{LinkConfig, NodeId};
+    use tpnr_net::sim::{LinkConfig, NodeId, SimNet};
     use tpnr_net::time::SimDuration;
 
     /// A scripted hub: one synthetic timer plus whatever is in the network
@@ -513,7 +546,7 @@ mod tests {
     }
 
     impl EventHub for ScriptHub {
-        fn net_mut(&mut self) -> &mut SimNet {
+        fn transport(&mut self) -> &mut dyn Transport {
             &mut self.net
         }
         fn next_timer(&self) -> Option<SimTime> {
@@ -839,7 +872,7 @@ mod tests {
     }
 
     impl EventHub for SynthHub {
-        fn net_mut(&mut self) -> &mut SimNet {
+        fn transport(&mut self) -> &mut dyn Transport {
             &mut self.net
         }
         fn next_timer(&self) -> Option<SimTime> {

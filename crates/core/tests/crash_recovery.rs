@@ -57,7 +57,7 @@ fn ttp_crash_mid_resolve_is_retried_with_backoff_until_converged() {
         .build();
     let mut w = World::new(43, cfg);
     let (a, b) = (w.alice_node, w.bob_node);
-    w.net.set_link(b, a, tpnr_net::sim::LinkConfig { drop_prob: 1.0, ..Default::default() });
+    w.net_mut().set_link(b, a, tpnr_net::sim::LinkConfig { drop_prob: 1.0, ..Default::default() });
     let r = w.upload(b"obj", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
     assert_eq!(r.outcome, TxnState::Completed);
     assert!(r.nrr.is_some(), "resolve recovered the receipt Alice was owed");
@@ -83,7 +83,7 @@ fn ttp_outage_window_delays_but_does_not_break_resolve() {
         .build();
     let mut w = World::new(44, cfg);
     let (a, b) = (w.alice_node, w.bob_node);
-    w.net.set_link(b, a, tpnr_net::sim::LinkConfig { drop_prob: 1.0, ..Default::default() });
+    w.net_mut().set_link(b, a, tpnr_net::sim::LinkConfig { drop_prob: 1.0, ..Default::default() });
     let r = w.upload(b"obj", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
     assert_eq!(r.outcome, TxnState::Completed);
     assert!(r.report.latency >= SimDuration::from_secs(60), "resolve had to outlast the outage");
@@ -102,7 +102,7 @@ fn outage_longer_than_time_limit_fails_terminal_and_arbitrable() {
         .build();
     let mut w = World::new(45, cfg);
     let (a, b) = (w.alice_node, w.bob_node);
-    w.net.set_link(b, a, tpnr_net::sim::LinkConfig { drop_prob: 1.0, ..Default::default() });
+    w.net_mut().set_link(b, a, tpnr_net::sim::LinkConfig { drop_prob: 1.0, ..Default::default() });
     let r = w.upload(b"obj", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
     assert_eq!(r.outcome, TxnState::Failed);
     assert!(r.arbitrable(), "even a failed session keeps its evidence");

@@ -24,7 +24,7 @@ fn abort_after_completion_is_rejected() {
     // Drop only the first bob→alice message (the receipt); let later ones by.
     let dropped = Arc::new(AtomicBool::new(false));
     let flag = dropped.clone();
-    w.net.set_interceptor(Box::new(
+    w.net_mut().set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, _p: &[u8], _t| {
             if src == b && dst == a && !flag.load(Ordering::Relaxed) {
                 flag.store(true, Ordering::Relaxed);
@@ -51,7 +51,7 @@ fn corrupted_abort_gets_error_reply_and_retry_succeeds() {
     let (a, b) = (w.alice_node, w.bob_node);
     let corrupted_once = Arc::new(AtomicBool::new(false));
     let flag = corrupted_once.clone();
-    w.net.set_interceptor(Box::new(
+    w.net_mut().set_interceptor(Box::new(
         move |src: tpnr_net::NodeId, dst: tpnr_net::NodeId, payload: &[u8], _t| {
             if src == a && dst == b && !flag.load(Ordering::Relaxed) {
                 if let Ok(Message::Abort { plaintext, .. }) = Message::from_wire(payload) {
@@ -104,7 +104,7 @@ fn forged_resolve_rejected_by_ttp() {
     };
     let msg = Message::Resolve { plaintext: pt, nro, report: "forged".into() };
     let alice_id = w.client.id();
-    let now = w.net.now();
+    let now = w.net().now();
     let result = w.ttp.handle(alice_id, &msg, now);
     assert!(result.is_err(), "TTP must reject the doctored NRO");
     assert_eq!(w.ttp.stats.resolves_rejected, 1);
@@ -133,7 +133,7 @@ fn resolve_from_wrong_party_rejected() {
     };
     let msg = Message::Resolve { plaintext: pt, nro, report: "relayed".into() };
     let bob_id = w.provider.id(); // wrong wire sender
-    let now = w.net.now();
+    let now = w.net().now();
     assert!(w.ttp.handle(bob_id, &msg, now).is_err());
 }
 
@@ -145,7 +145,7 @@ fn resolve_completes_then_late_receipt_is_harmless() {
     let mut w = World::new(15, ProtocolConfig::full());
     let (a, b) = (w.alice_node, w.bob_node);
     // Delay bob→alice by 90 seconds — far beyond the resolve settlement.
-    w.net.set_link(b, a, LinkConfig::ideal(tpnr_net::time::SimDuration::from_secs(90)));
+    w.net_mut().set_link(b, a, LinkConfig::ideal(tpnr_net::time::SimDuration::from_secs(90)));
     let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
     assert_eq!(r.outcome, TxnState::Completed);
     assert!(r.report.ttp_used);
@@ -165,7 +165,7 @@ fn ttp_ignores_unsolicited_resolve_replies() {
         evidence: None,
     };
     let bob_id = w.provider.id();
-    let now = w.net.now();
+    let now = w.net().now();
     // No pending resolve exists: the reply is refused, nothing is relayed.
     assert!(w.ttp.handle(bob_id, &msg, now).is_err());
     assert_eq!(w.ttp.stats.replies_relayed, 0);

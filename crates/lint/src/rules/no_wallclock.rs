@@ -1,22 +1,27 @@
 //! **NO-WALLCLOCK** — `std::time::{Instant, SystemTime}` forbidden
-//! outside `net::time`.
+//! outside `net::time` and `net::tcp`.
 //!
 //! Paper §6: timeliness (evidence deadlines, resolve timeouts) is part of
 //! the protocol's fairness argument, so every actor takes time from the
 //! deterministic sim clock. Host wall-clock reads anywhere else make runs
 //! non-reproducible and let real-time jitter leak into protocol decisions.
 //! Genuinely host-facing measurement goes through
-//! `tpnr_net::time::HostStopwatch` (inside the exempt module) or gets an
-//! allowlist entry with a written justification.
+//! `tpnr_net::time::HostStopwatch`, and the real-wire transport backend
+//! (`tpnr_net::tcp`) stamps arrivals from a host-monotonic epoch — both
+//! inside exempt modules. Anything else gets an allowlist entry with a
+//! written justification.
 
 use crate::{FileCtx, Finding};
 
 pub const ID: &str = "NO-WALLCLOCK";
 
-const EXEMPT_MODULE: &str = "net::time";
+/// Modules allowed to touch the host clock: the stopwatch wrapper and the
+/// real-socket transport backend (its arrival timestamps and quiescence
+/// grace are host-time by nature).
+const EXEMPT_MODULES: [&str; 2] = ["net::time", "net::tcp"];
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
-    if ctx.module_str() == EXEMPT_MODULE {
+    if EXEMPT_MODULES.contains(&ctx.module_str()) {
         return;
     }
     for t in ctx.tokens {
@@ -79,6 +84,26 @@ mod tests {
             "pub struct HostStopwatch { start: std::time::Instant }",
         );
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn silent_inside_net_tcp() {
+        let hits = run_rule(
+            check,
+            "crates/net/src/tcp.rs",
+            "fn f() { let start = std::time::Instant::now(); }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn still_fires_in_other_net_modules() {
+        let hits = run_rule(
+            check,
+            "crates/net/src/sim.rs",
+            "fn f() { let t = std::time::Instant::now(); }",
+        );
+        assert_eq!(hits.len(), 1);
     }
 
     #[test]

@@ -243,6 +243,29 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Writes `body` as one length-prefixed frame (`u32` big-endian length,
+/// then the body) — the stream framing the real-socket transport uses, with
+/// the same [`MAX_FIELD_LEN`] sanity bound as in-memory decoding.
+pub fn write_frame(w: &mut impl std::io::Write, body: &[u8]) -> std::io::Result<()> {
+    assert!(body.len() <= MAX_FIELD_LEN, "frame too large to encode");
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one length-prefixed frame written by [`write_frame`]. A hostile
+/// length prefix beyond [`MAX_FIELD_LEN`] is rejected before allocating.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FIELD_LEN {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "frame length overflow"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
 /// A type with a canonical wire form.
 pub trait Wire: Sized {
     /// Appends this value to `w`.
@@ -424,6 +447,27 @@ mod tests {
             let trunc = full.slice(0..cut);
             assert!(Reader::with_origin(&trunc).bytes_shared().is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn stream_frames_roundtrip_and_reject_hostile_lengths() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"omega").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), b"omega");
+        assert!(read_frame(&mut r).is_err(), "clean EOF surfaces as an error");
+        // Hostile prefix: claims 4 GiB; must fail before allocating.
+        let hostile = [0xffu8, 0xff, 0xff, 0xff, 0x00];
+        assert!(read_frame(&mut &hostile[..]).is_err());
+        // Truncated body.
+        let mut trunc = Vec::new();
+        write_frame(&mut trunc, b"hello").unwrap();
+        trunc.pop();
+        assert!(read_frame(&mut &trunc[..]).is_err());
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //! * [`secure`] — the paper-era "SSL" session layer: per-session
 //!   confidentiality + integrity + in-order replay protection, and nothing
 //!   more — which is precisely why the in-storage integrity gap of paper
-//!   §2.4 exists.
+//!   §2.4 exists;
+//! * [`transport`] — the [`Transport`] contract the scheduler drives, so
+//!   the same protocol code runs on the simulator and on real wires;
+//! * [`tcp`] — the real-wire backends: loopback TCP ([`tcp::TcpNet`]) and
+//!   an in-process deterministic channel ([`tcp::ChannelNet`]), sharing
+//!   one length-prefixed frame format.
 
 #![forbid(unsafe_code)]
 
@@ -23,10 +28,14 @@ pub mod bytes;
 pub mod codec;
 pub mod secure;
 pub mod sim;
+pub mod tcp;
 pub mod time;
+pub mod transport;
 
 pub use bytes::Bytes;
 pub use codec::{CodecError, Reader, Wire, Writer};
 pub use secure::{ChannelError, SecureSession};
 pub use sim::{Action, Envelope, Interceptor, LinkConfig, NetStats, NodeId, SimNet, TxnNetStats};
+pub use tcp::{ChannelNet, TcpNet, WireFrame};
 pub use time::{Clock, SimClock, SimDuration, SimTime};
+pub use transport::Transport;

@@ -12,6 +12,7 @@
 
 use crate::bytes::Bytes;
 use crate::time::{SimClock, SimDuration, SimTime};
+use crate::transport::Transport;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use tpnr_crypto::ChaChaRng;
@@ -171,6 +172,9 @@ pub struct SimNet {
     clock: SimClock,
     rng: ChaChaRng,
     nodes: Vec<String>,
+    /// Nodes currently down (fault outage windows): copies addressed to a
+    /// down node are dropped at delivery time and counted.
+    down: Vec<bool>,
     inboxes: Vec<VecDeque<Envelope>>,
     links: HashMap<(NodeId, NodeId), LinkConfig>,
     default_link: LinkConfig,
@@ -236,6 +240,7 @@ impl SimNet {
             clock: SimClock::new(),
             rng: ChaChaRng::seed_from_u64(seed),
             nodes: Vec::new(),
+            down: Vec::new(),
             inboxes: Vec::new(),
             links: HashMap::new(),
             default_link: LinkConfig::default(),
@@ -268,8 +273,17 @@ impl SimNet {
     pub fn register(&mut self, name: &str) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(name.to_string());
+        self.down.push(false);
         self.inboxes.push(VecDeque::new());
         id
+    }
+
+    /// Marks a node down (or back up). Copies addressed to a down node are
+    /// dropped *at delivery time* — a message sent during an outage still
+    /// arrives if the node restarts before the link latency elapses, just
+    /// as on a real wire.
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) {
+        self.down[node.0 as usize] = down;
     }
 
     /// The display name of a node.
@@ -445,10 +459,15 @@ impl SimNet {
 
     /// Delivers the next scheduled message (advancing the clock to its
     /// delivery time). Returns the delivered envelope, or `None` if the
-    /// network is quiet.
+    /// network is quiet *or* the copy was dropped at delivery (down
+    /// destination) — check [`SimNet::in_flight`] to distinguish.
     pub fn step(&mut self) -> Option<Envelope> {
         let Reverse(mut d) = self.queue.pop()?;
         self.clock.set(d.at);
+        if self.down[d.env.dst.0 as usize] {
+            self.drop_copy(d.env.src, d.env.dst, d.env.txn);
+            return None;
+        }
         d.env.delivered_at = d.at;
         self.inboxes[d.env.dst.0 as usize].push_back(d.env.clone());
         self.stats.delivered += 1;
@@ -464,8 +483,10 @@ impl SimNet {
     /// delivered.
     pub fn run_until_quiet(&mut self) -> usize {
         let mut n = 0;
-        while self.step().is_some() {
-            n += 1;
+        while self.in_flight() {
+            if self.step().is_some() {
+                n += 1;
+            }
         }
         n
     }
@@ -544,6 +565,86 @@ impl SimNet {
             assert!(at >= t, "advance_clock_to would skip a scheduled delivery");
         }
         self.clock.set(t);
+    }
+}
+
+/// The simulator behind the transport seam. Delegates to the inherent
+/// methods, so driving a `SimNet` through `&mut dyn Transport` is
+/// behaviorally identical to driving it directly (the backend-parity
+/// proptest in `tpnr-core` pins this down).
+impl Transport for SimNet {
+    fn now(&self) -> SimTime {
+        SimNet::now(self)
+    }
+
+    fn advance_clock_to(&mut self, t: SimTime) {
+        SimNet::advance_clock_to(self, t);
+    }
+
+    fn register(&mut self, name: &str) -> NodeId {
+        SimNet::register(self, name)
+    }
+
+    fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.nodes.get(node.0 as usize).map(String::as_str)
+    }
+
+    fn send_tagged(&mut self, src: NodeId, dst: NodeId, payload: Bytes, txn: Option<u64>) {
+        SimNet::send_tagged(self, src, dst, payload, txn);
+    }
+
+    fn poll_deliverable(&mut self, now: SimTime) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        while self.next_event_at().is_some_and(|at| at <= now) {
+            if let Some(env) = self.step() {
+                out.push(env);
+            }
+        }
+        out
+    }
+
+    fn next_deliverable_at(&mut self) -> Option<SimTime> {
+        self.next_event_at()
+    }
+
+    fn in_flight(&self) -> bool {
+        SimNet::in_flight(self)
+    }
+
+    fn take_events(&mut self) -> Vec<NetEvent> {
+        SimNet::take_events(self)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn txn_stats(&self, txn: u64) -> TxnNetStats {
+        SimNet::txn_stats(self, txn)
+    }
+
+    fn tagged_txns(&self) -> Vec<u64> {
+        SimNet::tagged_txns(self)
+    }
+
+    fn retire_txn(&mut self, txn: u64) -> TxnNetStats {
+        SimNet::retire_txn(self, txn)
+    }
+
+    fn set_interceptor(&mut self, i: Box<dyn Interceptor>) {
+        SimNet::set_interceptor(self, i);
+    }
+
+    fn clear_interceptor(&mut self) {
+        SimNet::clear_interceptor(self);
+    }
+
+    fn set_node_down(&mut self, node: NodeId, down: bool) {
+        SimNet::set_node_down(self, node, down);
+    }
+
+    fn events_lost(&self) -> u64 {
+        self.events_lost
     }
 }
 

@@ -1,0 +1,234 @@
+//! The runner ↔ network seam: one [`Transport`] contract, many wires.
+//!
+//! The protocol state machines (client, provider, TTP) never touch a
+//! network type directly — they emit outgoing messages and the *runner*
+//! moves bytes. Until this module existed the runner was welded to the
+//! discrete-event simulator; [`Transport`] abstracts the seam so the same
+//! protocol code, fault plans and invariant tests drive:
+//!
+//! * [`crate::sim::SimNet`] — the deterministic discrete-event simulator
+//!   (virtual clock, seeded RNG, per-link loss/jitter/duplication);
+//! * [`crate::tcp::ChannelNet`] — an in-process SPSC-channel wire with the
+//!   same length-prefixed framing as TCP, zero-latency and deterministic
+//!   (CI-friendly);
+//! * [`crate::tcp::TcpNet`] — real loopback TCP sockets with reader
+//!   threads and host-monotonic time.
+//!
+//! The trait deliberately mirrors how the scheduler already consumed
+//! `SimNet`: time comes from the transport's clock capability
+//! ([`Transport::now`] / [`Transport::advance_clock_to`] — a `SimClock`
+//! for the simulator, a `HostStopwatch`-style monotonic reading for real
+//! sockets), deliveries are *pulled* ([`Transport::poll_deliverable`]),
+//! and wire-level happenings the actors cannot observe (drops,
+//! duplications) surface as [`NetEvent`]s for the observability sink.
+//!
+//! Every backend upholds the conservation law
+//! `delivered + dropped == sent + duplicated` over its [`NetStats`]
+//! once quiescent: each accepted copy is eventually counted delivered or
+//! counted dropped, never silently lost.
+
+use crate::bytes::Bytes;
+use crate::sim::{Envelope, Interceptor, NetEvent, NetStats, NodeId, TxnNetStats};
+use crate::time::SimTime;
+
+/// A wire the scheduler can drive: named nodes, tagged sends, pull-based
+/// delivery, drained wire events, per-transaction accounting, and a clock.
+///
+/// Object-safe — the scheduler works through `&mut dyn Transport` so the
+/// settle loop itself carries zero per-backend code.
+pub trait Transport: Send {
+    /// Current transport time. For the simulator this is the shared
+    /// [`crate::time::SimClock`]; for real sockets it is host-monotonic
+    /// microseconds since the transport started.
+    fn now(&self) -> SimTime;
+
+    /// Advances the clock to `t` without delivering anything (fires a
+    /// protocol timer due before the next delivery). Simulated backends
+    /// jump; real-time backends sleep the remainder. A `t` in the past is
+    /// a no-op — transport time is monotone.
+    fn advance_clock_to(&mut self, t: SimTime);
+
+    /// Registers a named node and returns its id.
+    fn register(&mut self, name: &str) -> NodeId;
+
+    /// The display name of a node, if it is registered. The one-pass event
+    /// drain in the scheduler uses this to translate ids without
+    /// re-borrowing the backend.
+    fn node_name(&self, node: NodeId) -> Option<&str>;
+
+    /// Sends a payload attributed to a transaction (`None` = untagged).
+    fn send_tagged(&mut self, src: NodeId, dst: NodeId, payload: Bytes, txn: Option<u64>);
+
+    /// Sends an untagged payload.
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: Bytes) {
+        self.send_tagged(src, dst, payload, None);
+    }
+
+    /// Delivers every message due at or before `now`, in wire order. May
+    /// return an empty vector even when [`Transport::next_deliverable_at`]
+    /// reported a due time — the due copies may all have been dropped
+    /// (down destination, link loss); the drop is then counted and a
+    /// [`NetEvent`] recorded.
+    fn poll_deliverable(&mut self, now: SimTime) -> Vec<Envelope>;
+
+    /// When the next delivery is due, if one is queued. Real backends
+    /// report arrivals already buffered; they cannot predict the future,
+    /// so `None` here does not mean quiescent — see
+    /// [`Transport::wait_for_activity`].
+    fn next_deliverable_at(&mut self) -> Option<SimTime>;
+
+    /// True while accepted copies are still somewhere between send and
+    /// delivered/dropped accounting.
+    fn in_flight(&self) -> bool;
+
+    /// Drains pending wire events (drops, duplications) for the
+    /// observability sink.
+    fn take_events(&mut self) -> Vec<NetEvent>;
+
+    /// Aggregate traffic counters.
+    fn stats(&self) -> NetStats;
+
+    /// Traffic counters for one tagged transaction.
+    fn txn_stats(&self, txn: u64) -> TxnNetStats;
+
+    /// Transactions with tagged traffic on record, ascending.
+    fn tagged_txns(&self) -> Vec<u64>;
+
+    /// Drops one transaction's counters, returning the final values.
+    fn retire_txn(&mut self, txn: u64) -> TxnNetStats;
+
+    /// Installs (or replaces) the wire adversary.
+    fn set_interceptor(&mut self, i: Box<dyn Interceptor>);
+
+    /// Removes the wire adversary.
+    fn clear_interceptor(&mut self);
+
+    /// Marks a node down (or back up). While a node is down the transport
+    /// drops copies addressed to it at delivery time, counting each drop —
+    /// fault-plan outage windows become ordinary transport-level link
+    /// drops, visible to the conservation law like any other loss.
+    fn set_node_down(&mut self, node: NodeId, down: bool);
+
+    /// Blocks until new work *may* be available, or until the transport is
+    /// sure none is coming. Returns `true` if the caller should re-poll
+    /// (something arrived or may have), `false` if it is safe to proceed
+    /// (fire the timer at `until`, or — with `until == None` — conclude
+    /// the wire is quiescent).
+    ///
+    /// Simulated backends are omniscient about their own queue and always
+    /// return `false` immediately. Real backends block here: with
+    /// `Some(t)` until host time reaches `t` or a frame lands, with `None`
+    /// until in-flight frames drain or a bounded grace period expires.
+    fn wait_for_activity(&mut self, until: Option<SimTime>) -> bool {
+        let _ = until;
+        false
+    }
+
+    /// Wire events discarded because nobody drained them in time.
+    fn events_lost(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{LinkConfig, SimNet};
+    use crate::time::SimDuration;
+
+    /// Drives a backend through `&mut dyn Transport` only.
+    fn ping_pong(net: &mut dyn Transport) -> (NetStats, Vec<Envelope>) {
+        let a = net.register("alice");
+        let b = net.register("bob");
+        net.send_tagged(a, b, Bytes::from(b"ping".to_vec()), Some(1));
+        let mut got = Vec::new();
+        while net.in_flight() {
+            let Some(at) = net.next_deliverable_at() else {
+                if !net.wait_for_activity(None) {
+                    break;
+                }
+                continue;
+            };
+            let now = net.now().max(at);
+            net.advance_clock_to(now);
+            got.extend(net.poll_deliverable(now));
+        }
+        (net.stats(), got)
+    }
+
+    #[test]
+    fn simnet_is_drivable_through_dyn_transport() {
+        let mut net = SimNet::new(1);
+        let (stats, got) = ping_pong(&mut net);
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, b"ping");
+        assert_eq!(got[0].delivered_at, SimTime::ZERO.after(SimDuration::from_millis(25)));
+        assert_eq!(net.node_name(got[0].dst), Some("bob"));
+        assert_eq!(net.node_name(NodeId(99)), None);
+        assert_eq!(Transport::txn_stats(&net, 1).delivered, 1);
+    }
+
+    #[test]
+    fn down_node_drops_at_delivery_and_conserves() {
+        let mut net = SimNet::new(2);
+        let a = net.register("a");
+        let b = net.register("b");
+        net.send(a, b, Bytes::from(b"one".to_vec()));
+        Transport::set_node_down(&mut net, b, true);
+        net.send(a, b, Bytes::from(b"two".to_vec()));
+        let t: &mut dyn Transport = &mut net;
+        let mut delivered = Vec::new();
+        while let Some(at) = t.next_deliverable_at() {
+            t.advance_clock_to(at);
+            delivered.extend(t.poll_deliverable(at));
+        }
+        // Both copies were sent before the outage took effect at delivery
+        // time, so both are dropped: the outage window is a link drop.
+        assert!(delivered.is_empty());
+        let s = t.stats();
+        assert_eq!((s.sent, s.delivered, s.dropped), (2, 0, 2));
+        assert_eq!(s.delivered + s.dropped, s.sent + s.duplicated);
+        let evs = t.take_events();
+        assert_eq!(evs.len(), 2);
+        // Back up: traffic flows again.
+        t.set_node_down(b, false);
+        t.send(a, b, Bytes::from(b"three".to_vec()));
+        let at = t.next_deliverable_at().unwrap();
+        t.advance_clock_to(at);
+        assert_eq!(t.poll_deliverable(at).len(), 1);
+    }
+
+    #[test]
+    fn lossy_link_conservation_through_trait() {
+        let mut net = SimNet::new(3);
+        let a = net.register("a");
+        let b = net.register("b");
+        net.set_link(
+            a,
+            b,
+            LinkConfig {
+                latency: SimDuration::from_millis(1),
+                jitter: SimDuration::ZERO,
+                drop_prob: 0.4,
+                dup_prob: 0.4,
+            },
+        );
+        for i in 0..200u8 {
+            Transport::send_tagged(&mut net, a, b, Bytes::from(vec![i]), Some(7));
+        }
+        let t: &mut dyn Transport = &mut net;
+        while let Some(at) = t.next_deliverable_at() {
+            t.advance_clock_to(at);
+            t.poll_deliverable(at);
+        }
+        assert!(!t.in_flight());
+        let s = t.stats();
+        assert_eq!(s.delivered + s.dropped, s.sent + s.duplicated);
+        let ts = t.txn_stats(7);
+        assert_eq!(ts.delivered + ts.dropped, ts.sent + ts.duplicated);
+        assert_eq!(t.tagged_txns(), vec![7]);
+        assert_eq!(t.retire_txn(7), ts);
+    }
+}

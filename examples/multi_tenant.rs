@@ -20,7 +20,7 @@ fn main() {
     let unlucky = 3usize;
     let bob = world.bob_node;
     let c3_node = world.client_nodes[unlucky];
-    world.net.set_link(bob, c3_node, LinkConfig { drop_prob: 1.0, ..Default::default() });
+    world.net_mut().set_link(bob, c3_node, LinkConfig { drop_prob: 1.0, ..Default::default() });
 
     // Everyone uploads concurrently — transfers are all in flight together.
     let txns: Vec<_> = (0..CLIENTS)
@@ -55,7 +55,7 @@ fn main() {
     // download resolved through the TTP recovers the *receipt* but not the
     // bulk data — the TTP never forwards data, per §4.3 — so the download
     // itself is retried over the healed link.)
-    world.net.set_link(bob, c3_node, LinkConfig::default());
+    world.net_mut().set_link(bob, c3_node, LinkConfig::default());
     let down: Vec<_> = (0..CLIENTS)
         .map(|i| {
             let key = format!("tenant-{i}/backup").into_bytes();

@@ -110,7 +110,7 @@ fn asymmetric_outage_only_receipts_lost() {
     // the NRR she was owed.
     let mut w = World::new(5, ProtocolConfig::full());
     let (a, b) = (w.alice_node, w.bob_node);
-    w.net.set_link(b, a, LinkConfig { drop_prob: 1.0, ..Default::default() });
+    w.net_mut().set_link(b, a, LinkConfig { drop_prob: 1.0, ..Default::default() });
     let r = w.upload(b"k", b"data".to_vec(), TimeoutStrategy::ResolveImmediately);
     assert_eq!(r.outcome, TxnState::Completed);
     assert!(r.report.ttp_used);

@@ -84,7 +84,7 @@ fn e6_shape_ttp_engaged_under_faults() {
     for seed in 0..10u64 {
         let mut w = World::new(600 + seed, ProtocolConfig::full());
         let (a, b) = (w.alice_node, w.bob_node);
-        w.net.set_link(b, a, LinkConfig::lossy(SimDuration::from_millis(25), 0.9));
+        w.net_mut().set_link(b, a, LinkConfig::lossy(SimDuration::from_millis(25), 0.9));
         let r = w.upload(b"k", vec![0u8; 64], TimeoutStrategy::ResolveImmediately);
         assert!(r.outcome.is_terminal());
         if r.report.ttp_used {
